@@ -1,0 +1,134 @@
+// Fig. 11 — infrastructure evolution of Facebook, Instagram and YouTube:
+// per-day server-IP counts (dedicated vs shared), per-ASN breakdowns
+// against the monthly RIB, and second-level-domain traffic shares.
+// Paper: FB/IG migrate from shared third-party CDNs (Akamai) to the
+// private Facebook CDN by end-2015, shrinking daily IPs (3800→1000 FB,
+// →300 IG) and dedicating them; YouTube always dedicated, fleet keeps
+// growing (~40k IPs), ISP-hosted caches take most traffic from end-2015;
+// domains youtube.com → googlevideo.com (2014) → +gvt1.com (2015),
+// fbcdn/akamaihd → facebook.com, cdninstagram.
+#include "analytics/infrastructure.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using ew::services::ServiceId;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2013, 6}; m <= ew::core::MonthIndex{2017, 6}; m = m + 6) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+ew::analytics::RibProvider rib_provider() {
+  return [](ew::core::MonthIndex m) -> const ew::asn::Rib& {
+    return bench_common::generator().rib(m);
+  };
+}
+
+void print_service(ServiceId id) {
+  std::printf("  --- %s ---\n", std::string(ew::services::to_string(id)).c_str());
+  const auto lifecycle = ew::analytics::ip_lifecycle(window(), id);
+  std::printf("    date         dedicated  shared  cumulative\n");
+  for (const auto& row : lifecycle) {
+    if (row.date.day != 10) continue;  // one row per sampled month
+    std::printf("    %s   %7zu  %6zu  %9zu\n", row.date.to_string().c_str(), row.dedicated,
+                row.shared, row.cumulative_unique);
+  }
+  const auto& dir = ew::asn::AsnDirectory::standard();
+  const auto asns = ew::analytics::asn_breakdown(window(), id, rib_provider());
+  std::printf("    ASN breakdown (avg daily IPs):\n");
+  for (const auto& row : asns) {
+    std::printf("      %s:", row.month.to_string().c_str());
+    for (const auto& [asn_num, ips] : row.ips_by_asn) {
+      std::printf("  %s=%.0f", std::string(dir.name(asn_num)).c_str(), ips);
+    }
+    std::printf("\n");
+  }
+  const auto domains = ew::analytics::domain_shares(window(), id);
+  std::printf("    domain shares (%%):\n");
+  for (const auto& row : domains) {
+    std::printf("      %s:", row.month.to_string().c_str());
+    for (const auto& [domain, pct] : row.share_pct) {
+      if (pct >= 1.0) std::printf("  %s=%.0f", domain.c_str(), pct);
+    }
+    std::printf("\n");
+  }
+}
+
+double asn_ips(const std::vector<ew::analytics::AsnBreakdownRow>& rows,
+               ew::core::MonthIndex month, std::uint32_t asn) {
+  for (const auto& row : rows) {
+    if (row.month == month) {
+      const auto it = row.ips_by_asn.find(asn);
+      return it == row.ips_by_asn.end() ? 0.0 : it->second;
+    }
+  }
+  return 0.0;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 11", "Facebook / Instagram / YouTube infrastructure evolution");
+  print_service(ServiceId::kFacebook);
+  print_service(ServiceId::kInstagram);
+  print_service(ServiceId::kYouTube);
+
+  const auto fb = ew::analytics::asn_breakdown(window(), ServiceId::kFacebook, rib_provider());
+  const auto ig = ew::analytics::asn_breakdown(window(), ServiceId::kInstagram, rib_provider());
+  const auto yt = ew::analytics::asn_breakdown(window(), ServiceId::kYouTube, rib_provider());
+  using Dir = ew::asn::AsnDirectory;
+
+  bench_common::compare("FB Akamai IPs mid-2013 (scaled 1/10)", "large",
+                        asn_ips(fb, {2013, 6}, Dir::kAkamai));
+  bench_common::compare("FB Akamai IPs mid-2017 (migration done)", "~0",
+                        asn_ips(fb, {2017, 6}, Dir::kAkamai));
+  bench_common::compare("FB AS32934 IPs mid-2017 (scaled ~100)", "~100",
+                        asn_ips(fb, {2017, 6}, Dir::kFacebook));
+  bench_common::compare("IG dedicated IPs mid-2017 (scaled ~30)", "~30",
+                        asn_ips(ig, {2017, 6}, Dir::kFacebook));
+  bench_common::compare("YT ISP-hosted cache IPs mid-2017", ">0 (in-PoP)",
+                        asn_ips(yt, {2017, 6}, Dir::kIsp));
+  bench_common::compare("YT ISP cache IPs mid-2014", "0", asn_ips(yt, {2014, 6}, Dir::kIsp));
+
+  const auto fb_life = ew::analytics::ip_lifecycle(window(), ServiceId::kFacebook);
+  bench_common::compare("FB shared IPs on last sampled day", "few",
+                        static_cast<double>(fb_life.back().shared));
+  const auto yt_life = ew::analytics::ip_lifecycle(window(), ServiceId::kYouTube);
+  bench_common::compare("YT shared IPs on last sampled day (always dedicated)", "0",
+                        static_cast<double>(yt_life.back().shared));
+  bench_common::compare("YT cumulative unique IPs (keeps growing)", "tens of thousands",
+                        static_cast<double>(yt_life.back().cumulative_unique));
+}
+
+void BM_IpLifecycle(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::ip_lifecycle(window(), ServiceId::kYouTube));
+  }
+}
+BENCHMARK(BM_IpLifecycle);
+
+void BM_AsnBreakdown(benchmark::State& state) {
+  const auto provider = rib_provider();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ew::analytics::asn_breakdown(window(), ServiceId::kFacebook, provider));
+  }
+}
+BENCHMARK(BM_AsnBreakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

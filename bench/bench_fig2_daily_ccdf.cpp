@@ -1,0 +1,81 @@
+// Fig. 2 — CCDF of per-active-subscriber daily traffic, April 2014 vs
+// April 2017, by access technology and direction. The paper's headline
+// reads: bimodal distribution (≈50% of days under 100 MB down / 10 MB up;
+// >10% of days above 1 GB / 100 MB); medians doubled 2014→2017; FTTH
+// ~25% more download in heavy days; upload tail bump (P2P) gone by 2017.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using bench_common::generator;
+
+namespace {
+
+std::vector<ew::analytics::DayAggregate>& april(int year) {
+  static std::vector<ew::analytics::DayAggregate> d14 =
+      bench_common::month_aggregates({2014, 4}, 4);
+  static std::vector<ew::analytics::DayAggregate> d17 =
+      bench_common::month_aggregates({2017, 4}, 4);
+  return year == 2014 ? d14 : d17;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 2", "CCDF of per-subscriber daily traffic (Apr 2014 vs 2017)");
+  const auto dist14 = ew::analytics::daily_volume_distributions(april(2014));
+  const auto dist17 = ew::analytics::daily_volume_distributions(april(2017));
+
+  const double mb = 1e6;
+  std::printf("  CCDF (download)          ADSL'14  ADSL'17  FTTH'14  FTTH'17\n");
+  for (const double x : {10.0, 100.0, 1000.0, 10000.0}) {
+    std::printf("    P(down > %6.0f MB)     %6.3f   %6.3f   %6.3f   %6.3f\n", x,
+                dist14.down[0].ccdf(x * mb), dist17.down[0].ccdf(x * mb),
+                dist14.down[1].ccdf(x * mb), dist17.down[1].ccdf(x * mb));
+  }
+  std::printf("  CCDF (upload)            ADSL'14  ADSL'17  FTTH'14  FTTH'17\n");
+  for (const double x : {1.0, 10.0, 100.0, 1000.0}) {
+    std::printf("    P(up   > %6.0f MB)     %6.3f   %6.3f   %6.3f   %6.3f\n", x,
+                dist14.up[0].ccdf(x * mb), dist17.up[0].ccdf(x * mb),
+                dist14.up[1].ccdf(x * mb), dist17.up[1].ccdf(x * mb));
+  }
+
+  bench_common::compare("ADSL down median growth 2014->2017 (x)", "~2x",
+                        dist17.down[0].median() / dist14.down[0].median());
+  bench_common::compare("FTTH down median growth 2014->2017 (x)", "~2x",
+                        dist17.down[1].median() / dist14.down[1].median());
+  bench_common::compare("ADSL up median growth 2014->2017 (x)", "~2x",
+                        dist17.up[0].median() / dist14.up[0].median());
+  bench_common::compare("heavy-day FTTH/ADSL download ratio 2017 (90th pct)", "~1.25",
+                        dist17.down[1].quantile(0.9) / dist17.down[0].quantile(0.9));
+  bench_common::compare("FTTH/ADSL upload ratio 2017 (90th pct)", "~2",
+                        dist17.up[1].quantile(0.9) / dist17.up[0].quantile(0.9));
+  // The 2014 upload tail bump that disappears (P2P decline): deep-tail
+  // mass beyond 1 GB uploaded is P2P seeding territory.
+  bench_common::compare("P(ADSL up > 1 GB) 2014 (P2P seeding bump) x1000", "visible",
+                        dist14.up[0].ccdf(1000 * mb) * 1000.0);
+  bench_common::compare("P(ADSL up > 1 GB) 2017 (bump gone) x1000", "much smaller",
+                        dist17.up[0].ccdf(1000 * mb) * 1000.0);
+}
+
+void BM_DailyVolumeDistributions(benchmark::State& state) {
+  const auto& days = april(2017);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::daily_volume_distributions(days));
+  }
+}
+BENCHMARK(BM_DailyVolumeDistributions);
+
+void BM_GenerateAprilDay(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator().day_aggregate({2017, 4, 12}));
+  }
+}
+BENCHMARK(BM_GenerateAprilDay);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 3 — average per-subscription daily traffic over the 54 months.
+// Paper: ADSL download grows at a constant rate from ~300 MB (2013) to
+// ~700 MB (late 2017); FTTH ~25% higher, topping 1 GB/day; ADSL upload
+// flat (1 Mb/s bottleneck); FTTH upload grows modestly.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  // Every 3rd month keeps the bench under a minute while covering the
+  // whole 2013-2017 span.
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2013, 3}; m <= ew::core::MonthIndex{2017, 9}; m = m + 3) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 3", "average per-subscription daily traffic (2013-2017)");
+  const auto rows = ew::analytics::volume_trend(window());
+  std::printf(
+      "  month     ADSL down  FTTH down  ADSL up  FTTH up   actADSL  actFTTH\n");
+  for (const auto& row : rows) {
+    std::printf("  %s    %8.0f   %8.0f   %6.1f   %6.1f   %6zu   %6zu\n",
+                row.month.to_string().c_str(), row.down_mb[0], row.down_mb[1], row.up_mb[0],
+                row.up_mb[1], row.subscribers[0], row.subscribers[1]);
+  }
+  // §2.1: "a steady reduction in the number of active ADSL users and an
+  // increase in FTTH installations" (churn + technology upgrades).
+  bench_common::compare("ADSL active-subscriber drift 2013->2017 (x)", "<1 (churn)",
+                        static_cast<double>(rows.back().subscribers[0]) /
+                            static_cast<double>(rows.front().subscribers[0]));
+  bench_common::compare("FTTH active-subscriber drift 2013->2017 (x)", ">1 (rollout)",
+                        static_cast<double>(rows.back().subscribers[1]) /
+                            static_cast<double>(rows.front().subscribers[1]));
+  const auto& first = rows.front();
+  const auto& last = rows.back();
+  bench_common::compare("ADSL down 2013-03 (MB/day)", "~300", first.down_mb[0]);
+  bench_common::compare("ADSL down 2017 (MB/day)", "~700", last.down_mb[0]);
+  bench_common::compare("FTTH down 2017 (MB/day)", "~1000", last.down_mb[1]);
+  bench_common::compare("FTTH/ADSL download premium (x)", "~1.25",
+                        last.down_mb[1] / last.down_mb[0]);
+  bench_common::compare("ADSL upload drift 2013->2017 (x)", "~1 (flat)",
+                        last.up_mb[0] / first.up_mb[0]);
+  bench_common::compare("FTTH upload growth (x)", "modest >1",
+                        last.up_mb[1] / first.up_mb[1]);
+}
+
+void BM_VolumeTrend(benchmark::State& state) {
+  const auto& days = window();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::volume_trend(days));
+  }
+}
+BENCHMARK(BM_VolumeTrend);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

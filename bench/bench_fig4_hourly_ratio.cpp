@@ -1,0 +1,54 @@
+// Fig. 4 — ratio of download volume April 2017 / April 2014 per hour of
+// day. Paper: overall ratio above 2; highest increase during late-night
+// hours (automatic updates, IoT); FTTH shows an extra prime-time bump.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& april14() {
+  static const auto d = bench_common::month_aggregates({2014, 4}, 4);
+  return d;
+}
+const std::vector<ew::analytics::DayAggregate>& april17() {
+  static const auto d = bench_common::month_aggregates({2017, 4}, 4);
+  return d;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 4", "hourly download ratio April 2017 / April 2014");
+  const auto ratios = ew::analytics::hourly_ratio(april17(), april14());
+  std::printf("  hour   ADSL ratio  FTTH ratio\n");
+  for (int h = 0; h < 24; ++h) {
+    std::printf("  %02d:00    %6.2f      %6.2f\n", h, ratios.ratio[0][h], ratios.ratio[1][h]);
+  }
+  double adsl_day = 0, adsl_night = 0, ftth_prime = 0, ftth_day = 0;
+  for (int h = 10; h < 18; ++h) adsl_day += ratios.ratio[0][h] / 8.0;
+  for (int h = 1; h < 6; ++h) adsl_night += ratios.ratio[0][h] / 5.0;
+  for (int h = 20; h < 23; ++h) ftth_prime += ratios.ratio[1][h] / 3.0;
+  for (int h = 10; h < 18; ++h) ftth_day += ratios.ratio[1][h] / 8.0;
+  bench_common::compare("ADSL daytime average ratio", ">2", adsl_day);
+  bench_common::compare("ADSL late-night ratio (automatic traffic)", "higher than day",
+                        adsl_night);
+  bench_common::compare("night/day ratio of ratios (ADSL)", ">1", adsl_night / adsl_day);
+  bench_common::compare("FTTH prime-time ratio (video)", "> daytime", ftth_prime);
+  bench_common::compare("prime/day ratio of ratios (FTTH)", ">1", ftth_prime / ftth_day);
+}
+
+void BM_HourlyRatio(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::hourly_ratio(april17(), april14()));
+  }
+}
+BENCHMARK(BM_HourlyRatio);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 5 — popularity (% of active ADSL subscribers contacting the service
+// daily) and share of downloaded bytes, for the 18 services, over time.
+// Paper highlights: Google ~60% steady; Bing grows 15%→45% (Windows
+// telemetry); DuckDuckGo <0.3%; SnapChat momentum only during 2015-16;
+// Facebook/Instagram/WhatsApp/Netflix increase traffic share; P2P fades.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+#include "services/catalog.hpp"
+
+namespace ew = edgewatch;
+using ew::services::ServiceId;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2013, 6}; m <= ew::core::MonthIndex{2017, 6}; m = m + 12) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 5",
+                       "service popularity (ADSL, % active users) and byte share (%)");
+  const auto matrix =
+      ew::analytics::service_matrix(window(), ew::flow::AccessTech::kAdsl);
+
+  std::printf("  %-14s", "service");
+  for (const auto m : matrix.months) std::printf("  %8s", m.to_string().c_str());
+  std::printf("   (popularity %% / byte share %%)\n");
+  for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+    const auto id = static_cast<ServiceId>(s);
+    if (id == ServiceId::kOther) continue;
+    std::printf("  %-14s", std::string(ew::services::to_string(id)).c_str());
+    for (std::size_t mi = 0; mi < matrix.months.size(); ++mi) {
+      std::printf("  %4.1f/%3.1f", matrix.cells[s][mi].popularity_pct,
+                  matrix.cells[s][mi].byte_share_pct);
+    }
+    std::printf("\n");
+  }
+
+  const auto last = matrix.months.size() - 1;
+  auto cell = [&](ServiceId id, std::size_t mi) {
+    return matrix.cells[static_cast<std::size_t>(id)][mi];
+  };
+  bench_common::compare("Google popularity (steady, %)", "~60", cell(ServiceId::kGoogle, last).popularity_pct);
+  bench_common::compare("Bing popularity 2013 (%)", "<15", cell(ServiceId::kBing, 0).popularity_pct);
+  bench_common::compare("Bing popularity 2017 (%)", "~45", cell(ServiceId::kBing, last).popularity_pct);
+  bench_common::compare("DuckDuckGo popularity (%)", "<0.3", cell(ServiceId::kDuckDuckGo, last).popularity_pct);
+  bench_common::compare("YouTube byte share 2017 (%)", "~10 (palette cap)", cell(ServiceId::kYouTube, last).byte_share_pct);
+  bench_common::compare("P2P byte share 2013 vs 2017 (pp drop)", "large",
+                        cell(ServiceId::kPeerToPeer, 0).byte_share_pct -
+                            cell(ServiceId::kPeerToPeer, last).byte_share_pct);
+}
+
+void BM_ServiceMatrix(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ew::analytics::service_matrix(window(), ew::flow::AccessTech::kAdsl));
+  }
+}
+BENCHMARK(BM_ServiceMatrix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 6 — popularity and per-user volume for P2P, Netflix and YouTube,
+// by access technology. Paper: P2P declines in popularity throughout, its
+// hardcore moves ~400 MB/day until a late-2016 volume drop; Netflix starts
+// with the Italian launch (Oct 2015), FTTH adoption ~10% daily by end
+// 2017 and ~1 GB/day after Ultra HD (Oct 2016); YouTube consolidated at
+// >40% popularity and >400 MB/user with no ADSL/FTTH difference.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using ew::services::ServiceId;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2013, 5}; m <= ew::core::MonthIndex{2017, 9}; m = m + 4) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+void print_service(ServiceId id) {
+  const auto rows = ew::analytics::service_trend(window(), id);
+  std::printf("  %s\n", std::string(ew::services::to_string(id)).c_str());
+  std::printf("    month     pop%%(ADSL)  pop%%(FTTH)  MB/user(ADSL)  MB/user(FTTH)\n");
+  for (const auto& row : rows) {
+    std::printf("    %s    %7.2f     %7.2f       %7.0f        %7.0f\n",
+                row.month.to_string().c_str(), row.popularity_pct[0], row.popularity_pct[1],
+                row.mb_per_user[0], row.mb_per_user[1]);
+  }
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 6", "P2P / Netflix / YouTube popularity and volumes");
+  print_service(ServiceId::kPeerToPeer);
+  print_service(ServiceId::kNetflix);
+  print_service(ServiceId::kYouTube);
+
+  const auto p2p = ew::analytics::service_trend(window(), ServiceId::kPeerToPeer);
+  const auto netflix = ew::analytics::service_trend(window(), ServiceId::kNetflix);
+  const auto youtube = ew::analytics::service_trend(window(), ServiceId::kYouTube);
+
+  bench_common::compare("P2P ADSL popularity 2013 (%)", "~10", p2p.front().popularity_pct[0]);
+  bench_common::compare("P2P ADSL popularity 2017 (%)", "~3", p2p.back().popularity_pct[0]);
+  bench_common::compare("P2P hardcore volume mid-window (MB/day)", "~400",
+                        p2p[p2p.size() / 2].mb_per_user[0]);
+  bench_common::compare("Netflix FTTH popularity end-2017 (%)", "~10",
+                        netflix.back().popularity_pct[1]);
+  bench_common::compare("Netflix FTTH volume 2017 (MB/day, UHD)", "~1000",
+                        netflix.back().mb_per_user[1]);
+  bench_common::compare("Netflix ADSL volume 2017 (MB/day, no UHD)", "~500",
+                        netflix.back().mb_per_user[0]);
+  bench_common::compare("YouTube popularity 2017 (%)", ">40",
+                        youtube.back().popularity_pct[0]);
+  bench_common::compare("YouTube volume 2017 (MB/day)", ">400",
+                        youtube.back().mb_per_user[0]);
+  bench_common::compare("YouTube FTTH/ADSL volume ratio (no difference)", "~1",
+                        youtube.back().mb_per_user[1] / youtube.back().mb_per_user[0]);
+
+  // §4.3's weekly statistic: subscribers touching Netflix at least once in
+  // a week of 2017 ("more than 18% (12%) of FTTH (ADSL) subscribers").
+  std::vector<ew::analytics::DayAggregate> week;
+  for (int d = 10; d < 17; ++d) {
+    week.push_back(bench_common::generator().day_aggregate(
+        {2017, 4, static_cast<std::uint8_t>(d)}));
+  }
+  const auto reach = ew::analytics::service_reach(week, ServiceId::kNetflix);
+  bench_common::compare("Netflix weekly reach FTTH 2017 (%)", ">18", reach.pct[1]);
+  bench_common::compare("Netflix weekly reach ADSL 2017 (%)", ">12", reach.pct[0]);
+}
+
+void BM_ServiceTrend(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::service_trend(window(), ServiceId::kNetflix));
+  }
+}
+BENCHMARK(BM_ServiceTrend);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

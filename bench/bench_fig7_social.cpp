@@ -1,0 +1,94 @@
+// Fig. 7 — SnapChat, WhatsApp, Instagram: the rise and fall of social
+// messaging. Paper: SnapChat peaks near 10% popularity in 2016 moving up
+// to 100 MB/day, then collapses below 20 MB while popularity persists;
+// WhatsApp saturates >50% with ~10 MB/day and Christmas/New Year peaks;
+// Instagram grows to 200 (FTTH) / 120 (ADSL) MB/day — a quarter of
+// Netflix's per-user traffic.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using ew::services::ServiceId;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2013, 5}; m <= ew::core::MonthIndex{2017, 9}; m = m + 4) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+void print_service(ServiceId id) {
+  const auto rows = ew::analytics::service_trend(window(), id);
+  std::printf("  %s\n", std::string(ew::services::to_string(id)).c_str());
+  std::printf("    month     pop%%(ADSL)  pop%%(FTTH)  MB/user(ADSL)  MB/user(FTTH)\n");
+  for (const auto& row : rows) {
+    std::printf("    %s    %7.2f     %7.2f       %7.1f        %7.1f\n",
+                row.month.to_string().c_str(), row.popularity_pct[0], row.popularity_pct[1],
+                row.mb_per_user[0], row.mb_per_user[1]);
+  }
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 7", "SnapChat / WhatsApp / Instagram");
+  print_service(ServiceId::kSnapChat);
+  print_service(ServiceId::kWhatsApp);
+  print_service(ServiceId::kInstagram);
+
+  const auto snap = ew::analytics::service_trend(window(), ServiceId::kSnapChat);
+  const auto whatsapp = ew::analytics::service_trend(window(), ServiceId::kWhatsApp);
+  const auto instagram = ew::analytics::service_trend(window(), ServiceId::kInstagram);
+  const auto netflix = ew::analytics::service_trend(window(), ServiceId::kNetflix);
+
+  double snap_peak_vol = 0, snap_peak_pop = 0;
+  for (const auto& row : snap) {
+    snap_peak_vol = std::max(snap_peak_vol, row.mb_per_user[0]);
+    snap_peak_pop = std::max(snap_peak_pop, row.popularity_pct[0]);
+  }
+  bench_common::compare("SnapChat peak popularity (%)", "~10", snap_peak_pop);
+  bench_common::compare("SnapChat peak volume (MB/day)", "~100", snap_peak_vol);
+  bench_common::compare("SnapChat 2017 volume (MB/day, collapsed)", "<20",
+                        snap.back().mb_per_user[0]);
+  bench_common::compare("WhatsApp popularity 2017 (%, saturated)", ">50",
+                        whatsapp.back().popularity_pct[0]);
+  bench_common::compare("WhatsApp volume 2017 (MB/day)", "~10",
+                        whatsapp.back().mb_per_user[0]);
+  bench_common::compare("Instagram ADSL volume 2017 (MB/day)", "~120",
+                        instagram.back().mb_per_user[0]);
+  bench_common::compare("Instagram FTTH volume 2017 (MB/day)", "~200",
+                        instagram.back().mb_per_user[1]);
+  bench_common::compare("Instagram/Netflix per-user ratio", "~0.25 ('a quarter')",
+                        instagram.back().mb_per_user[1] / netflix.back().mb_per_user[1]);
+
+  // WhatsApp holiday spikes: compare Dec 25 vs a plain December day.
+  std::vector<ew::analytics::DayAggregate> christmas, ordinary;
+  christmas.push_back(bench_common::generator().day_aggregate({2016, 12, 25}));
+  ordinary.push_back(bench_common::generator().day_aggregate({2016, 12, 13}));
+  const auto wa_xmas = ew::analytics::service_trend(christmas, ServiceId::kWhatsApp);
+  const auto wa_plain = ew::analytics::service_trend(ordinary, ServiceId::kWhatsApp);
+  bench_common::compare("WhatsApp Christmas/ordinary volume ratio", ">2 (peaks)",
+                        wa_xmas.back().mb_per_user[0] / wa_plain.back().mb_per_user[0]);
+}
+
+void BM_SocialTrends(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::service_trend(window(), ServiceId::kInstagram));
+  }
+}
+BENCHMARK(BM_SocialTrends);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 8 — web-protocol breakdown over five years, with the paper's
+// lettered events: (A) YouTube→HTTPS from Jan 2014, HTTPS tops 40% at end
+// 2014; (B) QUIC appears Oct 2014; (C) probes start reporting SPDY in June
+// 2015 revealing ~10% share; (D) QUIC disabled Dec 2015 for ~1 month;
+// (E) SPDY→HTTP/2 from Feb 2016; (F) FB-Zero: ~8% of web traffic appears
+// suddenly in Nov 2016. End of 2017: HTTP down to ~25%, QUIC+Zero 20-25%.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using WP = ew::dpi::WebProtocol;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& window() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    // Fine-grained sampling to catch the sudden events.
+    const ew::core::CivilDate probes[] = {
+        {2013, 6, 10}, {2013, 12, 10}, {2014, 3, 10}, {2014, 9, 10},  {2014, 12, 10},
+        {2015, 5, 10}, {2015, 8, 10},  {2015, 11, 20}, {2015, 12, 20}, {2016, 1, 25},
+        {2016, 6, 10}, {2016, 10, 20}, {2016, 12, 10}, {2017, 4, 10},  {2017, 9, 20},
+    };
+    for (const auto d : probes) out.push_back(bench_common::generator().day_aggregate(d));
+    return out;
+  }();
+  return days;
+}
+
+double share(const ew::analytics::ProtocolShareRow& row, WP p) {
+  return row.share_pct[static_cast<std::size_t>(p)];
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 8", "web protocol breakdown 2013-2017 (percent of web bytes)");
+  const auto rows = ew::analytics::protocol_shares(window());
+  std::printf("  month      HTTP    TLS   SPDY  HTTP/2  QUIC  FB-ZERO\n");
+  for (const auto& row : rows) {
+    std::printf("  %s   %5.1f  %5.1f  %5.1f  %5.1f  %5.1f  %5.1f\n",
+                row.month.to_string().c_str(), share(row, WP::kHttp), share(row, WP::kTls),
+                share(row, WP::kSpdy), share(row, WP::kHttp2), share(row, WP::kQuic),
+                share(row, WP::kFbZero));
+  }
+
+  auto at = [&rows](int year, unsigned month) -> const ew::analytics::ProtocolShareRow& {
+    for (const auto& row : rows) {
+      if (row.month == ew::core::MonthIndex{year, month}) return row;
+    }
+    return rows.front();
+  };
+  bench_common::compare("TLS share 2013 (%)", "~13", share(at(2013, 6), WP::kTls));
+  bench_common::compare("(A) HTTPS-family share end-2014 (%)", "~40",
+                        share(at(2014, 12), WP::kTls) + share(at(2014, 12), WP::kSpdy) +
+                            share(at(2014, 12), WP::kHttp2));
+  bench_common::compare("(B) QUIC share Dec 2014 (%, just started)", ">0",
+                        share(at(2014, 12), WP::kQuic));
+  bench_common::compare("(C) SPDY share pre-upgrade May 2015 (%)", "0 (hidden)",
+                        share(at(2015, 5), WP::kSpdy));
+  bench_common::compare("(C) SPDY share Aug 2015 (%, revealed)", "~10",
+                        share(at(2015, 8), WP::kSpdy));
+  bench_common::compare("(D) QUIC share Nov 2015 (%)", "~8", share(at(2015, 11), WP::kQuic));
+  bench_common::compare("(D) QUIC share during blackout Dec 2015 (%)", "0",
+                        share(at(2015, 12), WP::kQuic));
+  bench_common::compare("(D) QUIC share Jan 2016 (%, back)", "~8",
+                        share(at(2016, 1), WP::kQuic));
+  bench_common::compare("(E) SPDY share mid-2016 (%, dying)", "small",
+                        share(at(2016, 6), WP::kSpdy));
+  bench_common::compare("(E) HTTP/2 share mid-2016 (%)", "growing",
+                        share(at(2016, 6), WP::kHttp2));
+  bench_common::compare("(F) FB-Zero share Oct 2016 (%)", "0", share(at(2016, 10), WP::kFbZero));
+  bench_common::compare("(F) FB-Zero share Dec 2016 (%)", "~8", share(at(2016, 12), WP::kFbZero));
+  bench_common::compare("HTTP share end-2017 (%)", "~25", share(at(2017, 9), WP::kHttp));
+  bench_common::compare("QUIC+Zero share end-2017 (%)", "20-25",
+                        share(at(2017, 9), WP::kQuic) + share(at(2017, 9), WP::kFbZero));
+}
+
+void BM_ProtocolShares(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ew::analytics::protocol_shares(window()));
+  }
+}
+BENCHMARK(BM_ProtocolShares);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

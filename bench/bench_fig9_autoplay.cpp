@@ -1,0 +1,66 @@
+// Fig. 9 — Facebook average daily per-user traffic through 2014: ~35 MB
+// before video auto-play (March), ~70 MB within a month, a May pause, then
+// ~90 MB by July — 2.5x the March rate.
+#include "analytics/figures.hpp"
+#include "bench_common.hpp"
+
+namespace ew = edgewatch;
+using ew::services::ServiceId;
+
+namespace {
+
+const std::vector<ew::analytics::DayAggregate>& year2014() {
+  static const auto days = [] {
+    std::vector<ew::analytics::DayAggregate> out;
+    for (ew::core::MonthIndex m{2014, 1}; m <= ew::core::MonthIndex{2014, 12}; m = m + 1) {
+      for (const auto d : bench_common::sample_days(m, 2)) {
+        out.push_back(bench_common::generator().day_aggregate(d));
+      }
+    }
+    return out;
+  }();
+  return days;
+}
+
+void print_reproduction() {
+  bench_common::header("Figure 9", "Facebook daily per-user traffic around video auto-play");
+  const auto rows = ew::analytics::daily_service_volume(year2014(), ServiceId::kFacebook);
+  std::printf("  date         MB/user   users\n");
+  for (const auto& row : rows) {
+    std::printf("  %s   %7.1f   %5zu\n", row.date.to_string().c_str(), row.mb_per_user,
+                row.users);
+  }
+  auto month_avg = [&rows](unsigned month) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& row : rows) {
+      if (row.date.month == month) {
+        sum += row.mb_per_user;
+        ++n;
+      }
+    }
+    return n ? sum / n : 0.0;
+  };
+  bench_common::compare("March 2014 (MB/user, pre auto-play)", "~35", month_avg(3));
+  bench_common::compare("April 2014 (MB/user, one month later)", "~70", month_avg(4));
+  bench_common::compare("May 2014 (MB/user, rollout pause)", "dip", month_avg(5));
+  bench_common::compare("July 2014 (MB/user)", "~90", month_avg(7));
+  bench_common::compare("July / March ratio", "~2.5", month_avg(7) / month_avg(3));
+}
+
+void BM_DailyServiceVolume(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ew::analytics::daily_service_volume(year2014(), ServiceId::kFacebook));
+  }
+}
+BENCHMARK(BM_DailyServiceVolume);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// The whole paper in miniature: run the five-year scenario (sampled
+// monthly) and emit every figure's data series as CSV files under ./out/,
+// ready for plotting. Months are processed in streaming batches so memory
+// stays flat regardless of the window length.
+//
+//   ./build/examples/longitudinal_study [out_dir] [days_per_month]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analytics/figures.hpp"
+#include "analytics/infrastructure.hpp"
+#include "synth/generator.hpp"
+
+namespace ew = edgewatch;
+namespace fs = std::filesystem;
+using ew::services::ServiceId;
+
+namespace {
+
+constexpr int kSampleDays[] = {10, 20};
+
+std::ofstream open_csv(const fs::path& dir, const char* name, const char* header) {
+  std::ofstream out(dir / name);
+  out << header << '\n';
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path out_dir = argc > 1 ? argv[1] : "out";
+  const int days_per_month = argc > 2 ? std::atoi(argv[2]) : 2;
+  fs::create_directories(out_dir);
+
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(1)};
+
+  auto fig3 = open_csv(out_dir, "fig3_volume_trend.csv",
+                       "month,adsl_down_mb,ftth_down_mb,adsl_up_mb,ftth_up_mb");
+  auto fig5 = open_csv(out_dir, "fig5_service_matrix.csv",
+                       "month,service,popularity_pct,byte_share_pct");
+  auto fig67 = open_csv(out_dir, "fig6_fig7_service_trends.csv",
+                        "month,service,pop_adsl,pop_ftth,mb_adsl,mb_ftth");
+  auto fig8 = open_csv(out_dir, "fig8_protocol_shares.csv",
+                       "month,http,tls,spdy,http2,quic,fbzero");
+  auto fig9 = open_csv(out_dir, "fig9_facebook_daily.csv", "date,mb_per_user,users");
+  auto fig11 = open_csv(out_dir, "fig11_infrastructure.csv",
+                        "month,service,dedicated_ips,shared_ips,cumulative,top_asn,top_domain");
+
+  const ServiceId tracked[] = {
+      ServiceId::kPeerToPeer, ServiceId::kNetflix,  ServiceId::kYouTube,
+      ServiceId::kSnapChat,   ServiceId::kWhatsApp, ServiceId::kInstagram,
+  };
+  const ServiceId infra[] = {ServiceId::kFacebook, ServiceId::kInstagram, ServiceId::kYouTube};
+  const auto& dir = ew::asn::AsnDirectory::standard();
+
+  std::printf("longitudinal study 2013-03 .. 2017-09 -> %s (%d sample days/month)\n",
+              out_dir.c_str(), days_per_month);
+
+  for (ew::core::MonthIndex month{2013, 3}; month <= ew::core::MonthIndex{2017, 9};
+       month = month + 1) {
+    // ---- generate this month's sample days (streamed; freed at the end
+    // of the iteration) -----------------------------------------------
+    std::vector<ew::analytics::DayAggregate> days;
+    for (int i = 0; i < days_per_month && i < 2; ++i) {
+      days.push_back(gen.day_aggregate({month.year(),
+                                        static_cast<std::uint8_t>(month.month()),
+                                        static_cast<std::uint8_t>(kSampleDays[i])}));
+    }
+
+    const auto trend = ew::analytics::volume_trend(days);
+    for (const auto& row : trend) {
+      fig3 << row.month.to_string() << ',' << row.down_mb[0] << ',' << row.down_mb[1] << ','
+           << row.up_mb[0] << ',' << row.up_mb[1] << '\n';
+    }
+
+    const auto matrix = ew::analytics::service_matrix(days, ew::flow::AccessTech::kAdsl);
+    for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+      const auto id = static_cast<ServiceId>(s);
+      if (id == ServiceId::kOther) continue;
+      fig5 << month.to_string() << ',' << ew::services::to_string(id) << ','
+           << matrix.cells[s][0].popularity_pct << ',' << matrix.cells[s][0].byte_share_pct
+           << '\n';
+    }
+
+    for (const auto id : tracked) {
+      const auto rows = ew::analytics::service_trend(days, id);
+      for (const auto& row : rows) {
+        fig67 << month.to_string() << ',' << ew::services::to_string(id) << ','
+              << row.popularity_pct[0] << ',' << row.popularity_pct[1] << ','
+              << row.mb_per_user[0] << ',' << row.mb_per_user[1] << '\n';
+      }
+    }
+
+    const auto protocols = ew::analytics::protocol_shares(days);
+    for (const auto& row : protocols) {
+      using WP = ew::dpi::WebProtocol;
+      auto share = [&row](WP p) { return row.share_pct[static_cast<std::size_t>(p)]; };
+      fig8 << month.to_string() << ',' << share(WP::kHttp) << ',' << share(WP::kTls) << ','
+           << share(WP::kSpdy) << ',' << share(WP::kHttp2) << ',' << share(WP::kQuic) << ','
+           << share(WP::kFbZero) << '\n';
+    }
+
+    if (month.year() == 2014) {
+      for (const auto& row : ew::analytics::daily_service_volume(days, ServiceId::kFacebook)) {
+        fig9 << row.date.to_string() << ',' << row.mb_per_user << ',' << row.users << '\n';
+      }
+    }
+
+    for (const auto id : infra) {
+      const auto lifecycle = ew::analytics::ip_lifecycle(days, id);
+      const auto asns = ew::analytics::asn_breakdown(
+          days, id, [&gen](ew::core::MonthIndex m) -> const ew::asn::Rib& { return gen.rib(m); });
+      const auto domains = ew::analytics::domain_shares(days, id);
+      std::string top_asn = "-";
+      double best_ips = -1;
+      for (const auto& [asn_num, ips] : asns[0].ips_by_asn) {
+        if (ips > best_ips) {
+          best_ips = ips;
+          top_asn = std::string(dir.name(asn_num));
+        }
+      }
+      std::string top_domain = "-";
+      double best_share = -1;
+      for (const auto& [domain, pct] : domains[0].share_pct) {
+        if (pct > best_share) {
+          best_share = pct;
+          top_domain = domain;
+        }
+      }
+      fig11 << month.to_string() << ',' << ew::services::to_string(id) << ','
+            << lifecycle.back().dedicated << ',' << lifecycle.back().shared << ','
+            << lifecycle.back().cumulative_unique << ',' << top_asn << ',' << top_domain
+            << '\n';
+    }
+
+    std::printf("  %s done (%zu subscribers active)\n", month.to_string().c_str(),
+                days.front().active_subscribers());
+  }
+
+  std::printf("CSV series written to %s:\n", out_dir.c_str());
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    std::printf("  %s\n", entry.path().filename().c_str());
+  }
+  return 0;
+}

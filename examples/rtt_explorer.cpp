@@ -1,0 +1,69 @@
+// RTT explorer: replays TCP conversations against servers at different
+// (simulated) distances and shows what the probe's passive seq/ack RTT
+// estimator reports — the §6.1 methodology behind Fig. 10, including the
+// sub-millisecond in-PoP cache of 2017 and WhatsApp's ~100 ms data centre.
+//
+//   ./build/examples/rtt_explorer
+#include <cstdio>
+
+#include "probe/probe.hpp"
+#include "synth/packets.hpp"
+
+namespace ew = edgewatch;
+
+namespace {
+
+struct Placement {
+  const char* label;
+  const char* host;
+  ew::core::IPv4Address server;
+  double rtt_ms;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("edgewatch RTT explorer — passive seq/ack estimation (§2.1, Fig. 10)\n\n");
+  const Placement placements[] = {
+      {"in-PoP cache (2017 YouTube)", "cache-mxp-1.googlevideo.com",
+       ew::core::IPv4Address{185, 45, 13, 2}, 0.45},
+      {"ISP-edge CDN node", "edge-star-mini-shv-01-mxp1.facebook.com",
+       ew::core::IPv4Address{157, 240, 20, 7}, 3.0},
+      {"national CDN", "fbstatic-a.akamaihd.net", ew::core::IPv4Address{2, 18, 33, 44}, 11.0},
+      {"European CDN", "scontent-far.fbcdn.net", ew::core::IPv4Address{2, 20, 99, 10}, 27.0},
+      {"US data centre (WhatsApp-style)", "mmx-ds.cdn.whatsapp.net",
+       ew::core::IPv4Address{158, 85, 14, 5}, 103.0},
+  };
+
+  std::printf("%-34s %-36s %9s %9s %9s %s\n", "placement", "host", "true ms", "est. min",
+              "est. max", "samples");
+  for (const auto& p : placements) {
+    std::vector<ew::flow::FlowRecord> records;
+    ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+
+    ew::synth::ConversationSpec spec;
+    spec.client = ew::core::IPv4Address{10, 0, 9, 9};
+    spec.server = p.server;
+    spec.web = ew::dpi::WebProtocol::kTls;
+    spec.server_name = p.host;
+    spec.response_bytes = 64'000;
+    spec.request_extra_bytes = 20'000;  // more client segments -> more samples
+    spec.start = ew::core::Timestamp::from_date_time({2017, 4, 12}, 21);
+    spec.rtt_us = static_cast<std::int64_t>(p.rtt_ms * 1000.0);
+    for (const auto& frame : ew::synth::render_conversation(spec)) probe.process(frame);
+    probe.finish();
+
+    if (records.size() != 1 || records[0].rtt.samples == 0) {
+      std::printf("%-34s no RTT samples?!\n", p.label);
+      continue;
+    }
+    const auto& rtt = records[0].rtt;
+    std::printf("%-34s %-36s %9.2f %9.2f %9.2f %7u\n", p.label, p.host, p.rtt_ms,
+                rtt.min_ms(), static_cast<double>(rtt.max_us) / 1000.0, rtt.samples);
+  }
+
+  std::printf("\nNote how min-RTT tracks the configured path delay: the probe sits at\n");
+  std::printf("the PoP, so these estimates exclude the subscriber access line — the\n");
+  std::printf("same choice the paper makes to isolate server placement (§6.1).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Stage one of the paper's two-stage analytics (§2.2): reduce a day of raw
+// flow records to per-day/per-subscription aggregates. Everything the
+// figure-level analytics need is collected in one pass:
+//   - per-subscriber traffic and per-service traffic (Figs. 2,3,5,6,7,9)
+//   - 10-minute downlink bins per access technology (Fig. 4)
+//   - web-protocol byte counters (Fig. 8)
+//   - per-service min-RTT samples (Fig. 10)
+//   - server-IP / ASN / domain observations (Fig. 11)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.hpp"
+#include "core/types.hpp"
+#include "flow/record.hpp"
+#include "services/catalog.hpp"
+
+namespace edgewatch::analytics {
+
+inline constexpr std::size_t kWebProtocolCount =
+    static_cast<std::size_t>(dpi::WebProtocol::kFbZero) + 1;
+inline constexpr std::size_t kTimeBinsPerDay = 144;  // 10-minute bins (§3.2)
+
+/// The §3 definition of an *active* subscriber.
+struct ActivityCriteria {
+  std::uint64_t min_flows = 10;
+  std::uint64_t min_down_bytes = 15'000;
+  std::uint64_t min_up_bytes = 5'000;
+};
+
+struct ServiceDayTraffic {
+  std::uint64_t flows = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return bytes_up + bytes_down; }
+};
+
+/// Per-service TCP health counters for the day (downstream direction —
+/// where loss hurts the subscriber).
+struct ServiceDayHealth {
+  std::uint64_t packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t out_of_order = 0;
+
+  [[nodiscard]] double retransmission_rate() const noexcept {
+    return packets ? static_cast<double>(retransmits) / static_cast<double>(packets) : 0.0;
+  }
+};
+
+/// One subscription's day.
+struct SubscriberDay {
+  flow::AccessTech access = flow::AccessTech::kAdsl;
+  std::uint64_t flows = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::array<ServiceDayTraffic, services::kServiceCount> per_service{};
+
+  [[nodiscard]] bool active(const ActivityCriteria& c = {}) const noexcept {
+    return flows >= c.min_flows && bytes_down > c.min_down_bytes && bytes_up > c.min_up_bytes;
+  }
+  [[nodiscard]] const ServiceDayTraffic& service(services::ServiceId id) const noexcept {
+    return per_service[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Per-server-IP observations for the infrastructure analysis.
+struct IpDayStats {
+  std::uint32_t service_mask = 0;  ///< Bit i set: ServiceId(i) used this IP.
+  std::uint64_t bytes = 0;
+  [[nodiscard]] bool serves(services::ServiceId id) const noexcept {
+    return (service_mask >> static_cast<unsigned>(id)) & 1u;
+  }
+  /// More than one named (non-Other) service on the same address?
+  [[nodiscard]] bool shared() const noexcept {
+    const std::uint32_t named =
+        service_mask & ((1u << services::kNamedServiceCount) - 1u);
+    return (named & (named - 1)) != 0;
+  }
+};
+
+struct DayAggregate {
+  core::CivilDate date;
+  std::unordered_map<core::IPv4Address, SubscriberDay, core::IPv4AddressHash> subscribers;
+  /// Up+down L4 bytes per web protocol (index = WebProtocol).
+  std::array<std::uint64_t, kWebProtocolCount> web_bytes{};
+  /// Downlink bytes per 10-min bin, split by access technology.
+  std::array<std::array<double, kTimeBinsPerDay>, 2> downlink_bins{};
+  /// Per-service per-flow minimum RTT samples, in milliseconds.
+  std::array<std::vector<double>, services::kServiceCount> rtt_min_ms;
+  /// Per-service downstream TCP health.
+  std::array<ServiceDayHealth, services::kServiceCount> health{};
+  /// Per server address: which services used it and how many bytes.
+  std::unordered_map<core::IPv4Address, IpDayStats, core::IPv4AddressHash> server_ips;
+  /// (service, second-level domain) -> bytes (Fig. 11 bottom).
+  std::map<std::pair<services::ServiceId, std::string>, std::uint64_t> domain_bytes;
+  /// Named-but-unclassified traffic: the rule-curation worklist of §2.3
+  /// ("our team has continuously monitored the most common server domain
+  /// names seen in the network").
+  std::map<std::string, std::uint64_t> unclassified_domain_bytes;
+
+  [[nodiscard]] std::size_t total_subscribers() const noexcept { return subscribers.size(); }
+  [[nodiscard]] std::size_t active_subscribers(const ActivityCriteria& c = {}) const;
+  [[nodiscard]] std::uint64_t total_web_bytes() const noexcept;
+
+  /// Merge another PoP's aggregate for the same civil day (paper §2.1: two
+  /// vantage points feed the same data lake). Subscriber populations are
+  /// disjoint across PoPs, but the merge is correct even on overlap.
+  void merge(const DayAggregate& other);
+};
+
+/// Builds a DayAggregate from a stream of flow records.
+class DayAggregator {
+ public:
+  explicit DayAggregator(core::CivilDate date,
+                         const services::ServiceCatalog& catalog =
+                             services::ServiceCatalog::standard());
+
+  void add(const flow::FlowRecord& record);
+
+  /// Hand over the finished aggregate (the aggregator is then empty).
+  [[nodiscard]] DayAggregate take() &&;
+  [[nodiscard]] const DayAggregate& current() const noexcept { return agg_; }
+
+ private:
+  const services::ServiceCatalog& catalog_;
+  DayAggregate agg_;
+};
+
+/// "facebook.com" from "edge-star-shv-01-mxp1.facebook.com"; keeps known
+/// multi-part public suffixes whole (co.uk-style endings are not needed for
+/// the study's domains, but akamaihd.net must yield akamaihd.net).
+[[nodiscard]] std::string second_level_domain(std::string_view host);
+
+}  // namespace edgewatch::analytics

@@ -1,0 +1,326 @@
+#include "analytics/figures.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace edgewatch::analytics {
+
+namespace {
+
+constexpr double kMB = 1e6;
+
+std::size_t tech_index(flow::AccessTech tech) noexcept {
+  return static_cast<std::size_t>(tech);
+}
+
+/// Group day indices by month, preserving chronological order.
+std::map<core::MonthIndex, std::vector<std::size_t>> by_month(
+    std::span<const DayAggregate> days) {
+  std::map<core::MonthIndex, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    groups[core::MonthIndex{days[i].date}].push_back(i);
+  }
+  return groups;
+}
+
+/// Does this subscriber-day count as "using" the service (§4.1)?
+bool uses_service(const SubscriberDay& sub, const services::ServiceCatalog& catalog,
+                  services::ServiceId id) {
+  const auto threshold = catalog.info(id).activity_threshold_bytes;
+  return sub.service(id).total() >= std::max<std::uint64_t>(threshold, 1);
+}
+
+}  // namespace
+
+DailyVolumeDistributions daily_volume_distributions(std::span<const DayAggregate> days,
+                                                    const ActivityCriteria& criteria) {
+  DailyVolumeDistributions out;
+  for (const auto& day : days) {
+    for (const auto& [_, sub] : day.subscribers) {
+      if (!sub.active(criteria)) continue;
+      const auto t = tech_index(sub.access);
+      out.down[t].add(static_cast<double>(sub.bytes_down));
+      out.up[t].add(static_cast<double>(sub.bytes_up));
+    }
+  }
+  return out;
+}
+
+std::vector<VolumeTrendRow> volume_trend(std::span<const DayAggregate> days,
+                                         const ActivityCriteria& criteria) {
+  std::vector<VolumeTrendRow> rows;
+  for (const auto& [month, indices] : by_month(days)) {
+    VolumeTrendRow row;
+    row.month = month;
+    std::array<double, kAccessTechCount> down_sum{}, up_sum{};
+    std::array<std::uint64_t, kAccessTechCount> sub_days{};
+    for (const auto i : indices) {
+      for (const auto& [_, sub] : days[i].subscribers) {
+        if (!sub.active(criteria)) continue;
+        const auto t = tech_index(sub.access);
+        down_sum[t] += static_cast<double>(sub.bytes_down);
+        up_sum[t] += static_cast<double>(sub.bytes_up);
+        ++sub_days[t];
+      }
+    }
+    for (std::size_t t = 0; t < kAccessTechCount; ++t) {
+      if (sub_days[t] == 0) continue;
+      row.down_mb[t] = down_sum[t] / static_cast<double>(sub_days[t]) / kMB;
+      row.up_mb[t] = up_sum[t] / static_cast<double>(sub_days[t]) / kMB;
+      row.subscribers[t] = sub_days[t] / indices.size();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+HourlyRatios hourly_ratio(std::span<const DayAggregate> later,
+                          std::span<const DayAggregate> earlier) {
+  // Average each 10-min bin over the days of each period, collapse to
+  // hours, then take the ratio (the paper smooths with a Bezier; we report
+  // the raw hourly ratio).
+  auto hourly_mean = [](std::span<const DayAggregate> days, std::size_t tech) {
+    std::array<double, 24> hours{};
+    if (days.empty()) return hours;
+    for (const auto& day : days) {
+      for (std::size_t bin = 0; bin < kTimeBinsPerDay; ++bin) {
+        hours[bin / 6] += day.downlink_bins[tech][bin];
+      }
+    }
+    for (auto& h : hours) h /= static_cast<double>(days.size());
+    return hours;
+  };
+  HourlyRatios out;
+  for (std::size_t t = 0; t < kAccessTechCount; ++t) {
+    const auto late = hourly_mean(later, t);
+    const auto early = hourly_mean(earlier, t);
+    for (std::size_t h = 0; h < 24; ++h) {
+      out.ratio[t][h] = early[h] > 0 ? late[h] / early[h] : 0.0;
+    }
+  }
+  return out;
+}
+
+ServiceMatrix service_matrix(std::span<const DayAggregate> days,
+                             std::optional<flow::AccessTech> tech_filter,
+                             const ActivityCriteria& criteria) {
+  const auto& catalog = services::ServiceCatalog::standard();
+  ServiceMatrix out;
+  for (const auto& [month, indices] : by_month(days)) {
+    out.months.push_back(month);
+    std::array<std::uint64_t, services::kServiceCount> users{};
+    std::array<std::uint64_t, services::kServiceCount> bytes{};
+    std::uint64_t active_days = 0;
+    std::uint64_t total_bytes = 0;
+    for (const auto i : indices) {
+      for (const auto& [_, sub] : days[i].subscribers) {
+        if (tech_filter && sub.access != *tech_filter) continue;
+        if (!sub.active(criteria)) continue;
+        ++active_days;
+        total_bytes += sub.bytes_down + sub.bytes_up;
+        for (std::size_t s = 0; s < services::kServiceCount; ++s) {
+          const auto id = static_cast<services::ServiceId>(s);
+          if (uses_service(sub, catalog, id)) ++users[s];
+          bytes[s] += sub.per_service[s].total();
+        }
+      }
+    }
+    for (std::size_t s = 0; s < services::kServiceCount; ++s) {
+      ServiceMatrix::Cell cell;
+      if (active_days > 0) {
+        cell.popularity_pct =
+            100.0 * static_cast<double>(users[s]) / static_cast<double>(active_days);
+      }
+      if (total_bytes > 0) {
+        cell.byte_share_pct =
+            100.0 * static_cast<double>(bytes[s]) / static_cast<double>(total_bytes);
+      }
+      out.cells[s].push_back(cell);
+    }
+  }
+  return out;
+}
+
+std::vector<ServiceTrendRow> service_trend(std::span<const DayAggregate> days,
+                                           services::ServiceId service,
+                                           const ActivityCriteria& criteria) {
+  const auto& catalog = services::ServiceCatalog::standard();
+  std::vector<ServiceTrendRow> rows;
+  for (const auto& [month, indices] : by_month(days)) {
+    ServiceTrendRow row;
+    row.month = month;
+    std::array<std::uint64_t, kAccessTechCount> active{}, service_users{};
+    std::array<double, kAccessTechCount> service_bytes{};
+    for (const auto i : indices) {
+      for (const auto& [_, sub] : days[i].subscribers) {
+        if (!sub.active(criteria)) continue;
+        const auto t = tech_index(sub.access);
+        ++active[t];
+        if (uses_service(sub, catalog, service)) {
+          ++service_users[t];
+          service_bytes[t] += static_cast<double>(sub.service(service).total());
+        }
+      }
+    }
+    for (std::size_t t = 0; t < kAccessTechCount; ++t) {
+      if (active[t] > 0) {
+        row.popularity_pct[t] =
+            100.0 * static_cast<double>(service_users[t]) / static_cast<double>(active[t]);
+      }
+      if (service_users[t] > 0) {
+        row.mb_per_user[t] = service_bytes[t] / static_cast<double>(service_users[t]) / kMB;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<DailyServiceVolumeRow> daily_service_volume(std::span<const DayAggregate> days,
+                                                        services::ServiceId service) {
+  const auto& catalog = services::ServiceCatalog::standard();
+  std::vector<DailyServiceVolumeRow> rows;
+  rows.reserve(days.size());
+  for (const auto& day : days) {
+    DailyServiceVolumeRow row;
+    row.date = day.date;
+    double bytes = 0;
+    for (const auto& [_, sub] : day.subscribers) {
+      if (!sub.active({})) continue;
+      if (!uses_service(sub, catalog, service)) continue;
+      ++row.users;
+      bytes += static_cast<double>(sub.service(service).total());
+    }
+    if (row.users > 0) row.mb_per_user = bytes / static_cast<double>(row.users) / kMB;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.date < b.date; });
+  return rows;
+}
+
+std::vector<ProtocolShareRow> protocol_shares(std::span<const DayAggregate> days) {
+  std::vector<ProtocolShareRow> rows;
+  for (const auto& [month, indices] : by_month(days)) {
+    ProtocolShareRow row;
+    row.month = month;
+    std::array<std::uint64_t, kWebProtocolCount> bytes{};
+    std::uint64_t total = 0;
+    for (const auto i : indices) {
+      for (std::size_t p = 1; p < kWebProtocolCount; ++p) {
+        bytes[p] += days[i].web_bytes[p];
+        total += days[i].web_bytes[p];
+      }
+    }
+    if (total > 0) {
+      for (std::size_t p = 0; p < kWebProtocolCount; ++p) {
+        row.share_pct[p] = 100.0 * static_cast<double>(bytes[p]) / static_cast<double>(total);
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+core::EmpiricalDistribution rtt_distribution(std::span<const DayAggregate> days,
+                                             services::ServiceId service) {
+  core::EmpiricalDistribution out;
+  const auto idx = static_cast<std::size_t>(service);
+  for (const auto& day : days) {
+    out.add_all(day.rtt_min_ms[idx]);
+  }
+  return out;
+}
+
+ServiceReach service_reach(std::span<const DayAggregate> days, services::ServiceId service,
+                           const ActivityCriteria& criteria) {
+  const auto& catalog = services::ServiceCatalog::standard();
+  // Subscriber -> (tech, ever active, ever used service) over the window.
+  struct Flags {
+    flow::AccessTech tech = flow::AccessTech::kAdsl;
+    bool active = false;
+    bool used = false;
+  };
+  std::unordered_map<core::IPv4Address, Flags, core::IPv4AddressHash> subs;
+  for (const auto& day : days) {
+    for (const auto& [ip, sub] : day.subscribers) {
+      auto& flags = subs[ip];
+      flags.tech = sub.access;
+      if (!sub.active(criteria)) continue;
+      flags.active = true;
+      flags.used |= uses_service(sub, catalog, service);
+    }
+  }
+  ServiceReach out;
+  std::array<std::size_t, kAccessTechCount> used{};
+  for (const auto& [_, flags] : subs) {
+    if (!flags.active) continue;
+    const auto t = tech_index(flags.tech);
+    ++out.subscribers[t];
+    used[t] += flags.used;
+  }
+  for (std::size_t t = 0; t < kAccessTechCount; ++t) {
+    if (out.subscribers[t] > 0) {
+      out.pct[t] = 100.0 * static_cast<double>(used[t]) /
+                   static_cast<double>(out.subscribers[t]);
+    }
+  }
+  return out;
+}
+
+std::vector<CategoryShareRow> category_shares(std::span<const DayAggregate> days) {
+  const auto& catalog = services::ServiceCatalog::standard();
+  std::map<services::ServiceCategory, std::uint64_t> bytes;
+  std::uint64_t total = 0;
+  for (const auto& day : days) {
+    for (const auto& [_, sub] : day.subscribers) {
+      for (std::size_t s = 0; s < services::kServiceCount; ++s) {
+        const auto volume = sub.per_service[s].total();
+        bytes[catalog.info(static_cast<services::ServiceId>(s)).category] += volume;
+        total += volume;
+      }
+    }
+  }
+  std::vector<CategoryShareRow> out;
+  for (const auto& [category, b] : bytes) {
+    CategoryShareRow row;
+    row.category = category;
+    if (total > 0) {
+      row.byte_share_pct = 100.0 * static_cast<double>(b) / static_cast<double>(total);
+    }
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b2) { return a.byte_share_pct > b2.byte_share_pct; });
+  return out;
+}
+
+std::array<ServiceDayHealth, services::kServiceCount> aggregate_health(
+    std::span<const DayAggregate> days) {
+  std::array<ServiceDayHealth, services::kServiceCount> out{};
+  for (const auto& day : days) {
+    for (std::size_t s = 0; s < services::kServiceCount; ++s) {
+      out[s].packets += day.health[s].packets;
+      out[s].retransmits += day.health[s].retransmits;
+      out[s].out_of_order += day.health[s].out_of_order;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> top_unclassified_domains(
+    std::span<const DayAggregate> days, std::size_t limit) {
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& day : days) {
+    for (const auto& [domain, bytes] : day.unclassified_domain_bytes) {
+      totals[domain] += bytes;
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out{totals.begin(), totals.end()};
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace edgewatch::analytics

@@ -1,0 +1,130 @@
+// Stage two: figure-level analytics over per-day aggregates. Each function
+// reproduces the computation behind one of the paper's figures; the bench
+// harness renders the returned tables next to the paper's reported values.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace edgewatch::analytics {
+
+inline constexpr std::size_t kAccessTechCount = 2;  // ADSL, FTTH
+
+/// Fig. 2 — CCDF of per-active-subscriber daily traffic, by access
+/// technology and direction.
+struct DailyVolumeDistributions {
+  std::array<core::EmpiricalDistribution, kAccessTechCount> down;  ///< bytes/day
+  std::array<core::EmpiricalDistribution, kAccessTechCount> up;
+};
+[[nodiscard]] DailyVolumeDistributions daily_volume_distributions(
+    std::span<const DayAggregate> days, const ActivityCriteria& criteria = {});
+
+/// Fig. 3 — average per-subscription daily volume per month.
+struct VolumeTrendRow {
+  core::MonthIndex month;
+  std::array<double, kAccessTechCount> down_mb{};  ///< avg MB/day per active sub
+  std::array<double, kAccessTechCount> up_mb{};
+  std::array<std::size_t, kAccessTechCount> subscribers{};  ///< avg active/day
+};
+[[nodiscard]] std::vector<VolumeTrendRow> volume_trend(std::span<const DayAggregate> days,
+                                                       const ActivityCriteria& criteria = {});
+
+/// Fig. 4 — ratio of hour-of-day download volume between two day sets
+/// (April 2017 / April 2014 in the paper), per access technology.
+struct HourlyRatios {
+  std::array<std::array<double, 24>, kAccessTechCount> ratio{};
+};
+[[nodiscard]] HourlyRatios hourly_ratio(std::span<const DayAggregate> later,
+                                        std::span<const DayAggregate> earlier);
+
+/// Fig. 5 — service popularity (% of active subscribers using the service
+/// daily, §4.1 thresholds applied) and byte share (% of total traffic), per
+/// month.
+struct ServiceMatrix {
+  std::vector<core::MonthIndex> months;
+  /// cells[service][month index within `months`]
+  struct Cell {
+    double popularity_pct = 0;
+    double byte_share_pct = 0;
+  };
+  std::array<std::vector<Cell>, services::kServiceCount> cells;
+};
+[[nodiscard]] ServiceMatrix service_matrix(
+    std::span<const DayAggregate> days,
+    std::optional<flow::AccessTech> tech_filter = std::nullopt,
+    const ActivityCriteria& criteria = {});
+
+/// Figs. 6/7 — one service's popularity and per-user volume over time,
+/// split by access technology.
+struct ServiceTrendRow {
+  core::MonthIndex month;
+  std::array<double, kAccessTechCount> popularity_pct{};
+  std::array<double, kAccessTechCount> mb_per_user{};  ///< MB/day per service user
+};
+[[nodiscard]] std::vector<ServiceTrendRow> service_trend(std::span<const DayAggregate> days,
+                                                         services::ServiceId service,
+                                                         const ActivityCriteria& criteria = {});
+
+/// Fig. 9 — daily per-user volume for one service (both techs merged, as
+/// in the paper's Facebook plot).
+struct DailyServiceVolumeRow {
+  core::CivilDate date;
+  double mb_per_user = 0;
+  std::size_t users = 0;
+};
+[[nodiscard]] std::vector<DailyServiceVolumeRow> daily_service_volume(
+    std::span<const DayAggregate> days, services::ServiceId service);
+
+/// Fig. 8 — web-protocol byte shares per month (percent of web traffic).
+struct ProtocolShareRow {
+  core::MonthIndex month;
+  std::array<double, kWebProtocolCount> share_pct{};  ///< index = WebProtocol
+};
+[[nodiscard]] std::vector<ProtocolShareRow> protocol_shares(std::span<const DayAggregate> days);
+
+/// Fig. 10 — distribution of per-flow minimum RTT for one service.
+[[nodiscard]] core::EmpiricalDistribution rtt_distribution(std::span<const DayAggregate> days,
+                                                           services::ServiceId service);
+
+/// §4.3's weekly statistic: the fraction of subscribers (per access tech)
+/// that used the service on *at least one* of the given days, out of the
+/// subscribers active on at least one day. Pass one week of aggregates for
+/// "weekly reach", a month for "monthly reach".
+struct ServiceReach {
+  std::array<double, kAccessTechCount> pct{};
+  std::array<std::size_t, kAccessTechCount> subscribers{};  ///< Denominators.
+};
+[[nodiscard]] ServiceReach service_reach(std::span<const DayAggregate> days,
+                                         services::ServiceId service,
+                                         const ActivityCriteria& criteria = {});
+
+/// Byte share per service *category* (video, social, messaging, ...) —
+/// the abstract-level claims ("bandwidth hungry video services drive this
+/// change") in one table. Shares are percent of total classified+other
+/// traffic over the window.
+struct CategoryShareRow {
+  services::ServiceCategory category;
+  double byte_share_pct = 0;
+};
+[[nodiscard]] std::vector<CategoryShareRow> category_shares(
+    std::span<const DayAggregate> days);
+
+/// Downstream TCP health per service over a window (retransmission and
+/// out-of-order rates, ref [29] heritage): near caches should be clean,
+/// intercontinental paths lossier.
+[[nodiscard]] std::array<ServiceDayHealth, services::kServiceCount> aggregate_health(
+    std::span<const DayAggregate> days);
+
+/// §2.3 rule curation: the heaviest second-level domains no rule matched —
+/// exactly the worklist the paper's team reviewed to keep associations
+/// current. Sorted by bytes, at most `limit` entries.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top_unclassified_domains(
+    std::span<const DayAggregate> days, std::size_t limit = 20);
+
+}  // namespace edgewatch::analytics

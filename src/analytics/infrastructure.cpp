@@ -1,0 +1,106 @@
+#include "analytics/infrastructure.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace edgewatch::analytics {
+
+namespace {
+
+struct HashIp {
+  std::size_t operator()(core::IPv4Address a) const noexcept {
+    return core::IPv4AddressHash{}(a);
+  }
+};
+
+std::map<core::MonthIndex, std::vector<std::size_t>> group_by_month(
+    std::span<const DayAggregate> days) {
+  std::map<core::MonthIndex, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    groups[core::MonthIndex{days[i].date}].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<IpLifecycleRow> ip_lifecycle(std::span<const DayAggregate> days,
+                                         services::ServiceId service) {
+  // Chronological walk.
+  std::vector<std::size_t> order(days.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return days[a].date < days[b].date; });
+
+  std::unordered_set<core::IPv4Address, HashIp> seen;
+  std::vector<IpLifecycleRow> rows;
+  rows.reserve(days.size());
+  for (const auto i : order) {
+    IpLifecycleRow row;
+    row.date = days[i].date;
+    for (const auto& [ip, stats] : days[i].server_ips) {
+      if (!stats.serves(service)) continue;
+      seen.insert(ip);
+      if (stats.shared()) {
+        ++row.shared;
+      } else {
+        ++row.dedicated;
+      }
+    }
+    row.cumulative_unique = seen.size();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<AsnBreakdownRow> asn_breakdown(std::span<const DayAggregate> days,
+                                           services::ServiceId service,
+                                           const RibProvider& rib_for) {
+  std::vector<AsnBreakdownRow> rows;
+  for (const auto& [month, indices] : group_by_month(days)) {
+    AsnBreakdownRow row;
+    row.month = month;
+    const asn::Rib& rib = rib_for(month);
+    std::map<std::uint32_t, std::uint64_t> totals;
+    for (const auto i : indices) {
+      for (const auto& [ip, stats] : days[i].server_ips) {
+        if (!stats.serves(service)) continue;
+        const auto origin = rib.origin_asn(ip);
+        ++totals[origin.value_or(asn::AsnDirectory::kOther)];
+      }
+    }
+    for (const auto& [asn_num, count] : totals) {
+      row.ips_by_asn[asn_num] =
+          static_cast<double>(count) / static_cast<double>(indices.size());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<DomainShareRow> domain_shares(std::span<const DayAggregate> days,
+                                          services::ServiceId service) {
+  std::vector<DomainShareRow> rows;
+  for (const auto& [month, indices] : group_by_month(days)) {
+    DomainShareRow row;
+    row.month = month;
+    std::map<std::string, std::uint64_t> bytes;
+    std::uint64_t total = 0;
+    for (const auto i : indices) {
+      for (const auto& [key, b] : days[i].domain_bytes) {
+        if (key.first != service) continue;
+        bytes[key.second] += b;
+        total += b;
+      }
+    }
+    if (total > 0) {
+      for (const auto& [domain, b] : bytes) {
+        row.share_pct[domain] = 100.0 * static_cast<double>(b) / static_cast<double>(total);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace edgewatch::analytics

@@ -1,0 +1,54 @@
+// Fig. 11 analytics: how a service's server fleet evolves — per-day IP
+// counts split dedicated/shared, cumulative unique addresses (the y-axis of
+// the paper's top plots is "IPs sorted by order of appearance"), per-ASN
+// breakdowns against monthly RIB snapshots, and second-level-domain traffic
+// shares.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "asn/lpm.hpp"
+#include "core/time.hpp"
+
+namespace edgewatch::analytics {
+
+struct IpLifecycleRow {
+  core::CivilDate date;
+  std::size_t dedicated = 0;  ///< IPs serving only this service that day
+  std::size_t shared = 0;     ///< IPs also serving other named services
+  std::size_t cumulative_unique = 0;  ///< distinct IPs seen so far
+};
+
+[[nodiscard]] std::vector<IpLifecycleRow> ip_lifecycle(std::span<const DayAggregate> days,
+                                                       services::ServiceId service);
+
+/// Provides the RIB in force for a given month (Route Views snapshot in the
+/// paper; the synthetic scenario's RIB history here).
+using RibProvider = std::function<const asn::Rib&(core::MonthIndex)>;
+
+struct AsnBreakdownRow {
+  core::MonthIndex month;
+  /// asn -> average number of this service's daily IPs originated by it.
+  std::map<std::uint32_t, double> ips_by_asn;
+};
+
+[[nodiscard]] std::vector<AsnBreakdownRow> asn_breakdown(std::span<const DayAggregate> days,
+                                                         services::ServiceId service,
+                                                         const RibProvider& rib_for);
+
+struct DomainShareRow {
+  core::MonthIndex month;
+  /// second-level domain -> percent of the service's bytes.
+  std::map<std::string, double> share_pct;
+};
+
+[[nodiscard]] std::vector<DomainShareRow> domain_shares(std::span<const DayAggregate> days,
+                                                        services::ServiceId service);
+
+}  // namespace edgewatch::analytics

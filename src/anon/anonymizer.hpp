@@ -1,0 +1,62 @@
+// Consistent, prefix-preserving IP anonymization (paper §2.1: "Customers
+// are assigned fixed IP addresses, that the probes immediately anonymize in
+// a consistent way").
+//
+// We implement the CryptoPAn construction (Xu et al., 2002): bit i of the
+// anonymized address is the original bit XORed with one pseudo-random bit
+// derived from the i-bit prefix of the original address. This yields the
+// unique prefix-preserving anonymization induced by the PRF: two addresses
+// sharing a k-bit prefix map to addresses sharing exactly a k-bit prefix,
+// so subnet-level analytics remain meaningful after anonymization. The PRF
+// is the project SipHash-2-4 keyed with a 128-bit probe secret rather than
+// the original's AES — equivalent for this (non-cryptographically-audited)
+// purpose and dependency-free.
+#pragma once
+
+#include <cstdint>
+
+#include "core/hash.hpp"
+#include "core/types.hpp"
+
+namespace edgewatch::anon {
+
+class PrefixPreservingAnonymizer {
+ public:
+  explicit PrefixPreservingAnonymizer(core::SipKey key) noexcept : key_(key) {}
+
+  /// Anonymize one address. Deterministic for a fixed key.
+  [[nodiscard]] core::IPv4Address anonymize(core::IPv4Address a) const noexcept;
+
+  /// Invert the anonymization (requires the key; used by tests and by the
+  /// ISP's lawful re-identification path the paper alludes to).
+  [[nodiscard]] core::IPv4Address deanonymize(core::IPv4Address a) const noexcept;
+
+ private:
+  [[nodiscard]] std::uint32_t pad_bits(std::uint32_t value) const noexcept;
+  core::SipKey key_;
+};
+
+/// Policy wrapper used by the probe: anonymize only the customer side of a
+/// flow (server addresses must stay real for CDN/ASN analytics, §6).
+class CustomerAnonymizer {
+ public:
+  CustomerAnonymizer(core::SipKey key, core::IPv4Prefix customer_net) noexcept
+      : impl_(key), customer_net_(customer_net) {}
+
+  [[nodiscard]] bool is_customer(core::IPv4Address a) const noexcept {
+    return customer_net_.contains(a);
+  }
+
+  /// Returns the anonymized address for customers, the input otherwise.
+  [[nodiscard]] core::IPv4Address apply(core::IPv4Address a) const noexcept {
+    return is_customer(a) ? impl_.anonymize(a) : a;
+  }
+
+  [[nodiscard]] const PrefixPreservingAnonymizer& impl() const noexcept { return impl_; }
+
+ private:
+  PrefixPreservingAnonymizer impl_;
+  core::IPv4Prefix customer_net_;
+};
+
+}  // namespace edgewatch::anon

@@ -1,0 +1,181 @@
+// Bounds-checked byte cursors used by every wire-format parser/serializer.
+//
+// Network protocols are big-endian; ByteReader/ByteWriter therefore expose
+// u8/u16/u24/u32/u64 accessors in network byte order. All reads and writes
+// are checked: running past the end marks the cursor as failed and makes
+// every subsequent access return zero / be ignored, so parsers can decode a
+// whole header and check `ok()` once at the end instead of testing every
+// field (the "monadic cursor" idiom common in packet parsers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgewatch::core {
+
+/// Read-only cursor over an immutable byte buffer.
+class ByteReader {
+ public:
+  constexpr ByteReader() noexcept = default;
+  explicit constexpr ByteReader(std::span<const std::byte> data) noexcept
+      : data_(data) {}
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] constexpr std::size_t remaining() const noexcept {
+    return failed_ ? 0 : data_.size() - pos_;
+  }
+  /// Absolute read offset from the start of the buffer.
+  [[nodiscard]] constexpr std::size_t position() const noexcept { return pos_; }
+  /// True unless some access ran past the end of the buffer.
+  [[nodiscard]] constexpr bool ok() const noexcept { return !failed_; }
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!ensure(1)) return 0;
+    return std::to_integer<std::uint8_t>(data_[pos_++]);
+  }
+  [[nodiscard]] std::uint16_t u16() noexcept { return static_cast<std::uint16_t>(big(2)); }
+  [[nodiscard]] std::uint32_t u24() noexcept { return static_cast<std::uint32_t>(big(3)); }
+  [[nodiscard]] std::uint32_t u32() noexcept { return static_cast<std::uint32_t>(big(4)); }
+  [[nodiscard]] std::uint64_t u64() noexcept { return big(8); }
+
+  /// Little-endian variants (QUIC public headers use LE fields).
+  [[nodiscard]] std::uint32_t u32le() noexcept { return static_cast<std::uint32_t>(little(4)); }
+  [[nodiscard]] std::uint64_t u64le() noexcept { return little(8); }
+
+  /// Consume `n` bytes and return them as a subspan (empty on failure).
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n) noexcept {
+    if (!ensure(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Consume `n` bytes and return them as a string view over the buffer.
+  [[nodiscard]] std::string_view string(std::size_t n) noexcept {
+    auto b = bytes(n);
+    return {reinterpret_cast<const char*>(b.data()), b.size()};
+  }
+
+  /// Skip `n` bytes.
+  void skip(std::size_t n) noexcept {
+    if (ensure(n)) pos_ += n;
+  }
+
+  /// Peek one byte `ahead` positions from the cursor without consuming.
+  [[nodiscard]] std::uint8_t peek_u8(std::size_t ahead = 0) const noexcept {
+    if (failed_ || pos_ + ahead >= data_.size()) return 0;
+    return std::to_integer<std::uint8_t>(data_[pos_ + ahead]);
+  }
+
+  /// Reposition to an absolute offset (used by DNS name decompression).
+  void seek(std::size_t offset) noexcept {
+    if (offset > data_.size()) {
+      failed_ = true;
+    } else {
+      pos_ = offset;
+    }
+  }
+
+  /// Whole underlying buffer (not affected by the cursor).
+  [[nodiscard]] constexpr std::span<const std::byte> buffer() const noexcept { return data_; }
+
+ private:
+  [[nodiscard]] bool ensure(std::size_t n) noexcept {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::uint64_t big(std::size_t n) noexcept {
+    if (!ensure(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v = (v << 8) | std::to_integer<std::uint64_t>(data_[pos_ + i]);
+    }
+    pos_ += n;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t little(std::size_t n) noexcept {
+    if (!ensure(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= std::to_integer<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::byte> data_{};
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Growable big-endian byte sink.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { big(v, 2); }
+  void u24(std::uint32_t v) { big(v, 3); }
+  void u32(std::uint32_t v) { big(v, 4); }
+  void u64(std::uint64_t v) { big(v, 8); }
+  void u32le(std::uint32_t v) { little(v, 4); }
+  void u64le(std::uint64_t v) { little(v, 8); }
+
+  void bytes(std::span<const std::byte> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void string(std::string_view s) {
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+  void fill(std::size_t n, std::uint8_t v = 0) {
+    buf_.insert(buf_.end(), n, static_cast<std::byte>(v));
+  }
+
+  /// Overwrite a previously written big-endian u16 (e.g. a length field
+  /// back-patched once the payload size is known).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    if (offset + 2 > buf_.size()) return;
+    buf_[offset] = static_cast<std::byte>(v >> 8);
+    buf_[offset + 1] = static_cast<std::byte>(v & 0xff);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> view() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+
+ private:
+  void big(std::uint64_t v, std::size_t n) {
+    for (std::size_t i = n; i-- > 0;) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void little(std::uint64_t v, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// View a trivially-copyable object as bytes (for hashing).
+template <typename T>
+std::span<const std::byte> as_bytes_of(const T& v) noexcept {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+}
+
+/// Convert a string to an owned byte vector (test helper).
+inline std::vector<std::byte> to_bytes(std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return {p, p + s.size()};
+}
+
+}  // namespace edgewatch::core

@@ -1,0 +1,89 @@
+#include "core/hash.hpp"
+
+namespace edgewatch::core {
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : data) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+constexpr std::uint64_t load64le(std::span<const std::byte> b) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= std::to_integer<std::uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) noexcept {
+  SipState s{
+      key.k0 ^ 0x736f6d6570736575ull,
+      key.k1 ^ 0x646f72616e646f6dull,
+      key.k0 ^ 0x6c7967656e657261ull,
+      key.k1 ^ 0x7465646279746573ull,
+  };
+
+  const std::size_t full = data.size() & ~std::size_t{7};
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = load64le(data.subspan(i, 8));
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = std::uint64_t{data.size() & 0xff} << 56;
+  for (std::size_t i = full; i < data.size(); ++i) {
+    last |= std::to_integer<std::uint64_t>(data[i]) << (8 * (i - full));
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24(SipKey key, std::string_view data) noexcept {
+  return siphash24(key, std::span{reinterpret_cast<const std::byte*>(data.data()), data.size()});
+}
+
+}  // namespace edgewatch::core

@@ -1,0 +1,45 @@
+// Keyed and unkeyed hashing used across the project:
+//  - fnv1a64: fast unkeyed hash for table lookups on short strings.
+//  - SipHash-2-4: a keyed PRF; the anonymizer (CryptoPAn construction) and
+//    the flow table use it where key-independence or flood resistance
+//    matters. Implemented from the reference description (Aumasson &
+//    Bernstein, 2012).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace edgewatch::core {
+
+/// 64-bit FNV-1a over raw bytes.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// 128-bit key for SipHash.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 keyed 64-bit PRF.
+[[nodiscard]] std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) noexcept;
+[[nodiscard]] std::uint64_t siphash24(SipKey key, std::string_view data) noexcept;
+
+/// Convenience: hash a trivially-copyable value.
+template <typename T>
+[[nodiscard]] std::uint64_t siphash24_value(SipKey key, const T& v) noexcept {
+  return siphash24(key, std::span{reinterpret_cast<const std::byte*>(&v), sizeof(T)});
+}
+
+}  // namespace edgewatch::core

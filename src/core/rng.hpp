@@ -1,0 +1,170 @@
+// Deterministic pseudo-random generation for the synthetic workload engine.
+//
+// All synthesis must be reproducible: two runs of a scenario with the same
+// seed must generate byte-identical flow logs. We therefore avoid
+// std::mt19937 seeding subtleties and implement SplitMix64 (for seeding and
+// cheap stateless hashes of coordinates) and xoshiro256** (the workhorse
+// generator; Blackman & Vigna). Xoshiro satisfies UniformRandomBitGenerator
+// so it can also drive <random> distributions where convenient, but the
+// samplers below are preferred because libstdc++ distribution algorithms may
+// change across versions while ours are frozen.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace edgewatch::core {
+
+/// SplitMix64: passes BigCrush, perfect for deriving independent seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of up to three coordinates into one 64-bit value. Used to
+/// derive per-(subscriber, day, service) seeds so workload generation is
+/// order-independent: generating day N never perturbs day N+1.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                                            std::uint64_t c = 0) noexcept {
+  SplitMix64 sm(a ^ 0x9e3779b97f4a7c15ull);
+  std::uint64_t h = sm.next();
+  h ^= b + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  SplitMix64 sm2(h);
+  h = sm2.next();
+  h ^= c + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  SplitMix64 sm3(h);
+  return sm3.next();
+}
+
+/// xoshiro256** 1.0.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Uniform double in [0, 1) with 53 random bits.
+template <typename Rng>
+[[nodiscard]] double uniform01(Rng& rng) noexcept {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform integer in [0, n) for n < 2^32 (all project uses). Lemire's
+/// multiply-shift on the high 32 random bits; bias is < 2^-32.
+template <typename Rng>
+[[nodiscard]] std::uint64_t uniform_below(Rng& rng, std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  return (static_cast<std::uint64_t>(rng() >> 32) * n) >> 32;
+}
+
+/// Bernoulli draw.
+template <typename Rng>
+[[nodiscard]] bool chance(Rng& rng, double p) noexcept {
+  return uniform01(rng) < p;
+}
+
+/// Standard normal via Box–Muller (frozen algorithm, reproducible).
+template <typename Rng>
+[[nodiscard]] double normal(Rng& rng) noexcept {
+  double u1 = uniform01(rng);
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Log-normal with given parameters of the underlying normal.
+template <typename Rng>
+[[nodiscard]] double lognormal(Rng& rng, double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * normal(rng));
+}
+
+/// Exponential with the given mean.
+template <typename Rng>
+[[nodiscard]] double exponential(Rng& rng, double mean) noexcept {
+  double u = uniform01(rng);
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  return -mean * std::log1p(-u);
+}
+
+/// Bounded Pareto on [lo, hi] with tail index alpha — heavy-tailed flow and
+/// object sizes, the classic model for Internet traffic volumes.
+template <typename Rng>
+[[nodiscard]] double pareto_bounded(Rng& rng, double alpha, double lo, double hi) noexcept {
+  const double u = uniform01(rng);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+/// Poisson sample (Knuth for small means, normal approximation above 60).
+template <typename Rng>
+[[nodiscard]] std::uint32_t poisson(Rng& rng, double mean) noexcept {
+  if (mean <= 0) return 0;
+  if (mean > 60.0) {
+    const double v = mean + std::sqrt(mean) * normal(rng);
+    return v <= 0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = uniform01(rng);
+  std::uint32_t n = 0;
+  while (prod > limit) {
+    prod *= uniform01(rng);
+    ++n;
+  }
+  return n;
+}
+
+/// Pick an index from a discrete weight vector; weights need not normalize.
+template <typename Rng>
+[[nodiscard]] std::size_t weighted_pick(Rng& rng, std::span<const double> weights) noexcept {
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return 0;
+  double x = uniform01(rng) * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace edgewatch::core

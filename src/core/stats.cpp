@@ -1,0 +1,93 @@
+#include "core/stats.hpp"
+
+#include <cmath>
+
+namespace edgewatch::core {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  n_ += other.n_;
+  min_ = other.min_ < min_ ? other.min_ : min_;
+  max_ = other.max_ > max_ ? other.max_ : max_;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  // Linear interpolation between closest ranks (type-7, the R default).
+  const double h = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const double frac = h - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double EmpiricalDistribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<double> EmpiricalDistribution::ccdf_at(std::span<const double> grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double g : grid) out.push_back(ccdf(g));
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void Histogram::add(double x, double weight) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<std::int64_t>(counts_.size())) {
+    idx = static_cast<std::int64_t>(counts_.size()) - 1;
+  }
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::vector<double> log_grid(double lo, double hi, std::size_t points) {
+  std::vector<double> out;
+  if (points == 0 || lo <= 0 || hi <= lo) return out;
+  out.reserve(points);
+  const double ratio = std::log(hi / lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    out.push_back(lo * std::exp(ratio * static_cast<double>(i)));
+  }
+  return out;
+}
+
+}  // namespace edgewatch::core

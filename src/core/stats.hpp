@@ -1,0 +1,107 @@
+// Small statistics toolkit used by the analytics stage: running moments,
+// empirical distributions (CDF/CCDF), and quantiles. Distribution objects
+// own their samples; figure-level analytics render them to tables.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace edgewatch::core {
+
+/// Streaming mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
+
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// An empirical distribution built from individual samples.
+class EmpiricalDistribution {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(std::span<const double> xs) {
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// P(X <= x). Empirical step function.
+  [[nodiscard]] double cdf(double x) const;
+  /// P(X > x) — the CCDF the paper plots in Fig. 2.
+  [[nodiscard]] double ccdf(double x) const { return 1.0 - cdf(x); }
+  /// Inverse CDF; q in [0,1]. quantile(0.5) is the median.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+
+  /// Evaluate the CCDF at each point of a grid (for plotting).
+  [[nodiscard]] std::vector<double> ccdf_at(std::span<const double> grid) const;
+
+  [[nodiscard]] std::span<const double> samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  double total_ = 0;
+  std::vector<double> counts_;
+};
+
+/// Log-spaced grid helper, e.g. grid for 1 kB .. 100 GB CCDF plots.
+[[nodiscard]] std::vector<double> log_grid(double lo, double hi, std::size_t points);
+
+}  // namespace edgewatch::core

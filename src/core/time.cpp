@@ -1,0 +1,54 @@
+#include "core/time.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace edgewatch::core {
+
+std::string CivilDate::to_string() const {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", year, month, day);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<CivilDate> CivilDate::parse(std::string_view s) noexcept {
+  // Expect "YYYY-MM-DD".
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return std::nullopt;
+  int year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  auto parse_field = [](std::string_view f, auto& out) {
+    auto [p, ec] = std::from_chars(f.data(), f.data() + f.size(), out);
+    return ec == std::errc{} && p == f.data() + f.size();
+  };
+  if (!parse_field(s.substr(0, 4), year) || !parse_field(s.substr(5, 2), month) ||
+      !parse_field(s.substr(8, 2), day)) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 ||
+      day > static_cast<unsigned>(days_in_month(year, month))) {
+    return std::nullopt;
+  }
+  return CivilDate{year, static_cast<std::uint8_t>(month), static_cast<std::uint8_t>(day)};
+}
+
+std::string Timestamp::to_string() const {
+  const CivilDate d = date();
+  const std::int64_t in_day = micros_ - day_index() * kMicrosPerDay;
+  const auto secs = in_day / kMicrosPerSecond;
+  const auto frac = in_day % kMicrosPerSecond;
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%04d-%02u-%02u %02lld:%02lld:%02lld.%06lld", d.year,
+                              d.month, d.day, static_cast<long long>(secs / 3600),
+                              static_cast<long long>((secs / 60) % 60),
+                              static_cast<long long>(secs % 60), static_cast<long long>(frac));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string MonthIndex::to_string() const {
+  char buf[12];
+  const int n = std::snprintf(buf, sizeof buf, "%04d-%02u", year(), month());
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace edgewatch::core

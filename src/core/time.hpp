@@ -1,0 +1,165 @@
+// Time handling for a 5-year longitudinal dataset. Flow records are stamped
+// with microseconds since the Unix epoch (UTC); analytics bucket them by
+// civil day, month and hour. The civil-calendar conversions use the
+// days-from-civil algorithms (public-domain, Howard Hinnant) so the library
+// needs no locale or timezone machinery — the paper's probes log in a single
+// timezone anyway.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace edgewatch::core {
+
+/// A proleptic-Gregorian calendar date.
+struct CivilDate {
+  std::int32_t year = 1970;
+  std::uint8_t month = 1;  ///< 1..12
+  std::uint8_t day = 1;    ///< 1..31
+
+  [[nodiscard]] std::string to_string() const;  ///< "YYYY-MM-DD"
+  static std::optional<CivilDate> parse(std::string_view s) noexcept;
+
+  constexpr auto operator<=>(const CivilDate&) const noexcept = default;
+};
+
+/// Days since 1970-01-01 for a civil date (negative before the epoch).
+[[nodiscard]] constexpr std::int64_t days_from_civil(CivilDate d) noexcept {
+  std::int64_t y = d.year;
+  const unsigned m = d.month;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);                      // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;                 // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+[[nodiscard]] constexpr CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);                   // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);               // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                    // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                                 // [1, 12]
+  return {static_cast<std::int32_t>(y + (m <= 2)), static_cast<std::uint8_t>(m),
+          static_cast<std::uint8_t>(d)};
+}
+
+/// ISO weekday: 1 = Monday .. 7 = Sunday. 1970-01-01 was a Thursday.
+[[nodiscard]] constexpr int weekday_from_days(std::int64_t z) noexcept {
+  const std::int64_t wd = ((z + 3) % 7 + 7) % 7;  // 0 = Monday
+  return static_cast<int>(wd) + 1;
+}
+
+/// Microseconds since the Unix epoch, UTC.
+class Timestamp {
+ public:
+  static constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+  static constexpr std::int64_t kMicrosPerDay = 86'400 * kMicrosPerSecond;
+
+  constexpr Timestamp() noexcept = default;
+  explicit constexpr Timestamp(std::int64_t micros) noexcept : micros_(micros) {}
+
+  [[nodiscard]] static constexpr Timestamp from_seconds(std::int64_t s) noexcept {
+    return Timestamp{s * kMicrosPerSecond};
+  }
+  /// Midnight UTC of a civil date.
+  [[nodiscard]] static constexpr Timestamp from_date(CivilDate d) noexcept {
+    return Timestamp{days_from_civil(d) * kMicrosPerDay};
+  }
+  /// A moment within a civil day.
+  [[nodiscard]] static constexpr Timestamp from_date_time(CivilDate d, int hour, int minute = 0,
+                                                          int second = 0, int micro = 0) noexcept {
+    return Timestamp{days_from_civil(d) * kMicrosPerDay +
+                     ((hour * 60 + minute) * 60 + second) * kMicrosPerSecond + micro};
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(micros_) / kMicrosPerSecond;
+  }
+  [[nodiscard]] constexpr std::int64_t day_index() const noexcept {
+    // Floor division: correct also for pre-epoch times.
+    return micros_ >= 0 ? micros_ / kMicrosPerDay : (micros_ - (kMicrosPerDay - 1)) / kMicrosPerDay;
+  }
+  [[nodiscard]] constexpr CivilDate date() const noexcept { return civil_from_days(day_index()); }
+  /// Hour of day 0..23 (UTC).
+  [[nodiscard]] constexpr int hour() const noexcept {
+    const std::int64_t in_day = micros_ - day_index() * kMicrosPerDay;
+    return static_cast<int>(in_day / (3'600 * kMicrosPerSecond));
+  }
+  /// Minute-of-day 0..1439, used by the 10-minute bins of Fig. 4.
+  [[nodiscard]] constexpr int minute_of_day() const noexcept {
+    const std::int64_t in_day = micros_ - day_index() * kMicrosPerDay;
+    return static_cast<int>(in_day / (60 * kMicrosPerSecond));
+  }
+
+  [[nodiscard]] std::string to_string() const;  ///< "YYYY-MM-DD HH:MM:SS.ffffff"
+
+  constexpr auto operator<=>(const Timestamp&) const noexcept = default;
+
+  friend constexpr Timestamp operator+(Timestamp t, std::int64_t micros) noexcept {
+    return Timestamp{t.micros_ + micros};
+  }
+  friend constexpr std::int64_t operator-(Timestamp a, Timestamp b) noexcept {
+    return a.micros_ - b.micros_;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Linear month index used for the 54-month x-axes of the paper's figures.
+/// month_index({2013,3}) == 0 when anchored at the dataset start.
+class MonthIndex {
+ public:
+  constexpr MonthIndex() noexcept = default;
+  constexpr MonthIndex(std::int32_t year, unsigned month) noexcept
+      : v_(year * 12 + static_cast<std::int32_t>(month) - 1) {}
+  explicit constexpr MonthIndex(CivilDate d) noexcept : MonthIndex(d.year, d.month) {}
+
+  [[nodiscard]] constexpr std::int32_t year() const noexcept {
+    return v_ >= 0 ? v_ / 12 : (v_ - 11) / 12;
+  }
+  [[nodiscard]] constexpr unsigned month() const noexcept {
+    return static_cast<unsigned>(v_ - year() * 12) + 1;
+  }
+  [[nodiscard]] constexpr std::int32_t raw() const noexcept { return v_; }
+  [[nodiscard]] constexpr CivilDate first_day() const noexcept {
+    return {year(), static_cast<std::uint8_t>(month()), 1};
+  }
+  [[nodiscard]] std::string to_string() const;  ///< "YYYY-MM"
+
+  constexpr auto operator<=>(const MonthIndex&) const noexcept = default;
+  friend constexpr MonthIndex operator+(MonthIndex m, std::int32_t n) noexcept {
+    MonthIndex r;
+    r.v_ = m.v_ + n;
+    return r;
+  }
+  friend constexpr std::int32_t operator-(MonthIndex a, MonthIndex b) noexcept {
+    return a.v_ - b.v_;
+  }
+
+ private:
+  std::int32_t v_ = 0;
+};
+
+/// Number of days in a civil month (handles leap years).
+[[nodiscard]] constexpr int days_in_month(std::int32_t year, unsigned month) noexcept {
+  constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace edgewatch::core

@@ -1,0 +1,89 @@
+#include "core/types.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "core/hash.hpp"
+
+namespace edgewatch::core {
+
+std::string IPv4Address::to_string() const {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view s) noexcept {
+  std::uint32_t value = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || octet > 255 || next == p || next - p > 3) return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return IPv4Address{value};
+}
+
+std::string IPv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(len_);
+}
+
+std::optional<IPv4Prefix> IPv4Prefix::parse(std::string_view s) noexcept {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Address::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  const char* p = s.data() + slash + 1;
+  const char* end = s.data() + s.size();
+  auto [next, ec] = std::from_chars(p, end, len);
+  if (ec != std::errc{} || next != end || len > 32) return std::nullopt;
+  // Reject prefixes with host bits set: they are almost always input bugs.
+  const IPv4Prefix candidate{*addr, static_cast<std::uint8_t>(len)};
+  if (candidate.base() != *addr) return std::nullopt;
+  return candidate;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  const int n = std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                              octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string FiveTuple::to_string() const {
+  std::string out{core::to_string(proto)};
+  out += ' ';
+  out += src_ip.to_string();
+  out += ':';
+  out += std::to_string(src_port);
+  out += " -> ";
+  out += dst_ip.to_string();
+  out += ':';
+  out += std::to_string(dst_port);
+  return out;
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  // Pack the key fields explicitly to avoid hashing padding bytes.
+  struct Packed {
+    std::uint32_t a, b;
+    std::uint16_t pa, pb;
+    std::uint8_t proto;
+    std::uint8_t pad[3]{};
+  } packed{t.src_ip.value(),  t.dst_ip.value(),
+           t.src_port,        t.dst_port,
+           static_cast<std::uint8_t>(t.proto), {}};
+  constexpr SipKey kKey{0x0706050403020100ull, 0x0f0e0d0c0b0a0908ull};
+  return static_cast<std::size_t>(siphash24_value(kKey, packed));
+}
+
+}  // namespace edgewatch::core

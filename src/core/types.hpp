@@ -1,0 +1,128 @@
+// Fundamental network value types shared by every module: IPv4 addresses
+// and prefixes, MAC addresses, transport protocols and the 5-tuple flow key.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace edgewatch::core {
+
+/// An IPv4 address stored in host byte order so arithmetic and prefix
+/// operations are natural; (de)serialization converts at the wire boundary.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() noexcept = default;
+  explicit constexpr IPv4Address(std::uint32_t host_order) noexcept : v_(host_order) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return v_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(v_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad rendering, e.g. "130.192.181.193".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<IPv4Address> parse(std::string_view s) noexcept;
+
+  constexpr auto operator<=>(const IPv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// A CIDR prefix, e.g. 157.240.0.0/16. Invariant: host bits are zero.
+class IPv4Prefix {
+ public:
+  constexpr IPv4Prefix() noexcept = default;
+  constexpr IPv4Prefix(IPv4Address base, std::uint8_t length) noexcept
+      : base_(IPv4Address{length == 0 ? 0 : (base.value() & mask(length))}),
+        len_(length <= 32 ? length : 32) {}
+
+  [[nodiscard]] constexpr IPv4Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return len_; }
+
+  [[nodiscard]] constexpr bool contains(IPv4Address a) const noexcept {
+    return len_ == 0 || ((a.value() & mask(len_)) == base_.value());
+  }
+
+  /// Number of addresses covered by this prefix.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  static std::optional<IPv4Prefix> parse(std::string_view s) noexcept;
+
+  constexpr auto operator<=>(const IPv4Prefix&) const noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask(std::uint8_t len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+  IPv4Address base_{};
+  std::uint8_t len_ = 0;
+};
+
+/// 48-bit Ethernet address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  [[nodiscard]] std::string to_string() const;
+  constexpr auto operator<=>(const MacAddress&) const noexcept = default;
+};
+
+/// Transport protocols the probe tracks (IANA protocol numbers).
+enum class TransportProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kOther = 255,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TransportProto p) noexcept {
+  switch (p) {
+    case TransportProto::kTcp: return "TCP";
+    case TransportProto::kUdp: return "UDP";
+    default: return "OTHER";
+  }
+}
+
+/// The classical flow key: protocol plus both endpoints. Directionality is
+/// preserved (src = initiator once the flow table normalizes it).
+struct FiveTuple {
+  IPv4Address src_ip;
+  IPv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  TransportProto proto = TransportProto::kOther;
+
+  /// The same flow seen from the opposite direction.
+  [[nodiscard]] constexpr FiveTuple reversed() const noexcept {
+    return {dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  constexpr auto operator<=>(const FiveTuple&) const noexcept = default;
+};
+
+/// Hash functor for FiveTuple usable with unordered containers. Defined in
+/// types.cpp on top of the project SipHash so flows spread well even under
+/// adversarially similar addresses.
+struct FiveTupleHash {
+  [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+struct IPv4AddressHash {
+  [[nodiscard]] std::size_t operator()(IPv4Address a) const noexcept {
+    // Fibonacci scrambling is enough for one 32-bit word.
+    return static_cast<std::size_t>(a.value() * 0x9E3779B97F4A7C15ull >> 16);
+  }
+};
+
+}  // namespace edgewatch::core

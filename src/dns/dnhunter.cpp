@@ -1,0 +1,93 @@
+#include "dns/dnhunter.hpp"
+
+namespace edgewatch::dns {
+
+void DnHunter::observe_response(core::IPv4Address client, const Message& msg,
+                                core::Timestamp now) {
+  if (!msg.ok_response() || msg.questions.empty()) return;
+  ++counters_.responses_ingested;
+  const std::string& question = msg.questions.front().name;
+
+  // Names reachable from the question through CNAME aliases.
+  auto is_alias_of_question = [&](const std::string& name) {
+    if (name == question) return true;
+    // Walk the CNAME chain (answers are few; quadratic walk is fine).
+    std::string current = question;
+    for (std::size_t hop = 0; hop < msg.answers.size(); ++hop) {
+      bool advanced = false;
+      for (const auto& a : msg.answers) {
+        if (a.type == RecordType::kCname && a.name == current) {
+          current = a.cname;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) break;
+      if (current == name) return true;
+    }
+    return false;
+  };
+
+  auto& table = tables_[client];
+  for (const auto& a : msg.answers) {
+    if (a.type != RecordType::kA) continue;
+    // Label with the *question* name when the record answers it (directly
+    // or through CNAMEs); otherwise fall back to the record owner name.
+    insert(table, a.address, is_alias_of_question(a.name) ? question : a.name, now);
+  }
+}
+
+void DnHunter::insert(ClientTable& table, core::IPv4Address server, std::string name,
+                      core::Timestamp now) {
+  auto it = table.map.find(server);
+  if (it != table.map.end()) {
+    it->second.name = std::move(name);
+    it->second.inserted = now;
+    table.lru.splice(table.lru.begin(), table.lru, it->second.lru_pos);
+    return;
+  }
+  if (table.map.size() >= config_.max_entries_per_client) {
+    const core::IPv4Address victim = table.lru.back();
+    table.lru.pop_back();
+    table.map.erase(victim);
+    ++counters_.lru_evictions;
+  }
+  table.lru.push_front(server);
+  table.map.emplace(server, Entry{std::move(name), now, table.lru.begin()});
+  ++counters_.entries_inserted;
+}
+
+std::optional<std::string> DnHunter::lookup(core::IPv4Address client, core::IPv4Address server,
+                                            core::Timestamp now) {
+  auto table_it = tables_.find(client);
+  if (table_it == tables_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  auto& table = table_it->second;
+  auto it = table.map.find(server);
+  if (it == table.map.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  if (now - it->second.inserted > config_.entry_ttl_micros) {
+    table.lru.erase(it->second.lru_pos);
+    table.map.erase(it);
+    ++counters_.expired;
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  table.lru.splice(table.lru.begin(), table.lru, it->second.lru_pos);
+  ++counters_.hits;
+  return it->second.name;
+}
+
+std::size_t DnHunter::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table.map.size();
+  return total;
+}
+
+void DnHunter::clear() { tables_.clear(); }
+
+}  // namespace edgewatch::dns

@@ -1,0 +1,78 @@
+// DN-Hunter (Bermudez et al., IMC'12; paper §2.1): associate flows with the
+// hostname the client resolved via DNS right before opening them.
+//
+// For every DNS response observed, we record (client, server-address) →
+// queried-name. When a later flow from that client to that server address
+// carries no hostname of its own (no HTTP Host:, no TLS SNI), the probe
+// labels it with the cached name. Entries expire with a configurable TTL
+// and the per-client table is bounded with LRU eviction, as a probe serving
+// tens of thousands of subscribers cannot keep unbounded state.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/time.hpp"
+#include "core/types.hpp"
+#include "dns/message.hpp"
+
+namespace edgewatch::dns {
+
+struct DnHunterConfig {
+  std::size_t max_entries_per_client = 4096;
+  std::int64_t entry_ttl_micros = 3'600 * core::Timestamp::kMicrosPerSecond;
+};
+
+class DnHunter {
+ public:
+  explicit DnHunter(DnHunterConfig config = {}) : config_(config) {}
+
+  /// Ingest a parsed DNS response observed for `client`. CNAME chains are
+  /// resolved: every A record in the answer maps back to the original
+  /// question name (users asked for "netflix.com", not the CDN alias).
+  void observe_response(core::IPv4Address client, const Message& msg, core::Timestamp now);
+
+  /// Name the client resolved for `server`, if fresh. Refreshes LRU order.
+  [[nodiscard]] std::optional<std::string> lookup(core::IPv4Address client,
+                                                  core::IPv4Address server, core::Timestamp now);
+
+  /// Total cached entries across clients (observability/testing).
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t clients() const noexcept { return tables_.size(); }
+
+  /// Drop every entry (e.g. on probe restart).
+  void clear();
+
+  struct Counters {
+    std::uint64_t responses_ingested = 0;
+    std::uint64_t entries_inserted = 0;
+    std::uint64_t lru_evictions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t expired = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    core::Timestamp inserted;
+    std::list<core::IPv4Address>::iterator lru_pos;
+  };
+  struct ClientTable {
+    std::unordered_map<core::IPv4Address, Entry, core::IPv4AddressHash> map;
+    std::list<core::IPv4Address> lru;  ///< Front = most recent.
+  };
+
+  void insert(ClientTable& table, core::IPv4Address server, std::string name,
+              core::Timestamp now);
+
+  DnHunterConfig config_;
+  std::unordered_map<core::IPv4Address, ClientTable, core::IPv4AddressHash> tables_;
+  Counters counters_;
+};
+
+}  // namespace edgewatch::dns

@@ -1,0 +1,203 @@
+#include "dns/message.hpp"
+
+#include <cctype>
+
+namespace edgewatch::dns {
+
+namespace {
+
+constexpr std::size_t kMaxNameLength = 255;
+constexpr int kMaxPointerHops = 16;  // loop protection
+
+/// Decode a (possibly compressed) name starting at the reader's cursor.
+/// Consumes exactly the in-place bytes of the name (pointers are followed
+/// without moving the primary cursor past them).
+std::optional<std::string> read_name(core::ByteReader& r) {
+  std::string name;
+  int hops = 0;
+  // After the first pointer, continue on a secondary cursor.
+  core::ByteReader follow = r;
+  core::ByteReader* cur = &r;
+  while (true) {
+    const std::uint8_t len = cur->u8();
+    if (!cur->ok()) return std::nullopt;
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      const std::uint8_t lo = cur->u8();
+      if (!cur->ok()) return std::nullopt;
+      if (++hops > kMaxPointerHops) return std::nullopt;
+      const std::size_t target = (static_cast<std::size_t>(len & 0x3f) << 8) | lo;
+      if (cur == &r) {
+        follow = r;  // capture the buffer; position set below
+        cur = &follow;
+      }
+      // Pointers must go strictly backwards in well-formed messages; we only
+      // require them to stay in-bounds and bound the hop count.
+      cur->seek(target);
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
+    const auto label = cur->string(len);
+    if (!cur->ok()) return std::nullopt;
+    if (!name.empty()) name.push_back('.');
+    name.append(label);
+    if (name.size() > kMaxNameLength) return std::nullopt;
+  }
+  return normalize_name(name);
+}
+
+void write_name(core::ByteWriter& w, std::string_view name) {
+  std::size_t start = 0;
+  while (start < name.size()) {
+    auto dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    const auto label = name.substr(start, dot - start);
+    w.u8(static_cast<std::uint8_t>(label.size() < 64 ? label.size() : 63));
+    w.string(label.substr(0, 63));
+    start = dot + 1;
+  }
+  w.u8(0);
+}
+
+}  // namespace
+
+std::string normalize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+std::optional<Message> parse(std::span<const std::byte> payload) {
+  core::ByteReader r{payload};
+  Message msg;
+  msg.id = r.u16();
+  const std::uint16_t flags = r.u16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.rcode = static_cast<std::uint8_t>(flags & 0x000f);
+  const std::uint16_t qdcount = r.u16();
+  const std::uint16_t ancount = r.u16();
+  r.skip(4);  // NSCOUNT + ARCOUNT (authority/additional sections ignored)
+  if (!r.ok()) return std::nullopt;
+
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    auto name = read_name(r);
+    if (!name) return std::nullopt;
+    Question q;
+    q.name = std::move(*name);
+    q.qtype = r.u16();
+    q.qclass = r.u16();
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+
+  for (std::uint16_t i = 0; i < ancount; ++i) {
+    auto name = read_name(r);
+    if (!name) return std::nullopt;
+    Answer a;
+    a.name = std::move(*name);
+    const std::uint16_t rtype = r.u16();
+    r.skip(2);  // class
+    a.ttl = r.u32();
+    const std::uint16_t rdlength = r.u16();
+    if (!r.ok()) return std::nullopt;
+    switch (rtype) {
+      case 1:
+        if (rdlength != 4) return std::nullopt;
+        a.type = RecordType::kA;
+        a.address = core::IPv4Address{r.u32()};
+        break;
+      case 5: {
+        a.type = RecordType::kCname;
+        // RDATA is a (possibly compressed) name; bound the sub-read.
+        const std::size_t end = r.position() + rdlength;
+        auto cname = read_name(r);
+        if (!cname) return std::nullopt;
+        a.cname = std::move(*cname);
+        if (r.position() > end) return std::nullopt;
+        r.seek(end);
+        break;
+      }
+      case 28:
+        a.type = RecordType::kAaaa;
+        r.skip(rdlength);
+        break;
+      default:
+        a.type = RecordType::kOther;
+        r.skip(rdlength);
+        break;
+    }
+    if (!r.ok()) return std::nullopt;
+    msg.answers.push_back(std::move(a));
+  }
+  return msg;
+}
+
+std::vector<std::byte> serialize(const Message& msg) {
+  core::ByteWriter w{64};
+  w.u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  flags |= msg.rcode & 0x000f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  w.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  w.u16(0);
+  w.u16(0);
+  for (const auto& q : msg.questions) {
+    write_name(w, q.name);
+    w.u16(q.qtype);
+    w.u16(q.qclass);
+  }
+  for (const auto& a : msg.answers) {
+    write_name(w, a.name);
+    switch (a.type) {
+      case RecordType::kA:
+        w.u16(1);
+        w.u16(1);
+        w.u32(a.ttl);
+        w.u16(4);
+        w.u32(a.address.value());
+        break;
+      case RecordType::kCname: {
+        w.u16(5);
+        w.u16(1);
+        w.u32(a.ttl);
+        core::ByteWriter name;
+        write_name(name, a.cname);
+        w.u16(static_cast<std::uint16_t>(name.size()));
+        w.bytes(name.view());
+        break;
+      }
+      default:
+        w.u16(0);
+        w.u16(1);
+        w.u32(a.ttl);
+        w.u16(0);
+        break;
+    }
+  }
+  return std::move(w).take();
+}
+
+Message make_a_response(std::uint16_t id, std::string_view name,
+                        std::span<const core::IPv4Address> addrs, std::uint32_t ttl) {
+  Message msg;
+  msg.id = id;
+  msg.is_response = true;
+  msg.questions.push_back({normalize_name(name), 1, 1});
+  for (auto addr : addrs) {
+    Answer a;
+    a.name = normalize_name(name);
+    a.type = RecordType::kA;
+    a.ttl = ttl;
+    a.address = addr;
+    msg.answers.push_back(std::move(a));
+  }
+  return msg;
+}
+
+}  // namespace edgewatch::dns

@@ -1,0 +1,108 @@
+#include "dpi/classifier.hpp"
+
+namespace edgewatch::dpi {
+
+std::string_view to_string(L7Protocol p) noexcept {
+  switch (p) {
+    case L7Protocol::kHttp: return "HTTP";
+    case L7Protocol::kTls: return "TLS";
+    case L7Protocol::kQuic: return "QUIC";
+    case L7Protocol::kFbZero: return "FB-ZERO";
+    case L7Protocol::kDns: return "DNS";
+    case L7Protocol::kBittorrent: return "BITTORRENT";
+    case L7Protocol::kEdonkey: return "EDONKEY";
+    case L7Protocol::kDht: return "DHT";
+    default: return "UNKNOWN";
+  }
+}
+
+std::string_view to_string(WebProtocol p) noexcept {
+  switch (p) {
+    case WebProtocol::kHttp: return "HTTP";
+    case WebProtocol::kTls: return "TLS";
+    case WebProtocol::kSpdy: return "SPDY";
+    case WebProtocol::kHttp2: return "HTTP/2";
+    case WebProtocol::kQuic: return "QUIC";
+    case WebProtocol::kFbZero: return "FB-ZERO";
+    default: return "NOT-WEB";
+  }
+}
+
+namespace {
+
+WebProtocol refine_tls(const TlsClientHello& hello, const ClassifierOptions& options) {
+  for (const auto& proto : hello.alpn) {
+    if (proto == "h2" || proto == "h2-14" || proto == "h2-15") return WebProtocol::kHttp2;
+    if (proto.starts_with("spdy/")) {
+      return options.report_spdy ? WebProtocol::kSpdy : WebProtocol::kTls;
+    }
+  }
+  return WebProtocol::kTls;
+}
+
+}  // namespace
+
+Classification classify_payload(core::TransportProto proto, std::uint16_t server_port,
+                                std::span<const std::byte> payload,
+                                const ClassifierOptions& options) {
+  Classification c;
+
+  if (proto == core::TransportProto::kUdp) {
+    if (server_port == 53) {
+      c.l7 = L7Protocol::kDns;
+      return c;
+    }
+    if (looks_like_quic(payload)) {
+      c.l7 = L7Protocol::kQuic;
+      c.web = WebProtocol::kQuic;
+      return c;
+    }
+    if (looks_like_dht(payload)) {
+      c.l7 = L7Protocol::kDht;
+      return c;
+    }
+    return c;
+  }
+
+  if (proto != core::TransportProto::kTcp) return c;
+
+  if (looks_like_tls(payload)) {
+    c.l7 = L7Protocol::kTls;
+    if (auto hello = parse_client_hello(payload)) {
+      c.server_name = hello->sni;
+      if (!hello->alpn.empty()) c.alpn = hello->alpn.front();
+      c.web = refine_tls(*hello, options);
+    } else {
+      // TLS record framing present but the hello does not parse: likely a
+      // ClientHello continued in the next segment — ask for reassembly.
+      c.web = WebProtocol::kTls;
+      c.conclusive = false;
+    }
+    return c;
+  }
+  if (looks_like_http_request(payload)) {
+    c.l7 = L7Protocol::kHttp;
+    c.web = WebProtocol::kHttp;
+    if (auto req = parse_http_request(payload)) c.server_name = req->host;
+    return c;
+  }
+  if (looks_like_fbzero(payload)) {
+    if (options.report_fbzero) {
+      c.l7 = L7Protocol::kFbZero;
+      c.web = WebProtocol::kFbZero;
+      if (auto sni = parse_fbzero_sni(payload)) c.server_name = *sni;
+    }
+    return c;  // unknown when the probe predates the protocol
+  }
+  if (looks_like_bittorrent(payload)) {
+    c.l7 = L7Protocol::kBittorrent;
+    return c;
+  }
+  if (looks_like_edonkey(payload)) {
+    c.l7 = L7Protocol::kEdonkey;
+    return c;
+  }
+  return c;
+}
+
+}  // namespace edgewatch::dpi

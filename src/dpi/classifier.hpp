@@ -1,0 +1,80 @@
+// Flow-level protocol classification (paper §5, Fig. 8 categories).
+//
+// The classifier inspects the first client-to-server payload of a flow and
+// assigns an L7 protocol plus, for web traffic, the Fig. 8 "web protocol"
+// class (HTTP, TLS, SPDY, HTTP/2, QUIC, FB-ZERO). It also extracts whatever
+// hostname the payload exposes (HTTP Host:, TLS SNI, FB-Zero SNI).
+//
+// A probe's classification power depends on its software version — the
+// paper's event C (June 2015) is precisely a probe upgrade that starts
+// distinguishing SPDY from generic HTTPS. ClassifierOptions encodes such
+// capabilities so the probe can reproduce that measurement artifact.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+#include "dpi/parsers.hpp"
+
+namespace edgewatch::dpi {
+
+/// Application-layer protocol of a flow.
+enum class L7Protocol : std::uint8_t {
+  kUnknown = 0,
+  kHttp,
+  kTls,
+  kQuic,
+  kFbZero,
+  kDns,
+  kBittorrent,
+  kEdonkey,
+  kDht,
+};
+
+[[nodiscard]] std::string_view to_string(L7Protocol p) noexcept;
+[[nodiscard]] constexpr bool is_p2p(L7Protocol p) noexcept {
+  return p == L7Protocol::kBittorrent || p == L7Protocol::kEdonkey || p == L7Protocol::kDht;
+}
+
+/// The web-protocol breakdown of Fig. 8.
+enum class WebProtocol : std::uint8_t {
+  kNotWeb = 0,
+  kHttp,
+  kTls,     ///< HTTPS without a finer label.
+  kSpdy,
+  kHttp2,
+  kQuic,
+  kFbZero,
+};
+
+[[nodiscard]] std::string_view to_string(WebProtocol p) noexcept;
+
+struct ClassifierOptions {
+  /// Before the June-2015 probe upgrade (event C), SPDY is reported as TLS.
+  bool report_spdy = true;
+  /// Before probes learned the FB-Zero wire image (event F + upgrade), the
+  /// flows are reported as unknown TCP traffic.
+  bool report_fbzero = true;
+};
+
+struct Classification {
+  L7Protocol l7 = L7Protocol::kUnknown;
+  WebProtocol web = WebProtocol::kNotWeb;
+  std::string server_name;  ///< Hostname from the payload itself, if any.
+  std::string alpn;         ///< First offered ALPN token, if any.
+  /// False when the payload looks like a known protocol but is truncated
+  /// mid-message (e.g. a ClientHello split across TCP segments): the
+  /// caller should retry with more reassembled bytes.
+  bool conclusive = true;
+};
+
+/// Classify from the first client payload of a flow.
+[[nodiscard]] Classification classify_payload(core::TransportProto proto,
+                                              std::uint16_t server_port,
+                                              std::span<const std::byte> payload,
+                                              const ClassifierOptions& options = {});
+
+}  // namespace edgewatch::dpi

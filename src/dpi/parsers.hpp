@@ -1,0 +1,135 @@
+// Payload parsers the probe's DPI stage runs on the first packets of each
+// flow (paper §2.1): TLS ClientHello (SNI + ALPN), HTTP/1.x requests
+// (Host:), and the GQUIC public header. Each parser has a matching builder
+// so tests and the synthetic packet generator can fabricate valid payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/bytes.hpp"
+
+namespace edgewatch::dpi {
+
+// ------------------------------------------------------------------ TLS
+
+struct TlsClientHello {
+  std::uint16_t record_version = 0;   ///< From the record layer, e.g. 0x0301.
+  std::uint16_t client_version = 0;   ///< From the handshake body, e.g. 0x0303.
+  std::string sni;                    ///< Empty if no server_name extension.
+  std::vector<std::string> alpn;      ///< Offered protocols, in order.
+};
+
+/// True if the payload plausibly starts a TLS stream (handshake record,
+/// SSL3..TLS1.3 record version).
+[[nodiscard]] bool looks_like_tls(std::span<const std::byte> payload) noexcept;
+
+/// Parse a ClientHello from the first TCP payload of a flow. Handles the
+/// record layer, legacy session id, cipher suites, compression, and walks
+/// the extension list for server_name (0) and ALPN (16).
+[[nodiscard]] std::optional<TlsClientHello> parse_client_hello(
+    std::span<const std::byte> payload);
+
+/// Build a syntactically valid ClientHello payload carrying the given SNI
+/// and ALPN list (either may be empty).
+[[nodiscard]] std::vector<std::byte> build_client_hello(std::string_view sni,
+                                                        std::span<const std::string> alpn,
+                                                        std::uint16_t version = 0x0303);
+
+/// The server's side of the negotiation: what actually got selected. The
+/// client *offers* ALPN values; only the ServerHello settles whether the
+/// flow speaks h2, spdy/3.1 or http/1.1.
+struct TlsServerHello {
+  std::uint16_t server_version = 0;
+  std::string alpn;  ///< Selected protocol; empty if the extension is absent.
+};
+
+[[nodiscard]] std::optional<TlsServerHello> parse_server_hello(
+    std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> build_server_hello(std::string_view alpn,
+                                                        std::uint16_t version = 0x0303);
+
+// ----------------------------------------------------------------- HTTP
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;  ///< "HTTP/1.0" or "HTTP/1.1"
+  std::string host;     ///< From the Host: header, lower-cased, no port.
+};
+
+[[nodiscard]] bool looks_like_http_request(std::span<const std::byte> payload) noexcept;
+
+/// Parse the request line and headers up to the first empty line (or end of
+/// the captured payload — a probe sees only the first segment).
+[[nodiscard]] std::optional<HttpRequest> parse_http_request(std::span<const std::byte> payload);
+
+[[nodiscard]] std::vector<std::byte> build_http_request(std::string_view host,
+                                                        std::string_view target = "/",
+                                                        std::string_view method = "GET");
+
+/// The server's side: status line + headers (Tstat logs response codes and
+/// content types per HTTP transaction).
+struct HttpResponse {
+  int status = 0;
+  std::string version;       ///< "HTTP/1.0" or "HTTP/1.1"
+  std::string content_type;  ///< Lower-cased media type, parameters stripped.
+};
+
+[[nodiscard]] bool looks_like_http_response(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::optional<HttpResponse> parse_http_response(
+    std::span<const std::byte> payload);
+[[nodiscard]] std::vector<std::byte> build_http_response(int status,
+                                                         std::string_view content_type,
+                                                         std::size_t body_bytes = 0);
+
+// ----------------------------------------------------------------- QUIC
+
+/// Google QUIC (the wire image deployed 2014-2017, paper events B and D).
+struct QuicPublicHeader {
+  bool has_version = false;
+  std::uint64_t connection_id = 0;
+  std::string version;  ///< e.g. "Q034"; empty if absent.
+};
+
+[[nodiscard]] bool looks_like_quic(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::optional<QuicPublicHeader> parse_quic_header(
+    std::span<const std::byte> payload);
+[[nodiscard]] std::vector<std::byte> build_quic_client_packet(std::uint64_t connection_id,
+                                                              std::string_view version = "Q034");
+
+// -------------------------------------------------------------- FB-Zero
+//
+// Facebook's "Zero protocol" (paper event F, Nov 2016) was a proprietary
+// 0-RTT TLS modification used by the mobile apps, with no public spec. We
+// model it as a distinct first-flight: the GQUIC-style tag "ZP01" over TCP
+// port 443. See DESIGN.md (substitutions): what matters for the paper's
+// analysis is that a sudden, unknown-to-the-probe protocol appears and is
+// classified neither as TLS nor HTTP until probes are upgraded.
+
+[[nodiscard]] bool looks_like_fbzero(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::vector<std::byte> build_fbzero_hello(std::string_view sni);
+/// Extract the SNI-equivalent from a synthetic FB-Zero hello.
+[[nodiscard]] std::optional<std::string> parse_fbzero_sni(std::span<const std::byte> payload);
+
+// ----------------------------------------------------------------- P2P
+
+/// BitTorrent TCP handshake: 0x13 "BitTorrent protocol".
+[[nodiscard]] bool looks_like_bittorrent(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::vector<std::byte> build_bittorrent_handshake(
+    std::span<const std::byte> info_hash);
+
+/// eDonkey/eMule TCP framing: 0xE3 or 0xC5 marker + little-endian length.
+[[nodiscard]] bool looks_like_edonkey(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::vector<std::byte> build_edonkey_hello();
+
+/// Mainline-DHT over UDP (bencoded "d1:ad2:id20:..." queries).
+[[nodiscard]] bool looks_like_dht(std::span<const std::byte> payload) noexcept;
+[[nodiscard]] std::vector<std::byte> build_dht_query();
+
+}  // namespace edgewatch::dpi

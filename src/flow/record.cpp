@@ -1,0 +1,73 @@
+#include "flow/record.hpp"
+
+#include <cstdio>
+
+namespace edgewatch::flow {
+
+std::string_view to_string(NameSource s) noexcept {
+  switch (s) {
+    case NameSource::kHttpHost: return "http-host";
+    case NameSource::kTlsSni: return "tls-sni";
+    case NameSource::kFbZero: return "fbzero-sni";
+    case NameSource::kDnsHunter: return "dn-hunter";
+    default: return "none";
+  }
+}
+
+std::string_view to_string(AccessTech t) noexcept {
+  return t == AccessTech::kFtth ? "FTTH" : "ADSL";
+}
+
+std::string_view to_string(FlowCloseReason r) noexcept {
+  switch (r) {
+    case FlowCloseReason::kTcpTeardown: return "teardown";
+    case FlowCloseReason::kTcpReset: return "reset";
+    case FlowCloseReason::kIdleTimeout: return "timeout";
+    case FlowCloseReason::kProbeFlush: return "flush";
+    default: return "active";
+  }
+}
+
+std::string FlowRecord::to_csv_row() const {
+  std::string row;
+  row.reserve(192);
+  auto append = [&row](std::string_view s) {
+    row += s;
+    row += ',';
+  };
+  append(client_ip.to_string());
+  append(server_ip.to_string());
+  append(std::to_string(client_port));
+  append(std::to_string(server_port));
+  append(core::to_string(proto));
+  append(to_string(access));
+  append(std::to_string(first_packet.micros()));
+  append(std::to_string(last_packet.micros()));
+  append(std::to_string(up.packets));
+  append(std::to_string(up.bytes));
+  append(std::to_string(up.retransmits));
+  append(std::to_string(up.out_of_order));
+  append(std::to_string(down.packets));
+  append(std::to_string(down.bytes));
+  append(std::to_string(down.retransmits));
+  append(std::to_string(down.out_of_order));
+  append(handshake_completed ? "1" : "0");
+  append(to_string(close_reason));
+  append(std::to_string(rtt.samples));
+  append(std::to_string(rtt.min_us));
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", rtt.avg_us);
+    append(buf);
+  }
+  append(std::to_string(rtt.max_us));
+  append(dpi::to_string(l7));
+  append(dpi::to_string(web));
+  append(server_name);
+  append(to_string(name_source));
+  append(std::to_string(http_status));
+  row += content_type;
+  return row;
+}
+
+}  // namespace edgewatch::flow

@@ -1,0 +1,132 @@
+// FlowRecord: the per-flow log entry the probe exports (paper §2.1) —
+// the equivalent of one row of Tstat's log_tcp_complete / log_udp_complete.
+//
+// Directions are expressed client→server where the client is the flow
+// initiator (first packet / SYN sender). For the ISP edge deployment the
+// client is virtually always the subscriber, so `upload` = client→server
+// bytes and `download` = server→client bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+#include "core/types.hpp"
+#include "dpi/classifier.hpp"
+
+namespace edgewatch::flow {
+
+/// Where the record's server hostname came from (paper §2.1: Host header,
+/// TLS SNI, or a preceding DNS resolution via DN-Hunter).
+enum class NameSource : std::uint8_t {
+  kNone = 0,
+  kHttpHost,
+  kTlsSni,
+  kFbZero,
+  kDnsHunter,
+};
+
+[[nodiscard]] std::string_view to_string(NameSource s) noexcept;
+
+/// Access technology of the subscriber line (paper §2.1).
+enum class AccessTech : std::uint8_t {
+  kAdsl = 0,
+  kFtth = 1,
+};
+
+[[nodiscard]] std::string_view to_string(AccessTech t) noexcept;
+
+/// How the flow ended (footnote 1: particular packets or timeouts).
+enum class FlowCloseReason : std::uint8_t {
+  kActive = 0,     ///< Still open (only seen on records exported at flush).
+  kTcpTeardown,    ///< Both FINs (or FIN+ACK) observed.
+  kTcpReset,       ///< RST observed.
+  kIdleTimeout,
+  kProbeFlush,     ///< Probe shutdown/outage flushed the table.
+};
+
+[[nodiscard]] std::string_view to_string(FlowCloseReason r) noexcept;
+
+/// Byte/packet counters for one direction, plus the TCP anomaly counters
+/// of Mellia et al. (ref [29]): retransmitted and out-of-sequence segments
+/// as seen by the passive probe.
+struct DirectionStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;          ///< L4 payload bytes (what usage analytics need).
+  std::uint64_t bytes_with_hdr = 0; ///< IP total_length sum (link-load view).
+  std::uint32_t retransmits = 0;    ///< Segments (re)covering already-seen sequence space.
+  std::uint32_t out_of_order = 0;   ///< Segments beyond the next expected sequence.
+
+  void add(std::uint64_t payload, std::uint64_t ip_total) noexcept {
+    ++packets;
+    bytes += payload;
+    bytes_with_hdr += ip_total;
+  }
+};
+
+/// Probe→server round-trip statistics in microseconds (paper §2.1: min,
+/// average, max and the number of samples per flow).
+struct RttStats {
+  std::uint32_t samples = 0;
+  std::int64_t min_us = 0;
+  std::int64_t max_us = 0;
+  double avg_us = 0;
+
+  void add(std::int64_t sample_us) noexcept {
+    if (samples == 0) {
+      min_us = max_us = sample_us;
+      avg_us = static_cast<double>(sample_us);
+    } else {
+      min_us = sample_us < min_us ? sample_us : min_us;
+      max_us = sample_us > max_us ? sample_us : max_us;
+      avg_us += (static_cast<double>(sample_us) - avg_us) / static_cast<double>(samples + 1);
+    }
+    ++samples;
+  }
+  [[nodiscard]] double min_ms() const noexcept { return static_cast<double>(min_us) / 1000.0; }
+};
+
+struct FlowRecord {
+  // Identity. client_ip is the *anonymized* subscriber address; server_ip
+  // is real (needed for the CDN/ASN analytics of §6).
+  core::IPv4Address client_ip;
+  core::IPv4Address server_ip;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  core::TransportProto proto = core::TransportProto::kOther;
+  AccessTech access = AccessTech::kAdsl;
+
+  // Timing.
+  core::Timestamp first_packet;
+  core::Timestamp last_packet;
+
+  // Volumes.
+  DirectionStats up;    ///< client → server
+  DirectionStats down;  ///< server → client
+
+  // TCP specifics.
+  bool handshake_completed = false;
+  FlowCloseReason close_reason = FlowCloseReason::kActive;
+  RttStats rtt;
+
+  // DPI results.
+  dpi::L7Protocol l7 = dpi::L7Protocol::kUnknown;
+  dpi::WebProtocol web = dpi::WebProtocol::kNotWeb;
+  std::string server_name;
+  NameSource name_source = NameSource::kNone;
+  /// HTTP transaction info for plain-HTTP flows (0 / empty otherwise).
+  std::uint16_t http_status = 0;
+  std::string content_type;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return up.bytes + down.bytes; }
+  [[nodiscard]] std::int64_t duration_us() const noexcept {
+    return last_packet - first_packet;
+  }
+  /// The paper plots web-protocol shares over TCP+UDP web traffic only.
+  [[nodiscard]] bool is_web() const noexcept { return web != dpi::WebProtocol::kNotWeb; }
+
+  /// Render as one CSV row; see storage/csv.hpp for the column list.
+  [[nodiscard]] std::string to_csv_row() const;
+};
+
+}  // namespace edgewatch::flow

@@ -1,0 +1,37 @@
+#include "flow/rtt.hpp"
+
+namespace edgewatch::flow {
+
+void RttEstimator::on_client_segment(std::uint32_t seq, std::uint32_t seq_end,
+                                     core::Timestamp ts) {
+  if (seq == seq_end) return;  // nothing to be acknowledged
+
+  // Karn's rule: if this segment overlaps one already outstanding, it is a
+  // retransmission — poison the overlapped entries instead of re-arming.
+  bool overlap = false;
+  for (auto& seg : outstanding_) {
+    const bool disjoint = seq_geq(seg.seq_begin, seq_end) || seq_geq(seq, seg.seq_end);
+    if (!disjoint) {
+      seg.retransmitted = true;
+      overlap = true;
+    }
+  }
+  if (overlap) return;
+
+  if (outstanding_.size() >= kMaxOutstanding) outstanding_.pop_front();
+  outstanding_.push_back({seq, seq_end, ts, false});
+}
+
+void RttEstimator::on_server_ack(std::uint32_t ack, core::Timestamp ts, RttStats& stats) {
+  while (!outstanding_.empty()) {
+    const Segment& seg = outstanding_.front();
+    if (!seq_geq(ack, seg.seq_end)) break;  // not yet covered
+    if (!seg.retransmitted) {
+      const std::int64_t sample = ts - seg.sent;
+      if (sample >= 0) stats.add(sample);
+    }
+    outstanding_.pop_front();
+  }
+}
+
+}  // namespace edgewatch::flow

@@ -1,0 +1,269 @@
+#include "flow/table.hpp"
+
+#include <vector>
+
+namespace edgewatch::flow {
+
+FlowState* FlowTable::ingest(const net::DecodedPacket& pkt) {
+  const auto proto = pkt.ip.transport();
+  if (proto == core::TransportProto::kOther) return nullptr;
+  ++counters_.packets;
+
+  const core::FiveTuple as_sent = pkt.five_tuple();
+  bool from_client = true;
+  auto it = flows_.find(as_sent);
+  if (it == flows_.end()) {
+    auto rit = flows_.find(as_sent.reversed());
+    if (rit != flows_.end()) {
+      it = rit;
+      from_client = false;
+    }
+  }
+
+  if (it == flows_.end()) {
+    // New flow: the sender of the first packet is the client. A bare
+    // SYN-ACK opening a flow (probe started mid-handshake) flips roles.
+    core::FiveTuple key = as_sent;
+    if (pkt.tcp && pkt.tcp->has(net::TcpFlags::kSyn) && pkt.tcp->has(net::TcpFlags::kAck)) {
+      key = as_sent.reversed();
+      from_client = false;
+    }
+    FlowState state;
+    state.record.client_ip = key.src_ip;
+    state.record.server_ip = key.dst_ip;
+    state.record.client_port = key.src_port;
+    state.record.server_port = key.dst_port;
+    state.record.proto = proto;
+    state.record.first_packet = pkt.timestamp;
+    state.record.last_packet = pkt.timestamp;
+    it = flows_.emplace(key, std::move(state)).first;
+    ++counters_.flows_created;
+
+    if (flows_.size() > config_.max_flows) {
+      // Emergency: reap from the checkpoint FIFO regardless of timeouts.
+      while (flows_.size() > config_.max_flows && !checkpoints_.empty()) {
+        const auto victim = checkpoints_.front();
+        checkpoints_.pop_front();
+        auto vit = flows_.find(victim.key);
+        if (vit != flows_.end() && vit->second.record.last_packet <= victim.seen) {
+          export_flow(victim.key, FlowCloseReason::kIdleTimeout);
+          ++counters_.forced_evictions;
+        }
+      }
+    }
+  }
+
+  FlowState& state = it->second;
+  const std::uint64_t payload = pkt.transport_payload_declared();
+  auto& dir = from_client ? state.record.up : state.record.down;
+  dir.add(payload, pkt.ip.total_length);
+  if (pkt.timestamp > state.record.last_packet) state.record.last_packet = pkt.timestamp;
+
+  if (pkt.tcp) handle_tcp(state, pkt, from_client);
+  if (!state.dpi_done && from_client && !pkt.payload.empty()) run_dpi(state, pkt, from_client);
+  if (!state.server_dpi_done && !from_client && !pkt.payload.empty()) {
+    run_server_dpi(state, pkt);
+  }
+
+  checkpoints_.push_back({it->first, state.record.last_packet});
+  return &state;
+}
+
+namespace {
+/// Wrap-safe sequence comparison (a >= b in sequence space).
+bool seq_geq(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+}  // namespace
+
+void FlowTable::handle_tcp(FlowState& state, const net::DecodedPacket& pkt, bool from_client) {
+  const net::TcpHeader& tcp = *pkt.tcp;
+
+  // Anomaly accounting (ref [29]): compare each data-carrying segment with
+  // the next expected sequence number of its direction.
+  std::uint32_t seg_len = static_cast<std::uint32_t>(pkt.transport_payload_declared());
+  if (tcp.has(net::TcpFlags::kSyn) || tcp.has(net::TcpFlags::kFin)) ++seg_len;
+  if (seg_len > 0) {
+    auto& next = from_client ? state.next_seq_client : state.next_seq_server;
+    auto& valid = from_client ? state.seq_valid_client : state.seq_valid_server;
+    auto& dir = from_client ? state.record.up : state.record.down;
+    const std::uint32_t seg_end = tcp.seq + seg_len;
+    if (!valid) {
+      valid = true;
+      next = seg_end;
+    } else if (seq_geq(next, seg_end)) {
+      ++dir.retransmits;  // entirely within already-seen sequence space
+    } else if (seq_geq(next, tcp.seq)) {
+      next = seg_end;  // in-order (possibly partially overlapping) segment
+    } else {
+      ++dir.out_of_order;  // a hole precedes this segment
+      next = seg_end;
+    }
+  }
+
+  if (tcp.has(net::TcpFlags::kSyn)) {
+    if (from_client && !tcp.has(net::TcpFlags::kAck)) state.syn_seen = true;
+    if (!from_client && tcp.has(net::TcpFlags::kAck)) {
+      state.synack_seen = true;
+      if (state.syn_seen) state.record.handshake_completed = true;
+    }
+  }
+
+  // RTT: client-side segments arm the estimator; server ACKs sample it.
+  if (from_client) {
+    std::uint32_t seq_end = tcp.seq + static_cast<std::uint32_t>(pkt.transport_payload_declared());
+    if (tcp.has(net::TcpFlags::kSyn) || tcp.has(net::TcpFlags::kFin)) ++seq_end;
+    state.rtt.on_client_segment(tcp.seq, seq_end, pkt.timestamp);
+  } else if (tcp.has(net::TcpFlags::kAck)) {
+    state.rtt.on_server_ack(tcp.ack, pkt.timestamp, state.record.rtt);
+  }
+
+  if (tcp.has(net::TcpFlags::kRst)) {
+    if (!state.closed) {
+      state.closed = true;
+      state.closed_at = pkt.timestamp;
+      state.record.close_reason = FlowCloseReason::kTcpReset;
+      ++counters_.closed_reset;
+    }
+    return;
+  }
+  if (tcp.has(net::TcpFlags::kFin)) {
+    (from_client ? state.fin_client : state.fin_server) = true;
+    if (state.fin_client && state.fin_server && !state.closed) {
+      state.closed = true;
+      state.closed_at = pkt.timestamp;
+      state.record.close_reason = FlowCloseReason::kTcpTeardown;
+      ++counters_.closed_teardown;
+    }
+  }
+}
+
+void FlowTable::run_dpi(FlowState& state, const net::DecodedPacket& pkt, bool /*from_client*/) {
+  // Classify on the bare payload when nothing is buffered; otherwise on
+  // the reassembled client stream so split first-flights still parse.
+  std::span<const std::byte> view = pkt.payload;
+  if (!state.dpi_buffer.empty()) {
+    state.dpi_buffer.insert(state.dpi_buffer.end(), pkt.payload.begin(), pkt.payload.end());
+    view = state.dpi_buffer;
+  }
+  auto result =
+      dpi::classify_payload(state.record.proto, state.record.server_port, view,
+                            config_.classifier);
+  if (!result.conclusive && view.size() < config_.dpi_buffer_limit) {
+    if (state.dpi_buffer.empty()) {
+      state.dpi_buffer.assign(pkt.payload.begin(), pkt.payload.end());
+    }
+    return;  // wait for the continuation segment
+  }
+  state.dpi_done = true;
+  state.dpi_buffer.clear();
+  state.dpi_buffer.shrink_to_fit();
+  state.record.l7 = result.l7;
+  state.record.web = result.web;
+  if (!result.server_name.empty()) {
+    state.record.server_name = std::move(result.server_name);
+    switch (result.l7) {
+      case dpi::L7Protocol::kHttp:
+        state.record.name_source = NameSource::kHttpHost;
+        break;
+      case dpi::L7Protocol::kFbZero:
+        state.record.name_source = NameSource::kFbZero;
+        break;
+      default:
+        state.record.name_source = NameSource::kTlsSni;
+        break;
+    }
+  }
+}
+
+void FlowTable::run_server_dpi(FlowState& state, const net::DecodedPacket& pkt) {
+  // If client-side DPI has not concluded yet (mid-capture flows, split
+  // hellos) keep the server side pending too.
+  if (!state.dpi_done) return;
+  state.server_dpi_done = true;
+
+  // HTTP: record the transaction's status line and media type.
+  if (state.record.l7 == dpi::L7Protocol::kHttp) {
+    if (const auto resp = dpi::parse_http_response(pkt.payload)) {
+      state.record.http_status = static_cast<std::uint16_t>(resp->status);
+      state.record.content_type = resp->content_type;
+    }
+    return;
+  }
+
+  // TLS: the ServerHello's *selected* ALPN beats whatever the client
+  // merely offered.
+  if (state.record.l7 != dpi::L7Protocol::kTls) return;
+  const auto hello = dpi::parse_server_hello(pkt.payload);
+  if (!hello || hello->alpn.empty()) return;
+  if (hello->alpn.starts_with("h2")) {
+    state.record.web = dpi::WebProtocol::kHttp2;
+  } else if (hello->alpn.starts_with("spdy/")) {
+    state.record.web = config_.classifier.report_spdy ? dpi::WebProtocol::kSpdy
+                                                      : dpi::WebProtocol::kTls;
+  } else if (hello->alpn == "http/1.1") {
+    state.record.web = dpi::WebProtocol::kTls;
+  }
+}
+
+void FlowTable::advance(core::Timestamp now) {
+  while (!checkpoints_.empty()) {
+    const Checkpoint& cp = checkpoints_.front();
+    auto it = flows_.find(cp.key);
+    if (it == flows_.end()) {
+      checkpoints_.pop_front();
+      continue;
+    }
+    const FlowState& state = it->second;
+    const std::int64_t timeout =
+        state.closed ? config_.closed_linger_us : idle_timeout(cp.key.proto);
+    // The oldest checkpoint has not yet timed out: nothing else can have.
+    if (now - cp.seen < timeout) break;
+    const core::Timestamp anchor = state.closed ? state.closed_at : state.record.last_packet;
+    if (now - anchor >= timeout) {
+      const FlowCloseReason reason =
+          state.closed ? state.record.close_reason : FlowCloseReason::kIdleTimeout;
+      if (!state.closed) ++counters_.expired_idle;
+      export_flow(cp.key, reason);
+    }
+    // Either exported, or the flow was active more recently than this
+    // checkpoint — a fresher checkpoint exists further back in the queue.
+    checkpoints_.pop_front();
+  }
+}
+
+void FlowTable::export_flow(const core::FiveTuple& key, FlowCloseReason reason) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  // DPI hostnames (Host:/SNI) take precedence; the DN-Hunter hint captured
+  // at flow start fills in only when the payload exposed nothing.
+  if (it->second.record.server_name.empty() && !it->second.dns_hint.empty()) {
+    it->second.record.server_name = std::move(it->second.dns_hint);
+    it->second.record.name_source = NameSource::kDnsHunter;
+  }
+  FlowRecord record = std::move(it->second.record);
+  if (record.close_reason == FlowCloseReason::kActive) record.close_reason = reason;
+  flows_.erase(it);
+  ++counters_.flows_exported;
+  if (sink_) sink_(std::move(record));
+}
+
+void FlowTable::flush(FlowCloseReason reason) {
+  // Export in key order? Not needed; export whatever order the map yields,
+  // collecting keys first since export_flow mutates the map.
+  std::vector<core::FiveTuple> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [key, _] : flows_) keys.push_back(key);
+  for (const auto& key : keys) {
+    auto it = flows_.find(key);
+    if (it == flows_.end()) continue;
+    const FlowCloseReason r =
+        it->second.record.close_reason != FlowCloseReason::kActive
+            ? it->second.record.close_reason
+            : reason;
+    export_flow(key, r);
+  }
+  checkpoints_.clear();
+}
+
+}  // namespace edgewatch::flow

@@ -1,0 +1,137 @@
+// The probe's flow table: groups packets into bidirectional TCP/UDP flows,
+// runs the TCP state machine, feeds the RTT estimator, and expires entries
+// (paper §2.1 footnote 1: "streams are expired either by the observation of
+// particular packets (e.g., TCP packets with RST flag set) or by timeouts").
+//
+// Expiry uses an amortized checkpoint queue: every insertion/update pushes
+// (key, last_seen) onto a FIFO; advance() pops entries whose checkpoint
+// passed the timeout and re-checks the live flow before evicting, giving
+// O(1) amortized maintenance without timers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "core/time.hpp"
+#include "core/types.hpp"
+#include "dpi/classifier.hpp"
+#include "flow/record.hpp"
+#include "flow/rtt.hpp"
+#include "net/packet.hpp"
+
+namespace edgewatch::flow {
+
+struct FlowTableConfig {
+  std::int64_t tcp_idle_timeout_us = 300 * core::Timestamp::kMicrosPerSecond;
+  std::int64_t udp_idle_timeout_us = 120 * core::Timestamp::kMicrosPerSecond;
+  /// Grace period after FIN/RST before the entry is reaped, so stray
+  /// retransmissions do not resurrect the flow as a new record.
+  std::int64_t closed_linger_us = 5 * core::Timestamp::kMicrosPerSecond;
+  /// Hard cap on concurrent flows; above it, the oldest-checkpoint flows
+  /// are force-expired (probes must bound memory).
+  std::size_t max_flows = 1'000'000;
+  /// Per-flow DPI reassembly budget: how many client-stream bytes may be
+  /// buffered while waiting for a split first-flight to complete.
+  std::size_t dpi_buffer_limit = 8192;
+  dpi::ClassifierOptions classifier;
+};
+
+/// Live per-flow state. The embedded record accumulates as packets arrive.
+struct FlowState {
+  FlowRecord record;
+  RttEstimator rtt;
+
+  // TCP bookkeeping.
+  bool syn_seen = false;
+  bool synack_seen = false;
+  bool fin_client = false;
+  bool fin_server = false;
+  bool closed = false;
+  core::Timestamp closed_at;
+
+  bool dpi_done = false;
+  bool server_dpi_done = false;  ///< ServerHello (negotiated ALPN) examined.
+  /// Client-payload reassembly buffer for DPI: a TLS ClientHello often
+  /// spans TCP segments; the probe buffers the first bytes of the client
+  /// stream until a classification succeeds or the budget is exhausted.
+  std::vector<std::byte> dpi_buffer;
+
+  /// DN-Hunter name captured at flow start by the probe; applied at export
+  /// only if DPI found no hostname in the payload itself (paper §2.1).
+  std::string dns_hint;
+  bool dns_checked = false;
+
+  // TCP sequence tracking for anomaly counters (ref [29]): next expected
+  // sequence number per direction, valid once the first segment is seen.
+  std::uint32_t next_seq_client = 0;
+  std::uint32_t next_seq_server = 0;
+  bool seq_valid_client = false;
+  bool seq_valid_server = false;
+};
+
+class FlowTable {
+ public:
+  using ExportSink = std::function<void(FlowRecord&&)>;
+
+  explicit FlowTable(FlowTableConfig config, ExportSink sink)
+      : config_(config), sink_(std::move(sink)) {}
+
+  /// Feed one decoded packet. Returns the flow state the packet landed in
+  /// (nullptr for non-TCP/UDP packets). `is_from_client` in the state is
+  /// derived from who sent the first packet (or the SYN).
+  FlowState* ingest(const net::DecodedPacket& pkt);
+
+  /// Advance time: expire idle and lingering-closed flows with
+  /// last-activity before `now - timeout`. Call with each packet timestamp
+  /// (the probe has no other clock).
+  void advance(core::Timestamp now);
+
+  /// Export everything still open (probe shutdown / end of trace).
+  void flush(FlowCloseReason reason = FlowCloseReason::kProbeFlush);
+
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Probe software upgrade: affects flows classified from now on.
+  void set_classifier_options(dpi::ClassifierOptions options) noexcept {
+    config_.classifier = options;
+  }
+
+  struct Counters {
+    std::uint64_t packets = 0;
+    std::uint64_t flows_created = 0;
+    std::uint64_t flows_exported = 0;
+    std::uint64_t expired_idle = 0;
+    std::uint64_t closed_teardown = 0;
+    std::uint64_t closed_reset = 0;
+    std::uint64_t forced_evictions = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Checkpoint {
+    core::FiveTuple key;
+    core::Timestamp seen;
+  };
+
+  void handle_tcp(FlowState& state, const net::DecodedPacket& pkt, bool from_client);
+  void run_dpi(FlowState& state, const net::DecodedPacket& pkt, bool from_client);
+  void run_server_dpi(FlowState& state, const net::DecodedPacket& pkt);
+  void export_flow(const core::FiveTuple& key, FlowCloseReason reason);
+  [[nodiscard]] std::int64_t idle_timeout(core::TransportProto proto) const noexcept {
+    return proto == core::TransportProto::kTcp ? config_.tcp_idle_timeout_us
+                                               : config_.udp_idle_timeout_us;
+  }
+
+  FlowTableConfig config_;
+  ExportSink sink_;
+  // Keyed by the client→server orientation of the first packet.
+  std::unordered_map<core::FiveTuple, FlowState, core::FiveTupleHash> flows_;
+  std::deque<Checkpoint> checkpoints_;
+  Counters counters_;
+};
+
+}  // namespace edgewatch::flow

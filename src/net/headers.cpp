@@ -1,0 +1,179 @@
+#include "net/headers.hpp"
+
+namespace edgewatch::net {
+
+std::optional<EthernetHeader> EthernetHeader::parse(core::ByteReader& r) noexcept {
+  EthernetHeader h;
+  for (auto& o : h.dst.octets) o = r.u8();
+  for (auto& o : h.src.octets) o = r.u8();
+  h.ether_type = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void EthernetHeader::serialize(core::ByteWriter& w) const {
+  for (auto o : dst.octets) w.u8(o);
+  for (auto o : src.octets) w.u8(o);
+  w.u16(ether_type);
+}
+
+std::optional<IPv4Header> IPv4Header::parse(core::ByteReader& r) noexcept {
+  const std::uint8_t ver_ihl = r.u8();
+  if (!r.ok() || (ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (ver_ihl & 0x0f) * 4u;
+  if (ihl < kMinSize) return std::nullopt;
+
+  IPv4Header h;
+  h.dscp_ecn = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  const std::uint16_t flags_frag = r.u16();
+  h.flags = static_cast<std::uint8_t>(flags_frag >> 13);
+  h.fragment_offset = flags_frag & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src = core::IPv4Address{r.u32()};
+  h.dst = core::IPv4Address{r.u32()};
+  if (ihl > kMinSize) {
+    auto opt = r.bytes(ihl - kMinSize);
+    h.options.assign(opt.begin(), opt.end());
+  }
+  if (!r.ok() || h.total_length < ihl) return std::nullopt;
+  return h;
+}
+
+void IPv4Header::serialize(core::ByteWriter& w) const {
+  const std::size_t start = w.size();
+  const auto ihl = static_cast<std::uint8_t>(header_length() / 4);
+  w.u8(static_cast<std::uint8_t>(0x40 | ihl));
+  w.u8(dscp_ecn);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(static_cast<std::uint16_t>((std::uint16_t{flags} << 13) | (fragment_offset & 0x1fff)));
+  w.u8(ttl);
+  w.u8(protocol);
+  const std::size_t checksum_at = w.size();
+  w.u16(0);
+  w.u32(src.value());
+  w.u32(dst.value());
+  w.bytes(options);
+  const auto header = w.view().subspan(start, header_length());
+  w.patch_u16(checksum_at, compute_checksum(header));
+}
+
+std::uint16_t IPv4Header::compute_checksum(std::span<const std::byte> header) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < header.size(); i += 2) {
+    sum += (std::to_integer<std::uint32_t>(header[i]) << 8) |
+           std::to_integer<std::uint32_t>(header[i + 1]);
+  }
+  if (i < header.size()) sum += std::to_integer<std::uint32_t>(header[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::size_t TcpHeader::header_length() const noexcept {
+  std::size_t opt = 0;
+  for (const auto& o : options) {
+    opt += (o.kind == TcpOption::kEnd || o.kind == TcpOption::kNop) ? 1 : 2 + o.data.size();
+  }
+  return kMinSize + ((opt + 3) & ~std::size_t{3});  // padded to 32-bit words
+}
+
+std::optional<std::uint16_t> TcpHeader::mss() const noexcept {
+  for (const auto& o : options) {
+    if (o.kind == TcpOption::kMss && o.data.size() == 2) {
+      return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(o.data[0]) << 8) |
+                                        std::to_integer<std::uint16_t>(o.data[1]));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TcpHeader> TcpHeader::parse(core::ByteReader& r) noexcept {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset_byte = r.u8();
+  const std::size_t data_offset = (offset_byte >> 4) * 4u;
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  h.urgent = r.u16();
+  if (!r.ok() || data_offset < kMinSize) return std::nullopt;
+
+  std::size_t opt_remaining = data_offset - kMinSize;
+  while (opt_remaining > 0 && r.ok()) {
+    const std::uint8_t kind = r.u8();
+    --opt_remaining;
+    if (kind == TcpOption::kEnd) {
+      r.skip(opt_remaining);  // padding
+      opt_remaining = 0;
+      h.options.push_back({kind, {}});
+      break;
+    }
+    if (kind == TcpOption::kNop) {
+      h.options.push_back({kind, {}});
+      continue;
+    }
+    if (opt_remaining == 0) return std::nullopt;
+    const std::uint8_t len = r.u8();
+    --opt_remaining;
+    if (len < 2 || static_cast<std::size_t>(len - 2) > opt_remaining) return std::nullopt;
+    auto data = r.bytes(len - 2u);
+    opt_remaining -= len - 2u;
+    h.options.push_back({kind, {data.begin(), data.end()}});
+  }
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::serialize(core::ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  const std::size_t hl = header_length();
+  w.u8(static_cast<std::uint8_t>((hl / 4) << 4));
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(urgent);
+  std::size_t written = 0;
+  for (const auto& o : options) {
+    if (o.kind == TcpOption::kEnd || o.kind == TcpOption::kNop) {
+      w.u8(o.kind);
+      written += 1;
+    } else {
+      w.u8(o.kind);
+      w.u8(static_cast<std::uint8_t>(2 + o.data.size()));
+      w.bytes(o.data);
+      written += 2 + o.data.size();
+    }
+  }
+  const std::size_t pad = hl - kMinSize - written;
+  w.fill(pad, 0);
+}
+
+std::optional<UdpHeader> UdpHeader::parse(core::ByteReader& r) noexcept {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  if (!r.ok() || h.length < kSize) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::serialize(core::ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+}  // namespace edgewatch::net

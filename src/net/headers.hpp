@@ -1,0 +1,138 @@
+// L2-L4 wire formats: Ethernet II, IPv4, TCP (with options), UDP.
+//
+// Every header type offers `parse(ByteReader&)` returning std::optional and
+// `serialize(ByteWriter&)`; round-tripping is covered by tests. Parsing is
+// strict about structure (lengths, version fields) but deliberately tolerant
+// about semantics (e.g. it does not reject odd port numbers) — a passive
+// probe must survive whatever appears on the wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "core/types.hpp"
+
+namespace edgewatch::net {
+
+/// EtherType values the probe cares about.
+enum class EtherType : std::uint16_t {
+  kIPv4 = 0x0800,
+  kIPv6 = 0x86dd,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  core::MacAddress dst;
+  core::MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  static std::optional<EthernetHeader> parse(core::ByteReader& r) noexcept;
+  void serialize(core::ByteWriter& w) const;
+};
+
+/// IPv4 header. Options are preserved as raw bytes (the probe never needs
+/// to interpret them but must skip them correctly to find L4).
+struct IPv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;           ///< 3-bit flags field (bit 1 = DF, bit 0 = MF).
+  std::uint16_t fragment_offset = 0;///< In 8-byte units.
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;       ///< As seen on the wire (recomputed on serialize).
+  core::IPv4Address src;
+  core::IPv4Address dst;
+  std::vector<std::byte> options;   ///< Raw, length 0..40, multiple of 4.
+
+  [[nodiscard]] std::size_t header_length() const noexcept { return kMinSize + options.size(); }
+  [[nodiscard]] std::size_t payload_length() const noexcept {
+    return total_length >= header_length() ? total_length - header_length() : 0;
+  }
+  [[nodiscard]] bool is_fragment() const noexcept {
+    return fragment_offset != 0 || (flags & 0x1) != 0;
+  }
+  [[nodiscard]] core::TransportProto transport() const noexcept {
+    switch (protocol) {
+      case 6: return core::TransportProto::kTcp;
+      case 17: return core::TransportProto::kUdp;
+      default: return core::TransportProto::kOther;
+    }
+  }
+
+  static std::optional<IPv4Header> parse(core::ByteReader& r) noexcept;
+  /// Serializes with a freshly computed checksum; `total_length` must
+  /// already include the payload.
+  void serialize(core::ByteWriter& w) const;
+
+  /// RFC 1071 checksum over a header span with its checksum field zeroed.
+  static std::uint16_t compute_checksum(std::span<const std::byte> header) noexcept;
+};
+
+/// TCP flag bits.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+/// A parsed TCP option (kind + raw payload).
+struct TcpOption {
+  std::uint8_t kind = 0;
+  std::vector<std::byte> data;
+
+  static constexpr std::uint8_t kEnd = 0;
+  static constexpr std::uint8_t kNop = 1;
+  static constexpr std::uint8_t kMss = 2;
+  static constexpr std::uint8_t kWindowScale = 3;
+  static constexpr std::uint8_t kSackPermitted = 4;
+  static constexpr std::uint8_t kSack = 5;
+  static constexpr std::uint8_t kTimestamps = 8;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+  std::vector<TcpOption> options;
+
+  [[nodiscard]] bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+  [[nodiscard]] std::size_t header_length() const noexcept;
+  /// MSS option value if present.
+  [[nodiscard]] std::optional<std::uint16_t> mss() const noexcept;
+
+  static std::optional<TcpHeader> parse(core::ByteReader& r) noexcept;
+  void serialize(core::ByteWriter& w) const;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< Header + payload.
+  std::uint16_t checksum = 0;
+
+  static std::optional<UdpHeader> parse(core::ByteReader& r) noexcept;
+  void serialize(core::ByteWriter& w) const;
+};
+
+}  // namespace edgewatch::net

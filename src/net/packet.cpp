@@ -1,0 +1,96 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+
+namespace edgewatch::net {
+
+std::size_t DecodedPacket::transport_payload_declared() const noexcept {
+  const std::size_t ip_payload = ip.payload_length();
+  std::size_t l4_header = 0;
+  if (tcp) {
+    l4_header = tcp->header_length();
+  } else if (udp) {
+    l4_header = UdpHeader::kSize;
+  }
+  return ip_payload >= l4_header ? ip_payload - l4_header : 0;
+}
+
+std::optional<DecodedPacket> decode_frame(const Frame& frame) noexcept {
+  core::ByteReader r{frame.data};
+  auto eth = EthernetHeader::parse(r);
+  if (!eth) return std::nullopt;
+  // Skip a single 802.1Q tag if present.
+  if (eth->ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+    r.skip(2);  // PCP/DEI/VID
+    eth->ether_type = r.u16();
+  }
+  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIPv4)) return std::nullopt;
+
+  auto ip = IPv4Header::parse(r);
+  if (!ip) return std::nullopt;
+
+  DecodedPacket pkt;
+  pkt.timestamp = frame.timestamp;
+  pkt.eth = *eth;
+  pkt.ip = std::move(*ip);
+
+  // Non-first fragments carry no L4 header we could parse.
+  if (pkt.ip.fragment_offset != 0) return pkt;
+
+  switch (pkt.ip.transport()) {
+    case core::TransportProto::kTcp:
+      pkt.tcp = TcpHeader::parse(r);
+      if (!pkt.tcp) return std::nullopt;
+      break;
+    case core::TransportProto::kUdp:
+      pkt.udp = UdpHeader::parse(r);
+      if (!pkt.udp) return std::nullopt;
+      break;
+    default:
+      break;
+  }
+  pkt.payload = frame.data.size() > r.position()
+                    ? std::span<const std::byte>{frame.data}.subspan(r.position())
+                    : std::span<const std::byte>{};
+  return pkt;
+}
+
+Frame PacketBuilder::build() const {
+  core::ByteWriter l4;
+  std::uint8_t protocol = 0;
+  if (tcp_) {
+    protocol = 6;
+    tcp_->serialize(l4);
+  } else if (udp_) {
+    protocol = 17;
+    UdpHeader h = *udp_;
+    h.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload_.size());
+    h.serialize(l4);
+  }
+  l4.bytes(payload_);
+
+  IPv4Header ip;
+  ip.src = ip_src_;
+  ip.dst = ip_dst_;
+  ip.ttl = ttl_;
+  ip.protocol = protocol;
+  ip.total_length = static_cast<std::uint16_t>(IPv4Header::kMinSize + l4.size());
+
+  core::ByteWriter w{EthernetHeader::kSize + ip.total_length};
+  EthernetHeader eth;
+  eth.src = eth_src_;
+  eth.dst = eth_dst_;
+  eth.ether_type = static_cast<std::uint16_t>(EtherType::kIPv4);
+  eth.serialize(w);
+  ip.serialize(w);
+  w.bytes(l4.view());
+
+  return Frame{timestamp_, std::move(w).take()};
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(frames_.begin(), frames_.end(),
+                   [](const Frame& a, const Frame& b) { return a.timestamp < b.timestamp; });
+}
+
+}  // namespace edgewatch::net

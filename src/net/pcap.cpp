@@ -1,0 +1,137 @@
+#include "net/pcap.hpp"
+
+#include <fstream>
+
+namespace edgewatch::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicUsecLE = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicUsecBE = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNsecLE = 0xa1b23c4d;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+
+void put32(std::ofstream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put16(std::ofstream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+class HeaderReader {
+ public:
+  explicit HeaderReader(std::ifstream& in) : in_(in) {}
+
+  bool read32(std::uint32_t& out) {
+    unsigned char b[4];
+    if (!in_.read(reinterpret_cast<char*>(b), 4)) return false;
+    out = swapped_ ? (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+                         (std::uint32_t{b[2]} << 8) | b[3]
+                   : (std::uint32_t{b[3]} << 24) | (std::uint32_t{b[2]} << 16) |
+                         (std::uint32_t{b[1]} << 8) | b[0];
+    return true;
+  }
+  bool read16(std::uint16_t& out) {
+    unsigned char b[2];
+    if (!in_.read(reinterpret_cast<char*>(b), 2)) return false;
+    out = swapped_ ? static_cast<std::uint16_t>((b[0] << 8) | b[1])
+                   : static_cast<std::uint16_t>((b[1] << 8) | b[0]);
+    return true;
+  }
+  void set_swapped(bool swapped) { swapped_ = swapped; }
+
+ private:
+  std::ifstream& in_;
+  bool swapped_ = false;
+};
+
+}  // namespace
+
+std::uint64_t write_pcap(const std::filesystem::path& path, const Trace& trace,
+                         std::uint32_t snaplen) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return 0;
+  put32(out, kMagicUsecLE);
+  put16(out, 2);  // version major
+  put16(out, 4);  // version minor
+  put32(out, 0);  // thiszone
+  put32(out, 0);  // sigfigs
+  put32(out, snaplen);
+  put32(out, kLinktypeEthernet);
+  std::uint64_t written = 24;
+  for (const auto& frame : trace) {
+    const auto micros = frame.timestamp.micros();
+    const auto secs = micros >= 0 ? micros / 1'000'000 : 0;
+    const auto usecs = micros >= 0 ? micros % 1'000'000 : 0;
+    const auto incl = static_cast<std::uint32_t>(
+        std::min<std::size_t>(frame.data.size(), snaplen));
+    put32(out, static_cast<std::uint32_t>(secs));
+    put32(out, static_cast<std::uint32_t>(usecs));
+    put32(out, incl);
+    put32(out, static_cast<std::uint32_t>(frame.data.size()));
+    out.write(reinterpret_cast<const char*>(frame.data.data()), incl);
+    written += 16 + incl;
+  }
+  return out ? written : 0;
+}
+
+std::optional<PcapStats> read_pcap(const std::filesystem::path& path,
+                                   const std::function<void(Frame&&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  HeaderReader h(in);
+  std::uint32_t magic = 0;
+  if (!h.read32(magic)) return std::nullopt;
+  bool nanoseconds = false;
+  if (magic == kMagicUsecBE) {
+    h.set_swapped(true);
+  } else if (magic == kMagicNsecLE) {
+    nanoseconds = true;
+  } else if (magic != kMagicUsecLE) {
+    // Could still be big-endian nanoseconds; treat anything else as bad.
+    return std::nullopt;
+  }
+  std::uint16_t version_major = 0, version_minor = 0;
+  std::uint32_t zone = 0, sigfigs = 0, snaplen = 0, linktype = 0;
+  if (!h.read16(version_major) || !h.read16(version_minor) || !h.read32(zone) ||
+      !h.read32(sigfigs) || !h.read32(snaplen) || !h.read32(linktype)) {
+    return std::nullopt;
+  }
+  if (linktype != kLinktypeEthernet) return std::nullopt;
+
+  PcapStats stats;
+  while (true) {
+    std::uint32_t sec = 0, frac = 0, incl = 0, orig = 0;
+    if (!h.read32(sec)) break;  // clean EOF
+    if (!h.read32(frac) || !h.read32(incl) || !h.read32(orig)) break;
+    if (incl > 256 * 1024 * 1024) break;  // absurd length: corrupt file
+    Frame frame;
+    frame.data.resize(incl);
+    if (!in.read(reinterpret_cast<char*>(frame.data.data()),
+                 static_cast<std::streamsize>(incl))) {
+      break;  // truncated final record
+    }
+    const std::int64_t micros =
+        static_cast<std::int64_t>(sec) * 1'000'000 +
+        (nanoseconds ? frac / 1000 : frac);
+    frame.timestamp = core::Timestamp{micros};
+    ++stats.frames;
+    stats.bytes += incl;
+    stats.truncated += incl < orig;
+    fn(std::move(frame));
+  }
+  return stats;
+}
+
+std::optional<Trace> load_pcap(const std::filesystem::path& path) {
+  Trace trace;
+  const auto stats = read_pcap(path, [&trace](Frame&& f) { trace.add(std::move(f)); });
+  if (!stats) return std::nullopt;
+  return trace;
+}
+
+}  // namespace edgewatch::net

@@ -1,0 +1,39 @@
+// Classic libpcap capture-file support (the 24-byte global header format,
+// magic 0xa1b2c3d4 / 0xd4c3b2a1). Lets the probe consume real captures and
+// lets the synthetic generators emit traces any standard tool can open —
+// the interop boundary between this reproduction and the outside world.
+//
+// Scope: linktype EN10MB (Ethernet), microsecond timestamps, both
+// endiannesses on read, native little-endian on write. The nanosecond
+// variant (0xa1b23c4d) is read with timestamps truncated to microseconds.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace edgewatch::net {
+
+struct PcapStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;         ///< Captured bytes (sum of incl_len).
+  std::uint64_t truncated = 0;     ///< Frames with incl_len < orig_len.
+};
+
+/// Write a trace as a pcap file. Returns bytes written, 0 on I/O error.
+std::uint64_t write_pcap(const std::filesystem::path& path, const Trace& trace,
+                         std::uint32_t snaplen = 65535);
+
+/// Stream frames from a pcap file. Returns stats on success; nullopt on a
+/// bad magic/linktype or truncated header. A frame cut short mid-file ends
+/// the stream gracefully (counted frames are still reported).
+std::optional<PcapStats> read_pcap(const std::filesystem::path& path,
+                                   const std::function<void(Frame&&)>& fn);
+
+/// Convenience: whole file into a Trace.
+std::optional<Trace> load_pcap(const std::filesystem::path& path);
+
+}  // namespace edgewatch::net

@@ -1,0 +1,107 @@
+#include "probe/probe.hpp"
+
+#include "dns/message.hpp"
+
+namespace edgewatch::probe {
+
+Probe::Probe(ProbeConfig config, RecordSink sink)
+    : config_(config),
+      sink_(std::move(sink)),
+      anonymizer_(config.anon_key, config.customer_net),
+      dnhunter_(config.dnhunter),
+      table_(config.flow, [this](flow::FlowRecord&& record) {
+        const bool dns_named = record.name_source == flow::NameSource::kDnsHunter;
+        const flow::AccessTech tech = access_tech(record.client_ip);
+        on_export(std::move(record), tech, dns_named);
+      }) {}
+
+void Probe::process(const net::Frame& frame) {
+  if (!online_) {
+    ++counters_.dropped_offline;
+    return;
+  }
+  ++counters_.frames;
+  if (config_.sample_rate > 1 && (counters_.frames % config_.sample_rate) != 0) {
+    ++counters_.sampled_out;
+    return;
+  }
+  // IPv6 is visible on the links but outside this study's flow analysis
+  // (the paper's analytics are IPv4): count it instead of mis-reporting a
+  // decode failure.
+  if (frame.data.size() >= net::EthernetHeader::kSize) {
+    const auto ethertype =
+        (std::to_integer<std::uint16_t>(frame.data[12]) << 8) |
+        std::to_integer<std::uint16_t>(frame.data[13]);
+    if (ethertype == static_cast<std::uint16_t>(net::EtherType::kIPv6)) {
+      ++counters_.ipv6_frames;
+      return;
+    }
+  }
+  const auto packet = net::decode_frame(frame);
+  if (!packet) {
+    ++counters_.decode_failures;
+    return;
+  }
+  process(*packet);
+}
+
+void Probe::process(const net::DecodedPacket& packet) {
+  if (!online_) {
+    ++counters_.dropped_offline;
+    return;
+  }
+
+  // DNS responses travelling towards a customer feed DN-Hunter. The flow
+  // itself is still accounted for like any other UDP flow below.
+  if (packet.udp && packet.udp->src_port == 53 &&
+      anonymizer_.is_customer(packet.ip.dst) && !packet.payload.empty()) {
+    if (const auto msg = dns::parse(packet.payload); msg && msg->ok_response()) {
+      dnhunter_.observe_response(packet.ip.dst, *msg, packet.timestamp);
+      ++counters_.dns_responses;
+    }
+  }
+
+  flow::FlowState* state = table_.ingest(packet);
+  if (state != nullptr && !state->dns_checked) {
+    state->dns_checked = true;
+    // The flow's first packet: remember what the client resolved for this
+    // server right before opening the connection.
+    if (anonymizer_.is_customer(state->record.client_ip)) {
+      if (auto name = dnhunter_.lookup(state->record.client_ip, state->record.server_ip,
+                                       packet.timestamp)) {
+        state->dns_hint = std::move(*name);
+      }
+    }
+  }
+  table_.advance(packet.timestamp);
+}
+
+void Probe::finish() { table_.flush(flow::FlowCloseReason::kProbeFlush); }
+
+void Probe::begin_outage() {
+  if (!online_) return;
+  online_ = false;
+  // Hardware failure: in-flight state is lost, not exported — records
+  // flushed while muted never reach the sink or the export counters.
+  muted_ = true;
+  table_.flush(flow::FlowCloseReason::kProbeFlush);
+  muted_ = false;
+  dnhunter_.clear();
+}
+
+void Probe::end_outage() { online_ = true; }
+
+void Probe::set_classifier_options(dpi::ClassifierOptions options) {
+  table_.set_classifier_options(options);
+}
+
+void Probe::on_export(flow::FlowRecord&& record, flow::AccessTech tech, bool dns_named) {
+  if (muted_) return;
+  record.access = tech;
+  record.client_ip = anonymizer_.apply(record.client_ip);
+  ++counters_.records_exported;
+  if (dns_named) ++counters_.records_named_by_dns;
+  if (sink_) sink_(std::move(record));
+}
+
+}  // namespace edgewatch::probe

@@ -1,0 +1,97 @@
+// The passive probe (paper §2.1, Fig. 1): one instance per monitored PoP
+// link. Frames go through L2-L4 decode, the flow table, DPI, DNS
+// observation (DN-Hunter), and finished flows are exported as FlowRecords
+// with the customer address anonymized and the access technology attached.
+//
+// The probe also models two operational realities of §2.3:
+//  - outages: while offline, traffic is simply not observed (and state
+//    accumulated before a hardware failure is lost, not exported);
+//  - software versions: the DPI capabilities change over time (events C/F),
+//    configurable via set_classifier_options().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "anon/anonymizer.hpp"
+#include "core/types.hpp"
+#include "dns/dnhunter.hpp"
+#include "flow/table.hpp"
+#include "net/packet.hpp"
+
+namespace edgewatch::probe {
+
+struct ProbeConfig {
+  /// Customer address space: the side of each flow that gets anonymized
+  /// and is attributed to a subscription.
+  core::IPv4Prefix customer_net{core::IPv4Address{10, 0, 0, 0}, 8};
+  /// ADSL vs FTTH split inside the customer net (per-line technology).
+  core::IPv4Prefix ftth_net{core::IPv4Address{10, 128, 0, 0}, 9};
+  core::SipKey anon_key{0x5eedf00ddeadbeefull, 0x0123456789abcdefull};
+  flow::FlowTableConfig flow;
+  dns::DnHunterConfig dnhunter;
+  /// Packet sampling: process 1 in `sample_rate` packets (1 = everything).
+  /// The paper's probes do NOT sample ("no traffic sampling is performed",
+  /// §2.1); bench_ablation_sampling quantifies what sampling would cost.
+  std::uint32_t sample_rate = 1;
+};
+
+class Probe {
+ public:
+  using RecordSink = std::function<void(flow::FlowRecord&&)>;
+
+  Probe(ProbeConfig config, RecordSink sink);
+
+  /// Feed one captured frame (decode failures are counted, not fatal).
+  void process(const net::Frame& frame);
+
+  /// Feed an already decoded packet (the synthetic generator's fast path).
+  void process(const net::DecodedPacket& packet);
+
+  /// Flush all open flows (end of trace / graceful shutdown).
+  void finish();
+
+  /// Hardware outage: the probe stops seeing traffic and loses its state
+  /// *without* exporting it (the paper's "missing data" periods).
+  void begin_outage();
+  void end_outage();
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
+  /// Probe software upgrade (paper events C/F change what DPI can label).
+  void set_classifier_options(dpi::ClassifierOptions options);
+
+  struct Counters {
+    std::uint64_t frames = 0;
+    std::uint64_t decode_failures = 0;
+    std::uint64_t ipv6_frames = 0;  ///< Seen and counted, not flow-tracked.
+    std::uint64_t sampled_out = 0;
+    std::uint64_t dropped_offline = 0;
+    std::uint64_t dns_responses = 0;
+    std::uint64_t records_exported = 0;
+    std::uint64_t records_named_by_dns = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const dns::DnHunter& dnhunter() const noexcept { return dnhunter_; }
+  [[nodiscard]] const flow::FlowTable& table() const noexcept { return table_; }
+
+  /// Access technology for a (real, pre-anonymization) customer address.
+  [[nodiscard]] flow::AccessTech access_tech(core::IPv4Address customer) const noexcept {
+    return config_.ftth_net.contains(customer) ? flow::AccessTech::kFtth
+                                               : flow::AccessTech::kAdsl;
+  }
+
+ private:
+  void on_export(flow::FlowRecord&& record, flow::AccessTech tech, bool dns_named);
+
+  ProbeConfig config_;
+  RecordSink sink_;
+  anon::CustomerAnonymizer anonymizer_;
+  dns::DnHunter dnhunter_;
+  flow::FlowTable table_;
+  bool online_ = true;
+  bool muted_ = false;  ///< Discard exports (outage-time state loss).
+  Counters counters_;
+};
+
+}  // namespace edgewatch::probe

@@ -1,0 +1,72 @@
+// A small regular-expression engine for domain-classification rules.
+//
+// The paper's rule base uses patterns like `^fbstatic-[a-z].akamaihd.net$`
+// (Table 1). We implement the subset those rules need — literals, `.`,
+// character classes (with ranges and negation), `*` `+` `?` quantifiers,
+// alternation `|`, grouping `(...)`, and `^`/`$` anchors — as a pattern
+// tree walked with continuation-passing backtracking. Patterns are tiny
+// and compiled once at rule-load time, so clarity beats cleverness; a
+// step budget guards against pathological backtracking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgewatch::services {
+
+class Regex {
+ public:
+  /// Compile a pattern; nullopt on syntax errors.
+  static std::optional<Regex> compile(std::string_view pattern);
+
+  /// True if the pattern matches anywhere in `text` (use ^/$ to anchor).
+  [[nodiscard]] bool search(std::string_view text) const;
+
+  /// True if the pattern matches the whole of `text` (implicit anchors).
+  [[nodiscard]] bool full_match(std::string_view text) const;
+
+  [[nodiscard]] const std::string& pattern() const noexcept { return pattern_; }
+
+  Regex(Regex&&) = default;
+  Regex& operator=(Regex&&) = default;
+  Regex(const Regex&) = delete;
+  Regex& operator=(const Regex&) = delete;
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+
+  enum class Kind : std::uint8_t {
+    kLiteral,    // one specific char
+    kAny,        // .
+    kClass,      // [...] with bitmap
+    kAlternate,  // children are alternative sequences
+    kStar,       // child*, greedy
+    kPlus,       // child+
+    kOptional,   // child?
+    kBeginAnchor,
+    kEndAnchor,
+  };
+
+  struct Node {
+    Kind kind = Kind::kLiteral;
+    char literal = 0;
+    std::vector<bool> char_class;          // 256 entries when kind == kClass
+    std::vector<std::vector<NodePtr>> alts;  // kAlternate: alternative sequences
+    NodePtr child;                           // quantifier operand
+  };
+
+  Regex() = default;
+
+  struct Parser;
+  struct Matcher;  // continuation-passing backtracking walker (regex.cpp)
+
+  std::string pattern_;
+  std::vector<NodePtr> root_;  // top-level sequence
+};
+
+}  // namespace edgewatch::services

@@ -1,0 +1,54 @@
+#include "services/rules.hpp"
+
+#include <cctype>
+
+namespace edgewatch::services {
+
+std::string RuleEngine::normalize(std::string_view domain) {
+  std::string out;
+  out.reserve(domain.size());
+  for (char c : domain) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+void RuleEngine::add_exact(std::string_view domain, std::string_view service) {
+  exact_[normalize(domain)] = std::string(service);
+}
+
+void RuleEngine::add_suffix(std::string_view suffix, std::string_view service) {
+  suffix_[normalize(suffix)] = std::string(service);
+}
+
+bool RuleEngine::add_regex(std::string_view pattern, std::string_view service) {
+  auto compiled = Regex::compile(pattern);
+  if (!compiled) return false;
+  regex_.emplace_back(std::move(*compiled), std::string(service));
+  return true;
+}
+
+std::optional<std::string_view> RuleEngine::classify(std::string_view domain) const {
+  const std::string name = normalize(domain);
+  if (name.empty()) return std::nullopt;
+
+  if (auto it = exact_.find(name); it != exact_.end()) return it->second;
+
+  // Probe suffixes from the most specific: "a.b.fbcdn.net" tries itself,
+  // then "b.fbcdn.net", then "fbcdn.net", then "net".
+  std::string_view probe = name;
+  while (!probe.empty()) {
+    if (auto it = suffix_.find(std::string(probe)); it != suffix_.end()) return it->second;
+    const auto dot = probe.find('.');
+    if (dot == std::string_view::npos) break;
+    probe.remove_prefix(dot + 1);
+  }
+
+  for (const auto& [re, service] : regex_) {
+    if (re.search(name)) return service;
+  }
+  return std::nullopt;
+}
+
+}  // namespace edgewatch::services

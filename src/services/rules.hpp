@@ -1,0 +1,47 @@
+// Domain→service rule engine (paper §2.2, Table 1).
+//
+// Three rule kinds, by precedence:
+//   1. exact   — "facebook.com"
+//   2. suffix  — "fbcdn.net" matches itself and any subdomain; when several
+//                suffix rules match, the longest (most specific) wins
+//   3. regex   — "^fbstatic-[a-z].akamaihd.net$" (checked in insertion
+//                order, first hit wins)
+// Lookups are case-normalized. Exact rules live in a hash map; suffix rules
+// are probed per label boundary from the most specific suffix down, so a
+// lookup costs O(#labels) hash probes; regexes are scanned last.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "services/regex.hpp"
+
+namespace edgewatch::services {
+
+class RuleEngine {
+ public:
+  void add_exact(std::string_view domain, std::string_view service);
+  void add_suffix(std::string_view suffix, std::string_view service);
+  /// Returns false (and adds nothing) if the pattern does not compile.
+  bool add_regex(std::string_view pattern, std::string_view service);
+
+  /// Service for `domain`, or nullopt if no rule matches. The returned view
+  /// remains valid while the engine lives.
+  [[nodiscard]] std::optional<std::string_view> classify(std::string_view domain) const;
+
+  [[nodiscard]] std::size_t exact_rules() const noexcept { return exact_.size(); }
+  [[nodiscard]] std::size_t suffix_rules() const noexcept { return suffix_.size(); }
+  [[nodiscard]] std::size_t regex_rules() const noexcept { return regex_.size(); }
+
+ private:
+  static std::string normalize(std::string_view domain);
+
+  std::unordered_map<std::string, std::string> exact_;
+  std::unordered_map<std::string, std::string> suffix_;
+  std::vector<std::pair<Regex, std::string>> regex_;
+};
+
+}  // namespace edgewatch::services

@@ -1,0 +1,127 @@
+#include "storage/codec.hpp"
+
+namespace edgewatch::storage {
+
+void put_varint(core::ByteWriter& w, std::uint64_t value) {
+  while (value >= 0x80) {
+    w.u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(core::ByteReader& r) noexcept {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (shift < 64) {
+    const std::uint8_t byte = r.u8();
+    if (!r.ok()) return 0;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  // Over-long encoding: poison the reader by forcing a failed read.
+  r.skip(~std::size_t{0});
+  return 0;
+}
+
+void put_varint_signed(core::ByteWriter& w, std::int64_t value) {
+  const auto zigzag =
+      (static_cast<std::uint64_t>(value) << 1) ^ static_cast<std::uint64_t>(value >> 63);
+  put_varint(w, zigzag);
+}
+
+std::int64_t get_varint_signed(core::ByteReader& r) noexcept {
+  const std::uint64_t zigzag = get_varint(r);
+  return static_cast<std::int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+namespace {
+constexpr std::uint8_t kRecordVersion = 3;
+}
+
+void encode_record(const flow::FlowRecord& record, core::ByteWriter& w) {
+  w.u8(kRecordVersion);
+  w.u32(record.client_ip.value());
+  w.u32(record.server_ip.value());
+  put_varint(w, record.client_port);
+  put_varint(w, record.server_port);
+  w.u8(static_cast<std::uint8_t>(record.proto));
+  w.u8(static_cast<std::uint8_t>(record.access));
+  put_varint_signed(w, record.first_packet.micros());
+  put_varint_signed(w, record.last_packet - record.first_packet);  // duration delta
+  for (const auto* dir : {&record.up, &record.down}) {
+    put_varint(w, dir->packets);
+    put_varint(w, dir->bytes);
+    put_varint(w, dir->bytes_with_hdr);
+    put_varint(w, dir->retransmits);
+    put_varint(w, dir->out_of_order);
+  }
+  w.u8(static_cast<std::uint8_t>((record.handshake_completed ? 1 : 0) |
+                                 (static_cast<std::uint8_t>(record.close_reason) << 1)));
+  put_varint(w, record.rtt.samples);
+  if (record.rtt.samples > 0) {
+    put_varint_signed(w, record.rtt.min_us);
+    put_varint_signed(w, record.rtt.max_us - record.rtt.min_us);
+    put_varint_signed(w, static_cast<std::int64_t>(record.rtt.avg_us) - record.rtt.min_us);
+  }
+  w.u8(static_cast<std::uint8_t>(record.l7));
+  w.u8(static_cast<std::uint8_t>(record.web));
+  w.u8(static_cast<std::uint8_t>(record.name_source));
+  put_varint(w, record.server_name.size());
+  w.string(record.server_name);
+  put_varint(w, record.http_status);
+  put_varint(w, record.content_type.size());
+  w.string(record.content_type);
+}
+
+std::optional<flow::FlowRecord> decode_record(core::ByteReader& r) {
+  if (r.remaining() == 0) return std::nullopt;
+  if (r.u8() != kRecordVersion) return std::nullopt;
+  flow::FlowRecord record;
+  record.client_ip = core::IPv4Address{r.u32()};
+  record.server_ip = core::IPv4Address{r.u32()};
+  record.client_port = static_cast<std::uint16_t>(get_varint(r));
+  record.server_port = static_cast<std::uint16_t>(get_varint(r));
+  record.proto = static_cast<core::TransportProto>(r.u8());
+  record.access = static_cast<flow::AccessTech>(r.u8());
+  record.first_packet = core::Timestamp{get_varint_signed(r)};
+  record.last_packet = record.first_packet + get_varint_signed(r);
+  for (auto* dir : {&record.up, &record.down}) {
+    dir->packets = get_varint(r);
+    dir->bytes = get_varint(r);
+    dir->bytes_with_hdr = get_varint(r);
+    dir->retransmits = static_cast<std::uint32_t>(get_varint(r));
+    dir->out_of_order = static_cast<std::uint32_t>(get_varint(r));
+  }
+  const std::uint8_t flags = r.u8();
+  record.handshake_completed = (flags & 1) != 0;
+  record.close_reason = static_cast<flow::FlowCloseReason>(flags >> 1);
+  record.rtt.samples = static_cast<std::uint32_t>(get_varint(r));
+  if (record.rtt.samples > 0) {
+    record.rtt.min_us = get_varint_signed(r);
+    record.rtt.max_us = record.rtt.min_us + get_varint_signed(r);
+    record.rtt.avg_us = static_cast<double>(record.rtt.min_us + get_varint_signed(r));
+  }
+  record.l7 = static_cast<dpi::L7Protocol>(r.u8());
+  record.web = static_cast<dpi::WebProtocol>(r.u8());
+  record.name_source = static_cast<flow::NameSource>(r.u8());
+  const auto name_len = get_varint(r);
+  if (name_len > 4096) return std::nullopt;  // sanity bound
+  record.server_name = std::string(r.string(static_cast<std::size_t>(name_len)));
+  record.http_status = static_cast<std::uint16_t>(get_varint(r));
+  const auto ct_len = get_varint(r);
+  if (ct_len > 256) return std::nullopt;  // sanity bound
+  record.content_type = std::string(r.string(static_cast<std::size_t>(ct_len)));
+  if (!r.ok()) return std::nullopt;
+  return record;
+}
+
+std::string_view csv_header() noexcept {
+  return "client_ip,server_ip,client_port,server_port,proto,access,first_us,last_us,"
+         "up_pkts,up_bytes,up_retx,up_ooo,down_pkts,down_bytes,down_retx,down_ooo,"
+         "handshake,close,rtt_samples,rtt_min_us,"
+         "rtt_avg_us,rtt_max_us,l7,web,server_name,name_source,http_status,content_type";
+}
+
+}  // namespace edgewatch::storage

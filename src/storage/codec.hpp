@@ -1,0 +1,36 @@
+// Binary flow-record codec (paper §2.2: 247 billion records / 31.9 TB
+// compressed — the format must be compact and streamable).
+//
+// Layout per record: varint-packed fields, with timestamps delta-encoded
+// (absolute first_packet, then duration) and the hostname length-prefixed.
+// A file/block of records is independently decodable: decode returns
+// nullopt cleanly at end of input or on corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/bytes.hpp"
+#include "flow/record.hpp"
+
+namespace edgewatch::storage {
+
+/// LEB128 unsigned varint.
+void put_varint(core::ByteWriter& w, std::uint64_t value);
+[[nodiscard]] std::uint64_t get_varint(core::ByteReader& r) noexcept;
+
+/// ZigZag-mapped signed varint (for RTT minima that can round to 0 and
+/// for any field that may regress).
+void put_varint_signed(core::ByteWriter& w, std::int64_t value);
+[[nodiscard]] std::int64_t get_varint_signed(core::ByteReader& r) noexcept;
+
+/// Serialize one record.
+void encode_record(const flow::FlowRecord& record, core::ByteWriter& w);
+
+/// Decode one record; nullopt at end of input or malformed bytes.
+[[nodiscard]] std::optional<flow::FlowRecord> decode_record(core::ByteReader& r);
+
+/// CSV header matching FlowRecord::to_csv_row().
+[[nodiscard]] std::string_view csv_header() noexcept;
+
+}  // namespace edgewatch::storage

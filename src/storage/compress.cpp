@@ -1,0 +1,163 @@
+#include "storage/compress.hpp"
+
+#include <cstring>
+
+namespace edgewatch::storage {
+
+namespace {
+
+constexpr std::uint8_t kSchemeStored = 0;
+constexpr std::uint8_t kSchemeLz = 1;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashBits = 14;
+constexpr std::size_t kMaxOffset = 65535;
+
+std::uint32_t read32(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::size_t hash4(std::uint32_t v) noexcept {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void put_le32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_le32(std::span<const std::byte> in) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::to_integer<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+/// Append a length with LZ4-style extension bytes: `base` is the 4-bit
+/// value already stored in the token; remainder continues in 255-steps.
+void put_extended_length(std::vector<std::byte>& out, std::size_t value) {
+  while (value >= 255) {
+    out.push_back(static_cast<std::byte>(255));
+    value -= 255;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+}  // namespace
+
+std::vector<std::byte> compress_block(std::span<const std::byte> input) {
+  std::vector<std::byte> out;
+  out.reserve(input.size() / 2 + 16);
+  out.push_back(static_cast<std::byte>(kSchemeLz));
+  put_le32(out, static_cast<std::uint32_t>(input.size()));
+
+  std::vector<std::uint32_t> table(std::size_t{1} << kHashBits, 0xffffffffu);
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit_sequence = [&](std::size_t literals_end, std::size_t match_len,
+                           std::size_t match_offset) {
+    const std::size_t lit_len = literals_end - literal_start;
+    const std::uint8_t lit_nibble = lit_len >= 15 ? 15 : static_cast<std::uint8_t>(lit_len);
+    // match_len == 0 encodes the final literal-only sequence.
+    const std::size_t ml_excess = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+    const std::uint8_t ml_nibble =
+        match_len == 0 ? 0 : (ml_excess >= 15 ? 15 : static_cast<std::uint8_t>(ml_excess));
+    out.push_back(static_cast<std::byte>((lit_nibble << 4) | ml_nibble));
+    if (lit_nibble == 15) put_extended_length(out, lit_len - 15);
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(literal_start),
+               input.begin() + static_cast<std::ptrdiff_t>(literals_end));
+    if (match_len > 0) {
+      out.push_back(static_cast<std::byte>(match_offset & 0xff));
+      out.push_back(static_cast<std::byte>(match_offset >> 8));
+      if (ml_nibble == 15) put_extended_length(out, ml_excess - 15);
+    }
+  };
+
+  if (input.size() >= kMinMatch + 1) {
+    const std::size_t limit = input.size() - kMinMatch;
+    while (pos < limit) {
+      const std::uint32_t value = read32(input.data() + pos);
+      const std::size_t slot = hash4(value);
+      const std::uint32_t candidate = table[slot];
+      table[slot] = static_cast<std::uint32_t>(pos);
+      if (candidate != 0xffffffffu && pos - candidate <= kMaxOffset &&
+          read32(input.data() + candidate) == value) {
+        // Extend the match.
+        std::size_t len = kMinMatch;
+        while (pos + len < input.size() && input[candidate + len] == input[pos + len]) ++len;
+        emit_sequence(pos, len, pos - candidate);
+        pos += len;
+        literal_start = pos;
+        continue;
+      }
+      ++pos;
+    }
+  }
+  emit_sequence(input.size(), 0, 0);
+
+  if (out.size() >= input.size() + 5) {
+    // Incompressible: store raw.
+    out.clear();
+    out.push_back(static_cast<std::byte>(kSchemeStored));
+    put_le32(out, static_cast<std::uint32_t>(input.size()));
+    out.insert(out.end(), input.begin(), input.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte> input) {
+  if (input.size() < 5) return std::nullopt;
+  const auto scheme = std::to_integer<std::uint8_t>(input[0]);
+  const std::size_t expected = get_le32(input.subspan(1, 4));
+  input = input.subspan(5);
+
+  if (scheme == kSchemeStored) {
+    if (input.size() != expected) return std::nullopt;
+    return std::vector<std::byte>{input.begin(), input.end()};
+  }
+  if (scheme != kSchemeLz) return std::nullopt;
+
+  std::vector<std::byte> out;
+  out.reserve(expected);
+  std::size_t pos = 0;
+  auto read_extended = [&](std::size_t base) -> std::optional<std::size_t> {
+    std::size_t len = base;
+    if (base == 15) {
+      while (true) {
+        if (pos >= input.size()) return std::nullopt;
+        const auto b = std::to_integer<std::uint8_t>(input[pos++]);
+        len += b;
+        if (b != 255) break;
+      }
+    }
+    return len;
+  };
+
+  while (pos < input.size()) {
+    const auto token = std::to_integer<std::uint8_t>(input[pos++]);
+    const auto lit_len = read_extended(token >> 4);
+    if (!lit_len) return std::nullopt;
+    if (pos + *lit_len > input.size()) return std::nullopt;
+    out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+               input.begin() + static_cast<std::ptrdiff_t>(pos + *lit_len));
+    pos += *lit_len;
+    if (pos >= input.size()) break;  // final literal-only sequence
+
+    if (pos + 2 > input.size()) return std::nullopt;
+    const std::size_t offset = std::to_integer<std::size_t>(input[pos]) |
+                               (std::to_integer<std::size_t>(input[pos + 1]) << 8);
+    pos += 2;
+    const auto ml_excess = read_extended(token & 0x0f);
+    if (!ml_excess) return std::nullopt;
+    const std::size_t match_len = *ml_excess + kMinMatch;
+    if (offset == 0 || offset > out.size()) return std::nullopt;
+    // Byte-by-byte copy: overlapping matches (offset < len) are legal and
+    // replicate the run, exactly as in LZ4.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() != expected) return std::nullopt;
+  return out;
+}
+
+}  // namespace edgewatch::storage

@@ -1,0 +1,26 @@
+// Block compressor for flow logs (paper §2.2 stores years of compressed
+// logs). LZ-style greedy byte compressor in the LZ4 spirit: a hash table
+// finds previous 4-byte matches within the block; output is a stream of
+// (literal-run, match) tokens. Self-contained — no external libraries —
+// and fast enough to keep up with record serialization. The incompressible
+// path falls back to a stored block so compress() never expands by more
+// than the 5-byte header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace edgewatch::storage {
+
+/// Compress a block. Output begins with a 1-byte scheme tag and a 4-byte
+/// little-endian uncompressed size.
+[[nodiscard]] std::vector<std::byte> compress_block(std::span<const std::byte> input);
+
+/// Decompress; nullopt on malformed input (never reads out of bounds).
+[[nodiscard]] std::optional<std::vector<std::byte>> decompress_block(
+    std::span<const std::byte> input);
+
+}  // namespace edgewatch::storage

@@ -1,0 +1,66 @@
+// DailyLakeWriter: the glue between a live probe and the data lake. The
+// paper's probes buffer flow logs locally and ship them to long-term
+// storage daily (§2.2); this writer buffers finished FlowRecords, assigns
+// each to the civil day its flow *started*, and appends day batches to the
+// lake whenever a buffer fills or the day rolls over.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/datalake.hpp"
+
+namespace edgewatch::storage {
+
+class DailyLakeWriter {
+ public:
+  explicit DailyLakeWriter(DataLake& lake, std::size_t buffer_records = 16'384)
+      : lake_(lake), buffer_records_(buffer_records) {}
+
+  ~DailyLakeWriter() { finish(); }
+
+  DailyLakeWriter(const DailyLakeWriter&) = delete;
+  DailyLakeWriter& operator=(const DailyLakeWriter&) = delete;
+
+  /// Buffer one record; flushes its day's buffer when full.
+  void add(flow::FlowRecord&& record) {
+    const core::CivilDate day = record.first_packet.date();
+    auto& bucket = buffers_[day];
+    bucket.push_back(std::move(record));
+    ++buffered_;
+    if (bucket.size() >= buffer_records_) flush_day(day);
+  }
+
+  /// Flush every buffered day (call at shutdown; the destructor does too).
+  void finish() {
+    // Copy keys first: flush_day mutates the map.
+    std::vector<core::CivilDate> days;
+    days.reserve(buffers_.size());
+    for (const auto& [day, _] : buffers_) days.push_back(day);
+    for (const auto day : days) flush_day(day);
+  }
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffered_; }
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return written_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  void flush_day(core::CivilDate day) {
+    auto it = buffers_.find(day);
+    if (it == buffers_.end() || it->second.empty()) return;
+    bytes_ += lake_.append(day, it->second);
+    written_ += it->second.size();
+    buffered_ -= it->second.size();
+    buffers_.erase(it);
+  }
+
+  DataLake& lake_;
+  std::size_t buffer_records_;
+  std::map<core::CivilDate, std::vector<flow::FlowRecord>> buffers_;
+  std::size_t buffered_ = 0;
+  std::uint64_t written_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace edgewatch::storage

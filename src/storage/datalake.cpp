@@ -1,0 +1,149 @@
+#include "storage/datalake.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "core/hash.hpp"
+#include "storage/codec.hpp"
+#include "storage/compress.hpp"
+
+namespace edgewatch::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'W', 'L', 'K'};
+constexpr std::uint8_t kFileVersion = 1;
+
+void write_le32(std::ofstream& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(bytes, 4);
+}
+
+std::optional<std::uint32_t> read_le32(std::ifstream& in) {
+  char bytes[4];
+  if (!in.read(bytes, 4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+DataLake::DataLake(std::filesystem::path root) : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::string DataLake::day_filename(core::CivilDate day) {
+  return "flows_" + day.to_string() + ".ewl";
+}
+
+std::filesystem::path DataLake::day_path(core::CivilDate day) const {
+  return root_ / day_filename(day);
+}
+
+std::uint64_t DataLake::append(core::CivilDate day,
+                               std::span<const flow::FlowRecord> records) {
+  const auto path = day_path(day);
+  const bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return 0;
+  std::uint64_t written = 0;
+  if (fresh) {
+    out.write(kMagic, 4);
+    out.put(static_cast<char>(kFileVersion));
+    written += 5;
+  }
+  for (std::size_t start = 0; start < records.size(); start += kBlockRecords) {
+    const std::size_t n = std::min(kBlockRecords, records.size() - start);
+    core::ByteWriter block;
+    for (std::size_t i = 0; i < n; ++i) encode_record(records[start + i], block);
+    const auto compressed = compress_block(block.view());
+    write_le32(out, static_cast<std::uint32_t>(compressed.size()));
+    // Checksum of the *uncompressed* block: catches corruption that the
+    // LZ framing alone would decode into garbage records.
+    write_le32(out, static_cast<std::uint32_t>(core::fnv1a64(block.view())));
+    out.write(reinterpret_cast<const char*>(compressed.data()),
+              static_cast<std::streamsize>(compressed.size()));
+    written += 8 + compressed.size();
+  }
+  return written;
+}
+
+bool DataLake::scan_day(core::CivilDate day,
+                        const std::function<void(const flow::FlowRecord&)>& fn) const {
+  std::ifstream in(day_path(day), std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return false;
+  char version = 0;
+  if (!in.get(version) || version != kFileVersion) return false;
+
+  while (true) {
+    const auto block_len = read_le32(in);
+    if (!block_len) return in.eof();
+    const auto checksum = read_le32(in);
+    if (!checksum) return false;
+    std::vector<std::byte> compressed(*block_len);
+    if (!in.read(reinterpret_cast<char*>(compressed.data()),
+                 static_cast<std::streamsize>(compressed.size()))) {
+      return false;  // truncated block
+    }
+    const auto block = decompress_block(compressed);
+    if (!block) return false;
+    if (static_cast<std::uint32_t>(core::fnv1a64(*block)) != *checksum) return false;
+    core::ByteReader r{*block};
+    while (r.remaining() > 0) {
+      auto record = decode_record(r);
+      if (!record) return false;
+      fn(*record);
+    }
+  }
+}
+
+std::vector<flow::FlowRecord> DataLake::read_day(core::CivilDate day) const {
+  std::vector<flow::FlowRecord> out;
+  scan_day(day, [&out](const flow::FlowRecord& r) { out.push_back(r); });
+  return out;
+}
+
+std::vector<core::CivilDate> DataLake::days() const {
+  std::vector<core::CivilDate> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    const auto name = entry.path().filename().string();
+    // flows_YYYY-MM-DD.ewl
+    if (name.size() == 6 + 10 + 4 && name.starts_with("flows_") && name.ends_with(".ewl")) {
+      if (auto date = core::CivilDate::parse(name.substr(6, 10))) out.push_back(*date);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool DataLake::has_day(core::CivilDate day) const {
+  return std::filesystem::exists(day_path(day));
+}
+
+std::uint64_t DataLake::file_bytes(core::CivilDate day) const {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(day_path(day), ec);
+  return ec ? 0 : size;
+}
+
+std::uint64_t DataLake::export_csv(core::CivilDate day, const std::filesystem::path& out) const {
+  std::ofstream csv(out);
+  if (!csv) return 0;
+  csv << csv_header() << '\n';
+  std::uint64_t rows = 0;
+  scan_day(day, [&](const flow::FlowRecord& r) {
+    csv << r.to_csv_row() << '\n';
+    ++rows;
+  });
+  return rows;
+}
+
+}  // namespace edgewatch::storage

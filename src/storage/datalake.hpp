@@ -1,0 +1,62 @@
+// Day-partitioned flow-log store (paper §2.2: "Daily, logs are copied into
+// a long-term storage in a centralized data center", then a two-stage
+// analytics methodology aggregates per day).
+//
+// Layout: one file per civil day under the lake root,
+//   flows_YYYY-MM-DD.ewl = magic | version | { u32le block_len, block }*
+// where each block is a compress_block() of concatenated encoded records.
+// Appending to an existing day adds blocks; scans stream records without
+// materializing the whole day.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "flow/record.hpp"
+
+namespace edgewatch::storage {
+
+class DataLake {
+ public:
+  explicit DataLake(std::filesystem::path root);
+
+  /// Append records to a day's log (creates the file if needed). Records
+  /// are blocked and compressed; returns bytes written to disk.
+  std::uint64_t append(core::CivilDate day, std::span<const flow::FlowRecord> records);
+
+  /// Stream every record of a day. Returns false if the day is absent or
+  /// the file is corrupt (a partial prefix may have been delivered).
+  bool scan_day(core::CivilDate day,
+                const std::function<void(const flow::FlowRecord&)>& fn) const;
+
+  /// Convenience: materialize a day.
+  [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;
+
+  /// All days present, sorted.
+  [[nodiscard]] std::vector<core::CivilDate> days() const;
+
+  [[nodiscard]] bool has_day(core::CivilDate day) const;
+  [[nodiscard]] std::uint64_t file_bytes(core::CivilDate day) const;
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Export one day as CSV (interop path); returns rows written.
+  std::uint64_t export_csv(core::CivilDate day, const std::filesystem::path& out) const;
+
+  [[nodiscard]] static std::string day_filename(core::CivilDate day);
+
+  /// Records per compressed block.
+  static constexpr std::size_t kBlockRecords = 4096;
+
+ private:
+  [[nodiscard]] std::filesystem::path day_path(core::CivilDate day) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace edgewatch::storage

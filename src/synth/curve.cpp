@@ -1,0 +1,29 @@
+#include "synth/curve.hpp"
+
+#include <algorithm>
+
+namespace edgewatch::synth {
+
+void Curve::normalize() {
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const Point& a, const Point& b) { return a.date < b.date; });
+}
+
+double Curve::at_day(std::int64_t day) const noexcept {
+  if (points_.empty()) return 0.0;
+  const std::int64_t first = core::days_from_civil(points_.front().date);
+  if (day <= first) return points_.front().value;
+  const std::int64_t last = core::days_from_civil(points_.back().date);
+  if (day >= last) return points_.back().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const std::int64_t hi = core::days_from_civil(points_[i].date);
+    if (day > hi) continue;
+    const std::int64_t lo = core::days_from_civil(points_[i - 1].date);
+    if (hi == lo) return points_[i].value;
+    const double t = static_cast<double>(day - lo) / static_cast<double>(hi - lo);
+    return points_[i - 1].value + t * (points_[i].value - points_[i - 1].value);
+  }
+  return points_.back().value;
+}
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,49 @@
+// Piecewise-linear time curves: the language the scenario uses to encode
+// the paper's trends ("ADSL download grows 300→700 MB between 2013 and
+// 2017", "QUIC share drops to zero in December 2015 and comes back a month
+// later"). Points are (civil date, value); evaluation clamps outside the
+// covered range. Sudden events are encoded by placing two points one day
+// apart.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace edgewatch::synth {
+
+class Curve {
+ public:
+  struct Point {
+    core::CivilDate date;
+    double value = 0;
+  };
+
+  Curve() = default;
+  /// Constant curve.
+  explicit Curve(double constant)
+      : points_{{core::CivilDate{1970, 1, 1}, constant}} {}
+  Curve(std::initializer_list<Point> points) : points_(points) { normalize(); }
+
+  /// Build from runtime data (e.g. auto-calibrated remainder curves).
+  [[nodiscard]] static Curve from_points(std::vector<Point> points) {
+    Curve c;
+    c.points_ = std::move(points);
+    c.normalize();
+    return c;
+  }
+
+  [[nodiscard]] double at(core::CivilDate date) const noexcept {
+    return at_day(core::days_from_civil(date));
+  }
+  [[nodiscard]] double at_day(std::int64_t day) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+ private:
+  void normalize();
+  std::vector<Point> points_;  // sorted by date
+};
+
+}  // namespace edgewatch::synth

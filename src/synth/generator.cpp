@@ -1,0 +1,366 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hash.hpp"
+
+namespace edgewatch::synth {
+
+namespace {
+
+constexpr double kMB = 1e6;
+
+/// Mean-preserving lognormal factor: E[factor] == 1 for any sigma.
+double lognormal_factor(core::Xoshiro256& rng, double sigma) {
+  return std::exp(core::normal(rng) * sigma - sigma * sigma / 2.0);
+}
+
+/// Deterministic pool slot address: slot s of pool `key` is always the
+/// same address, so day-over-day stability and cross-service sharing both
+/// hold (see ServerPool::key).
+core::IPv4Address pool_address(const ServerPool& pool, std::uint64_t slot) {
+  const std::uint64_t h = core::mix64(core::fnv1a64(pool.key), slot);
+  const std::uint64_t span = pool.prefix.size();
+  return core::IPv4Address{pool.prefix.base().value() +
+                           static_cast<std::uint32_t>(h % (span ? span : 1))};
+}
+
+bool is_holiday_peak(core::CivilDate d) {
+  return (d.month == 12 && (d.day == 24 || d.day == 25 || d.day == 31)) ||
+         (d.month == 1 && d.day == 1);
+}
+
+struct ProtocolChoice {
+  dpi::WebProtocol web = dpi::WebProtocol::kNotWeb;
+  dpi::L7Protocol l7 = dpi::L7Protocol::kUnknown;
+  core::TransportProto transport = core::TransportProto::kTcp;
+  std::uint16_t port = 443;
+  flow::NameSource name_source = flow::NameSource::kNone;
+};
+
+ProtocolChoice web_choice(dpi::WebProtocol web) {
+  ProtocolChoice c;
+  c.web = web;
+  switch (web) {
+    case dpi::WebProtocol::kHttp:
+      c.l7 = dpi::L7Protocol::kHttp;
+      c.port = 80;
+      c.name_source = flow::NameSource::kHttpHost;
+      break;
+    case dpi::WebProtocol::kQuic:
+      c.l7 = dpi::L7Protocol::kQuic;
+      c.transport = core::TransportProto::kUdp;
+      c.name_source = flow::NameSource::kDnsHunter;
+      break;
+    case dpi::WebProtocol::kFbZero:
+      c.l7 = dpi::L7Protocol::kFbZero;
+      c.name_source = flow::NameSource::kFbZero;
+      break;
+    default:  // TLS, SPDY, HTTP/2 all ride the TLS record layer
+      c.l7 = dpi::L7Protocol::kTls;
+      c.name_source = flow::NameSource::kTlsSni;
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(Scenario scenario)
+    : scenario_(std::move(scenario)), population_(scenario_.population) {}
+
+std::vector<flow::FlowRecord> WorkloadGenerator::day_records(core::CivilDate date) const {
+  std::vector<flow::FlowRecord> out;
+  generate_day(date, [&out](flow::FlowRecord&& r) { out.push_back(std::move(r)); });
+  return out;
+}
+
+analytics::DayAggregate WorkloadGenerator::day_aggregate(core::CivilDate date) const {
+  analytics::DayAggregator agg{date};
+  generate_day(date, [&agg](flow::FlowRecord&& r) { agg.add(r); });
+  return std::move(agg).take();
+}
+
+void WorkloadGenerator::generate_day(core::CivilDate date, const Sink& sink) const {
+  const std::int64_t day = core::days_from_civil(date);
+
+  // ---- per-day contexts -------------------------------------------------
+  std::vector<ServiceCtx> contexts;
+  contexts.reserve(scenario_.services.size());
+  for (const auto& model : scenario_.services) {
+    ServiceCtx ctx;
+    ctx.model = &model;
+    for (int t = 0; t < 2; ++t) {
+      ctx.popularity[static_cast<std::size_t>(t)] =
+          model.popularity[static_cast<std::size_t>(t)].at(date);
+      ctx.mean_down_mb[static_cast<std::size_t>(t)] =
+          model.mb_down[static_cast<std::size_t>(t)].at(date);
+      ctx.mean_up_mb[static_cast<std::size_t>(t)] =
+          model.mb_up[static_cast<std::size_t>(t)].at(date);
+    }
+    for (const auto& pool : model.pools) {
+      PoolCtx pc;
+      pc.pool = &pool;
+      pc.weight = std::max(0.0, pool.share.at(date));
+      pc.ip_count = static_cast<std::uint64_t>(std::max(1.0, pool.daily_ips.at(date)));
+      if (pc.weight > 0 && pool.daily_ips.at(date) >= 0.5) ctx.pools.push_back(pc);
+    }
+    for (std::size_t p = 0; p < ctx.protocol_weights.size(); ++p) {
+      ctx.protocol_weights[p] = std::max(0.0, model.protocol[p].at(date));
+    }
+    // Event C: before the probe upgrade SPDY is folded into generic TLS.
+    if (date < scenario_.spdy_reported_from) {
+      ctx.protocol_weights[static_cast<std::size_t>(dpi::WebProtocol::kTls)] +=
+          ctx.protocol_weights[static_cast<std::size_t>(dpi::WebProtocol::kSpdy)];
+      ctx.protocol_weights[static_cast<std::size_t>(dpi::WebProtocol::kSpdy)] = 0;
+    }
+    const double w = model.appetite_weight;
+    ctx.appetite_norm = std::exp(w * w * 0.9 * 0.9 / 2.0);  // sigma of appetites
+    contexts.push_back(std::move(ctx));
+  }
+
+  // ---- hour-of-day profile ----------------------------------------------
+  const double t2014 = static_cast<double>(core::days_from_civil({2014, 1, 1}));
+  const double t2017 = static_cast<double>(core::days_from_civil({2017, 1, 1}));
+  const double frac =
+      std::clamp((static_cast<double>(day) - t2014) / (t2017 - t2014), 0.0, 1.0);
+  std::array<double, 24> hour_weights{};
+  for (std::size_t h = 0; h < 24; ++h) {
+    hour_weights[h] = scenario_.hour_profile_2014[h] +
+                      frac * (scenario_.hour_profile_2017[h] - scenario_.hour_profile_2014[h]);
+  }
+
+  // ---- per-line generation ----------------------------------------------
+  for (const auto& line : population_.lines()) {
+    if (!line.present_on(day)) continue;
+    core::Xoshiro256 rng{core::mix64(scenario_.population.seed ^ 0x5eedc0deull,
+                                     static_cast<std::uint64_t>(day),
+                                     (static_cast<std::uint64_t>(line.access) << 32) |
+                                         line.line)};
+    if (!core::chance(rng, line.activity)) {
+      if (core::chance(rng, scenario_.background_chance)) {
+        emit_background(rng, line, date, hour_weights, sink);
+      }
+      continue;
+    }
+
+    // Bimodal day type (Fig. 2): ~12% of subscriber-days are bulk days.
+    const bool heavy_day = core::chance(rng, 0.12);
+    const double day_factor = heavy_day ? 4.2 : (1.0 - 0.12 * 4.2) / (1.0 - 0.12);
+
+    for (const auto& ctx : contexts) {
+      emit_service_day(rng, line, ctx, date, day, day_factor, hour_weights, sink);
+    }
+  }
+}
+
+void WorkloadGenerator::emit_service_day(core::Xoshiro256& rng, const Subscriber& line,
+                                         const ServiceCtx& ctx, core::CivilDate date,
+                                         std::int64_t day, double day_factor,
+                                         std::span<const double> hour_weights,
+                                         const Sink& sink) const {
+  const auto tech = static_cast<std::size_t>(line.access);
+  const double pop = ctx.popularity[tech];
+  if (pop <= 0) return;
+
+  // Persistent adopters: popularity changes move the adoption frontier,
+  // so the *same* subscribers keep using a service day over day.
+  const double adoption = std::min(1.0, pop * ctx.model->adoption_spread);
+  if (line.adopter_rank >= adoption) return;
+  if (!core::chance(rng, pop / adoption)) return;
+
+  const ServiceModel& model = *ctx.model;
+  double mean_down = ctx.mean_down_mb[tech];
+  double mean_up = ctx.mean_up_mb[tech];
+  if (mean_down <= 0 && mean_up <= 0) return;
+
+  if (model.holiday_peaks && is_holiday_peak(date)) {
+    mean_down *= 4.0;
+    mean_up *= 4.0;
+  }
+  if (model.summer_dip && (date.month == 7 || date.month == 8) &&
+      line.access == flow::AccessTech::kFtth) {
+    mean_down *= 0.72;
+    mean_up *= 0.72;
+  }
+
+  const double appetite_term =
+      std::pow(line.appetite, model.appetite_weight) / ctx.appetite_norm;
+  double factor = lognormal_factor(rng, model.volume_sigma) * appetite_term;
+  if (model.bimodal_days) factor *= day_factor;
+
+  const double down_mb = mean_down * factor;
+  const double up_mb = mean_up * factor * (0.8 + 0.4 * core::uniform01(rng));
+
+  const double expected_flows = model.base_flows + model.flows_per_mb * down_mb;
+  const std::uint32_t n_flows =
+      std::clamp<std::uint32_t>(1 + core::poisson(rng, expected_flows), 1, 400);
+
+  // Split the volume over flows with exponential weights.
+  double weight_sum = 0;
+  std::array<double, 400> weights;
+  for (std::uint32_t i = 0; i < n_flows; ++i) {
+    weights[i] = core::exponential(rng, 1.0);
+    weight_sum += weights[i];
+  }
+
+  for (std::uint32_t i = 0; i < n_flows; ++i) {
+    const double share = weights[i] / weight_sum;
+    flow::FlowRecord r;
+    r.client_ip = line.ip;
+    r.access = line.access;
+    r.client_port = static_cast<std::uint16_t>(32768 + core::uniform_below(rng, 28000));
+
+    // Volumes.
+    const auto down_bytes = static_cast<std::uint64_t>(down_mb * share * kMB);
+    const auto up_bytes = static_cast<std::uint64_t>(up_mb * share * kMB);
+    r.down.bytes = down_bytes;
+    r.down.packets = down_bytes / 1400 + 1;
+    r.down.bytes_with_hdr = down_bytes + 40 * r.down.packets;
+    r.up.bytes = up_bytes;
+    r.up.packets = up_bytes / 700 + 2;
+    r.up.bytes_with_hdr = up_bytes + 40 * r.up.packets;
+
+    // Protocol.
+    ProtocolChoice choice;
+    if (model.is_p2p) {
+      const double u = core::uniform01(rng);
+      choice.l7 = u < 0.75 ? dpi::L7Protocol::kBittorrent
+                 : u < 0.92 ? dpi::L7Protocol::kEdonkey
+                            : dpi::L7Protocol::kDht;
+      choice.transport = choice.l7 == dpi::L7Protocol::kDht ? core::TransportProto::kUdp
+                                                            : core::TransportProto::kTcp;
+      choice.port = choice.l7 == dpi::L7Protocol::kEdonkey ? 4662 : 6881;
+      choice.web = dpi::WebProtocol::kNotWeb;
+    } else {
+      const auto pick = core::weighted_pick(rng, ctx.protocol_weights);
+      choice = web_choice(static_cast<dpi::WebProtocol>(pick));
+      if (choice.web == dpi::WebProtocol::kNotWeb) {
+        // Degenerate weights (all zero): treat as plain TLS.
+        choice = web_choice(dpi::WebProtocol::kTls);
+      }
+    }
+    r.proto = choice.transport;
+    r.server_port = choice.port;
+    r.l7 = choice.l7;
+    r.web = choice.web;
+    r.name_source = choice.name_source;
+    if (choice.l7 == dpi::L7Protocol::kHttp) {
+      const double u = core::uniform01(rng);
+      r.http_status = u < 0.90 ? 200 : u < 0.96 ? 206 : u < 0.99 ? 304 : 404;
+      switch (services::ServiceCatalog::standard().info(model.id).category) {
+        case services::ServiceCategory::kVideo:
+          r.content_type = "video/mp4";
+          break;
+        case services::ServiceCategory::kSocial:
+          r.content_type = "image/jpeg";
+          break;
+        default:
+          r.content_type = "text/html";
+          break;
+      }
+    }
+
+    // Server selection.
+    double path_rtt_ms = 30.0;
+    if (model.is_p2p) {
+      // Random remote peers spread across the Internet.
+      r.server_ip = core::IPv4Address{static_cast<std::uint32_t>(
+          0x20000000u + core::uniform_below(rng, 0xB0000000u))};
+      r.server_port = static_cast<std::uint16_t>(1024 + core::uniform_below(rng, 60000));
+      path_rtt_ms = 20.0 + 180.0 * core::uniform01(rng);
+      r.rtt.add(static_cast<std::int64_t>(path_rtt_ms * 1000.0));
+    } else if (!ctx.pools.empty()) {
+      std::array<double, 16> pool_weights{};
+      const std::size_t n_pools = std::min<std::size_t>(ctx.pools.size(), 16);
+      for (std::size_t p = 0; p < n_pools; ++p) pool_weights[p] = ctx.pools[p].weight;
+      const auto pick =
+          core::weighted_pick(rng, std::span{pool_weights}.first(n_pools));
+      const PoolCtx& pc = ctx.pools[pick];
+      const std::uint64_t slot = core::uniform_below(rng, pc.ip_count);
+      r.server_ip = pool_address(*pc.pool, slot);
+      // Hostname label: a single letter, like the real fbstatic-a ..
+      // fbstatic-z Akamai names (Table 1's regex expects exactly that).
+      r.server_name = pc.pool->host_prefix + static_cast<char>('a' + slot % 26) + "." +
+                      pc.pool->domain;
+      const double rtt_ms =
+          pc.pool->rtt_ms * (0.92 + 0.18 * core::uniform01(rng)) +
+          core::exponential(rng, 0.15);
+      path_rtt_ms = rtt_ms;
+      const auto n_samples = std::clamp<std::uint32_t>(
+          static_cast<std::uint32_t>(r.up.packets / 3), 1, 12);
+      for (std::uint32_t s = 0; s < n_samples; ++s) {
+        r.rtt.add(static_cast<std::int64_t>(
+            rtt_ms * 1000.0 * (1.0 + 0.4 * core::uniform01(rng) * (s > 0))));
+      }
+    }
+
+    // Timing.
+    const auto hour = static_cast<int>(core::weighted_pick(rng, hour_weights));
+    const auto minute = static_cast<int>(core::uniform_below(rng, 60));
+    const auto second = static_cast<int>(core::uniform_below(rng, 60));
+    r.first_packet = core::Timestamp::from_date_time(date, hour, minute, second,
+                                                     static_cast<int>(core::uniform_below(rng, 1'000'000)));
+    const double rate_mbps = line.access == flow::AccessTech::kFtth ? 12.0 : 2.5;
+    const double secs = std::clamp(
+        (down_mb * share) * 8.0 / rate_mbps + core::exponential(rng, 2.0), 0.05, 4.0 * 3600);
+    r.last_packet = r.first_packet + static_cast<std::int64_t>(secs * 1e6);
+
+    // TCP lifecycle.
+    if (r.proto == core::TransportProto::kTcp) {
+      r.handshake_completed = true;
+      const double u = core::uniform01(rng);
+      r.close_reason = u < 0.85 ? flow::FlowCloseReason::kTcpTeardown
+                      : u < 0.95 ? flow::FlowCloseReason::kIdleTimeout
+                                 : flow::FlowCloseReason::kTcpReset;
+      // Loss grows with path length: in-PoP caches barely retransmit,
+      // intercontinental paths do (feeds the TCP-health analytics).
+      const double loss = 0.0006 * (1.0 + path_rtt_ms / 30.0);
+      r.down.retransmits = core::poisson(rng, static_cast<double>(r.down.packets) * loss);
+      r.up.retransmits =
+          core::poisson(rng, static_cast<double>(r.up.packets) * loss * 0.5);
+      r.down.out_of_order =
+          core::poisson(rng, static_cast<double>(r.down.packets) * loss * 0.3);
+    } else {
+      r.close_reason = flow::FlowCloseReason::kIdleTimeout;
+    }
+
+    (void)day;
+    sink(std::move(r));
+  }
+}
+
+void WorkloadGenerator::emit_background(core::Xoshiro256& rng, const Subscriber& line,
+                                        core::CivilDate date,
+                                        std::span<const double> hour_weights,
+                                        const Sink& sink) const {
+  // Idle-home chatter: a handful of tiny flows that must NOT pass the §3
+  // activity criterion (fewer than 10 flows, under 15 kB down / 5 kB up).
+  const auto n = static_cast<std::uint32_t>(2 + core::uniform_below(rng, 4));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    flow::FlowRecord r;
+    r.client_ip = line.ip;
+    r.access = line.access;
+    r.client_port = static_cast<std::uint16_t>(32768 + core::uniform_below(rng, 28000));
+    r.server_ip = core::IPv4Address{static_cast<std::uint32_t>(
+        0x08080000u + core::uniform_below(rng, 65536))};
+    r.server_port = core::chance(rng, 0.5) ? 443 : 123;
+    r.proto = core::chance(rng, 0.6) ? core::TransportProto::kUdp
+                                     : core::TransportProto::kTcp;
+    r.down.bytes = 200 + core::uniform_below(rng, 2500);
+    r.down.packets = 2;
+    r.down.bytes_with_hdr = r.down.bytes + 80;
+    r.up.bytes = 100 + core::uniform_below(rng, 600);
+    r.up.packets = 2;
+    r.up.bytes_with_hdr = r.up.bytes + 80;
+    const auto hour = static_cast<int>(core::weighted_pick(rng, hour_weights));
+    r.first_packet = core::Timestamp::from_date_time(
+        date, hour, static_cast<int>(core::uniform_below(rng, 60)));
+    r.last_packet = r.first_packet + 5'000'000;
+    r.close_reason = flow::FlowCloseReason::kIdleTimeout;
+    sink(std::move(r));
+  }
+}
+
+}  // namespace edgewatch::synth

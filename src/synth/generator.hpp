@@ -1,0 +1,66 @@
+// The workload generator: turns a Scenario into per-day streams of
+// FlowRecords (the fast path feeding analytics and benches) — and, via
+// synth/packets.hpp, into raw frames for end-to-end probe runs.
+//
+// Determinism: every (day, line) pair seeds its own RNG via mix64, so any
+// subset of days can be generated in any order with identical results.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "flow/record.hpp"
+#include "synth/scenario.hpp"
+
+namespace edgewatch::synth {
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(Scenario scenario);
+
+  using Sink = std::function<void(flow::FlowRecord&&)>;
+
+  /// Generate every flow record of one civil day.
+  void generate_day(core::CivilDate date, const Sink& sink) const;
+
+  /// Convenience: materialize a day.
+  [[nodiscard]] std::vector<flow::FlowRecord> day_records(core::CivilDate date) const;
+
+  /// Generate + aggregate in one pass (what the longitudinal benches use).
+  [[nodiscard]] analytics::DayAggregate day_aggregate(core::CivilDate date) const;
+
+  [[nodiscard]] const SubscriberPopulation& population() const noexcept { return population_; }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+  [[nodiscard]] const asn::Rib& rib(core::MonthIndex /*month*/) const noexcept {
+    return *scenario_.rib;  // prefix ownership is static; pools migrate instead
+  }
+
+ private:
+  struct PoolCtx {
+    const ServerPool* pool = nullptr;
+    double weight = 0;
+    std::uint64_t ip_count = 1;
+  };
+  struct ServiceCtx {
+    const ServiceModel* model = nullptr;
+    std::array<double, 2> popularity{};
+    std::array<double, 2> mean_down_mb{};
+    std::array<double, 2> mean_up_mb{};
+    std::vector<PoolCtx> pools;
+    std::array<double, analytics::kWebProtocolCount> protocol_weights{};
+    double appetite_norm = 1.0;  ///< E[appetite^w] normalizer.
+  };
+
+  void emit_service_day(core::Xoshiro256& rng, const Subscriber& line,
+                        const ServiceCtx& ctx, core::CivilDate date, std::int64_t day,
+                        double day_factor, std::span<const double> hour_weights,
+                        const Sink& sink) const;
+  void emit_background(core::Xoshiro256& rng, const Subscriber& line, core::CivilDate date,
+                       std::span<const double> hour_weights, const Sink& sink) const;
+
+  Scenario scenario_;
+  SubscriberPopulation population_;
+};
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,182 @@
+#include "synth/packets.hpp"
+
+#include <algorithm>
+
+#include "dns/message.hpp"
+#include "dpi/parsers.hpp"
+
+namespace edgewatch::synth {
+
+namespace {
+
+constexpr std::size_t kMss = 1400;
+
+std::vector<std::byte> first_flight(const ConversationSpec& spec) {
+  if (spec.p2p) {
+    std::vector<std::byte> hash(20, std::byte{0x42});
+    return dpi::build_bittorrent_handshake(hash);
+  }
+  switch (spec.web) {
+    case dpi::WebProtocol::kHttp:
+      return dpi::build_http_request(spec.server_name);
+    case dpi::WebProtocol::kQuic:
+      return dpi::build_quic_client_packet(0xA0B0C0D0E0F01122ull);
+    case dpi::WebProtocol::kFbZero:
+      return dpi::build_fbzero_hello(spec.server_name);
+    case dpi::WebProtocol::kSpdy: {
+      const std::string alpn[] = {spec.alpn.empty() ? std::string{"spdy/3.1"} : spec.alpn};
+      return dpi::build_client_hello(spec.server_name, alpn);
+    }
+    case dpi::WebProtocol::kHttp2: {
+      const std::string alpn[] = {spec.alpn.empty() ? std::string{"h2"} : spec.alpn};
+      return dpi::build_client_hello(spec.server_name, alpn);
+    }
+    default: {
+      if (spec.alpn.empty()) return dpi::build_client_hello(spec.server_name, {});
+      const std::string alpn[] = {spec.alpn};
+      return dpi::build_client_hello(spec.server_name, alpn);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<net::Frame> render_conversation(const ConversationSpec& spec) {
+  std::vector<net::Frame> frames;
+  const std::size_t response =
+      std::min(spec.response_bytes, ConversationSpec::kMaxRenderedBytes);
+  auto payload = first_flight(spec);
+
+  if (spec.web == dpi::WebProtocol::kQuic) {
+    // UDP: client hello packet, then server data chunks.
+    frames.push_back(net::PacketBuilder{}
+                         .ts(spec.start)
+                         .ip(spec.client, spec.server)
+                         .udp(spec.client_port, spec.server_port)
+                         .payload(std::move(payload))
+                         .build());
+    core::Timestamp t = spec.start + spec.rtt_us;
+    for (std::size_t sent = 0; sent < response; sent += kMss) {
+      const std::size_t n = std::min(kMss, response - sent);
+      frames.push_back(net::PacketBuilder{}
+                           .ts(t)
+                           .ip(spec.server, spec.client)
+                           .udp(spec.server_port, spec.client_port)
+                           .payload(std::vector<std::byte>(n, std::byte{0x6b}))
+                           .build());
+      t = t + 500;
+    }
+    return frames;
+  }
+
+  // TCP path.
+  std::uint32_t cseq = 1000;
+  std::uint32_t sseq = 77000;
+  auto client_pkt = [&](core::Timestamp at, std::uint8_t flags,
+                        std::vector<std::byte> data = {}) {
+    frames.push_back(net::PacketBuilder{}
+                         .ts(at)
+                         .ip(spec.client, spec.server)
+                         .tcp(spec.client_port, spec.server_port, cseq, sseq, flags)
+                         .payload(std::move(data))
+                         .build());
+  };
+  auto server_pkt_acking = [&](core::Timestamp at, std::uint8_t flags, std::uint32_t ack,
+                               std::size_t bytes = 0) {
+    frames.push_back(net::PacketBuilder{}
+                         .ts(at)
+                         .ip(spec.server, spec.client)
+                         .tcp(spec.server_port, spec.client_port, sseq, ack, flags)
+                         .payload(std::vector<std::byte>(bytes, std::byte{0x6b}))
+                         .build());
+  };
+  auto server_pkt = [&](core::Timestamp at, std::uint8_t flags, std::size_t bytes = 0) {
+    server_pkt_acking(at, flags, cseq, bytes);
+  };
+  using net::TcpFlags;
+
+  client_pkt(spec.start, TcpFlags::kSyn);
+  cseq += 1;
+  server_pkt(spec.start + spec.rtt_us, TcpFlags::kSyn | TcpFlags::kAck);
+  sseq += 1;
+  client_pkt(spec.start + spec.rtt_us + 200, TcpFlags::kAck);
+
+  const auto req_len = static_cast<std::uint32_t>(payload.size());
+  client_pkt(spec.start + spec.rtt_us + 400, TcpFlags::kAck | TcpFlags::kPsh,
+             std::move(payload));
+  cseq += req_len;
+  // ACK of the request arrives one RTT after it was sent (RTT sample).
+  server_pkt_acking(spec.start + 2 * spec.rtt_us + 400, TcpFlags::kAck, cseq);
+  core::Timestamp last_client_event = spec.start + 2 * spec.rtt_us + 400;
+  if (spec.request_extra_bytes > 0) {
+    // Each extra upload segment is acknowledged one RTT after it leaves —
+    // exactly what a live server does, and what keeps the probe's RTT
+    // samples honest.
+    const auto extra = std::min(spec.request_extra_bytes,
+                                ConversationSpec::kMaxRenderedBytes);
+    for (std::size_t sent = 0; sent < extra; sent += kMss) {
+      const std::size_t n = std::min(kMss, extra - sent);
+      const core::Timestamp sent_at =
+          spec.start + spec.rtt_us + 600 + static_cast<std::int64_t>(sent / kMss) * 300;
+      client_pkt(sent_at, TcpFlags::kAck, std::vector<std::byte>(n, std::byte{0x55}));
+      cseq += static_cast<std::uint32_t>(n);
+      server_pkt_acking(sent_at + spec.rtt_us, TcpFlags::kAck, cseq);
+      if (sent_at + spec.rtt_us > last_client_event) {
+        last_client_event = sent_at + spec.rtt_us;
+      }
+    }
+  }
+
+  core::Timestamp t = last_client_event;
+  if (!spec.server_alpn.empty() && !spec.p2p) {
+    // The negotiation response: a ServerHello selecting one ALPN value.
+    auto hello = dpi::build_server_hello(spec.server_alpn);
+    const auto n = static_cast<std::uint32_t>(hello.size());
+    t = t + 300;
+    frames.push_back(net::PacketBuilder{}
+                         .ts(t)
+                         .ip(spec.server, spec.client)
+                         .tcp(spec.server_port, spec.client_port, sseq, cseq, TcpFlags::kAck)
+                         .payload(std::move(hello))
+                         .build());
+    sseq += n;
+  }
+  for (std::size_t sent = 0; sent < response; sent += kMss) {
+    const std::size_t n = std::min(kMss, response - sent);
+    t = t + 400;
+    server_pkt(t, TcpFlags::kAck | (sent + n >= response ? TcpFlags::kPsh : 0), n);
+    sseq += static_cast<std::uint32_t>(n);
+  }
+  t = t + 300;
+  client_pkt(t, TcpFlags::kAck);
+
+  if (spec.teardown) {
+    client_pkt(t + 500, TcpFlags::kFin | TcpFlags::kAck);
+    cseq += 1;
+    server_pkt(t + 500 + spec.rtt_us, TcpFlags::kFin | TcpFlags::kAck);
+    sseq += 1;
+    client_pkt(t + 700 + spec.rtt_us, TcpFlags::kAck);
+  }
+  // Upload segments and their ACKs were emitted pairwise; restore global
+  // capture order.
+  std::stable_sort(frames.begin(), frames.end(),
+                   [](const net::Frame& a, const net::Frame& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return frames;
+}
+
+net::Frame render_dns_response(core::IPv4Address client, core::IPv4Address resolver,
+                               std::string_view name,
+                               std::span<const core::IPv4Address> addrs, core::Timestamp at,
+                               std::uint16_t client_port) {
+  const auto msg = dns::make_a_response(0x2b2b, name, addrs);
+  return net::PacketBuilder{}
+      .ts(at)
+      .ip(resolver, client)
+      .udp(53, client_port)
+      .payload(dns::serialize(msg))
+      .build();
+}
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,50 @@
+// Packet-level rendering of synthetic conversations: turns flow intents
+// into valid frame sequences (handshake, DPI-visible first flight, data,
+// teardown) so the probe can be exercised end-to-end exactly as it would
+// be on a live tap. Used by the quickstart example, the probe throughput
+// bench and the integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "dpi/classifier.hpp"
+#include "net/packet.hpp"
+
+namespace edgewatch::synth {
+
+struct ConversationSpec {
+  core::IPv4Address client;
+  core::IPv4Address server;
+  std::uint16_t client_port = 40000;
+  std::uint16_t server_port = 443;
+  dpi::WebProtocol web = dpi::WebProtocol::kTls;  ///< Chooses the first flight.
+  /// kNotWeb + p2p=true renders a BitTorrent handshake instead.
+  bool p2p = false;
+  std::string server_name;           ///< SNI / Host / FB-Zero name.
+  std::string alpn;                  ///< e.g. "h2", "spdy/3.1" (TLS flavours).
+  /// Negotiated ALPN: when set (TLS-family flows), the server's first
+  /// payload is a ServerHello selecting it.
+  std::string server_alpn;
+  std::size_t response_bytes = 4000; ///< Server payload to stream back.
+  std::size_t request_extra_bytes = 0;
+  core::Timestamp start;
+  std::int64_t rtt_us = 20'000;      ///< Probe→server round trip.
+  bool teardown = true;              ///< FIN exchange at the end.
+
+  /// Cap on rendered server payload (frames get chunked by MSS; huge flows
+  /// would dominate memory without adding probe-path coverage).
+  static constexpr std::size_t kMaxRenderedBytes = 256 * 1024;
+};
+
+/// Render the conversation as time-ordered frames.
+[[nodiscard]] std::vector<net::Frame> render_conversation(const ConversationSpec& spec);
+
+/// One DNS response frame (resolver → client) announcing `name -> addrs`.
+[[nodiscard]] net::Frame render_dns_response(core::IPv4Address client,
+                                             core::IPv4Address resolver, std::string_view name,
+                                             std::span<const core::IPv4Address> addrs,
+                                             core::Timestamp at, std::uint16_t client_port = 40053);
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,667 @@
+// build_paper_scenario(): the quantitative story of the paper, expressed as
+// generative parameters. Every curve below is traceable to a statement in
+// the paper; DESIGN.md's experiment index maps figures to the parameters
+// that drive them.
+//
+// Calibration notes:
+//  - Populations and infrastructure sizes are ~1/15 of the real ISP's
+//    (10000 ADSL + 5000 FTTH lines; 3800→1000 Facebook IPs; 40000 YouTube
+//    IPs). Analytics normalize per subscriber, so scale cancels.
+//  - "Other" (the long tail of the web) is auto-calibrated at build time:
+//    its per-user volume is the gap between the Fig. 3 per-subscriber
+//    targets and the sum of the named services' expected contributions.
+#include "synth/scenario.hpp"
+
+#include <cmath>
+
+namespace edgewatch::synth {
+
+namespace {
+
+using services::ServiceId;
+using WP = dpi::WebProtocol;
+
+Curve::Point pt(int y, unsigned m, unsigned d, double v) {
+  return {core::CivilDate{y, static_cast<std::uint8_t>(m), static_cast<std::uint8_t>(d)}, v};
+}
+
+std::size_t wp(WP p) { return static_cast<std::size_t>(p); }
+
+core::IPv4Prefix pfx(const char* s) { return *core::IPv4Prefix::parse(s); }
+
+/// Both techs share one curve.
+std::array<Curve, 2> both(Curve c) { return {c, c}; }
+
+ServerPool pool(std::string key, std::string domain, std::string host, std::uint32_t asn,
+                const char* prefix, Curve ips, Curve share, double rtt_ms) {
+  ServerPool p;
+  p.key = std::move(key);
+  p.domain = std::move(domain);
+  p.host_prefix = std::move(host);
+  p.asn = asn;
+  p.prefix = pfx(prefix);
+  p.daily_ips = std::move(ips);
+  p.share = std::move(share);
+  p.rtt_ms = rtt_ms;
+  return p;
+}
+
+constexpr auto kAkamai = asn::AsnDirectory::kAkamai;
+constexpr auto kFb = asn::AsnDirectory::kFacebook;
+constexpr auto kGoog = asn::AsnDirectory::kGoogle;
+constexpr auto kYt = asn::AsnDirectory::kYouTubeLegacy;
+constexpr auto kNflx = asn::AsnDirectory::kNetflix;
+constexpr auto kIspAs = asn::AsnDirectory::kIsp;
+constexpr auto kTelia = asn::AsnDirectory::kTelia;
+constexpr auto kGtt = asn::AsnDirectory::kGtt;
+
+}  // namespace
+
+Scenario build_paper_scenario(std::uint64_t seed, double scale) {
+  Scenario sc;
+  sc.population.seed = seed;
+  sc.population.adsl_lines = static_cast<std::size_t>(600 * scale);
+  sc.population.ftth_lines = static_cast<std::size_t>(300 * scale);
+
+  auto ips = [scale](Curve c) {  // infrastructure sizes follow the scale too
+    (void)scale;
+    return c;  // curves below are already expressed at default scale
+  };
+
+  // Diurnal profiles: 2017 gains night-time weight (automatic updates, IoT
+  // — Fig. 4's late-night ratio peak) and a stronger prime time.
+  sc.hour_profile_2014 = {1.2, 0.7, 0.5, 0.4, 0.4, 0.5, 0.9, 1.6, 2.4, 3.0, 3.2, 3.4,
+                          3.6, 3.4, 3.3, 3.5, 3.8, 4.2, 4.8, 5.4, 6.0, 6.2, 5.2, 2.8};
+  sc.hour_profile_2017 = {2.2, 1.6, 1.3, 1.2, 1.2, 1.3, 1.6, 2.2, 2.9, 3.4, 3.6, 3.8,
+                          4.0, 3.8, 3.7, 3.9, 4.3, 4.8, 5.6, 6.6, 7.6, 7.9, 6.4, 3.6};
+
+  // ------------------------------------------------------------------ RIB
+  auto rib = std::make_shared<asn::Rib>();
+  rib->add_route(pfx("2.16.0.0/13"), kAkamai);
+  rib->add_route(pfx("157.240.0.0/16"), kFb);
+  rib->add_route(pfx("31.13.64.0/18"), kFb);
+  rib->add_route(pfx("173.194.0.0/16"), kYt);     // classic YouTube space
+  rib->add_route(pfx("208.117.224.0/19"), kYt);
+  rib->add_route(pfx("216.58.192.0/19"), kGoog);
+  rib->add_route(pfx("35.190.0.0/17"), kGoog);
+  rib->add_route(pfx("185.45.12.0/22"), kIspAs);  // in-PoP cache space
+  rib->add_route(pfx("45.57.0.0/17"), kNflx);
+  rib->add_route(pfx("62.115.0.0/16"), kTelia);
+  rib->add_route(pfx("89.149.128.0/17"), kGtt);
+  rib->add_route(pfx("104.16.0.0/13"), 13335);    // big generic CDN
+  rib->add_route(pfx("93.184.0.0/16"), 15133);
+  rib->add_route(pfx("158.85.0.0/16"), 36351);    // WhatsApp's hoster
+  rib->add_route(pfx("149.154.160.0/20"), 62041);
+  rib->add_route(pfx("194.132.196.0/22"), 8403);
+  rib->add_route(pfx("40.112.0.0/13"), 8075);
+  rib->add_route(pfx("204.79.196.0/23"), 8075);
+  rib->add_route(pfx("104.244.40.0/21"), 13414);
+  rib->add_route(pfx("108.174.0.0/20"), 14413);
+  rib->add_route(pfx("52.84.0.0/15"), 16509);
+  rib->add_route(pfx("66.135.192.0/19"), 62955);
+  rib->add_route(pfx("31.192.112.0/20"), 61049);
+  rib->add_route(pfx("50.16.0.0/16"), 14618);
+  sc.rib = rib;
+
+  std::vector<ServiceModel>& services = sc.services;
+
+  // ----------------------------------------------------------- Facebook
+  {
+    ServiceModel m;
+    m.id = ServiceId::kFacebook;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.40), pt(2015, 1, 1, 0.44), pt(2017, 9, 30, 0.46)}});
+    // Fig. 9: ~35 MB/day/user until Mar 2014; autoplay doubles it by April,
+    // pauses in May, reaches ~90 MB in July (2.5x); slow growth after.
+    const Curve fb_vol{{pt(2013, 3, 1, 26), pt(2014, 1, 1, 31), pt(2014, 3, 20, 33),
+                        pt(2014, 4, 15, 64), pt(2014, 4, 30, 67), pt(2014, 5, 25, 56),
+                        pt(2014, 6, 10, 70), pt(2014, 7, 10, 87), pt(2014, 12, 31, 90),
+                        pt(2016, 1, 1, 102), pt(2017, 9, 30, 120)}};
+    m.mb_down = both(fb_vol);
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 3), pt(2017, 9, 30, 9)}});
+    m.base_flows = 6;
+    m.flows_per_mb = 0.25;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.50), pt(2015, 1, 1, 0.10), pt(2017, 9, 30, 0.03)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.50), pt(2015, 1, 1, 0.85),
+                                      pt(2016, 11, 9, 0.88), pt(2016, 11, 12, 0.33),
+                                      pt(2017, 9, 30, 0.32)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 6, 1, 0.0), pt(2017, 9, 30, 0.07)}};
+    // Event F: Zero appears suddenly in November 2016, instantly carrying
+    // more than half of Facebook's traffic.
+    m.protocol[wp(WP::kFbZero)] = Curve{{pt(2016, 11, 9, 0.0), pt(2016, 11, 12, 0.55),
+                                         pt(2017, 9, 30, 0.58)}};
+    // Fig. 10a/11a/11d/11g: Akamai (shared, 11/27 ms) fades as the private
+    // CDN (3 ms, AS32934) ramps through 2015; a distant DC keeps a ~100 ms
+    // tail. Fig. 11a: ~380 IPs/day in 2013 → ~100 dedicated from 2016 (at
+    // 1/10 of the paper's absolute counts).
+    m.pools.push_back(pool("akamai-eu", "akamaihd.net", "fbstatic-", kAkamai, "2.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 260), pt(2015, 6, 1, 200),
+                                      pt(2015, 12, 31, 40), pt(2016, 7, 1, 4),
+                                      pt(2017, 9, 30, 2)}}),
+                           Curve{{pt(2013, 3, 1, 0.38), pt(2014, 4, 1, 0.36),
+                                  pt(2015, 12, 31, 0.16), pt(2016, 7, 1, 0.05),
+                                  pt(2017, 9, 30, 0.04)}},
+                           11.0));
+    m.pools.push_back(pool("akamai-eu", "fbcdn.net", "scontent-far-", kAkamai, "2.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 90), pt(2015, 12, 31, 20),
+                                      pt(2016, 7, 1, 2)}}),
+                           Curve{{pt(2013, 3, 1, 0.44), pt(2014, 4, 1, 0.44),
+                                  pt(2015, 12, 31, 0.18), pt(2016, 7, 1, 0.06),
+                                  pt(2017, 9, 30, 0.05)}},
+                           27.0));
+    m.pools.push_back(pool("fbcdn", "facebook.com", "edge-star-", kFb, "157.240.0.0/16",
+                           ips(Curve{{pt(2013, 3, 1, 25), pt(2015, 1, 1, 55),
+                                      pt(2016, 1, 1, 85), pt(2017, 9, 30, 85)}}),
+                           Curve{{pt(2013, 3, 1, 0.08), pt(2014, 4, 1, 0.10),
+                                  pt(2015, 12, 31, 0.58), pt(2016, 7, 1, 0.82),
+                                  pt(2017, 9, 30, 0.84)}},
+                           3.0));
+    m.pools.push_back(pool("fb-dc", "facebook.com", "dc-", kFb, "31.13.64.0/18",
+                           ips(Curve{{pt(2013, 3, 1, 25), pt(2017, 9, 30, 12)}}),
+                           Curve{{pt(2013, 3, 1, 0.10), pt(2014, 4, 1, 0.10),
+                                  pt(2016, 7, 1, 0.07), pt(2017, 9, 30, 0.07)}},
+                           98.0));
+    services.push_back(std::move(m));
+  }
+
+  // ---------------------------------------------------------- Instagram
+  {
+    ServiceModel m;
+    m.id = ServiceId::kInstagram;
+    m.popularity[0] = Curve{{pt(2013, 3, 1, 0.04), pt(2015, 1, 1, 0.12), pt(2016, 1, 1, 0.20),
+                             pt(2017, 9, 30, 0.30)}};
+    m.popularity[1] = m.popularity[0];
+    // Fig. 7c: massive volume growth to 200 (FTTH) / 120 (ADSL) MB/day.
+    m.mb_down[0] = Curve{{pt(2013, 3, 1, 8), pt(2015, 1, 1, 30), pt(2016, 6, 1, 70),
+                          pt(2017, 9, 30, 120)}};
+    m.mb_down[1] = Curve{{pt(2013, 3, 1, 10), pt(2015, 1, 1, 45), pt(2016, 6, 1, 110),
+                          pt(2017, 9, 30, 200)}};
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 2), pt(2017, 9, 30, 18)}});
+    m.base_flows = 5;
+    m.flows_per_mb = 0.2;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.35), pt(2015, 1, 1, 0.05), pt(2017, 9, 30, 0.02)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.65), pt(2015, 1, 1, 0.95),
+                                      pt(2016, 11, 9, 0.95), pt(2016, 11, 12, 0.48),
+                                      pt(2017, 9, 30, 0.46)}};
+    m.protocol[wp(WP::kFbZero)] = Curve{{pt(2016, 11, 9, 0.0), pt(2016, 11, 12, 0.50),
+                                         pt(2017, 9, 30, 0.52)}};
+    // Fig. 11b/e/h: third-party CDN until the 2014-2015 integration into
+    // Facebook's infrastructure (dedicated IPs, ~30/day scaled, 3 ms).
+    // Fig. 10a (2014): ~10% of Instagram flows already hit a 3 ms node,
+    // most ride 11-27 ms CDN caches, ~7% cross the Atlantic.
+    m.pools.push_back(pool("akamai-eu", "akamaihd.net", "instagram-p13-", kAkamai,
+                           "2.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 150), pt(2014, 6, 1, 120),
+                                      pt(2015, 12, 31, 10), pt(2016, 7, 1, 2)}}),
+                           Curve{{pt(2013, 3, 1, 0.50), pt(2014, 6, 1, 0.47),
+                                  pt(2015, 12, 31, 0.10), pt(2016, 7, 1, 0.03)}},
+                           12.0));
+    m.pools.push_back(pool("akamai-eu", "akamaihd.net", "igcdn-photos-", kAkamai,
+                           "2.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 60), pt(2015, 12, 31, 8),
+                                      pt(2016, 7, 1, 2)}}),
+                           Curve{{pt(2013, 3, 1, 0.34), pt(2014, 6, 1, 0.33),
+                                  pt(2015, 12, 31, 0.05), pt(2016, 7, 1, 0.02)}},
+                           26.0));
+    m.pools.push_back(pool("ig-cdn", "cdninstagram.com", "scontent-", kFb, "157.240.0.0/16",
+                           ips(Curve{{pt(2014, 1, 1, 4), pt(2015, 6, 1, 18),
+                                      pt(2016, 1, 1, 30), pt(2017, 9, 30, 30)}}),
+                           Curve{{pt(2013, 3, 1, 0.08), pt(2014, 6, 1, 0.12),
+                                  pt(2015, 12, 31, 0.78), pt(2016, 7, 1, 0.88),
+                                  pt(2017, 9, 30, 0.89)}},
+                           3.0));
+    m.pools.push_back(pool("ig-legacy", "instagram.com", "ig-dc-", kFb, "31.13.64.0/18",
+                           ips(Curve{{pt(2013, 3, 1, 20), pt(2016, 1, 1, 8),
+                                      pt(2017, 9, 30, 6)}}),
+                           Curve{{pt(2013, 3, 1, 0.08), pt(2014, 6, 1, 0.08),
+                                  pt(2015, 12, 31, 0.07), pt(2017, 9, 30, 0.06)}},
+                           102.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------------ YouTube
+  {
+    ServiceModel m;
+    m.id = ServiceId::kYouTube;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.34), pt(2015, 1, 1, 0.38), pt(2017, 9, 30, 0.43)}});
+    // Fig. 6c: >400 MB/day/user by 2017, identical across technologies.
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 150), pt(2015, 1, 1, 260), pt(2017, 9, 30, 420)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 4), pt(2017, 9, 30, 8)}});
+    m.volume_sigma = 1.0;
+    m.base_flows = 4;
+    m.flows_per_mb = 0.03;
+    // Events A/B/D/E: HTTPS migration through 2014, QUIC from Oct 2014,
+    // the December-2015 QUIC blackout, SPDY→HTTP/2 in Feb 2016.
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 1.0), pt(2014, 1, 15, 0.97),
+                                       pt(2014, 10, 1, 0.18), pt(2017, 9, 30, 0.04)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.0), pt(2014, 1, 15, 0.03),
+                                      pt(2014, 10, 1, 0.40), pt(2015, 11, 1, 0.30),
+                                      pt(2015, 12, 6, 0.30), pt(2015, 12, 8, 0.52),
+                                      pt(2016, 1, 10, 0.52), pt(2016, 1, 12, 0.30),
+                                      pt(2016, 3, 15, 0.22), pt(2017, 9, 30, 0.14)}};
+    m.protocol[wp(WP::kSpdy)] = Curve{{pt(2014, 1, 15, 0.0), pt(2014, 10, 1, 0.22),
+                                       pt(2015, 11, 1, 0.22), pt(2015, 12, 6, 0.22),
+                                       pt(2015, 12, 8, 0.35), pt(2016, 1, 10, 0.35),
+                                       pt(2016, 1, 12, 0.22), pt(2016, 2, 14, 0.20),
+                                       pt(2016, 3, 15, 0.0)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 2, 14, 0.0), pt(2016, 3, 15, 0.30),
+                                        pt(2017, 9, 30, 0.34)}};
+    m.protocol[wp(WP::kQuic)] = Curve{{pt(2014, 10, 14, 0.0), pt(2015, 3, 1, 0.22),
+                                       pt(2015, 12, 6, 0.35), pt(2015, 12, 8, 0.0),
+                                       pt(2016, 1, 10, 0.0), pt(2016, 1, 12, 0.35),
+                                       pt(2017, 9, 30, 0.48)}};
+    // Fig. 10b/11c/f/i: dedicated fleet growing 1500→3800 (scaled), domain
+    // generations youtube.com → googlevideo.com (2014) → +gvt1.com (2015),
+    // and in-PoP ISP caches (sub-millisecond!) taking over from end-2015.
+    m.pools.push_back(pool("yt-global", "youtube.com", "r1---", kYt, "173.194.0.0/16",
+                           ips(Curve{{pt(2013, 3, 1, 1500), pt(2017, 9, 30, 3600)}}),
+                           Curve{{pt(2013, 3, 1, 0.78), pt(2014, 1, 10, 0.75),
+                                  pt(2014, 3, 1, 0.10), pt(2015, 6, 1, 0.05),
+                                  pt(2017, 9, 30, 0.03)}},
+                           3.1));
+    m.pools.push_back(pool("yt-global", "googlevideo.com", "r3---sn-", kYt, "173.194.0.0/16",
+                           ips(Curve{{pt(2013, 3, 1, 1500), pt(2017, 9, 30, 3600)}}),
+                           Curve{{pt(2014, 1, 10, 0.0), pt(2014, 3, 1, 0.70),
+                                  pt(2015, 9, 1, 0.62), pt(2016, 3, 1, 0.22),
+                                  pt(2017, 9, 30, 0.18)}},
+                           3.1));
+    m.pools.push_back(pool("yt-global", "gvt1.com", "redirector-", kYt, "173.194.0.0/16",
+                           ips(Curve{{pt(2013, 3, 1, 1500), pt(2017, 9, 30, 3600)}}),
+                           Curve{{pt(2015, 1, 1, 0.0), pt(2015, 9, 1, 0.10),
+                                  pt(2017, 9, 30, 0.08)}},
+                           3.1));
+    m.pools.push_back(pool("yt-far", "googlevideo.com", "r9---sn-", kYt, "208.117.224.0/19",
+                           ips(Curve{{pt(2013, 3, 1, 300), pt(2017, 9, 30, 120)}}),
+                           Curve{{pt(2013, 3, 1, 0.22), pt(2014, 3, 1, 0.20),
+                                  pt(2016, 3, 1, 0.08), pt(2017, 9, 30, 0.06)}},
+                           16.0));
+    m.pools.push_back(pool("yt-isp-cache", "googlevideo.com", "cache-mxp-", kIspAs,
+                           "185.45.12.0/22",
+                           ips(Curve{{pt(2015, 9, 1, 4), pt(2016, 3, 1, 30),
+                                      pt(2017, 9, 30, 42)}}),
+                           Curve{{pt(2015, 9, 1, 0.0), pt(2016, 3, 1, 0.48),
+                                  pt(2017, 9, 30, 0.65)}},
+                           0.45));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------------- Google
+  {
+    ServiceModel m;
+    m.id = ServiceId::kGoogle;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.60), pt(2017, 9, 30, 0.61)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 10), pt(2017, 9, 30, 18)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 1.5), pt(2017, 9, 30, 3)}});
+    m.base_flows = 12;
+    m.flows_per_mb = 0.8;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.25), pt(2015, 1, 1, 0.10), pt(2017, 9, 30, 0.04)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.45), pt(2015, 12, 6, 0.40),
+                                      pt(2015, 12, 8, 0.55), pt(2016, 1, 12, 0.40),
+                                      pt(2016, 3, 15, 0.35), pt(2017, 9, 30, 0.30)}};
+    m.protocol[wp(WP::kSpdy)] = Curve{{pt(2013, 3, 1, 0.30), pt(2016, 2, 14, 0.30),
+                                       pt(2016, 3, 15, 0.0)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 2, 14, 0.0), pt(2016, 3, 15, 0.32),
+                                        pt(2017, 9, 30, 0.36)}};
+    m.protocol[wp(WP::kQuic)] = Curve{{pt(2014, 10, 14, 0.0), pt(2015, 6, 1, 0.15),
+                                       pt(2015, 12, 6, 0.20), pt(2015, 12, 8, 0.0),
+                                       pt(2016, 1, 10, 0.0), pt(2016, 1, 12, 0.20),
+                                       pt(2017, 9, 30, 0.30)}};
+    // Fig. 10b: search front-ends stay at a few ms — no in-PoP deployment.
+    m.pools.push_back(pool("goog-fe", "google.com", "fra-", kGoog, "216.58.192.0/19",
+                           ips(Curve{{pt(2013, 3, 1, 120), pt(2017, 9, 30, 160)}}),
+                           Curve{{pt(2013, 3, 1, 0.72), pt(2017, 9, 30, 0.82)}}, 4.2));
+    m.pools.push_back(pool("goog-far", "google.com", "far-", kGoog, "216.58.192.0/19",
+                           ips(Curve{{pt(2013, 3, 1, 60), pt(2017, 9, 30, 40)}}),
+                           Curve{{pt(2013, 3, 1, 0.28), pt(2017, 9, 30, 0.18)}}, 22.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------------ Netflix
+  {
+    ServiceModel m;
+    m.id = ServiceId::kNetflix;
+    // Italian launch October 2015; FTTH subscribers adopt faster (Fig. 6b).
+    m.popularity[0] = Curve{{pt(2015, 10, 21, 0.0), pt(2015, 10, 23, 0.01),
+                             pt(2016, 6, 1, 0.03), pt(2017, 9, 30, 0.06)}};
+    m.popularity[1] = Curve{{pt(2015, 10, 21, 0.0), pt(2015, 10, 23, 0.02),
+                             pt(2016, 6, 1, 0.06), pt(2017, 9, 30, 0.10)}};
+    // Similar volumes on both techs until Ultra HD (Oct 2016) pulls FTTH
+    // towards ~1 GB/day.
+    m.mb_down[0] = Curve{{pt(2015, 10, 23, 420), pt(2016, 10, 1, 500), pt(2017, 9, 30, 520)}};
+    m.mb_down[1] = Curve{{pt(2015, 10, 23, 430), pt(2016, 10, 1, 520), pt(2016, 12, 1, 820),
+                          pt(2017, 9, 30, 950)}};
+    m.mb_up = both(Curve{{pt(2015, 10, 23, 5), pt(2017, 9, 30, 8)}});
+    // §4.3: weekly reach (18%/12% FTTH/ADSL) far exceeds daily popularity —
+    // many subscribers watch a few evenings a week, not every day.
+    m.adoption_spread = 2.6;
+    m.volume_sigma = 0.7;
+    m.base_flows = 4;
+    m.flows_per_mb = 0.02;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2015, 10, 23, 0.70), pt(2016, 12, 1, 0.25),
+                                       pt(2017, 9, 30, 0.12)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2015, 10, 23, 0.30), pt(2016, 12, 1, 0.70),
+                                      pt(2017, 9, 30, 0.83)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 12, 1, 0.0), pt(2017, 9, 30, 0.05)}};
+    m.pools.push_back(pool("nflx-oca", "nflxvideo.net", "ipv4-c001-mxp001-", kNflx,
+                           "45.57.0.0/17",
+                           ips(Curve{{pt(2015, 10, 23, 15), pt(2017, 9, 30, 45)}}),
+                           Curve(0.9), 5.5));
+    m.pools.push_back(pool("nflx-api", "netflix.com", "api-", kNflx, "45.57.0.0/17",
+                           ips(Curve{{pt(2015, 10, 23, 6), pt(2017, 9, 30, 10)}}),
+                           Curve(0.1), 95.0));
+    services.push_back(std::move(m));
+  }
+
+  // --------------------------------------------------------------- P2P
+  {
+    ServiceModel m;
+    m.id = ServiceId::kPeerToPeer;
+    m.is_p2p = true;
+    m.bimodal_days = true;
+    m.appetite_weight = 1.0;
+    // Fig. 6a: popularity decays all along; FTTH users abandon volume
+    // earlier; the hardcore keeps ~400 MB/day until a late-2016 decline.
+    m.popularity[0] = Curve{{pt(2013, 3, 1, 0.105), pt(2015, 1, 1, 0.065),
+                             pt(2016, 10, 1, 0.045), pt(2017, 9, 30, 0.028)}};
+    m.popularity[1] = Curve{{pt(2013, 3, 1, 0.115), pt(2015, 1, 1, 0.060),
+                             pt(2016, 10, 1, 0.040), pt(2017, 9, 30, 0.025)}};
+    m.mb_down[0] = Curve{{pt(2013, 3, 1, 400), pt(2016, 10, 1, 390), pt(2017, 9, 30, 260)}};
+    m.mb_down[1] = Curve{{pt(2013, 3, 1, 430), pt(2015, 6, 1, 380), pt(2016, 6, 1, 300),
+                          pt(2017, 9, 30, 220)}};
+    // ADSL uplink is capped at 1 Mb/s (~10 GB/day theoretical, real shares
+    // far less); FTTH seeds harder — the Fig. 2b upload tail bump.
+    m.mb_up[0] = Curve{{pt(2013, 3, 1, 350), pt(2016, 10, 1, 330), pt(2017, 9, 30, 200)}};
+    m.mb_up[1] = Curve{{pt(2013, 3, 1, 700), pt(2015, 6, 1, 520), pt(2017, 9, 30, 260)}};
+    m.volume_sigma = 1.1;
+    m.base_flows = 30;
+    m.flows_per_mb = 0.1;
+    services.push_back(std::move(m));
+  }
+
+  // ----------------------------------------------------------- SnapChat
+  {
+    ServiceModel m;
+    m.id = ServiceId::kSnapChat;
+    // Fig. 7a: fame from 2015, ~10% in 2016, volume crash during 2017
+    // while popularity barely moves (app kept, hardly used).
+    m.popularity = both(Curve{{pt(2014, 6, 1, 0.0), pt(2015, 1, 1, 0.02), pt(2015, 9, 1, 0.06),
+                               pt(2016, 4, 1, 0.10), pt(2016, 12, 1, 0.095),
+                               pt(2017, 9, 30, 0.085)}});
+    m.mb_down = both(Curve{{pt(2014, 6, 1, 10), pt(2015, 9, 1, 55), pt(2016, 4, 1, 95),
+                            pt(2016, 10, 1, 80), pt(2017, 3, 1, 35), pt(2017, 9, 30, 16)}});
+    m.mb_up = both(Curve{{pt(2014, 6, 1, 3), pt(2016, 4, 1, 25), pt(2017, 9, 30, 4)}});
+    m.base_flows = 6;
+    m.flows_per_mb = 0.3;
+    m.protocol[wp(WP::kTls)] = Curve(1.0);
+    m.pools.push_back(pool("sc-gcloud", "sc-cdn.net", "gcs-sc-", kGoog, "35.190.0.0/17",
+                           ips(Curve{{pt(2014, 6, 1, 10), pt(2016, 4, 1, 40),
+                                      pt(2017, 9, 30, 25)}}),
+                           Curve(1.0), 19.0));
+    services.push_back(std::move(m));
+  }
+
+  // ----------------------------------------------------------- WhatsApp
+  {
+    ServiceModel m;
+    m.id = ServiceId::kWhatsApp;
+    m.holiday_peaks = true;  // Christmas / New Year's Eve wish storms
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.18), pt(2014, 6, 1, 0.32), pt(2015, 6, 1, 0.45),
+                               pt(2016, 6, 1, 0.53), pt(2017, 9, 30, 0.56)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 1.5), pt(2015, 1, 1, 4), pt(2016, 6, 1, 7),
+                            pt(2017, 9, 30, 10)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 1.2), pt(2015, 1, 1, 3), pt(2017, 9, 30, 8)}});
+    m.volume_sigma = 1.0;
+    m.base_flows = 8;
+    m.flows_per_mb = 0.8;
+    m.protocol[wp(WP::kTls)] = Curve(1.0);  // proprietary chat rides TLS-ish
+    // §6.1: WhatsApp is the notable exception — still centralized, ~100 ms.
+    m.pools.push_back(pool("wa-dc", "whatsapp.net", "mmx-ds-", 36351, "158.85.0.0/16",
+                           ips(Curve{{pt(2013, 3, 1, 30), pt(2017, 9, 30, 60)}}),
+                           Curve(1.0), 103.0));
+    services.push_back(std::move(m));
+  }
+
+  // ----------------------------------------------------------- Telegram
+  {
+    ServiceModel m;
+    m.id = ServiceId::kTelegram;
+    m.popularity = both(Curve{{pt(2013, 9, 1, 0.0), pt(2015, 1, 1, 0.015), pt(2016, 6, 1, 0.04),
+                               pt(2017, 9, 30, 0.06)}});
+    m.mb_down = both(Curve{{pt(2013, 9, 1, 0.8), pt(2017, 9, 30, 4)}});
+    m.mb_up = both(Curve{{pt(2013, 9, 1, 0.5), pt(2017, 9, 30, 2.5)}});
+    m.base_flows = 5;
+    m.flows_per_mb = 1.0;
+    m.protocol[wp(WP::kTls)] = Curve(1.0);
+    m.pools.push_back(pool("tg-dc", "telegram.org", "dc4-", 62041, "149.154.160.0/20",
+                           ips(Curve{{pt(2013, 9, 1, 8), pt(2017, 9, 30, 20)}}), Curve(1.0),
+                           41.0));
+    services.push_back(std::move(m));
+  }
+
+  // -------------------------------------------------------------- Skype
+  {
+    ServiceModel m;
+    m.id = ServiceId::kSkype;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.11), pt(2015, 6, 1, 0.09), pt(2017, 9, 30, 0.055)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 6), pt(2017, 9, 30, 5)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 5), pt(2017, 9, 30, 4)}});
+    m.base_flows = 6;
+    m.flows_per_mb = 0.8;
+    m.protocol[wp(WP::kTls)] = Curve(0.7);
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.3), pt(2017, 9, 30, 0.1)}};
+    m.pools.push_back(pool("skype-az", "skype.com", "relay-", 8075, "40.112.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 40), pt(2017, 9, 30, 30)}}), Curve(1.0),
+                           29.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------------ Spotify
+  {
+    ServiceModel m;
+    m.id = ServiceId::kSpotify;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.02), pt(2015, 6, 1, 0.045), pt(2017, 9, 30, 0.07)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 30), pt(2017, 9, 30, 60)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 2), pt(2017, 9, 30, 3)}});
+    m.base_flows = 5;
+    m.flows_per_mb = 0.15;
+    m.protocol[wp(WP::kTls)] = Curve(0.8);
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.2), pt(2017, 9, 30, 0.05)}};
+    m.pools.push_back(pool("spotify-eu", "scdn.co", "audio-ak-", 8403, "194.132.196.0/22",
+                           ips(Curve{{pt(2013, 3, 1, 12), pt(2017, 9, 30, 25)}}), Curve(1.0),
+                           23.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------- Search rest
+  {
+    ServiceModel m;
+    m.id = ServiceId::kBing;
+    // Windows telemetry makes "Bing users" grow 15% → 45% (§4.1).
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.14), pt(2015, 6, 1, 0.28), pt(2017, 9, 30, 0.45)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 0.8), pt(2017, 9, 30, 1.6)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 0.3), pt(2017, 9, 30, 0.6)}});
+    m.base_flows = 6;
+    m.flows_per_mb = 2.0;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.6), pt(2017, 9, 30, 0.1)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.4), pt(2017, 9, 30, 0.8)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 6, 1, 0.0), pt(2017, 9, 30, 0.1)}};
+    m.pools.push_back(pool("bing-fe", "bing.com", "a-", 8075, "204.79.196.0/23",
+                           ips(Curve{{pt(2013, 3, 1, 6), pt(2017, 9, 30, 10)}}), Curve(1.0),
+                           18.0));
+    services.push_back(std::move(m));
+  }
+  {
+    ServiceModel m;
+    m.id = ServiceId::kDuckDuckGo;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.001), pt(2017, 9, 30, 0.003)}});
+    m.mb_down = both(Curve(0.5));
+    m.mb_up = both(Curve(0.15));
+    m.base_flows = 4;
+    m.flows_per_mb = 2.0;
+    m.protocol[wp(WP::kTls)] = Curve(1.0);
+    m.pools.push_back(pool("ddg", "duckduckgo.com", "ddg-", 14618, "50.16.0.0/16",
+                           ips(Curve(4)), Curve(1.0), 96.0));
+    services.push_back(std::move(m));
+  }
+
+  // -------------------------------------------------------- Social rest
+  {
+    ServiceModel m;
+    m.id = ServiceId::kTwitter;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.08), pt(2017, 9, 30, 0.12)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 5), pt(2017, 9, 30, 16)}});
+    m.mb_up = both(Curve{{pt(2013, 3, 1, 0.8), pt(2017, 9, 30, 2.5)}});
+    m.base_flows = 6;
+    m.flows_per_mb = 0.6;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.3), pt(2017, 9, 30, 0.02)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.7), pt(2016, 6, 1, 0.9), pt(2017, 9, 30, 0.85)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 6, 1, 0.0), pt(2017, 9, 30, 0.13)}};
+    m.pools.push_back(pool("twtr", "twimg.com", "cdn-", 13414, "104.244.40.0/21",
+                           ips(Curve{{pt(2013, 3, 1, 12), pt(2017, 9, 30, 18)}}), Curve(1.0),
+                           26.0));
+    services.push_back(std::move(m));
+  }
+  {
+    ServiceModel m;
+    m.id = ServiceId::kLinkedIn;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.03), pt(2017, 9, 30, 0.06)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 2), pt(2017, 9, 30, 4.5)}});
+    m.mb_up = both(Curve(0.5));
+    m.base_flows = 5;
+    m.flows_per_mb = 1.0;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.5), pt(2017, 9, 30, 0.05)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.5), pt(2017, 9, 30, 0.95)}};
+    m.pools.push_back(pool("lnkd", "licdn.com", "media-", 14413, "108.174.0.0/20",
+                           ips(Curve(8)), Curve(1.0), 31.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------------------- Adult
+  {
+    ServiceModel m;
+    m.id = ServiceId::kAdult;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.075), pt(2017, 9, 30, 0.085)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 60), pt(2017, 9, 30, 130)}});
+    m.mb_up = both(Curve(2.0));
+    m.volume_sigma = 1.0;
+    m.base_flows = 6;
+    m.flows_per_mb = 0.1;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.9), pt(2016, 1, 1, 0.5), pt(2017, 9, 30, 0.25)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.1), pt(2016, 1, 1, 0.5), pt(2017, 9, 30, 0.75)}};
+    m.pools.push_back(pool("adult-cdn", "phncdn.com", "cv-", 61049, "31.192.112.0/20",
+                           ips(Curve{{pt(2013, 3, 1, 25), pt(2017, 9, 30, 40)}}), Curve(1.0),
+                           21.0));
+    services.push_back(std::move(m));
+  }
+
+  // ----------------------------------------------------------- Shopping
+  {
+    ServiceModel m;
+    m.id = ServiceId::kAmazon;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.05), pt(2015, 6, 1, 0.09), pt(2017, 9, 30, 0.16)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 4), pt(2017, 9, 30, 18)}});
+    m.mb_up = both(Curve(1.0));
+    m.base_flows = 8;
+    m.flows_per_mb = 0.8;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.5), pt(2017, 9, 30, 0.08)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.5), pt(2017, 9, 30, 0.8)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 6, 1, 0.0), pt(2017, 9, 30, 0.12)}};
+    m.pools.push_back(pool("amzn-cf", "media-amazon.com", "dtb-", 16509, "52.84.0.0/15",
+                           ips(Curve{{pt(2013, 3, 1, 30), pt(2017, 9, 30, 80)}}), Curve(0.7),
+                           13.0));
+    m.pools.push_back(pool("amzn-fe", "amazon.it", "www-", 16509, "52.84.0.0/15",
+                           ips(Curve(10)), Curve(0.3), 34.0));
+    services.push_back(std::move(m));
+  }
+  {
+    ServiceModel m;
+    m.id = ServiceId::kEbay;
+    m.popularity = both(Curve{{pt(2013, 3, 1, 0.08), pt(2015, 6, 1, 0.07), pt(2017, 9, 30, 0.055)}});
+    m.mb_down = both(Curve{{pt(2013, 3, 1, 3), pt(2017, 9, 30, 5)}});
+    m.mb_up = both(Curve(0.8));
+    m.base_flows = 7;
+    m.flows_per_mb = 1.0;
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.7), pt(2017, 9, 30, 0.15)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.3), pt(2017, 9, 30, 0.85)}};
+    m.pools.push_back(pool("ebay", "ebaystatic.com", "p-", 62955, "66.135.192.0/19",
+                           ips(Curve(12)), Curve(1.0), 27.0));
+    services.push_back(std::move(m));
+  }
+
+  // ------------------------------------------------- Other (long tail)
+  {
+    ServiceModel m;
+    m.id = ServiceId::kOther;
+    m.popularity = both(Curve(1.0));  // every active subscriber browses
+    m.bimodal_days = true;
+    m.appetite_weight = 1.0;
+    m.volume_sigma = 1.0;
+    m.base_flows = 28;
+    m.flows_per_mb = 0.06;
+    m.summer_dip = true;  // the FTTH business-profile holiday dips (Fig. 3)
+    // Overall HTTPS creep: ~13% TLS in 2013 → HTTP down to ~25% of web
+    // traffic at the end of 2017 (Fig. 8).
+    m.protocol[wp(WP::kHttp)] = Curve{{pt(2013, 3, 1, 0.885), pt(2014, 6, 1, 0.78),
+                                       pt(2015, 6, 1, 0.60), pt(2016, 6, 1, 0.49),
+                                       pt(2017, 9, 30, 0.40)}};
+    m.protocol[wp(WP::kTls)] = Curve{{pt(2013, 3, 1, 0.115), pt(2014, 6, 1, 0.20),
+                                      pt(2015, 6, 1, 0.36), pt(2016, 6, 1, 0.43),
+                                      pt(2017, 9, 30, 0.46)}};
+    m.protocol[wp(WP::kSpdy)] = Curve{{pt(2014, 1, 1, 0.0), pt(2015, 1, 1, 0.04),
+                                       pt(2016, 2, 14, 0.04), pt(2016, 9, 1, 0.0)}};
+    m.protocol[wp(WP::kHttp2)] = Curve{{pt(2016, 2, 14, 0.0), pt(2016, 9, 1, 0.06),
+                                        pt(2017, 9, 30, 0.14)}};
+    // mb_down/mb_up are auto-calibrated below.
+    m.pools.push_back(pool("akamai-eu", "akamaihd.net", "e-", kAkamai, "2.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 700), pt(2017, 9, 30, 900)}}),
+                           Curve(0.28), 12.0));
+    m.pools.push_back(pool("cdn77", "cdn-generic.net", "cf-", 13335, "104.16.0.0/13",
+                           ips(Curve{{pt(2013, 3, 1, 300), pt(2017, 9, 30, 900)}}),
+                           Curve{{pt(2013, 3, 1, 0.18), pt(2017, 9, 30, 0.30)}}, 8.5));
+    m.pools.push_back(pool("misc-web", "varied-web.org", "w-", 15133, "93.184.0.0/16",
+                           ips(Curve(1200)), Curve(0.3), 36.0));
+    m.pools.push_back(pool("transit-telia", "far-sites.com", "t-", kTelia, "62.115.0.0/16",
+                           ips(Curve(300)), Curve(0.09), 58.0));
+    m.pools.push_back(pool("transit-gtt", "overseas.net", "g-", kGtt, "89.149.128.0/17",
+                           ips(Curve(300)), Curve(0.08), 118.0));
+    services.push_back(std::move(m));
+  }
+
+  // ---- auto-calibrate "Other" so totals match the Fig. 3 targets --------
+  // Targets: ADSL 300→700 MB/day down (FTTH +25%, topping 1 GB);
+  // ADSL upload flat ~45 MB (bottlenecked), FTTH 65→100 MB.
+  const Curve target_down[2] = {
+      Curve{{pt(2013, 3, 1, 300), pt(2017, 9, 30, 700)}},
+      Curve{{pt(2013, 3, 1, 375), pt(2017, 9, 30, 1000)}},
+  };
+  const Curve target_up[2] = {
+      Curve{{pt(2013, 3, 1, 46), pt(2017, 9, 30, 48)}},
+      Curve{{pt(2013, 3, 1, 65), pt(2017, 9, 30, 100)}},
+  };
+  ServiceModel& other = services.back();
+  for (int t = 0; t < 2; ++t) {
+    std::vector<Curve::Point> down_points, up_points;
+    for (core::MonthIndex m{2013, 3}; m <= core::MonthIndex{2017, 10}; m = m + 1) {
+      const core::CivilDate date = m.first_day();
+      double named_down = 0, named_up = 0;
+      for (const auto& svc : services) {
+        if (svc.id == ServiceId::kOther) continue;
+        const double pop = svc.popularity[static_cast<std::size_t>(t)].at(date);
+        named_down += pop * svc.mb_down[static_cast<std::size_t>(t)].at(date);
+        named_up += pop * svc.mb_up[static_cast<std::size_t>(t)].at(date);
+      }
+      down_points.push_back(
+          {date, std::max(40.0, target_down[t].at(date) - named_down)});
+      up_points.push_back({date, std::max(8.0, target_up[t].at(date) - named_up)});
+    }
+    other.mb_down[static_cast<std::size_t>(t)] = Curve{};
+    other.mb_up[static_cast<std::size_t>(t)] = Curve{};
+    // Curve has no point-append API by design; rebuild via initializer is
+    // impossible for runtime data, so expose the vector constructor path:
+    other.mb_down[static_cast<std::size_t>(t)] = Curve::from_points(down_points);
+    other.mb_up[static_cast<std::size_t>(t)] = Curve::from_points(up_points);
+  }
+
+  return sc;
+}
+
+}  // namespace edgewatch::synth

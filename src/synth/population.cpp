@@ -1,0 +1,67 @@
+#include "synth/population.hpp"
+
+#include <cmath>
+
+namespace edgewatch::synth {
+
+SubscriberPopulation::SubscriberPopulation(PopulationConfig config) : config_(config) {
+  const std::int64_t start = core::days_from_civil(config_.start);
+  const std::int64_t end = core::days_from_civil(config_.end);
+  const std::int64_t span = end - start;
+  lines_.reserve(config_.adsl_lines + config_.ftth_lines);
+
+  auto make_line = [&](flow::AccessTech tech, std::uint32_t index) {
+    core::Xoshiro256 rng{core::mix64(config_.seed, static_cast<std::uint64_t>(tech) + 100,
+                                     index)};
+    Subscriber sub;
+    sub.line = index;
+    sub.access = tech;
+    sub.ip = line_address(tech, index);
+    // Heavy-tail appetites: a minority of lines moves tens of GB per day
+    // (the Fig. 2 heavy-usage tail).
+    sub.appetite = core::lognormal(rng, 0.0, 0.9);
+    sub.adopter_rank = core::uniform01(rng);
+    sub.activity = 0.70 + 0.28 * core::uniform01(rng);
+
+    if (tech == flow::AccessTech::kAdsl) {
+      sub.join_day = start;
+      // A `adsl_churn` fraction leaves at a uniform time in the window.
+      sub.leave_day = core::chance(rng, config_.adsl_churn)
+                          ? start + 1 +
+                                static_cast<std::int64_t>(core::uniform01(rng) *
+                                                          static_cast<double>(span - 1))
+                          : end;
+    } else {
+      // A `ftth_rampup` fraction joins at a uniform time (fiber rollouts).
+      sub.join_day = core::chance(rng, config_.ftth_rampup)
+                         ? start + 1 +
+                               static_cast<std::int64_t>(core::uniform01(rng) *
+                                                         static_cast<double>(span - 1))
+                         : start;
+      sub.leave_day = end;
+    }
+    return sub;
+  };
+
+  for (std::uint32_t i = 0; i < config_.adsl_lines; ++i) {
+    lines_.push_back(make_line(flow::AccessTech::kAdsl, i));
+  }
+  for (std::uint32_t i = 0; i < config_.ftth_lines; ++i) {
+    lines_.push_back(make_line(flow::AccessTech::kFtth, i));
+  }
+}
+
+std::size_t SubscriberPopulation::present_on(std::int64_t day) const noexcept {
+  std::size_t n = 0;
+  for (const auto& line : lines_) n += line.present_on(day);
+  return n;
+}
+
+std::size_t SubscriberPopulation::present_on(std::int64_t day,
+                                             flow::AccessTech tech) const noexcept {
+  std::size_t n = 0;
+  for (const auto& line : lines_) n += line.present_on(day) && line.access == tech;
+  return n;
+}
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,78 @@
+// The subscriber population of the two monitored PoPs (paper §2.1:
+// >10000 ADSL and 5000 FTTH lines; steady ADSL churn and FTTH growth over
+// the 5 years). Scaled down by default so laptop runs finish in seconds —
+// the analytics normalize per active subscriber, so scale cancels out.
+//
+// Every subscriber attribute is derived deterministically from (seed,
+// line index) so population generation is order-independent and two runs
+// of the same scenario agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "core/types.hpp"
+#include "flow/record.hpp"
+
+namespace edgewatch::synth {
+
+struct PopulationConfig {
+  std::size_t adsl_lines = 600;
+  std::size_t ftth_lines = 300;
+  std::uint64_t seed = 1;
+  core::CivilDate start{2013, 3, 1};
+  core::CivilDate end{2017, 10, 1};
+  /// Fraction of ADSL lines that churn away across the whole window.
+  double adsl_churn = 0.25;
+  /// Fraction of FTTH lines not yet installed at the window start (they
+  /// join progressively — technology upgrades).
+  double ftth_rampup = 0.45;
+};
+
+struct Subscriber {
+  std::uint32_t line = 0;
+  core::IPv4Address ip;  ///< Real (pre-anonymization) address of the line.
+  flow::AccessTech access = flow::AccessTech::kAdsl;
+  std::int64_t join_day = 0;   ///< First day the line exists.
+  std::int64_t leave_day = 0;  ///< First day it no longer does.
+  /// Multiplicative traffic appetite (lognormal, median 1): who the heavy
+  /// users are.
+  double appetite = 1.0;
+  /// Uniform [0,1) adopter rank: low = early adopter of new services.
+  double adopter_rank = 0.5;
+  /// Propensity to be active on any given day (paper: ~80% on average).
+  double activity = 0.8;
+
+  [[nodiscard]] bool present_on(std::int64_t day) const noexcept {
+    return day >= join_day && day < leave_day;
+  }
+};
+
+class SubscriberPopulation {
+ public:
+  explicit SubscriberPopulation(PopulationConfig config);
+
+  [[nodiscard]] const std::vector<Subscriber>& lines() const noexcept { return lines_; }
+  [[nodiscard]] const PopulationConfig& config() const noexcept { return config_; }
+
+  /// Lines present on a day (both techs).
+  [[nodiscard]] std::size_t present_on(std::int64_t day) const noexcept;
+  [[nodiscard]] std::size_t present_on(std::int64_t day, flow::AccessTech tech) const noexcept;
+
+  /// ADSL lines live in 10.0.0.0/9, FTTH in 10.128.0.0/9 (matches the
+  /// probe's default ProbeConfig prefixes).
+  [[nodiscard]] static core::IPv4Address line_address(flow::AccessTech tech,
+                                                      std::uint32_t line) noexcept {
+    const std::uint32_t base =
+        tech == flow::AccessTech::kFtth ? 0x0A800000u : 0x0A000000u;  // 10.128/9 : 10.0/9
+    return core::IPv4Address{base + 0x100u + line};
+  }
+
+ private:
+  PopulationConfig config_;
+  std::vector<Subscriber> lines_;
+};
+
+}  // namespace edgewatch::synth

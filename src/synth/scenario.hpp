@@ -1,0 +1,51 @@
+// A Scenario bundles everything the generator needs: the population, the
+// per-service models, the probe-software timeline, the hour-of-day
+// profiles, and the (synthetic) routing table. build_paper_scenario()
+// constructs the scenario that encodes the paper's five years; tests and
+// benches may build smaller custom scenarios.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "asn/lpm.hpp"
+#include "synth/population.hpp"
+#include "synth/service_model.hpp"
+
+namespace edgewatch::synth {
+
+struct Scenario {
+  PopulationConfig population;
+  std::vector<ServiceModel> services;  ///< Includes the "Other" catch-all.
+
+  /// Hour-of-day start-time weights (24 entries each) for the beginning
+  /// and the end of the study; interpolated in between. The 2017 profile
+  /// has a fatter night (automatic updates, IoT) — the Fig. 4 effect.
+  std::array<double, 24> hour_profile_2014{};
+  std::array<double, 24> hour_profile_2017{};
+
+  /// Probe upgrade dates (paper events C and F).
+  core::CivilDate spdy_reported_from{2015, 6, 15};
+  core::CivilDate fbzero_deployed{2016, 11, 10};
+
+  /// Synthetic RIB covering every pool prefix (plus transit filler).
+  std::shared_ptr<asn::Rib> rib;
+
+  /// Probability that a present-but-inactive line still emits background
+  /// chatter (gateway beacons, port scans answered...).
+  double background_chance = 0.9;
+
+  [[nodiscard]] const ServiceModel* find(services::ServiceId id) const noexcept {
+    for (const auto& s : services) {
+      if (s.id == id) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// The scenario reproducing the paper (see DESIGN.md for the per-figure
+/// parameter provenance). `scale` multiplies population and infrastructure
+/// sizes (1.0 = the default laptop scale of ~900 lines, not the real ISP).
+[[nodiscard]] Scenario build_paper_scenario(std::uint64_t seed = 1, double scale = 1.0);
+
+}  // namespace edgewatch::synth

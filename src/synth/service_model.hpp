@@ -1,0 +1,72 @@
+// Per-service behavioural models: the knobs that encode the paper's
+// findings as generative parameters. Each service has time-varying
+// popularity and per-user volume (per access technology), a web-protocol
+// mix (Fig. 8 events), and a set of server pools describing its
+// infrastructure evolution (Figs. 10/11).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "core/types.hpp"
+#include "services/catalog.hpp"
+#include "synth/curve.hpp"
+
+namespace edgewatch::synth {
+
+/// A pool of surrogate servers: one (infrastructure, placement, domain)
+/// combination. Pools with the same `key` and prefix expose the same IPs —
+/// that is how shared CDN infrastructure (e.g. Akamai serving Facebook,
+/// Instagram and plenty of Other) is modelled.
+struct ServerPool {
+  std::string key;          ///< IP-derivation identity.
+  std::string domain;       ///< Second-level domain served from this pool.
+  std::string host_prefix;  ///< Hostname label prefix, e.g. "edge".
+  std::uint32_t asn = 0;
+  core::IPv4Prefix prefix;
+  Curve daily_ips;   ///< Active addresses per day (0 = pool dormant).
+  Curve share;       ///< Relative weight among the service's pools.
+  double rtt_ms = 20.0;  ///< Probe→server base RTT.
+};
+
+struct ServiceModel {
+  services::ServiceId id = services::ServiceId::kOther;
+
+  /// Popularity: fraction of *active* subscribers using the service per
+  /// day; indexed by AccessTech.
+  std::array<Curve, 2> popularity;
+  /// Mean MB/day down/up per using subscriber; indexed by AccessTech.
+  std::array<Curve, 2> mb_down;
+  std::array<Curve, 2> mb_up;
+
+  /// Adopter pool relative to daily popularity: adoption(t) =
+  /// min(1, popularity(t) * adoption_spread). 1.3 ≈ near-daily habit
+  /// (social apps); ~2 ≈ a wider pool of occasional users (VoD: §4.3's
+  /// weekly Netflix reach is well above its daily popularity).
+  double adoption_spread = 1.3;
+
+  /// Lognormal dispersion of per-user-day volume around the mean.
+  double volume_sigma = 0.8;
+  /// How strongly the subscriber's global appetite shapes this service
+  /// (1 = fully, 0 = not at all).
+  double appetite_weight = 0.3;
+  /// Expected flows: base + per-MB component.
+  double base_flows = 4.0;
+  double flows_per_mb = 0.15;
+
+  /// Weight curves per WebProtocol index (kNotWeb entry unused).
+  std::array<Curve, analytics::kWebProtocolCount> protocol;
+
+  std::vector<ServerPool> pools;
+
+  bool is_p2p = false;          ///< BitTorrent/eDonkey semantics.
+  bool holiday_peaks = false;   ///< WhatsApp-style Christmas/NYE spikes.
+  bool summer_dip = false;      ///< Business-profile slowdown in Jul/Aug.
+  /// Bimodal day types (light vs bulk days, Fig. 2); applied to browsing
+  /// and P2P rather than to on-demand video.
+  bool bimodal_days = false;
+};
+
+}  // namespace edgewatch::synth

@@ -1,0 +1,106 @@
+// LPM trie correctness (incl. property test vs linear scan) and RIB/ASN
+// directory behaviour.
+#include <gtest/gtest.h>
+
+#include "asn/lpm.hpp"
+#include "core/rng.hpp"
+
+namespace ew = edgewatch;
+using ew::asn::AsnDirectory;
+using ew::asn::PrefixTrie;
+using ew::asn::Rib;
+using ew::core::IPv4Address;
+using ew::core::IPv4Prefix;
+
+namespace {
+IPv4Prefix pfx(const char* s) {
+  auto p = IPv4Prefix::parse(s);
+  EXPECT_TRUE(p.has_value()) << s;
+  return *p;
+}
+}  // namespace
+
+TEST(PrefixTrie, LongestMatchWins) {
+  PrefixTrie trie;
+  trie.insert(pfx("157.240.0.0/16"), 32934);
+  trie.insert(pfx("157.240.20.0/24"), 99999);
+  EXPECT_EQ(trie.lookup(IPv4Address{157, 240, 20, 5}), 99999u);
+  EXPECT_EQ(trie.lookup(IPv4Address{157, 240, 21, 5}), 32934u);
+  EXPECT_FALSE(trie.lookup(IPv4Address{8, 8, 8, 8}).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteCoversEverything) {
+  PrefixTrie trie;
+  trie.insert(pfx("0.0.0.0/0"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.lookup(IPv4Address{8, 8, 8, 8}), 1u);
+  EXPECT_EQ(trie.lookup(IPv4Address{10, 1, 1, 1}), 2u);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie trie;
+  trie.insert(pfx("1.2.3.4/32"), 7);
+  EXPECT_EQ(trie.lookup(IPv4Address{1, 2, 3, 4}), 7u);
+  EXPECT_FALSE(trie.lookup(IPv4Address{1, 2, 3, 5}).has_value());
+}
+
+TEST(PrefixTrie, OverwriteKeepsPrefixCount) {
+  PrefixTrie trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.prefix_count(), 1u);
+  EXPECT_EQ(trie.lookup(IPv4Address{10, 0, 0, 1}), 2u);
+}
+
+// Property: the trie agrees with brute-force linear scan on random RIBs.
+TEST(PrefixTrie, AgreesWithLinearScanOnRandomRibs) {
+  ew::core::Xoshiro256 rng{4242};
+  for (int trial = 0; trial < 5; ++trial) {
+    Rib rib;
+    const int n_routes = 300;
+    for (int i = 0; i < n_routes; ++i) {
+      const auto addr = static_cast<std::uint32_t>(rng());
+      const auto len = static_cast<std::uint8_t>(8 + ew::core::uniform_below(rng, 25));  // 8..32
+      rib.add_route(IPv4Prefix{IPv4Address{addr}, len},
+                    static_cast<std::uint32_t>(ew::core::uniform_below(rng, 70000)));
+    }
+    for (int q = 0; q < 2000; ++q) {
+      // Half the queries are random; half target near a route base so
+      // matches actually occur.
+      IPv4Address addr{static_cast<std::uint32_t>(rng())};
+      if (q % 2 == 0) {
+        const auto& route = rib.routes()[ew::core::uniform_below(rng, rib.routes().size())];
+        addr = IPv4Address{route.first.base().value() |
+                           (static_cast<std::uint32_t>(rng()) &
+                            static_cast<std::uint32_t>(route.first.size() - 1))};
+      }
+      EXPECT_EQ(rib.origin_asn(addr), rib.origin_asn_linear(addr)) << addr.to_string();
+    }
+  }
+}
+
+TEST(Rib, RouteCountTracksInsertions) {
+  Rib rib;
+  rib.add_route(pfx("31.13.64.0/18"), AsnDirectory::kFacebook);
+  rib.add_route(pfx("173.194.0.0/16"), AsnDirectory::kGoogle);
+  EXPECT_EQ(rib.route_count(), 2u);
+  EXPECT_EQ(rib.origin_asn(IPv4Address{31, 13, 86, 36}), AsnDirectory::kFacebook);
+  EXPECT_EQ(rib.origin_asn(IPv4Address{173, 194, 1, 1}), AsnDirectory::kGoogle);
+}
+
+TEST(AsnDirectory, StandardNamesMatchPaperFigures) {
+  const auto& dir = AsnDirectory::standard();
+  EXPECT_EQ(dir.name(AsnDirectory::kFacebook), "FACEBOOK");
+  EXPECT_EQ(dir.name(AsnDirectory::kGoogle), "GOOGLE");
+  EXPECT_EQ(dir.name(AsnDirectory::kAkamai), "AKAMAI");
+  EXPECT_EQ(dir.name(AsnDirectory::kTelia), "TELIANET");
+  EXPECT_EQ(dir.name(AsnDirectory::kGtt), "GTT");
+  EXPECT_EQ(dir.name(AsnDirectory::kIsp), "ISP");
+  EXPECT_EQ(dir.name(12345), "OTHER");
+}
+
+TEST(AsnDirectory, SetOverridesName) {
+  AsnDirectory dir;
+  dir.set(65000, "TESTNET");
+  EXPECT_EQ(dir.name(65000), "TESTNET");
+}

@@ -1,0 +1,255 @@
+// DNS message parsing (incl. compression) and DN-Hunter cache behaviour.
+#include <gtest/gtest.h>
+
+#include "core/bytes.hpp"
+#include "dns/dnhunter.hpp"
+#include "dns/message.hpp"
+
+namespace ew = edgewatch;
+using ew::core::IPv4Address;
+using ew::core::Timestamp;
+
+namespace {
+Timestamp at(std::int64_t seconds) { return Timestamp::from_seconds(seconds); }
+}  // namespace
+
+TEST(DnsMessage, SerializeParseRoundTrip) {
+  const IPv4Address addrs[] = {IPv4Address{31, 13, 86, 36}, IPv4Address{31, 13, 86, 37}};
+  const auto msg = ew::dns::make_a_response(0x1234, "Facebook.COM.", addrs, 60);
+  const auto wire = ew::dns::serialize(msg);
+  const auto back = ew::dns::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->is_response);
+  EXPECT_EQ(back->id, 0x1234);
+  ASSERT_EQ(back->questions.size(), 1u);
+  EXPECT_EQ(back->questions[0].name, "facebook.com");
+  ASSERT_EQ(back->answers.size(), 2u);
+  EXPECT_EQ(back->answers[0].type, ew::dns::RecordType::kA);
+  EXPECT_EQ(back->answers[0].address, addrs[0]);
+  EXPECT_EQ(back->answers[1].address, addrs[1]);
+  EXPECT_EQ(back->answers[0].ttl, 60u);
+}
+
+TEST(DnsMessage, CnameChainRoundTrip) {
+  ew::dns::Message msg;
+  msg.id = 7;
+  msg.is_response = true;
+  msg.questions.push_back({"www.netflix.com", 1, 1});
+  ew::dns::Answer cname;
+  cname.name = "www.netflix.com";
+  cname.type = ew::dns::RecordType::kCname;
+  cname.cname = "apex.nflxvideo.net";
+  cname.ttl = 300;
+  msg.answers.push_back(cname);
+  ew::dns::Answer a;
+  a.name = "apex.nflxvideo.net";
+  a.type = ew::dns::RecordType::kA;
+  a.address = IPv4Address{45, 57, 3, 1};
+  msg.answers.push_back(a);
+
+  const auto back = ew::dns::parse(ew::dns::serialize(msg));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->answers.size(), 2u);
+  EXPECT_EQ(back->answers[0].cname, "apex.nflxvideo.net");
+  EXPECT_EQ(back->answers[1].address, (IPv4Address{45, 57, 3, 1}));
+}
+
+TEST(DnsMessage, ParsesCompressedNames) {
+  // Hand-built response: question "a.example.com", answer name via pointer
+  // to offset 12 (question name), A record.
+  ew::core::ByteWriter w;
+  w.u16(0xabcd);  // id
+  w.u16(0x8000);  // QR=1
+  w.u16(1);       // QDCOUNT
+  w.u16(1);       // ANCOUNT
+  w.u16(0);
+  w.u16(0);
+  // question name at offset 12
+  w.u8(1);
+  w.string("a");
+  w.u8(7);
+  w.string("example");
+  w.u8(3);
+  w.string("com");
+  w.u8(0);
+  w.u16(1);  // qtype A
+  w.u16(1);  // qclass IN
+  // answer: pointer to offset 12
+  w.u8(0xc0);
+  w.u8(12);
+  w.u16(1);  // type A
+  w.u16(1);  // class
+  w.u32(120);
+  w.u16(4);
+  w.u32(IPv4Address{93, 184, 216, 34}.value());
+
+  const auto msg = ew::dns::parse(w.view());
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->answers.size(), 1u);
+  EXPECT_EQ(msg->answers[0].name, "a.example.com");
+  EXPECT_EQ(msg->answers[0].address, (IPv4Address{93, 184, 216, 34}));
+}
+
+TEST(DnsMessage, RejectsPointerLoops) {
+  ew::core::ByteWriter w;
+  w.u16(1);
+  w.u16(0x8000);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  // Name at offset 12 is a pointer to itself.
+  w.u8(0xc0);
+  w.u8(12);
+  w.u16(1);
+  w.u16(1);
+  EXPECT_FALSE(ew::dns::parse(w.view()).has_value());
+}
+
+TEST(DnsMessage, RejectsTruncated) {
+  const auto msg =
+      ew::dns::make_a_response(1, "x.com", std::vector<IPv4Address>{IPv4Address{1, 2, 3, 4}});
+  auto wire = ew::dns::serialize(msg);
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(ew::dns::parse(wire).has_value());
+}
+
+TEST(DnsMessage, NormalizeName) {
+  EXPECT_EQ(ew::dns::normalize_name("WWW.Google.COM."), "www.google.com");
+  EXPECT_EQ(ew::dns::normalize_name(""), "");
+  EXPECT_EQ(ew::dns::normalize_name("."), "");
+}
+
+TEST(DnsMessage, UnknownRecordTypesAreSkippedNotFatal) {
+  ew::dns::Message msg;
+  msg.id = 9;
+  msg.is_response = true;
+  msg.questions.push_back({"x.org", 16, 1});  // TXT question
+  ew::dns::Answer txt;
+  txt.name = "x.org";
+  txt.type = ew::dns::RecordType::kOther;
+  msg.answers.push_back(txt);
+  const auto back = ew::dns::parse(ew::dns::serialize(msg));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->answers.size(), 1u);
+  EXPECT_EQ(back->answers[0].type, ew::dns::RecordType::kOther);
+}
+
+// ------------------------------------------------------------- DN-Hunter
+
+TEST(DnHunter, LabelsFlowAfterResolution) {
+  ew::dns::DnHunter hunter;
+  const IPv4Address client{10, 0, 0, 5};
+  const IPv4Address server{31, 13, 86, 36};
+  const IPv4Address addrs[] = {server};
+  hunter.observe_response(client, ew::dns::make_a_response(1, "instagram.com", addrs), at(100));
+
+  const auto name = hunter.lookup(client, server, at(105));
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "instagram.com");
+  // Another client did not resolve it.
+  EXPECT_FALSE(hunter.lookup(IPv4Address{10, 0, 0, 6}, server, at(105)).has_value());
+}
+
+TEST(DnHunter, CnameChainMapsToQuestionName) {
+  ew::dns::DnHunter hunter;
+  const IPv4Address client{10, 0, 0, 5};
+  ew::dns::Message msg;
+  msg.id = 2;
+  msg.is_response = true;
+  msg.questions.push_back({"www.netflix.com", 1, 1});
+  ew::dns::Answer c1;
+  c1.name = "www.netflix.com";
+  c1.type = ew::dns::RecordType::kCname;
+  c1.cname = "www.dradis.netflix.com";
+  msg.answers.push_back(c1);
+  ew::dns::Answer c2;
+  c2.name = "www.dradis.netflix.com";
+  c2.type = ew::dns::RecordType::kCname;
+  c2.cname = "edge.nflxvideo.net";
+  msg.answers.push_back(c2);
+  ew::dns::Answer a;
+  a.name = "edge.nflxvideo.net";
+  a.type = ew::dns::RecordType::kA;
+  a.address = IPv4Address{45, 57, 3, 9};
+  msg.answers.push_back(a);
+
+  hunter.observe_response(client, msg, at(10));
+  const auto name = hunter.lookup(client, IPv4Address{45, 57, 3, 9}, at(11));
+  ASSERT_TRUE(name.has_value());
+  // The user asked for www.netflix.com; that is the service-relevant name.
+  EXPECT_EQ(*name, "www.netflix.com");
+}
+
+TEST(DnHunter, EntriesExpireByTtl) {
+  ew::dns::DnHunterConfig cfg;
+  cfg.entry_ttl_micros = 60 * Timestamp::kMicrosPerSecond;
+  ew::dns::DnHunter hunter{cfg};
+  const IPv4Address client{10, 0, 0, 1};
+  const IPv4Address server{1, 2, 3, 4};
+  const IPv4Address addrs[] = {server};
+  hunter.observe_response(client, ew::dns::make_a_response(1, "x.com", addrs), at(0));
+  EXPECT_TRUE(hunter.lookup(client, server, at(59)).has_value());
+  EXPECT_FALSE(hunter.lookup(client, server, at(61)).has_value());
+  EXPECT_EQ(hunter.counters().expired, 1u);
+  EXPECT_EQ(hunter.size(), 0u);  // expired entry was removed
+}
+
+TEST(DnHunter, LruEvictsOldestWhenFull) {
+  ew::dns::DnHunterConfig cfg;
+  cfg.max_entries_per_client = 3;
+  ew::dns::DnHunter hunter{cfg};
+  const IPv4Address client{10, 0, 0, 1};
+  auto respond = [&](const char* name, IPv4Address addr, std::int64_t t) {
+    const IPv4Address addrs[] = {addr};
+    hunter.observe_response(client, ew::dns::make_a_response(1, name, addrs), at(t));
+  };
+  respond("a.com", IPv4Address{1, 0, 0, 1}, 1);
+  respond("b.com", IPv4Address{1, 0, 0, 2}, 2);
+  respond("c.com", IPv4Address{1, 0, 0, 3}, 3);
+  // Touch a.com so b.com becomes the LRU victim.
+  EXPECT_TRUE(hunter.lookup(client, IPv4Address{1, 0, 0, 1}, at(4)).has_value());
+  respond("d.com", IPv4Address{1, 0, 0, 4}, 5);
+  EXPECT_EQ(hunter.size(), 3u);
+  EXPECT_FALSE(hunter.lookup(client, IPv4Address{1, 0, 0, 2}, at(6)).has_value());
+  EXPECT_TRUE(hunter.lookup(client, IPv4Address{1, 0, 0, 1}, at(6)).has_value());
+  EXPECT_TRUE(hunter.lookup(client, IPv4Address{1, 0, 0, 4}, at(6)).has_value());
+  EXPECT_EQ(hunter.counters().lru_evictions, 1u);
+}
+
+TEST(DnHunter, ReResolutionUpdatesName) {
+  ew::dns::DnHunter hunter;
+  const IPv4Address client{10, 0, 0, 1};
+  const IPv4Address server{5, 5, 5, 5};
+  const IPv4Address addrs[] = {server};
+  hunter.observe_response(client, ew::dns::make_a_response(1, "old.com", addrs), at(0));
+  hunter.observe_response(client, ew::dns::make_a_response(2, "new.com", addrs), at(1));
+  const auto name = hunter.lookup(client, server, at(2));
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "new.com");
+  EXPECT_EQ(hunter.size(), 1u);
+}
+
+TEST(DnHunter, IgnoresErrorResponsesAndQueries) {
+  ew::dns::DnHunter hunter;
+  const IPv4Address client{10, 0, 0, 1};
+  const IPv4Address addrs[] = {IPv4Address{9, 9, 9, 9}};
+  auto nxdomain = ew::dns::make_a_response(1, "gone.com", addrs);
+  nxdomain.rcode = 3;
+  hunter.observe_response(client, nxdomain, at(0));
+  auto query = ew::dns::make_a_response(2, "q.com", addrs);
+  query.is_response = false;
+  hunter.observe_response(client, query, at(0));
+  EXPECT_EQ(hunter.size(), 0u);
+}
+
+TEST(DnHunter, ClearDropsEverything) {
+  ew::dns::DnHunter hunter;
+  const IPv4Address addrs[] = {IPv4Address{9, 9, 9, 9}};
+  hunter.observe_response(IPv4Address{10, 0, 0, 1},
+                          ew::dns::make_a_response(1, "x.com", addrs), at(0));
+  ASSERT_EQ(hunter.size(), 1u);
+  hunter.clear();
+  EXPECT_EQ(hunter.size(), 0u);
+  EXPECT_EQ(hunter.clients(), 0u);
+}

@@ -1,0 +1,282 @@
+// DPI parsers (TLS/HTTP/QUIC/FB-Zero/P2P) and the protocol classifier.
+#include <gtest/gtest.h>
+
+#include "dpi/classifier.hpp"
+#include "dpi/parsers.hpp"
+
+namespace ew = edgewatch;
+using ew::core::TransportProto;
+using ew::dpi::L7Protocol;
+using ew::dpi::WebProtocol;
+
+// ------------------------------------------------------------------- TLS
+
+TEST(Tls, ClientHelloRoundTripWithSniAndAlpn) {
+  const std::string alpn[] = {"h2", "http/1.1"};
+  const auto payload = ew::dpi::build_client_hello("www.YouTube.com", alpn);
+  ASSERT_TRUE(ew::dpi::looks_like_tls(payload));
+  const auto hello = ew::dpi::parse_client_hello(payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->sni, "www.youtube.com");
+  ASSERT_EQ(hello->alpn.size(), 2u);
+  EXPECT_EQ(hello->alpn[0], "h2");
+  EXPECT_EQ(hello->alpn[1], "http/1.1");
+  EXPECT_EQ(hello->client_version, 0x0303);
+}
+
+TEST(Tls, ClientHelloWithoutExtensions) {
+  const auto payload = ew::dpi::build_client_hello("", {});
+  const auto hello = ew::dpi::parse_client_hello(payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(hello->sni.empty());
+  EXPECT_TRUE(hello->alpn.empty());
+}
+
+TEST(Tls, RejectsNonHandshakeRecords) {
+  auto payload = ew::dpi::build_client_hello("a.com", {});
+  payload[0] = static_cast<std::byte>(0x17);  // application data
+  EXPECT_FALSE(ew::dpi::looks_like_tls(payload));
+  EXPECT_FALSE(ew::dpi::parse_client_hello(payload).has_value());
+}
+
+TEST(Tls, RejectsServerHello) {
+  auto payload = ew::dpi::build_client_hello("a.com", {});
+  payload[5] = static_cast<std::byte>(0x02);  // handshake type ServerHello
+  EXPECT_FALSE(ew::dpi::parse_client_hello(payload).has_value());
+}
+
+TEST(Tls, TruncatedHelloFailsCleanly) {
+  const auto payload = ew::dpi::build_client_hello("www.facebook.com", {});
+  for (std::size_t len : {6u, 20u, 44u}) {
+    const auto cut = std::span{payload}.first(len);
+    EXPECT_FALSE(ew::dpi::parse_client_hello(cut).has_value()) << len;
+  }
+}
+
+TEST(Tls, ServerHelloRoundTripWithAlpn) {
+  const auto payload = ew::dpi::build_server_hello("h2");
+  ASSERT_TRUE(ew::dpi::looks_like_tls(payload));
+  const auto hello = ew::dpi::parse_server_hello(payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->alpn, "h2");
+  EXPECT_EQ(hello->server_version, 0x0303);
+  // The client-hello parser must reject it, and vice versa.
+  EXPECT_FALSE(ew::dpi::parse_client_hello(payload).has_value());
+  EXPECT_FALSE(
+      ew::dpi::parse_server_hello(ew::dpi::build_client_hello("x.com", {})).has_value());
+}
+
+TEST(Tls, ServerHelloWithoutAlpn) {
+  const auto payload = ew::dpi::build_server_hello("");
+  const auto hello = ew::dpi::parse_server_hello(payload);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(hello->alpn.empty());
+}
+
+// ------------------------------------------------------------------ HTTP
+
+TEST(Http, ParsesRequestWithHost) {
+  const auto payload = ew::dpi::build_http_request("www.Google.com", "/search?q=x");
+  ASSERT_TRUE(ew::dpi::looks_like_http_request(payload));
+  const auto req = ew::dpi::parse_http_request(payload);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/search?q=x");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->host, "www.google.com");
+}
+
+TEST(Http, StripsPortFromHost) {
+  const auto payload = ew::core::to_bytes("GET / HTTP/1.1\r\nHost: cdn.example.org:8080\r\n\r\n");
+  const auto req = ew::dpi::parse_http_request(payload);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->host, "cdn.example.org");
+}
+
+TEST(Http, MissingHostYieldsEmpty) {
+  const auto payload = ew::core::to_bytes("GET / HTTP/1.0\r\nAccept: */*\r\n\r\n");
+  const auto req = ew::dpi::parse_http_request(payload);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(req->host.empty());
+  EXPECT_EQ(req->version, "HTTP/1.0");
+}
+
+TEST(Http, PostRecognized) {
+  const auto payload = ew::dpi::build_http_request("upload.example.com", "/u", "POST");
+  const auto req = ew::dpi::parse_http_request(payload);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+}
+
+TEST(Http, RejectsNonHttpPayloads) {
+  EXPECT_FALSE(ew::dpi::looks_like_http_request(ew::core::to_bytes("NOTAMETHOD / X\r\n")));
+  EXPECT_FALSE(ew::dpi::parse_http_request(ew::core::to_bytes("GEX / HTTP/1.1\r\n")).has_value());
+  EXPECT_FALSE(ew::dpi::parse_http_request(ew::core::to_bytes("GET /nocrlf")).has_value());
+}
+
+TEST(Http, ResponseRoundTrip) {
+  const auto payload = ew::dpi::build_http_response(200, "video/mp4", 64);
+  ASSERT_TRUE(ew::dpi::looks_like_http_response(payload));
+  const auto resp = ew::dpi::parse_http_response(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->version, "HTTP/1.1");
+  EXPECT_EQ(resp->content_type, "video/mp4");
+}
+
+TEST(Http, ResponseContentTypeParametersStripped) {
+  const auto payload =
+      ew::core::to_bytes("HTTP/1.1 404 Not Found\r\nContent-Type: text/HTML; charset=utf-8\r\n\r\n");
+  const auto resp = ew::dpi::parse_http_response(payload);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->content_type, "text/html");
+}
+
+TEST(Http, ResponseRejectsMalformed) {
+  EXPECT_FALSE(ew::dpi::parse_http_response(ew::core::to_bytes("HTTP/1.1 2x0 OK\r\n\r\n"))
+                   .has_value());
+  EXPECT_FALSE(ew::dpi::parse_http_response(ew::core::to_bytes("GET / HTTP/1.1\r\n\r\n"))
+                   .has_value());
+  EXPECT_FALSE(ew::dpi::parse_http_response(ew::core::to_bytes("HTTP/1.1")).has_value());
+}
+
+// ------------------------------------------------------------------ QUIC
+
+TEST(Quic, ClientPacketRoundTrip) {
+  const auto payload = ew::dpi::build_quic_client_packet(0x1122334455667788ull, "Q034");
+  ASSERT_TRUE(ew::dpi::looks_like_quic(payload));
+  const auto hdr = ew::dpi::parse_quic_header(payload);
+  ASSERT_TRUE(hdr.has_value());
+  EXPECT_EQ(hdr->connection_id, 0x1122334455667788ull);
+  EXPECT_EQ(hdr->version, "Q034");
+}
+
+TEST(Quic, RejectsNonQuicUdp) {
+  EXPECT_FALSE(ew::dpi::looks_like_quic(ew::core::to_bytes("plain udp payload here")));
+  EXPECT_FALSE(ew::dpi::looks_like_quic(ew::dpi::build_dht_query()));
+}
+
+// --------------------------------------------------------------- FB-Zero
+
+TEST(FbZero, HelloRoundTrip) {
+  const auto payload = ew::dpi::build_fbzero_hello("Graph.Facebook.com");
+  ASSERT_TRUE(ew::dpi::looks_like_fbzero(payload));
+  const auto sni = ew::dpi::parse_fbzero_sni(payload);
+  ASSERT_TRUE(sni.has_value());
+  EXPECT_EQ(*sni, "graph.facebook.com");
+  EXPECT_FALSE(ew::dpi::looks_like_tls(payload));
+}
+
+// ------------------------------------------------------------------- P2P
+
+TEST(P2p, BittorrentHandshakeDetected) {
+  std::vector<std::byte> hash(20, std::byte{0x42});
+  const auto payload = ew::dpi::build_bittorrent_handshake(hash);
+  EXPECT_TRUE(ew::dpi::looks_like_bittorrent(payload));
+  EXPECT_FALSE(ew::dpi::looks_like_edonkey(payload));
+}
+
+TEST(P2p, EdonkeyHelloDetected) {
+  const auto payload = ew::dpi::build_edonkey_hello();
+  EXPECT_TRUE(ew::dpi::looks_like_edonkey(payload));
+  EXPECT_FALSE(ew::dpi::looks_like_bittorrent(payload));
+}
+
+TEST(P2p, DhtQueryDetected) {
+  EXPECT_TRUE(ew::dpi::looks_like_dht(ew::dpi::build_dht_query()));
+  EXPECT_FALSE(ew::dpi::looks_like_dht(ew::core::to_bytes("d2:xxnot-dht")));
+}
+
+// ------------------------------------------------------------ classifier
+
+TEST(Classifier, TlsWithH2AlpnIsHttp2) {
+  const std::string alpn[] = {"h2"};
+  const auto payload = ew::dpi::build_client_hello("www.google.com", alpn);
+  const auto c = ew::dpi::classify_payload(TransportProto::kTcp, 443, payload);
+  EXPECT_EQ(c.l7, L7Protocol::kTls);
+  EXPECT_EQ(c.web, WebProtocol::kHttp2);
+  EXPECT_EQ(c.server_name, "www.google.com");
+  EXPECT_EQ(c.alpn, "h2");
+}
+
+TEST(Classifier, SpdyReportingDependsOnProbeVersion) {
+  const std::string alpn[] = {"spdy/3.1"};
+  const auto payload = ew::dpi::build_client_hello("www.google.com", alpn);
+
+  ew::dpi::ClassifierOptions modern;
+  EXPECT_EQ(ew::dpi::classify_payload(TransportProto::kTcp, 443, payload, modern).web,
+            WebProtocol::kSpdy);
+
+  // Before the June-2015 upgrade (paper event C) SPDY shows up as TLS.
+  ew::dpi::ClassifierOptions legacy;
+  legacy.report_spdy = false;
+  EXPECT_EQ(ew::dpi::classify_payload(TransportProto::kTcp, 443, payload, legacy).web,
+            WebProtocol::kTls);
+}
+
+TEST(Classifier, FbZeroReportingDependsOnProbeVersion) {
+  const auto payload = ew::dpi::build_fbzero_hello("graph.facebook.com");
+  ew::dpi::ClassifierOptions modern;
+  const auto c = ew::dpi::classify_payload(TransportProto::kTcp, 443, payload, modern);
+  EXPECT_EQ(c.l7, L7Protocol::kFbZero);
+  EXPECT_EQ(c.web, WebProtocol::kFbZero);
+  EXPECT_EQ(c.server_name, "graph.facebook.com");
+
+  ew::dpi::ClassifierOptions legacy;
+  legacy.report_fbzero = false;
+  const auto u = ew::dpi::classify_payload(TransportProto::kTcp, 443, payload, legacy);
+  EXPECT_EQ(u.l7, L7Protocol::kUnknown);
+  EXPECT_EQ(u.web, WebProtocol::kNotWeb);
+}
+
+TEST(Classifier, PlainHttp) {
+  const auto payload = ew::dpi::build_http_request("example.com");
+  const auto c = ew::dpi::classify_payload(TransportProto::kTcp, 80, payload);
+  EXPECT_EQ(c.l7, L7Protocol::kHttp);
+  EXPECT_EQ(c.web, WebProtocol::kHttp);
+  EXPECT_EQ(c.server_name, "example.com");
+}
+
+TEST(Classifier, QuicOverUdp) {
+  const auto payload = ew::dpi::build_quic_client_packet(42);
+  const auto c = ew::dpi::classify_payload(TransportProto::kUdp, 443, payload);
+  EXPECT_EQ(c.l7, L7Protocol::kQuic);
+  EXPECT_EQ(c.web, WebProtocol::kQuic);
+}
+
+TEST(Classifier, DnsByPort) {
+  const auto c =
+      ew::dpi::classify_payload(TransportProto::kUdp, 53, ew::core::to_bytes("anything"));
+  EXPECT_EQ(c.l7, L7Protocol::kDns);
+  EXPECT_EQ(c.web, WebProtocol::kNotWeb);
+}
+
+TEST(Classifier, P2pProtocols) {
+  std::vector<std::byte> hash(20, std::byte{1});
+  EXPECT_EQ(ew::dpi::classify_payload(TransportProto::kTcp, 6881,
+                                      ew::dpi::build_bittorrent_handshake(hash))
+                .l7,
+            L7Protocol::kBittorrent);
+  EXPECT_EQ(ew::dpi::classify_payload(TransportProto::kTcp, 4662, ew::dpi::build_edonkey_hello()).l7,
+            L7Protocol::kEdonkey);
+  EXPECT_EQ(ew::dpi::classify_payload(TransportProto::kUdp, 6881, ew::dpi::build_dht_query()).l7,
+            L7Protocol::kDht);
+  EXPECT_TRUE(ew::dpi::is_p2p(L7Protocol::kBittorrent));
+  EXPECT_TRUE(ew::dpi::is_p2p(L7Protocol::kDht));
+  EXPECT_FALSE(ew::dpi::is_p2p(L7Protocol::kTls));
+}
+
+TEST(Classifier, UnknownPayloadsStayUnknown) {
+  const auto c = ew::dpi::classify_payload(TransportProto::kTcp, 12345,
+                                           ew::core::to_bytes("\x00\x01\x02\x03 opaque"));
+  EXPECT_EQ(c.l7, L7Protocol::kUnknown);
+  EXPECT_EQ(c.web, WebProtocol::kNotWeb);
+}
+
+TEST(Classifier, ToStringCoversAllLabels) {
+  EXPECT_EQ(ew::dpi::to_string(WebProtocol::kFbZero), "FB-ZERO");
+  EXPECT_EQ(ew::dpi::to_string(WebProtocol::kHttp2), "HTTP/2");
+  EXPECT_EQ(ew::dpi::to_string(L7Protocol::kEdonkey), "EDONKEY");
+  EXPECT_EQ(ew::dpi::to_string(L7Protocol::kUnknown), "UNKNOWN");
+}

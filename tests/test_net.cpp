@@ -1,0 +1,264 @@
+// Tests for L2-L4 wire formats and frame decode/build round-trips.
+#include <gtest/gtest.h>
+
+#include "core/bytes.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace ew = edgewatch;
+using ew::core::ByteReader;
+using ew::core::ByteWriter;
+using ew::core::IPv4Address;
+
+namespace {
+
+ew::net::Frame tcp_frame(std::string_view payload, std::uint8_t flags = ew::net::TcpFlags::kAck) {
+  return ew::net::PacketBuilder{}
+      .ts(ew::core::Timestamp::from_seconds(100))
+      .ip(IPv4Address{10, 0, 0, 1}, IPv4Address{157, 240, 1, 1})
+      .tcp(44321, 443, 1000, 2000, flags)
+      .payload(payload)
+      .build();
+}
+
+}  // namespace
+
+TEST(Ethernet, RoundTrip) {
+  ew::net::EthernetHeader h;
+  h.src = {{1, 2, 3, 4, 5, 6}};
+  h.dst = {{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}};
+  h.ether_type = 0x0800;
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size(), ew::net::EthernetHeader::kSize);
+  ByteReader r{w.view()};
+  const auto back = ew::net::EthernetHeader::parse(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->ether_type, h.ether_type);
+  EXPECT_EQ(back->src.to_string(), "01:02:03:04:05:06");
+}
+
+TEST(IPv4Header, RoundTripWithOptions) {
+  ew::net::IPv4Header h;
+  h.src = IPv4Address{192, 168, 1, 10};
+  h.dst = IPv4Address{8, 8, 8, 8};
+  h.protocol = 6;
+  h.ttl = 57;
+  h.identification = 0x1234;
+  h.options = ew::core::to_bytes(std::string("\x01\x01\x01\x01", 4));  // NOPs
+  h.total_length = static_cast<std::uint16_t>(h.header_length() + 100);
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r{w.view()};
+  const auto back = ew::net::IPv4Header::parse(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->ttl, 57);
+  EXPECT_EQ(back->header_length(), 24u);
+  EXPECT_EQ(back->payload_length(), 100u);
+  EXPECT_FALSE(back->is_fragment());
+}
+
+TEST(IPv4Header, SerializedChecksumVerifies) {
+  ew::net::IPv4Header h;
+  h.src = IPv4Address{10, 0, 0, 1};
+  h.dst = IPv4Address{10, 0, 0, 2};
+  h.protocol = 17;
+  h.total_length = 28;
+  ByteWriter w;
+  h.serialize(w);
+  // RFC 1071: the checksum of a header including its checksum field is 0.
+  std::uint32_t sum = 0;
+  const auto bytes = w.view();
+  for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+    sum += (std::to_integer<std::uint32_t>(bytes[i]) << 8) |
+           std::to_integer<std::uint32_t>(bytes[i + 1]);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(static_cast<std::uint16_t>(~sum), 0u);
+}
+
+TEST(IPv4Header, ParseRejectsNonV4AndShortIhl) {
+  // Version 6 nibble.
+  auto v6 = ew::core::to_bytes(std::string("\x65\x00\x00\x14", 4) + std::string(16, '\0'));
+  ByteReader r6{v6};
+  EXPECT_FALSE(ew::net::IPv4Header::parse(r6).has_value());
+  // IHL of 4 (16 bytes) is illegal.
+  auto short_ihl = ew::core::to_bytes(std::string("\x44\x00\x00\x14", 4) + std::string(16, '\0'));
+  ByteReader rs{short_ihl};
+  EXPECT_FALSE(ew::net::IPv4Header::parse(rs).has_value());
+}
+
+TEST(IPv4Header, FragmentFlagsDecode) {
+  ew::net::IPv4Header h;
+  h.src = IPv4Address{1, 2, 3, 4};
+  h.dst = IPv4Address{4, 3, 2, 1};
+  h.protocol = 6;
+  h.flags = 0x1;  // more fragments
+  h.fragment_offset = 185;
+  h.total_length = 20;
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r{w.view()};
+  const auto back = ew::net::IPv4Header::parse(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->is_fragment());
+  EXPECT_EQ(back->fragment_offset, 185);
+  EXPECT_EQ(back->flags, 0x1);
+}
+
+TEST(TcpHeader, RoundTripWithOptions) {
+  ew::net::TcpHeader h;
+  h.src_port = 44321;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flags = ew::net::TcpFlags::kSyn;
+  h.window = 29200;
+  h.options.push_back({ew::net::TcpOption::kMss, ew::core::to_bytes(std::string("\x05\xb4", 2))});
+  h.options.push_back({ew::net::TcpOption::kSackPermitted, {}});
+  h.options.push_back({ew::net::TcpOption::kWindowScale, ew::core::to_bytes(std::string("\x07", 1))});
+  ByteWriter w;
+  h.serialize(w);
+  EXPECT_EQ(w.size() % 4, 0u);
+  ByteReader r{w.view()};
+  const auto back = ew::net::TcpHeader::parse(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->src_port, 44321);
+  EXPECT_EQ(back->seq, 0xdeadbeefu);
+  EXPECT_TRUE(back->has(ew::net::TcpFlags::kSyn));
+  ASSERT_TRUE(back->mss().has_value());
+  EXPECT_EQ(*back->mss(), 1460);
+}
+
+TEST(TcpHeader, ParseRejectsTruncatedOptions) {
+  // data_offset claims 24 bytes but the MSS option length field overruns.
+  ByteWriter w;
+  w.u16(1);
+  w.u16(2);
+  w.u32(0);
+  w.u32(0);
+  w.u8(6 << 4);  // 24-byte header
+  w.u8(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u8(ew::net::TcpOption::kMss);
+  w.u8(10);  // claims 8 option bytes, only 2 remain
+  w.u16(1460);
+  ByteReader r{w.view()};
+  EXPECT_FALSE(ew::net::TcpHeader::parse(r).has_value());
+}
+
+TEST(UdpHeader, RoundTripAndLengthValidation) {
+  ew::net::UdpHeader h;
+  h.src_port = 53124;
+  h.dst_port = 53;
+  h.length = 8 + 31;
+  ByteWriter w;
+  h.serialize(w);
+  ByteReader r{w.view()};
+  const auto back = ew::net::UdpHeader::parse(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst_port, 53);
+  EXPECT_EQ(back->length, 39);
+
+  ByteWriter bad;
+  bad.u16(1);
+  bad.u16(2);
+  bad.u16(4);  // length < 8 is illegal
+  bad.u16(0);
+  ByteReader rb{bad.view()};
+  EXPECT_FALSE(ew::net::UdpHeader::parse(rb).has_value());
+}
+
+TEST(DecodeFrame, FullTcpFrame) {
+  const auto frame = tcp_frame("hello tls");
+  const auto pkt = ew::net::decode_frame(frame);
+  ASSERT_TRUE(pkt.has_value());
+  ASSERT_TRUE(pkt->tcp.has_value());
+  EXPECT_FALSE(pkt->udp.has_value());
+  EXPECT_EQ(pkt->ip.src, (IPv4Address{10, 0, 0, 1}));
+  EXPECT_EQ(pkt->tcp->dst_port, 443);
+  EXPECT_EQ(pkt->payload.size(), 9u);
+  EXPECT_EQ(pkt->transport_payload_declared(), 9u);
+  const auto t = pkt->five_tuple();
+  EXPECT_EQ(t.proto, ew::core::TransportProto::kTcp);
+  EXPECT_EQ(t.src_port, 44321);
+}
+
+TEST(DecodeFrame, UdpFrame) {
+  const auto frame = ew::net::PacketBuilder{}
+                         .ip(IPv4Address{10, 0, 0, 2}, IPv4Address{8, 8, 8, 8})
+                         .udp(5353, 53)
+                         .payload("dns-query-bytes")
+                         .build();
+  const auto pkt = ew::net::decode_frame(frame);
+  ASSERT_TRUE(pkt.has_value());
+  ASSERT_TRUE(pkt->udp.has_value());
+  EXPECT_EQ(pkt->udp->length, 8u + 15u);
+  EXPECT_EQ(pkt->transport_payload_declared(), 15u);
+}
+
+TEST(DecodeFrame, RejectsNonIPv4) {
+  ew::net::Frame f;
+  f.data = ew::core::to_bytes(std::string(14, '\0'));  // ether_type 0
+  EXPECT_FALSE(ew::net::decode_frame(f).has_value());
+}
+
+TEST(DecodeFrame, RejectsTruncatedIpHeader) {
+  auto frame = tcp_frame("x");
+  frame.data.resize(ew::net::EthernetHeader::kSize + 10);
+  EXPECT_FALSE(ew::net::decode_frame(frame).has_value());
+}
+
+TEST(DecodeFrame, SkipsVlanTag) {
+  // Build a plain frame, then splice a VLAN tag in after the MACs.
+  const auto plain = tcp_frame("v");
+  ew::net::Frame tagged;
+  tagged.timestamp = plain.timestamp;
+  tagged.data.assign(plain.data.begin(), plain.data.begin() + 12);
+  tagged.data.push_back(static_cast<std::byte>(0x81));
+  tagged.data.push_back(static_cast<std::byte>(0x00));
+  tagged.data.push_back(static_cast<std::byte>(0x00));
+  tagged.data.push_back(static_cast<std::byte>(0x64));  // VID 100
+  tagged.data.insert(tagged.data.end(), plain.data.begin() + 12, plain.data.end());
+  const auto pkt = ew::net::decode_frame(tagged);
+  ASSERT_TRUE(pkt.has_value());
+  ASSERT_TRUE(pkt->tcp.has_value());
+  EXPECT_EQ(pkt->tcp->dst_port, 443);
+}
+
+TEST(DecodeFrame, NonFirstFragmentHasNoL4) {
+  ew::net::IPv4Header h;
+  h.src = IPv4Address{1, 1, 1, 1};
+  h.dst = IPv4Address{2, 2, 2, 2};
+  h.protocol = 6;
+  h.fragment_offset = 100;
+  h.total_length = 20 + 8;
+  ByteWriter w;
+  ew::net::EthernetHeader eth;
+  eth.ether_type = 0x0800;
+  eth.serialize(w);
+  h.serialize(w);
+  w.fill(8, 0xab);
+  ew::net::Frame f{ew::core::Timestamp{}, std::move(w).take()};
+  const auto pkt = ew::net::decode_frame(f);
+  ASSERT_TRUE(pkt.has_value());
+  EXPECT_FALSE(pkt->tcp.has_value());
+  EXPECT_TRUE(pkt->ip.is_fragment());
+}
+
+TEST(Trace, SortByTimeIsStable) {
+  ew::net::Trace trace;
+  trace.add(ew::net::PacketBuilder{}.ts(ew::core::Timestamp{300}).build());
+  trace.add(ew::net::PacketBuilder{}.ts(ew::core::Timestamp{100}).payload("a").build());
+  trace.add(ew::net::PacketBuilder{}.ts(ew::core::Timestamp{100}).payload("bb").build());
+  trace.sort_by_time();
+  EXPECT_EQ(trace[0].timestamp.micros(), 100);
+  EXPECT_LT(trace[0].data.size(), trace[1].data.size());  // stability preserved order
+  EXPECT_EQ(trace[2].timestamp.micros(), 300);
+}

@@ -1,0 +1,118 @@
+// Pcap file round-trips and robustness, including probe-from-pcap replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "net/pcap.hpp"
+#include "probe/probe.hpp"
+#include "synth/packets.hpp"
+
+namespace ew = edgewatch;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempFile {
+  fs::path path;
+  TempFile()
+      : path(fs::temp_directory_path() /
+             ("ewpcap_" + std::to_string(::getpid()) + "_" + std::to_string(counter()++))) {}
+  ~TempFile() { fs::remove(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+ew::net::Trace sample_trace() {
+  ew::net::Trace trace;
+  ew::synth::ConversationSpec spec;
+  spec.client = ew::core::IPv4Address{10, 0, 0, 9};
+  spec.server = ew::core::IPv4Address{157, 240, 1, 1};
+  spec.web = ew::dpi::WebProtocol::kTls;
+  spec.server_name = "www.facebook.com";
+  spec.response_bytes = 9'000;
+  spec.start = ew::core::Timestamp::from_date_time({2016, 3, 4}, 12);
+  spec.rtt_us = 12'000;
+  for (auto& f : ew::synth::render_conversation(spec)) trace.add(std::move(f));
+  return trace;
+}
+
+}  // namespace
+
+TEST(Pcap, WriteReadRoundTrip) {
+  TempFile file;
+  const auto trace = sample_trace();
+  const auto written = ew::net::write_pcap(file.path, trace);
+  EXPECT_GT(written, 24u);
+
+  const auto loaded = ew::net::load_pcap(file.path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].timestamp, trace[i].timestamp);
+    EXPECT_EQ((*loaded)[i].data, trace[i].data);
+  }
+}
+
+TEST(Pcap, StatsCountFramesAndBytes) {
+  TempFile file;
+  const auto trace = sample_trace();
+  ew::net::write_pcap(file.path, trace);
+  std::size_t n = 0;
+  const auto stats = ew::net::read_pcap(file.path, [&n](ew::net::Frame&&) { ++n; });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->frames, trace.size());
+  EXPECT_EQ(n, trace.size());
+  EXPECT_EQ(stats->truncated, 0u);
+  std::uint64_t bytes = 0;
+  for (const auto& f : trace) bytes += f.data.size();
+  EXPECT_EQ(stats->bytes, bytes);
+}
+
+TEST(Pcap, SnaplenTruncatesAndIsReported) {
+  TempFile file;
+  const auto trace = sample_trace();
+  ew::net::write_pcap(file.path, trace, 100);
+  const auto stats = ew::net::read_pcap(file.path, [](ew::net::Frame&& f) {
+    EXPECT_LE(f.data.size(), 100u);
+  });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->truncated, 0u);
+}
+
+TEST(Pcap, RejectsGarbageAndMissingFiles) {
+  EXPECT_FALSE(ew::net::load_pcap("/nonexistent/file.pcap").has_value());
+  TempFile file;
+  std::ofstream(file.path, std::ios::binary) << "this is not a pcap file at all";
+  EXPECT_FALSE(ew::net::load_pcap(file.path).has_value());
+}
+
+TEST(Pcap, TruncatedLastRecordEndsGracefully) {
+  TempFile file;
+  const auto trace = sample_trace();
+  ew::net::write_pcap(file.path, trace);
+  // Chop the file mid-record.
+  const auto size = fs::file_size(file.path);
+  fs::resize_file(file.path, size - 7);
+  std::size_t n = 0;
+  const auto stats = ew::net::read_pcap(file.path, [&n](ew::net::Frame&&) { ++n; });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->frames, trace.size() - 1);
+  EXPECT_EQ(n, trace.size() - 1);
+}
+
+TEST(Pcap, ProbeConsumesPcapReplay) {
+  TempFile file;
+  ew::net::write_pcap(file.path, sample_trace());
+  std::vector<ew::flow::FlowRecord> records;
+  ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+  const auto stats =
+      ew::net::read_pcap(file.path, [&](ew::net::Frame&& f) { probe.process(f); });
+  ASSERT_TRUE(stats.has_value());
+  probe.finish();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].server_name, "www.facebook.com");
+  EXPECT_EQ(records[0].down.bytes, 9'000u);
+}

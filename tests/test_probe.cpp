@@ -1,0 +1,265 @@
+// End-to-end probe tests: packets in, anonymized/named/classified flow
+// records out; DN-Hunter integration; outages; software upgrades.
+#include <gtest/gtest.h>
+
+#include "dns/message.hpp"
+#include "dpi/parsers.hpp"
+#include "net/packet.hpp"
+#include "probe/probe.hpp"
+
+namespace ew = edgewatch;
+using ew::core::IPv4Address;
+using ew::core::Timestamp;
+using ew::flow::FlowRecord;
+using ew::net::PacketBuilder;
+using ew::net::TcpFlags;
+using ew::probe::Probe;
+using ew::probe::ProbeConfig;
+
+namespace {
+
+constexpr IPv4Address kAdslClient{10, 0, 3, 7};     // inside 10.0.0.0/8, not FTTH half
+constexpr IPv4Address kFtthClient{10, 200, 1, 2};   // inside 10.128.0.0/9
+constexpr IPv4Address kServer{31, 13, 86, 36};
+constexpr IPv4Address kResolver{10, 255, 255, 53};
+
+struct ProbeHarness {
+  std::vector<FlowRecord> records;
+  Probe probe;
+
+  explicit ProbeHarness(ProbeConfig cfg = {})
+      : probe(cfg, [this](FlowRecord&& r) { records.push_back(std::move(r)); }) {}
+
+  void dns_reply(IPv4Address client, const char* name, IPv4Address addr, std::int64_t at_us) {
+    const IPv4Address addrs[] = {addr};
+    const auto msg = ew::dns::make_a_response(42, name, addrs);
+    probe.process(PacketBuilder{}
+                      .ts(Timestamp{at_us})
+                      .ip(kResolver, client)
+                      .udp(53, 40053)
+                      .payload(ew::dns::serialize(msg))
+                      .build());
+  }
+
+  void tls_flow(IPv4Address client, std::uint16_t cport, std::string_view sni,
+                std::int64_t at_us, std::size_t down_bytes = 2000) {
+    probe.process(PacketBuilder{}
+                      .ts(Timestamp{at_us})
+                      .ip(client, kServer)
+                      .tcp(cport, 443, 1, 0, TcpFlags::kSyn)
+                      .build());
+    probe.process(PacketBuilder{}
+                      .ts(Timestamp{at_us + 3000})
+                      .ip(kServer, client)
+                      .tcp(443, cport, 100, 2, TcpFlags::kSyn | TcpFlags::kAck)
+                      .build());
+    probe.process(PacketBuilder{}
+                      .ts(Timestamp{at_us + 3100})
+                      .ip(client, kServer)
+                      .tcp(cport, 443, 2, 101, TcpFlags::kAck | TcpFlags::kPsh)
+                      .payload(ew::dpi::build_client_hello(sni, {}))
+                      .build());
+    std::vector<std::byte> body(down_bytes, std::byte{0x77});
+    probe.process(PacketBuilder{}
+                      .ts(Timestamp{at_us + 6000})
+                      .ip(kServer, client)
+                      .tcp(443, cport, 101, 600, TcpFlags::kAck | TcpFlags::kPsh)
+                      .payload(std::move(body))
+                      .build());
+  }
+};
+
+}  // namespace
+
+TEST(Probe, AnonymizesCustomerKeepsServer) {
+  ProbeHarness h;
+  h.tls_flow(kAdslClient, 44000, "www.facebook.com", 1'000'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 1u);
+  const auto& r = h.records[0];
+  EXPECT_NE(r.client_ip, kAdslClient);           // anonymized
+  EXPECT_EQ(r.server_ip, kServer);               // untouched
+  EXPECT_EQ(r.server_name, "www.facebook.com");  // SNI
+  EXPECT_EQ(r.name_source, ew::flow::NameSource::kTlsSni);
+}
+
+TEST(Probe, AnonymizationConsistentAcrossFlows) {
+  ProbeHarness h;
+  h.tls_flow(kAdslClient, 44001, "a.example", 1'000'000);
+  h.tls_flow(kAdslClient, 44002, "b.example", 2'000'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 2u);
+  EXPECT_EQ(h.records[0].client_ip, h.records[1].client_ip);
+}
+
+TEST(Probe, AccessTechFromPrefix) {
+  ProbeHarness h;
+  h.tls_flow(kAdslClient, 44000, "x.example", 1'000'000);
+  h.tls_flow(kFtthClient, 44000, "x.example", 2'000'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 2u);
+  // Export order is not defined; check the multiset of labels.
+  int adsl = 0, ftth = 0;
+  for (const auto& r : h.records) {
+    adsl += r.access == ew::flow::AccessTech::kAdsl;
+    ftth += r.access == ew::flow::AccessTech::kFtth;
+  }
+  EXPECT_EQ(adsl, 1);
+  EXPECT_EQ(ftth, 1);
+}
+
+TEST(Probe, DnHunterNamesSniLessFlows) {
+  ProbeHarness h;
+  h.dns_reply(kAdslClient, "api.whatsapp.net", kServer, 500'000);
+  // Open a raw TCP flow with no TLS/HTTP payload: only DNS can name it.
+  h.probe.process(PacketBuilder{}
+                      .ts(Timestamp{600'000})
+                      .ip(kAdslClient, kServer)
+                      .tcp(45000, 5222, 1, 0, TcpFlags::kSyn)
+                      .build());
+  h.probe.process(PacketBuilder{}
+                      .ts(Timestamp{610'000})
+                      .ip(kAdslClient, kServer)
+                      .tcp(45000, 5222, 2, 0, TcpFlags::kAck | TcpFlags::kPsh)
+                      .payload("\x01\x02\x03 opaque app bytes")
+                      .build());
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 2u);  // DNS flow + app flow
+  const auto* app = &h.records[0];
+  if (app->server_port == 53) app = &h.records[1];
+  EXPECT_EQ(app->server_name, "api.whatsapp.net");
+  EXPECT_EQ(app->name_source, ew::flow::NameSource::kDnsHunter);
+  EXPECT_EQ(h.probe.counters().records_named_by_dns, 1u);
+}
+
+TEST(Probe, SniBeatsDnHunter) {
+  ProbeHarness h;
+  h.dns_reply(kAdslClient, "cdn.fbcdn.net", kServer, 500'000);
+  h.tls_flow(kAdslClient, 44100, "www.instagram.com", 600'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 2u);
+  const auto* app = &h.records[0];
+  if (app->server_port == 53) app = &h.records[1];
+  EXPECT_EQ(app->server_name, "www.instagram.com");
+  EXPECT_EQ(app->name_source, ew::flow::NameSource::kTlsSni);
+}
+
+TEST(Probe, DnsFlowItselfIsRecorded) {
+  ProbeHarness h;
+  // The query opens the flow (customer is the initiator, as on real links),
+  // the response follows on the reverse path.
+  const IPv4Address addrs[] = {kServer};
+  auto query = ew::dns::make_a_response(42, "x.com", addrs);
+  query.is_response = false;
+  query.answers.clear();
+  h.probe.process(PacketBuilder{}
+                      .ts(Timestamp{50})
+                      .ip(kAdslClient, kResolver)
+                      .udp(40053, 53)
+                      .payload(ew::dns::serialize(query))
+                      .build());
+  h.dns_reply(kAdslClient, "x.com", kServer, 100);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].proto, ew::core::TransportProto::kUdp);
+  EXPECT_EQ(h.records[0].server_port, 53);
+  EXPECT_EQ(h.records[0].l7, ew::dpi::L7Protocol::kDns);
+  EXPECT_EQ(h.records[0].up.packets, 1u);
+  EXPECT_EQ(h.records[0].down.packets, 1u);
+}
+
+TEST(Probe, OutageDropsTrafficAndState) {
+  ProbeHarness h;
+  h.tls_flow(kAdslClient, 44000, "lost.example", 1'000'000);
+  h.probe.begin_outage();  // flow above is lost, not exported
+  EXPECT_EQ(h.records.size(), 0u);
+  h.tls_flow(kAdslClient, 44001, "alsolost.example", 2'000'000);
+  EXPECT_GT(h.probe.counters().dropped_offline, 0u);
+  h.probe.end_outage();
+  h.tls_flow(kAdslClient, 44002, "seen.example", 3'000'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].server_name, "seen.example");
+  EXPECT_EQ(h.probe.counters().records_exported, 1u);
+}
+
+TEST(Probe, ClassifierUpgradeChangesLabels) {
+  ProbeHarness h;
+  ew::dpi::ClassifierOptions legacy;
+  legacy.report_spdy = false;
+  h.probe.set_classifier_options(legacy);
+
+  auto spdy_flow = [&](std::uint16_t port, std::int64_t at) {
+    const std::string alpn[] = {"spdy/3.1"};
+    h.probe.process(PacketBuilder{}
+                        .ts(Timestamp{at})
+                        .ip(kAdslClient, kServer)
+                        .tcp(port, 443, 1, 0, TcpFlags::kAck | TcpFlags::kPsh)
+                        .payload(ew::dpi::build_client_hello("www.google.com", alpn))
+                        .build());
+  };
+  spdy_flow(46000, 1'000'000);
+  h.probe.set_classifier_options(ew::dpi::ClassifierOptions{});  // upgrade (event C)
+  spdy_flow(46001, 2'000'000);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 2u);
+  int spdy = 0, tls = 0;
+  for (const auto& r : h.records) {
+    spdy += r.web == ew::dpi::WebProtocol::kSpdy;
+    tls += r.web == ew::dpi::WebProtocol::kTls;
+  }
+  EXPECT_EQ(spdy, 1);
+  EXPECT_EQ(tls, 1);
+}
+
+TEST(Probe, MalformedFramesCountedNotFatal) {
+  ProbeHarness h;
+  ew::net::Frame garbage;
+  garbage.data = ew::core::to_bytes("too short");
+  h.probe.process(garbage);
+  EXPECT_EQ(h.probe.counters().decode_failures, 1u);
+  h.tls_flow(kAdslClient, 44000, "ok.example", 1'000'000);
+  h.probe.finish();
+  EXPECT_EQ(h.records.size(), 1u);
+}
+
+TEST(Probe, Ipv6FramesCountedNotTracked) {
+  ProbeHarness h;
+  // Minimal Ethernet frame with ethertype 0x86dd and a stub body.
+  ew::net::Frame v6;
+  v6.data.resize(40, std::byte{0});
+  v6.data[12] = std::byte{0x86};
+  v6.data[13] = std::byte{0xdd};
+  h.probe.process(v6);
+  EXPECT_EQ(h.probe.counters().ipv6_frames, 1u);
+  EXPECT_EQ(h.probe.counters().decode_failures, 0u);
+  h.probe.finish();
+  EXPECT_TRUE(h.records.empty());
+}
+
+TEST(Probe, SamplingDropsDeterministically) {
+  ew::probe::ProbeConfig cfg;
+  cfg.sample_rate = 10;
+  ProbeHarness h{cfg};
+  for (int i = 0; i < 100; ++i) {
+    h.probe.process(PacketBuilder{}
+                        .ts(Timestamp{i * 1000})
+                        .ip(kAdslClient, kServer)
+                        .udp(41000, 443)
+                        .payload("x")
+                        .build());
+  }
+  EXPECT_EQ(h.probe.counters().sampled_out, 90u);
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 1u);
+  EXPECT_EQ(h.records[0].up.packets, 10u);  // 1-in-10 packets survived
+}
+
+TEST(Probe, RttMeasuredThroughProbe) {
+  ProbeHarness h;
+  h.tls_flow(kAdslClient, 44000, "rtt.example", 1'000'000);  // 3 ms SYN-ACK delay
+  h.probe.finish();
+  ASSERT_EQ(h.records.size(), 1u);
+  ASSERT_GT(h.records[0].rtt.samples, 0u);
+  EXPECT_NEAR(h.records[0].rtt.min_ms(), 2.9, 0.5);
+}

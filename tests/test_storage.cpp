@@ -1,0 +1,404 @@
+// Codec round-trips, compressor properties, and data-lake behaviour.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/rng.hpp"
+#include "storage/codec.hpp"
+#include "storage/compress.hpp"
+#include "storage/daily_writer.hpp"
+#include "storage/datalake.hpp"
+
+namespace ew = edgewatch;
+namespace fs = std::filesystem;
+using ew::core::ByteReader;
+using ew::core::ByteWriter;
+using ew::core::CivilDate;
+using ew::core::IPv4Address;
+using ew::flow::FlowRecord;
+
+namespace {
+
+FlowRecord sample_record(std::uint64_t seed) {
+  ew::core::Xoshiro256 rng{seed};
+  FlowRecord r;
+  r.client_ip = IPv4Address{static_cast<std::uint32_t>(rng())};
+  r.server_ip = IPv4Address{static_cast<std::uint32_t>(rng())};
+  r.client_port = static_cast<std::uint16_t>(rng());
+  r.server_port = 443;
+  r.proto = ew::core::TransportProto::kTcp;
+  r.access = (rng() & 1) ? ew::flow::AccessTech::kFtth : ew::flow::AccessTech::kAdsl;
+  r.first_packet = ew::core::Timestamp::from_date_time({2016, 5, 4}, 12, 30);
+  r.last_packet = r.first_packet + static_cast<std::int64_t>(ew::core::uniform_below(rng, 1e9));
+  r.up.packets = ew::core::uniform_below(rng, 10000);
+  r.up.bytes = ew::core::uniform_below(rng, 100'000'000);
+  r.up.bytes_with_hdr = r.up.bytes + 40 * r.up.packets;
+  r.down.packets = ew::core::uniform_below(rng, 10000);
+  r.down.bytes = ew::core::uniform_below(rng, 1'000'000'000);
+  r.down.bytes_with_hdr = r.down.bytes + 40 * r.down.packets;
+  r.handshake_completed = true;
+  r.close_reason = ew::flow::FlowCloseReason::kTcpTeardown;
+  r.rtt.add(3000 + static_cast<std::int64_t>(ew::core::uniform_below(rng, 1000)));
+  r.rtt.add(2500);
+  r.up.retransmits = static_cast<std::uint32_t>(ew::core::uniform_below(rng, 20));
+  r.down.retransmits = static_cast<std::uint32_t>(ew::core::uniform_below(rng, 50));
+  r.down.out_of_order = static_cast<std::uint32_t>(ew::core::uniform_below(rng, 10));
+  r.l7 = ew::dpi::L7Protocol::kTls;
+  r.web = ew::dpi::WebProtocol::kHttp2;
+  r.server_name = "edge-star-mini-shv-01-mxp1.facebook.com";
+  r.name_source = ew::flow::NameSource::kTlsSni;
+  r.http_status = static_cast<std::uint16_t>(ew::core::uniform_below(rng, 600));
+  r.content_type = "application/octet-stream";
+  return r;
+}
+
+void expect_equal(const FlowRecord& a, const FlowRecord& b) {
+  EXPECT_EQ(a.client_ip, b.client_ip);
+  EXPECT_EQ(a.server_ip, b.server_ip);
+  EXPECT_EQ(a.client_port, b.client_port);
+  EXPECT_EQ(a.server_port, b.server_port);
+  EXPECT_EQ(a.proto, b.proto);
+  EXPECT_EQ(a.access, b.access);
+  EXPECT_EQ(a.first_packet, b.first_packet);
+  EXPECT_EQ(a.last_packet, b.last_packet);
+  EXPECT_EQ(a.up.packets, b.up.packets);
+  EXPECT_EQ(a.up.bytes, b.up.bytes);
+  EXPECT_EQ(a.up.bytes_with_hdr, b.up.bytes_with_hdr);
+  EXPECT_EQ(a.down.bytes, b.down.bytes);
+  EXPECT_EQ(a.handshake_completed, b.handshake_completed);
+  EXPECT_EQ(a.close_reason, b.close_reason);
+  EXPECT_EQ(a.rtt.samples, b.rtt.samples);
+  EXPECT_EQ(a.rtt.min_us, b.rtt.min_us);
+  EXPECT_EQ(a.rtt.max_us, b.rtt.max_us);
+  EXPECT_EQ(a.up.retransmits, b.up.retransmits);
+  EXPECT_EQ(a.down.retransmits, b.down.retransmits);
+  EXPECT_EQ(a.down.out_of_order, b.down.out_of_order);
+  EXPECT_EQ(a.l7, b.l7);
+  EXPECT_EQ(a.web, b.web);
+  EXPECT_EQ(a.server_name, b.server_name);
+  EXPECT_EQ(a.name_source, b.name_source);
+  EXPECT_EQ(a.http_status, b.http_status);
+  EXPECT_EQ(a.content_type, b.content_type);
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() : path(fs::temp_directory_path() /
+                   ("ewlake_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter()++))) {}
+  ~TempDir() { fs::remove_all(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------------ varint
+
+TEST(Varint, RoundTripsBoundaries) {
+  ByteWriter w;
+  const std::uint64_t values[] = {0,   1,    127,        128,
+                                  300, 16383, 16384,     0xffffffffull,
+                                  0xffffffffffffffffull, 42};
+  for (auto v : values) ew::storage::put_varint(w, v);
+  ByteReader r{w.view()};
+  for (auto v : values) EXPECT_EQ(ew::storage::get_varint(r), v);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Varint, SignedZigZag) {
+  ByteWriter w;
+  const std::int64_t values[] = {0, -1, 1, -64, 63, -1000000, 1000000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (auto v : values) ew::storage::put_varint_signed(w, v);
+  ByteReader r{w.view()};
+  for (auto v : values) EXPECT_EQ(ew::storage::get_varint_signed(r), v);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  ByteWriter w;
+  ew::storage::put_varint(w, 127);
+  EXPECT_EQ(w.size(), 1u);
+  ew::storage::put_varint(w, 128);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(Codec, RecordRoundTrip) {
+  const auto record = sample_record(1);
+  ByteWriter w;
+  ew::storage::encode_record(record, w);
+  ByteReader r{w.view()};
+  const auto back = ew::storage::decode_record(r);
+  ASSERT_TRUE(back.has_value());
+  expect_equal(record, *back);
+}
+
+TEST(Codec, ManyRandomRecordsRoundTrip) {
+  ByteWriter w;
+  std::vector<FlowRecord> records;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    records.push_back(sample_record(i));
+    ew::storage::encode_record(records.back(), w);
+  }
+  ByteReader r{w.view()};
+  for (const auto& expected : records) {
+    const auto got = ew::storage::decode_record(r);
+    ASSERT_TRUE(got.has_value());
+    expect_equal(expected, *got);
+  }
+  EXPECT_FALSE(ew::storage::decode_record(r).has_value());  // clean EOF
+}
+
+TEST(Codec, ZeroRttRecordOmitsRttFields) {
+  FlowRecord r = sample_record(2);
+  r.rtt = {};
+  ByteWriter w;
+  ew::storage::encode_record(r, w);
+  ByteReader reader{w.view()};
+  const auto back = ew::storage::decode_record(reader);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->rtt.samples, 0u);
+}
+
+TEST(Codec, TruncatedInputFailsCleanly) {
+  const auto record = sample_record(3);
+  ByteWriter w;
+  ew::storage::encode_record(record, w);
+  for (std::size_t cut = 1; cut < w.size(); cut += 7) {
+    ByteReader r{w.view().first(cut)};
+    EXPECT_FALSE(ew::storage::decode_record(r).has_value()) << cut;
+  }
+}
+
+// Parameterized sweep: extreme field values must survive the codec.
+class CodecExtremes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecExtremes, RoundTripsExtremeVolumes) {
+  FlowRecord r = sample_record(9);
+  r.up.bytes = GetParam();
+  r.down.bytes = GetParam() / 3;
+  r.up.packets = GetParam() / 1000 + 1;
+  r.server_name.assign(GetParam() % 200, 'x');
+  ByteWriter w;
+  ew::storage::encode_record(r, w);
+  ByteReader reader{w.view()};
+  const auto back = ew::storage::decode_record(reader);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->up.bytes, r.up.bytes);
+  EXPECT_EQ(back->server_name, r.server_name);
+}
+
+INSTANTIATE_TEST_SUITE_P(VolumeSweep, CodecExtremes,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull, 65535ull,
+                                           1'000'000ull, 0xffffffffull,
+                                           0x7fffffffffffffffull));
+
+// -------------------------------------------------------------- compressor
+
+TEST(Compress, RoundTripStructuredData) {
+  // Concatenated records: realistic, compressible input.
+  ByteWriter w;
+  for (std::uint64_t i = 0; i < 500; ++i) ew::storage::encode_record(sample_record(i % 10), w);
+  const std::vector<std::byte> input{w.view().begin(), w.view().end()};
+  const auto compressed = ew::storage::compress_block(input);
+  EXPECT_LT(compressed.size(), input.size() / 2);  // long repeats compress well
+  const auto back = ew::storage::decompress_block(compressed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Compress, RoundTripRandomData) {
+  ew::core::Xoshiro256 rng{77};
+  std::vector<std::byte> input;
+  for (int i = 0; i < 10000; ++i) input.push_back(static_cast<std::byte>(rng() & 0xff));
+  const auto compressed = ew::storage::compress_block(input);
+  EXPECT_LE(compressed.size(), input.size() + 5);  // stored fallback bound
+  const auto back = ew::storage::decompress_block(compressed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Compress, RoundTripEdgeCases) {
+  for (const std::string& s :
+       {std::string{}, std::string{"x"}, std::string{"abcd"}, std::string(100000, 'a'),
+        std::string{"abcabcabcabcabcabc"}}) {
+    const auto input = ew::core::to_bytes(s);
+    const auto back = ew::storage::decompress_block(ew::storage::compress_block(input));
+    ASSERT_TRUE(back.has_value()) << s.size();
+    EXPECT_EQ(*back, input) << s.size();
+  }
+}
+
+TEST(Compress, RandomInputsPropertyRoundTrip) {
+  ew::core::Xoshiro256 rng{123};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::byte> input;
+    const auto len = ew::core::uniform_below(rng, 5000);
+    // Mix of runs and randomness.
+    for (std::uint64_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<std::byte>(
+          ew::core::chance(rng, 0.7) ? 0xAB : static_cast<std::uint8_t>(rng() & 0xff)));
+    }
+    const auto back = ew::storage::decompress_block(ew::storage::compress_block(input));
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(*back, input);
+  }
+}
+
+TEST(Compress, RejectsCorruptedHeaders) {
+  EXPECT_FALSE(ew::storage::decompress_block({}).has_value());
+  const auto input = ew::core::to_bytes("hello world hello world hello world");
+  auto compressed = ew::storage::compress_block(input);
+  compressed[0] = static_cast<std::byte>(9);  // bogus scheme
+  EXPECT_FALSE(ew::storage::decompress_block(compressed).has_value());
+}
+
+TEST(Compress, RejectsTruncatedBody) {
+  std::vector<std::byte> input;
+  for (int i = 0; i < 1000; ++i) input.push_back(static_cast<std::byte>(i % 7));
+  auto compressed = ew::storage::compress_block(input);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_FALSE(ew::storage::decompress_block(compressed).has_value());
+}
+
+// --------------------------------------------------------------- data lake
+
+TEST(DataLake, WriteScanRoundTrip) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  std::vector<FlowRecord> records;
+  for (std::uint64_t i = 0; i < 1000; ++i) records.push_back(sample_record(i));
+  const CivilDate day{2014, 4, 15};
+  const auto bytes = lake.append(day, records);
+  EXPECT_GT(bytes, 0u);
+  const auto back = lake.read_day(day);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) expect_equal(records[i], back[i]);
+}
+
+TEST(DataLake, AppendAccumulates) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2014, 4, 15};
+  std::vector<FlowRecord> batch{sample_record(1), sample_record(2)};
+  lake.append(day, batch);
+  lake.append(day, batch);
+  EXPECT_EQ(lake.read_day(day).size(), 4u);
+}
+
+TEST(DataLake, DaysAreSortedAndDiscoverable) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  std::vector<FlowRecord> batch{sample_record(1)};
+  lake.append({2017, 4, 2}, batch);
+  lake.append({2013, 3, 1}, batch);
+  lake.append({2014, 12, 25}, batch);
+  const auto days = lake.days();
+  ASSERT_EQ(days.size(), 3u);
+  EXPECT_EQ(days[0], (CivilDate{2013, 3, 1}));
+  EXPECT_EQ(days[2], (CivilDate{2017, 4, 2}));
+  EXPECT_TRUE(lake.has_day({2014, 12, 25}));
+  EXPECT_FALSE(lake.has_day({2015, 1, 1}));
+}
+
+TEST(DataLake, MissingDayScanReturnsFalse) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  int count = 0;
+  EXPECT_FALSE(lake.scan_day({2015, 6, 1}, [&](const FlowRecord&) { ++count; }));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(DataLake, CorruptFileDetected) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 1, 1};
+  std::vector<FlowRecord> batch{sample_record(5)};
+  lake.append(day, batch);
+  // Flip bytes in the middle of the file.
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+  auto contents = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }();
+  contents[contents.size() / 2] ^= 0x5A;
+  contents[contents.size() / 2 + 1] ^= 0x5A;
+  std::ofstream(path, std::ios::binary) << contents;
+  int count = 0;
+  EXPECT_FALSE(lake.scan_day(day, [&](const FlowRecord&) { ++count; }));
+}
+
+TEST(DataLake, CompressionShrinksTypicalLogs) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 2, 2};
+  std::vector<FlowRecord> records;
+  for (std::uint64_t i = 0; i < 5000; ++i) records.push_back(sample_record(i % 50));
+  lake.append(day, records);
+  ByteWriter raw;
+  for (const auto& r : records) ew::storage::encode_record(r, raw);
+  EXPECT_LT(lake.file_bytes(day), raw.size());
+}
+
+TEST(DailyLakeWriter, RoutesRecordsToTheirDays) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  {
+    ew::storage::DailyLakeWriter writer{lake, 4};
+    for (int d = 0; d < 3; ++d) {
+      for (int i = 0; i < 5; ++i) {
+        auto r = sample_record(static_cast<std::uint64_t>(d * 10 + i));
+        r.first_packet =
+            ew::core::Timestamp::from_date_time({2016, 5, static_cast<std::uint8_t>(4 + d)}, 10);
+        r.last_packet = r.first_packet + 1'000'000;
+        writer.add(std::move(r));
+      }
+    }
+    EXPECT_GT(writer.records_written(), 0u);  // 4-record buffers already flushed
+  }  // destructor flushes the rest
+  EXPECT_EQ(lake.read_day({2016, 5, 4}).size(), 5u);
+  EXPECT_EQ(lake.read_day({2016, 5, 5}).size(), 5u);
+  EXPECT_EQ(lake.read_day({2016, 5, 6}).size(), 5u);
+  EXPECT_EQ(lake.days().size(), 3u);
+}
+
+TEST(DailyLakeWriter, MidnightRollover) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  ew::storage::DailyLakeWriter writer{lake};
+  // A flow starting at 23:59:59 belongs to its start day even if it ends
+  // the next day.
+  auto r = sample_record(1);
+  r.first_packet = ew::core::Timestamp::from_date_time({2016, 5, 4}, 23, 59, 59);
+  r.last_packet = r.first_packet + 10'000'000;  // crosses midnight
+  writer.add(std::move(r));
+  writer.finish();
+  EXPECT_EQ(lake.read_day({2016, 5, 4}).size(), 1u);
+  EXPECT_FALSE(lake.has_day({2016, 5, 5}));
+}
+
+TEST(DataLake, CsvExportWritesHeaderAndRows) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 7, 7};
+  std::vector<FlowRecord> records{sample_record(1), sample_record(2), sample_record(3)};
+  lake.append(day, records);
+  const auto csv_path = dir.path / "out.csv";
+  EXPECT_EQ(lake.export_csv(day, csv_path), 3u);
+  std::ifstream in(csv_path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, ew::storage::csv_header());
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+}

@@ -1,0 +1,300 @@
+// Scenario engine tests: determinism, population dynamics, and calibration
+// of the generated traffic against the paper's headline numbers.
+#include <gtest/gtest.h>
+
+#include "analytics/figures.hpp"
+#include "probe/probe.hpp"
+#include "synth/curve.hpp"
+#include "synth/generator.hpp"
+#include "synth/packets.hpp"
+
+namespace ew = edgewatch;
+using ew::core::CivilDate;
+using ew::services::ServiceId;
+using ew::synth::Curve;
+
+namespace {
+
+const ew::synth::WorkloadGenerator& paper_generator() {
+  static const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7)};
+  return gen;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ curve
+
+TEST(Curve, InterpolatesLinearly) {
+  const Curve c{{{CivilDate{2014, 1, 1}, 100.0}, {CivilDate{2014, 1, 11}, 200.0}}};
+  EXPECT_DOUBLE_EQ(c.at({2014, 1, 1}), 100.0);
+  EXPECT_DOUBLE_EQ(c.at({2014, 1, 6}), 150.0);
+  EXPECT_DOUBLE_EQ(c.at({2014, 1, 11}), 200.0);
+}
+
+TEST(Curve, ClampsOutsideRange) {
+  const Curve c{{{CivilDate{2014, 1, 1}, 5.0}, {CivilDate{2015, 1, 1}, 10.0}}};
+  EXPECT_DOUBLE_EQ(c.at({2010, 1, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(c.at({2020, 1, 1}), 10.0);
+}
+
+TEST(Curve, StepEventsViaAdjacentPoints) {
+  const Curve c{{{CivilDate{2015, 12, 6}, 0.35}, {CivilDate{2015, 12, 8}, 0.0}}};
+  EXPECT_DOUBLE_EQ(c.at({2015, 12, 6}), 0.35);
+  EXPECT_DOUBLE_EQ(c.at({2015, 12, 8}), 0.0);
+}
+
+TEST(Curve, ConstantAndEmpty) {
+  EXPECT_DOUBLE_EQ(Curve{0.7}.at({2016, 5, 5}), 0.7);
+  EXPECT_DOUBLE_EQ(Curve{}.at({2016, 5, 5}), 0.0);
+}
+
+// -------------------------------------------------------------- population
+
+TEST(Population, ChurnShrinksAdslGrowsFtth) {
+  ew::synth::PopulationConfig cfg;
+  cfg.seed = 3;
+  ew::synth::SubscriberPopulation pop{cfg};
+  const auto start = ew::core::days_from_civil(cfg.start);
+  const auto end = ew::core::days_from_civil(cfg.end) - 1;
+  EXPECT_GT(pop.present_on(start, ew::flow::AccessTech::kAdsl),
+            pop.present_on(end, ew::flow::AccessTech::kAdsl));
+  EXPECT_LT(pop.present_on(start, ew::flow::AccessTech::kFtth),
+            pop.present_on(end, ew::flow::AccessTech::kFtth));
+  EXPECT_EQ(pop.lines().size(), cfg.adsl_lines + cfg.ftth_lines);
+}
+
+TEST(Population, DeterministicAcrossConstructions) {
+  ew::synth::PopulationConfig cfg;
+  cfg.seed = 11;
+  ew::synth::SubscriberPopulation a{cfg}, b{cfg};
+  ASSERT_EQ(a.lines().size(), b.lines().size());
+  for (std::size_t i = 0; i < a.lines().size(); ++i) {
+    EXPECT_EQ(a.lines()[i].ip, b.lines()[i].ip);
+    EXPECT_DOUBLE_EQ(a.lines()[i].appetite, b.lines()[i].appetite);
+    EXPECT_EQ(a.lines()[i].leave_day, b.lines()[i].leave_day);
+  }
+}
+
+TEST(Population, AddressesMatchProbePrefixes) {
+  ew::synth::PopulationConfig cfg;
+  ew::synth::SubscriberPopulation pop{cfg};
+  const ew::probe::ProbeConfig probe_cfg;
+  for (const auto& line : pop.lines()) {
+    EXPECT_TRUE(probe_cfg.customer_net.contains(line.ip));
+    EXPECT_EQ(probe_cfg.ftth_net.contains(line.ip),
+              line.access == ew::flow::AccessTech::kFtth);
+  }
+}
+
+// --------------------------------------------------------------- generator
+
+TEST(Generator, DeterministicDay) {
+  const auto& gen = paper_generator();
+  const auto a = gen.day_records({2015, 5, 20});
+  const auto b = gen.day_records({2015, 5, 20});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].client_ip, b[i].client_ip);
+    EXPECT_EQ(a[i].down.bytes, b[i].down.bytes);
+    EXPECT_EQ(a[i].first_packet, b[i].first_packet);
+  }
+}
+
+TEST(Generator, ActiveShareAroundEightyPercent) {
+  const auto agg = paper_generator().day_aggregate({2015, 5, 20});
+  const double share = static_cast<double>(agg.active_subscribers()) /
+                       static_cast<double>(agg.total_subscribers());
+  EXPECT_GT(share, 0.70);
+  EXPECT_LT(share, 0.92);
+}
+
+TEST(Generator, DailyVolumeMatchesFig3Targets) {
+  // April 2014: ADSL ~390 MB/day, FTTH ~490; April 2017: ~660 / ~900.
+  auto check = [](CivilDate date, double adsl_mb, double ftth_mb, double tol) {
+    std::vector<ew::analytics::DayAggregate> days;
+    days.push_back(paper_generator().day_aggregate(date));
+    const auto rows = ew::analytics::volume_trend(days);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_NEAR(rows[0].down_mb[0], adsl_mb, tol) << date.to_string();
+    EXPECT_NEAR(rows[0].down_mb[1], ftth_mb, tol * 1.6) << date.to_string();
+  };
+  check({2014, 4, 10}, 390, 500, 110);
+  check({2017, 4, 12}, 660, 930, 170);
+}
+
+TEST(Generator, UploadAdslFlatAndBounded) {
+  std::vector<ew::analytics::DayAggregate> d14, d17;
+  d14.push_back(paper_generator().day_aggregate({2014, 4, 10}));
+  d17.push_back(paper_generator().day_aggregate({2017, 4, 12}));
+  const auto r14 = ew::analytics::volume_trend(d14);
+  const auto r17 = ew::analytics::volume_trend(d17);
+  // ADSL upload roughly flat (bottleneck), FTTH upload grows.
+  EXPECT_NEAR(r17[0].up_mb[0] / r14[0].up_mb[0], 1.0, 0.45);
+  EXPECT_GT(r17[0].up_mb[1], r14[0].up_mb[1] * 0.95);
+}
+
+TEST(Generator, NetflixAbsentBeforeItalianLaunch) {
+  const auto agg = paper_generator().day_aggregate({2015, 6, 1});
+  for (const auto& [_, sub] : agg.subscribers) {
+    EXPECT_EQ(sub.service(ServiceId::kNetflix).total(), 0u);
+  }
+  const auto later = paper_generator().day_aggregate({2017, 4, 12});
+  std::uint64_t netflix_bytes = 0;
+  for (const auto& [_, sub] : later.subscribers) {
+    netflix_bytes += sub.service(ServiceId::kNetflix).total();
+  }
+  EXPECT_GT(netflix_bytes, 0u);
+}
+
+TEST(Generator, FbZeroAppearsOnlyAfterEventF) {
+  const auto before = paper_generator().day_aggregate({2016, 10, 20});
+  const auto after = paper_generator().day_aggregate({2017, 2, 15});
+  EXPECT_EQ(before.web_bytes[static_cast<std::size_t>(ew::dpi::WebProtocol::kFbZero)], 0u);
+  EXPECT_GT(after.web_bytes[static_cast<std::size_t>(ew::dpi::WebProtocol::kFbZero)], 0u);
+}
+
+TEST(Generator, SpdyHiddenBeforeProbeUpgrade) {
+  // SPDY exists on the wire in 2014 but probes label it TLS until event C.
+  const auto early = paper_generator().day_aggregate({2015, 3, 1});
+  const auto late = paper_generator().day_aggregate({2015, 9, 1});
+  EXPECT_EQ(early.web_bytes[static_cast<std::size_t>(ew::dpi::WebProtocol::kSpdy)], 0u);
+  EXPECT_GT(late.web_bytes[static_cast<std::size_t>(ew::dpi::WebProtocol::kSpdy)], 0u);
+}
+
+TEST(Generator, QuicBlackoutDecember2015) {
+  const auto before = paper_generator().day_aggregate({2015, 11, 20});
+  const auto during = paper_generator().day_aggregate({2015, 12, 20});
+  const auto after = paper_generator().day_aggregate({2016, 2, 10});
+  const auto q = static_cast<std::size_t>(ew::dpi::WebProtocol::kQuic);
+  EXPECT_GT(before.web_bytes[q], 0u);
+  EXPECT_EQ(during.web_bytes[q], 0u);
+  EXPECT_GT(after.web_bytes[q], 0u);
+}
+
+TEST(Generator, YouTubeRttCollapsesWithIspCaches) {
+  std::vector<ew::analytics::DayAggregate> d14, d17;
+  d14.push_back(paper_generator().day_aggregate({2014, 4, 10}));
+  d17.push_back(paper_generator().day_aggregate({2017, 4, 12}));
+  const auto rtt14 = ew::analytics::rtt_distribution(d14, ServiceId::kYouTube);
+  const auto rtt17 = ew::analytics::rtt_distribution(d17, ServiceId::kYouTube);
+  ASSERT_GT(rtt14.size(), 100u);
+  ASSERT_GT(rtt17.size(), 100u);
+  // 2017: a majority of flows served sub-millisecond; 2014: none.
+  EXPECT_LT(rtt14.cdf(1.0), 0.02);
+  EXPECT_GT(rtt17.cdf(1.0), 0.40);
+}
+
+TEST(Generator, WhatsAppStaysFar) {
+  std::vector<ew::analytics::DayAggregate> d17;
+  d17.push_back(paper_generator().day_aggregate({2017, 4, 12}));
+  const auto rtt = ew::analytics::rtt_distribution(d17, ServiceId::kWhatsApp);
+  ASSERT_GT(rtt.size(), 20u);
+  EXPECT_GT(rtt.median(), 80.0);
+}
+
+TEST(Generator, SharedAkamaiIpsDetected) {
+  const auto agg = paper_generator().day_aggregate({2014, 4, 10});
+  std::size_t shared = 0;
+  for (const auto& [_, stats] : agg.server_ips) shared += stats.shared();
+  EXPECT_GT(shared, 0u);  // Facebook/Instagram/Other all ride Akamai in 2014
+}
+
+TEST(Generator, RetransmissionRatesTrackPathLength) {
+  std::vector<ew::analytics::DayAggregate> days;
+  days.push_back(paper_generator().day_aggregate({2017, 4, 12}));
+  const auto health = ew::analytics::aggregate_health(days);
+  const auto& yt = health[static_cast<std::size_t>(ServiceId::kYouTube)];      // sub-ms caches
+  const auto& wa = health[static_cast<std::size_t>(ServiceId::kWhatsApp)];     // ~100 ms DC
+  ASSERT_GT(yt.packets, 1000u);
+  ASSERT_GT(wa.packets, 1000u);
+  EXPECT_GT(wa.retransmission_rate(), yt.retransmission_rate());
+  EXPECT_GT(wa.retransmission_rate(), 0.0);
+  EXPECT_LT(yt.retransmission_rate(), 0.01);
+}
+
+// --------------------------------------------------------- packet renderer
+
+TEST(PacketRenderer, ConversationSurvivesProbe) {
+  ew::synth::ConversationSpec spec;
+  spec.client = ew::core::IPv4Address{10, 0, 0, 42};
+  spec.server = ew::core::IPv4Address{157, 240, 1, 9};
+  spec.web = ew::dpi::WebProtocol::kHttp2;
+  spec.server_name = "www.facebook.com";
+  spec.alpn = "h2";
+  spec.response_bytes = 30'000;
+  spec.start = ew::core::Timestamp::from_date_time({2016, 5, 1}, 21);
+  spec.rtt_us = 3'000;
+
+  std::vector<ew::flow::FlowRecord> records;
+  ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+  for (const auto& frame : ew::synth::render_conversation(spec)) probe.process(frame);
+  probe.finish();
+
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].server_name, "www.facebook.com");
+  EXPECT_EQ(records[0].web, ew::dpi::WebProtocol::kHttp2);
+  EXPECT_EQ(records[0].down.bytes, 30'000u);
+  EXPECT_TRUE(records[0].handshake_completed);
+  EXPECT_EQ(records[0].close_reason, ew::flow::FlowCloseReason::kTcpTeardown);
+  EXPECT_NEAR(records[0].rtt.min_ms(), 3.0, 0.5);
+}
+
+TEST(PacketRenderer, QuicConversationSurvivesProbe) {
+  ew::synth::ConversationSpec spec;
+  spec.client = ew::core::IPv4Address{10, 0, 0, 43};
+  spec.server = ew::core::IPv4Address{173, 194, 4, 4};
+  spec.web = ew::dpi::WebProtocol::kQuic;
+  spec.response_bytes = 9'000;
+  spec.start = ew::core::Timestamp::from_date_time({2016, 5, 1}, 20);
+
+  std::vector<ew::flow::FlowRecord> records;
+  ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+  for (const auto& frame : ew::synth::render_conversation(spec)) probe.process(frame);
+  probe.finish();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].web, ew::dpi::WebProtocol::kQuic);
+  EXPECT_EQ(records[0].proto, ew::core::TransportProto::kUdp);
+  EXPECT_EQ(records[0].down.bytes, 9'000u);
+}
+
+TEST(PacketRenderer, P2pConversationClassified) {
+  ew::synth::ConversationSpec spec;
+  spec.client = ew::core::IPv4Address{10, 0, 0, 44};
+  spec.server = ew::core::IPv4Address{93, 33, 44, 55};
+  spec.p2p = true;
+  spec.server_port = 51413;
+  spec.response_bytes = 2'000;
+  spec.start = ew::core::Timestamp::from_date_time({2014, 5, 1}, 22);
+
+  std::vector<ew::flow::FlowRecord> records;
+  ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+  for (const auto& frame : ew::synth::render_conversation(spec)) probe.process(frame);
+  probe.finish();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].l7, ew::dpi::L7Protocol::kBittorrent);
+}
+
+TEST(PacketRenderer, DnsResponseFeedsDnHunter) {
+  const ew::core::IPv4Address client{10, 0, 0, 45};
+  const ew::core::IPv4Address server{158, 85, 9, 9};
+  const ew::core::IPv4Address addrs[] = {server};
+  std::vector<ew::flow::FlowRecord> records;
+  ew::probe::Probe probe{{}, [&](ew::flow::FlowRecord&& r) { records.push_back(std::move(r)); }};
+  probe.process(ew::synth::render_dns_response(
+      client, ew::core::IPv4Address{10, 255, 0, 1}, "e1.whatsapp.net", addrs,
+      ew::core::Timestamp::from_date_time({2015, 2, 1}, 10)));
+
+  ew::synth::ConversationSpec spec;
+  spec.client = client;
+  spec.server = server;
+  spec.web = ew::dpi::WebProtocol::kTls;
+  spec.server_name = "";  // no SNI: only DN-Hunter can name it
+  spec.start = ew::core::Timestamp::from_date_time({2015, 2, 1}, 10, 1);
+  for (const auto& frame : ew::synth::render_conversation(spec)) probe.process(frame);
+  probe.finish();
+
+  ASSERT_EQ(records.size(), 2u);
+  const auto* app = records[0].server_port == 53 ? &records[1] : &records[0];
+  EXPECT_EQ(app->server_name, "e1.whatsapp.net");
+  EXPECT_EQ(app->name_source, ew::flow::NameSource::kDnsHunter);
+}
