@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dnhunter.dir/bench_ablation_dnhunter.cpp.o"
+  "CMakeFiles/bench_ablation_dnhunter.dir/bench_ablation_dnhunter.cpp.o.d"
+  "bench_ablation_dnhunter"
+  "bench_ablation_dnhunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dnhunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

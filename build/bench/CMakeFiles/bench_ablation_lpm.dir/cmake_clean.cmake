@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lpm.dir/bench_ablation_lpm.cpp.o"
+  "CMakeFiles/bench_ablation_lpm.dir/bench_ablation_lpm.cpp.o.d"
+  "bench_ablation_lpm"
+  "bench_ablation_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_infrastructure.dir/bench_fig11_infrastructure.cpp.o"
+  "CMakeFiles/bench_fig11_infrastructure.dir/bench_fig11_infrastructure.cpp.o.d"
+  "bench_fig11_infrastructure"
+  "bench_fig11_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

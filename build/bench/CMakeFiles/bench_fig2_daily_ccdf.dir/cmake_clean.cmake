@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_daily_ccdf.dir/bench_fig2_daily_ccdf.cpp.o"
+  "CMakeFiles/bench_fig2_daily_ccdf.dir/bench_fig2_daily_ccdf.cpp.o.d"
+  "bench_fig2_daily_ccdf"
+  "bench_fig2_daily_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_daily_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_protocols.dir/bench_fig8_protocols.cpp.o"
+  "CMakeFiles/bench_fig8_protocols.dir/bench_fig8_protocols.cpp.o.d"
+  "bench_fig8_protocols"
+  "bench_fig8_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

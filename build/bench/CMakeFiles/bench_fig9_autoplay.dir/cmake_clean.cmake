@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_autoplay.dir/bench_fig9_autoplay.cpp.o"
+  "CMakeFiles/bench_fig9_autoplay.dir/bench_fig9_autoplay.cpp.o.d"
+  "bench_fig9_autoplay"
+  "bench_fig9_autoplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_autoplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probe_throughput.dir/bench_probe_throughput.cpp.o"
+  "CMakeFiles/bench_probe_throughput.dir/bench_probe_throughput.cpp.o.d"
+  "bench_probe_throughput"
+  "bench_probe_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

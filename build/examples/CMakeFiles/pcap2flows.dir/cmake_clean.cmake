@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap2flows.dir/pcap2flows.cpp.o"
+  "CMakeFiles/pcap2flows.dir/pcap2flows.cpp.o.d"
+  "pcap2flows"
+  "pcap2flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap2flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

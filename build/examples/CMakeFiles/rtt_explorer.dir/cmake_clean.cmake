@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_explorer.dir/rtt_explorer.cpp.o"
+  "CMakeFiles/rtt_explorer.dir/rtt_explorer.cpp.o.d"
+  "rtt_explorer"
+  "rtt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

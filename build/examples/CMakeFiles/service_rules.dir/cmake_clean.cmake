@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_rules.dir/service_rules.cpp.o"
+  "CMakeFiles/service_rules.dir/service_rules.cpp.o.d"
+  "service_rules"
+  "service_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

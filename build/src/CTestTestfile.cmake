@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("net")
+subdirs("anon")
+subdirs("dns")
+subdirs("dpi")
+subdirs("flow")
+subdirs("services")
+subdirs("asn")
+subdirs("probe")
+subdirs("storage")
+subdirs("analytics")
+subdirs("synth")

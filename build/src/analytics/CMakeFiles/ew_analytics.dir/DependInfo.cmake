@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/day_aggregate.cpp" "src/analytics/CMakeFiles/ew_analytics.dir/day_aggregate.cpp.o" "gcc" "src/analytics/CMakeFiles/ew_analytics.dir/day_aggregate.cpp.o.d"
+  "/root/repo/src/analytics/figures.cpp" "src/analytics/CMakeFiles/ew_analytics.dir/figures.cpp.o" "gcc" "src/analytics/CMakeFiles/ew_analytics.dir/figures.cpp.o.d"
+  "/root/repo/src/analytics/infrastructure.cpp" "src/analytics/CMakeFiles/ew_analytics.dir/infrastructure.cpp.o" "gcc" "src/analytics/CMakeFiles/ew_analytics.dir/infrastructure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ew_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/ew_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/ew_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/ew_dpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

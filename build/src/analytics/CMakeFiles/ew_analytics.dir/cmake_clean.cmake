@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_analytics.dir/day_aggregate.cpp.o"
+  "CMakeFiles/ew_analytics.dir/day_aggregate.cpp.o.d"
+  "CMakeFiles/ew_analytics.dir/figures.cpp.o"
+  "CMakeFiles/ew_analytics.dir/figures.cpp.o.d"
+  "CMakeFiles/ew_analytics.dir/infrastructure.cpp.o"
+  "CMakeFiles/ew_analytics.dir/infrastructure.cpp.o.d"
+  "libew_analytics.a"
+  "libew_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_anon.dir/anonymizer.cpp.o"
+  "CMakeFiles/ew_anon.dir/anonymizer.cpp.o.d"
+  "libew_anon.a"
+  "libew_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_asn.dir/lpm.cpp.o"
+  "CMakeFiles/ew_asn.dir/lpm.cpp.o.d"
+  "libew_asn.a"
+  "libew_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_core.dir/hash.cpp.o"
+  "CMakeFiles/ew_core.dir/hash.cpp.o.d"
+  "CMakeFiles/ew_core.dir/stats.cpp.o"
+  "CMakeFiles/ew_core.dir/stats.cpp.o.d"
+  "CMakeFiles/ew_core.dir/time.cpp.o"
+  "CMakeFiles/ew_core.dir/time.cpp.o.d"
+  "CMakeFiles/ew_core.dir/types.cpp.o"
+  "CMakeFiles/ew_core.dir/types.cpp.o.d"
+  "libew_core.a"
+  "libew_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_dns.dir/dnhunter.cpp.o"
+  "CMakeFiles/ew_dns.dir/dnhunter.cpp.o.d"
+  "CMakeFiles/ew_dns.dir/message.cpp.o"
+  "CMakeFiles/ew_dns.dir/message.cpp.o.d"
+  "libew_dns.a"
+  "libew_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

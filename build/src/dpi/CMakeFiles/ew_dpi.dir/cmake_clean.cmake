@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_dpi.dir/classifier.cpp.o"
+  "CMakeFiles/ew_dpi.dir/classifier.cpp.o.d"
+  "CMakeFiles/ew_dpi.dir/parsers.cpp.o"
+  "CMakeFiles/ew_dpi.dir/parsers.cpp.o.d"
+  "libew_dpi.a"
+  "libew_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/record.cpp" "src/flow/CMakeFiles/ew_flow.dir/record.cpp.o" "gcc" "src/flow/CMakeFiles/ew_flow.dir/record.cpp.o.d"
+  "/root/repo/src/flow/rtt.cpp" "src/flow/CMakeFiles/ew_flow.dir/rtt.cpp.o" "gcc" "src/flow/CMakeFiles/ew_flow.dir/rtt.cpp.o.d"
+  "/root/repo/src/flow/table.cpp" "src/flow/CMakeFiles/ew_flow.dir/table.cpp.o" "gcc" "src/flow/CMakeFiles/ew_flow.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/ew_dpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

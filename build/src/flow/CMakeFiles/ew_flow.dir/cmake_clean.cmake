@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_flow.dir/record.cpp.o"
+  "CMakeFiles/ew_flow.dir/record.cpp.o.d"
+  "CMakeFiles/ew_flow.dir/rtt.cpp.o"
+  "CMakeFiles/ew_flow.dir/rtt.cpp.o.d"
+  "CMakeFiles/ew_flow.dir/table.cpp.o"
+  "CMakeFiles/ew_flow.dir/table.cpp.o.d"
+  "libew_flow.a"
+  "libew_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_net.dir/headers.cpp.o"
+  "CMakeFiles/ew_net.dir/headers.cpp.o.d"
+  "CMakeFiles/ew_net.dir/packet.cpp.o"
+  "CMakeFiles/ew_net.dir/packet.cpp.o.d"
+  "CMakeFiles/ew_net.dir/pcap.cpp.o"
+  "CMakeFiles/ew_net.dir/pcap.cpp.o.d"
+  "libew_net.a"
+  "libew_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_probe.dir/probe.cpp.o"
+  "CMakeFiles/ew_probe.dir/probe.cpp.o.d"
+  "libew_probe.a"
+  "libew_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

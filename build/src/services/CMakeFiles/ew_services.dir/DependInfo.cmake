@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/catalog.cpp" "src/services/CMakeFiles/ew_services.dir/catalog.cpp.o" "gcc" "src/services/CMakeFiles/ew_services.dir/catalog.cpp.o.d"
+  "/root/repo/src/services/regex.cpp" "src/services/CMakeFiles/ew_services.dir/regex.cpp.o" "gcc" "src/services/CMakeFiles/ew_services.dir/regex.cpp.o.d"
+  "/root/repo/src/services/rules.cpp" "src/services/CMakeFiles/ew_services.dir/rules.cpp.o" "gcc" "src/services/CMakeFiles/ew_services.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/ew_dpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_services.dir/catalog.cpp.o"
+  "CMakeFiles/ew_services.dir/catalog.cpp.o.d"
+  "CMakeFiles/ew_services.dir/regex.cpp.o"
+  "CMakeFiles/ew_services.dir/regex.cpp.o.d"
+  "CMakeFiles/ew_services.dir/rules.cpp.o"
+  "CMakeFiles/ew_services.dir/rules.cpp.o.d"
+  "libew_services.a"
+  "libew_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/codec.cpp" "src/storage/CMakeFiles/ew_storage.dir/codec.cpp.o" "gcc" "src/storage/CMakeFiles/ew_storage.dir/codec.cpp.o.d"
+  "/root/repo/src/storage/compress.cpp" "src/storage/CMakeFiles/ew_storage.dir/compress.cpp.o" "gcc" "src/storage/CMakeFiles/ew_storage.dir/compress.cpp.o.d"
+  "/root/repo/src/storage/datalake.cpp" "src/storage/CMakeFiles/ew_storage.dir/datalake.cpp.o" "gcc" "src/storage/CMakeFiles/ew_storage.dir/datalake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ew_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/ew_dpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

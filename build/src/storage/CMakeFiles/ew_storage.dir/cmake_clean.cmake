@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_storage.dir/codec.cpp.o"
+  "CMakeFiles/ew_storage.dir/codec.cpp.o.d"
+  "CMakeFiles/ew_storage.dir/compress.cpp.o"
+  "CMakeFiles/ew_storage.dir/compress.cpp.o.d"
+  "CMakeFiles/ew_storage.dir/datalake.cpp.o"
+  "CMakeFiles/ew_storage.dir/datalake.cpp.o.d"
+  "libew_storage.a"
+  "libew_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ew_synth.dir/curve.cpp.o"
+  "CMakeFiles/ew_synth.dir/curve.cpp.o.d"
+  "CMakeFiles/ew_synth.dir/generator.cpp.o"
+  "CMakeFiles/ew_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/ew_synth.dir/packets.cpp.o"
+  "CMakeFiles/ew_synth.dir/packets.cpp.o.d"
+  "CMakeFiles/ew_synth.dir/paper_scenario.cpp.o"
+  "CMakeFiles/ew_synth.dir/paper_scenario.cpp.o.d"
+  "CMakeFiles/ew_synth.dir/population.cpp.o"
+  "CMakeFiles/ew_synth.dir/population.cpp.o.d"
+  "libew_synth.a"
+  "libew_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ew_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

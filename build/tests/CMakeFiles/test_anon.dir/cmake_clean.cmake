@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anon.dir/test_anon.cpp.o"
+  "CMakeFiles/test_anon.dir/test_anon.cpp.o.d"
+  "test_anon"
+  "test_anon.pdb"
+  "test_anon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

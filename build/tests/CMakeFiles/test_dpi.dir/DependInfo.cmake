@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dpi.cpp" "tests/CMakeFiles/test_dpi.dir/test_dpi.cpp.o" "gcc" "tests/CMakeFiles/test_dpi.dir/test_dpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/ew_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/ew_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ew_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/ew_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/ew_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/ew_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ew_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/ew_dpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/ew_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/ew_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ew_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ew_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
