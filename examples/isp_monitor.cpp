@@ -33,16 +33,27 @@ int main(int argc, char** argv) {
   const auto lake_dir = std::filesystem::temp_directory_path() / "edgewatch_demo_lake";
   ew::storage::DataLake lake{lake_dir};
   const auto disk_bytes = lake.append(day, records);
+  if (!disk_bytes) {
+    std::fprintf(stderr, "lake append failed: %s\n",
+                 std::string(ew::core::to_string(disk_bytes.error())).c_str());
+    return 1;
+  }
 
   // Stage one: per-day aggregate, re-read from the lake (round trip!).
   ew::analytics::DayAggregator aggregator{day};
-  lake.scan_day(day, [&](const ew::flow::FlowRecord& r) { aggregator.add(r); });
+  const auto scan = lake.scan_day(day, [&](const ew::flow::FlowRecord& r) { aggregator.add(r); });
   const auto agg = std::move(aggregator).take();
 
   std::printf("\n-- ingest ------------------------------------------------\n");
   std::printf("flow records:        %zu\n", records.size());
-  std::printf("on disk:             %.2f MB (%s)\n", static_cast<double>(disk_bytes) / 1e6,
+  std::printf("on disk:             %.2f MB (%s)\n", static_cast<double>(*disk_bytes) / 1e6,
               lake.root().c_str());
+  const auto lake_health = lake.fsck_day(day);
+  std::printf("lake health:         v%u %s, %llu records in %llu blocks, scan %s\n",
+              lake_health.version, lake_health.sealed ? "sealed" : "UNSEALED",
+              static_cast<unsigned long long>(lake_health.records_ok),
+              static_cast<unsigned long long>(lake_health.blocks_ok),
+              scan.ok() ? "clean" : std::string(ew::core::to_string(scan.errc)).c_str());
   std::printf("subscribers seen:    %zu (%zu active, %.0f%%)\n", agg.total_subscribers(),
               agg.active_subscribers(),
               100.0 * static_cast<double>(agg.active_subscribers()) /

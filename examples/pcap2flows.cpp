@@ -92,7 +92,8 @@ int main(int argc, char** argv) {
                          }};
   const auto stats = ew::net::read_pcap(input, [&](ew::net::Frame&& f) { probe.process(f); });
   if (!stats) {
-    std::fprintf(stderr, "not a readable Ethernet pcap: %s\n", input.c_str());
+    std::fprintf(stderr, "not a readable Ethernet pcap: %s (%s)\n", input.c_str(),
+                 std::string(ew::core::to_string(stats.error())).c_str());
     return 1;
   }
   probe.finish();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+#
+#   scripts/tier1.sh              # RelWithDebInfo (the default preset)
+#   SANITIZE=1 scripts/tier1.sh   # second configuration: Debug + ASan/UBSan
+#
+# The sanitizer pass exists for the robustness work: the fault-injection
+# matrix, the corruption tests, and the fuzz sweeps only prove memory
+# safety when out-of-bounds reads and UB actually abort the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  preset=asan-ubsan
+else
+  preset=default
+fi
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)"

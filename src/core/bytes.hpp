@@ -66,6 +66,11 @@ class ByteReader {
     if (ensure(n)) pos_ += n;
   }
 
+  /// Mark the cursor as failed (malformed input detected by a caller, e.g.
+  /// an over-long varint): every subsequent access behaves like a read past
+  /// the end.
+  void fail() noexcept { failed_ = true; }
+
   /// Peek one byte `ahead` positions from the cursor without consuming.
   [[nodiscard]] std::uint8_t peek_u8(std::size_t ahead = 0) const noexcept {
     if (failed_ || pos_ + ahead >= data_.size()) return 0;

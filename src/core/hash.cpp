@@ -13,6 +13,53 @@ std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
 
 namespace {
 
+/// Slicing-by-four CRC-32C tables, generated at static-init time from the
+/// reflected polynomial. Table 0 alone defines the CRC; tables 1-3 let the
+/// hot loop consume four bytes per iteration.
+struct Crc32cTables {
+  std::uint32_t t[4][256];
+
+  Crc32cTables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& crc_tables() noexcept {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  const auto& t = crc_tables().t;
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= std::to_integer<std::uint32_t>(data[i]) |
+           (std::to_integer<std::uint32_t>(data[i + 1]) << 8) |
+           (std::to_integer<std::uint32_t>(data[i + 2]) << 16) |
+           (std::to_integer<std::uint32_t>(data[i + 3]) << 24);
+    crc = t[3][crc & 0xff] ^ t[2][(crc >> 8) & 0xff] ^ t[1][(crc >> 16) & 0xff] ^
+          t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = t[0][(crc ^ std::to_integer<std::uint32_t>(data[i])) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+namespace {
+
 constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
   return (x << b) | (x >> (64 - b));
 }

@@ -1,5 +1,8 @@
 // Keyed and unkeyed hashing used across the project:
 //  - fnv1a64: fast unkeyed hash for table lookups on short strings.
+//  - crc32c: the Castagnoli CRC (as in iSCSI/ext4/LevelDB), the on-disk
+//    integrity check of the storage layer — strong burst-error detection
+//    for the bit flips and torn writes a five-year lake accumulates.
 //  - SipHash-2-4: a keyed PRF; the anonymizer (CryptoPAn construction) and
 //    the flow table use it where key-independence or flood resistance
 //    matters. Implemented from the reference description (Aumasson &
@@ -25,6 +28,11 @@ namespace edgewatch::core {
 }
 
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82f63b78). `seed` chains
+/// incremental computation: crc32c(b, crc32c(a)) == crc32c(a ++ b).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data,
+                                   std::uint32_t seed = 0) noexcept;
 
 /// 128-bit key for SipHash.
 struct SipKey {

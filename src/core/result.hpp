@@ -1,0 +1,98 @@
+// Error taxonomy for the storage and capture layers. A five-year pipeline
+// (paper §2.3) must tell *why* an operation failed — a missing day, a torn
+// tail after a probe crash, a checksum mismatch on ageing disks and a full
+// filesystem each demand a different reaction — instead of collapsing all
+// of them into `false`/`nullopt`.
+//
+// Result<T> carries either a value or an Errc. Its accessor surface is a
+// superset of std::optional's (has_value / operator* / operator-> /
+// value_or), so call sites written against the old optional-returning APIs
+// keep compiling while new code can branch on error().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace edgewatch::core {
+
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  kIoError,      ///< open/read/write/close failed at the OS level.
+  kNoSpace,      ///< ENOSPC: the volume is full.
+  kNotFound,     ///< File or day absent (distinct from unreadable).
+  kBadMagic,     ///< Not one of our files at all.
+  kBadVersion,   ///< Our container, but a version this reader cannot parse.
+  kCorrupt,      ///< Structure or checksum mismatch: the bytes are damaged.
+  kTruncated,    ///< Torn tail: the file ends mid-element (unclean append).
+  kEndOfStream,  ///< Clean end of input — iteration, not failure.
+  kOverflow,     ///< Malformed variable-length encoding exceeding the type.
+  kUnsupported,  ///< Valid input requesting a capability we do not have.
+  kCrashed,      ///< Fault injection: the simulated process died here.
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Errc e) noexcept {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kIoError: return "io-error";
+    case Errc::kNoSpace: return "no-space";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kBadMagic: return "bad-magic";
+    case Errc::kBadVersion: return "bad-version";
+    case Errc::kCorrupt: return "corrupt";
+    case Errc::kTruncated: return "truncated";
+    case Errc::kEndOfStream: return "end-of-stream";
+    case Errc::kOverflow: return "overflow";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+/// Value-or-error. Constructing from a T yields success; constructing from
+/// an Errc yields failure (Errc::kOk is not a valid failure code).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc error) : error_(error) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+  [[nodiscard]] Errc error() const noexcept { return error_; }
+
+  [[nodiscard]] T& operator*() noexcept { return *value_; }
+  [[nodiscard]] const T& operator*() const noexcept { return *value_; }
+  [[nodiscard]] T* operator->() noexcept { return &*value_; }
+  [[nodiscard]] const T* operator->() const noexcept { return &*value_; }
+  [[nodiscard]] T& value() { return value_.value(); }
+  [[nodiscard]] const T& value() const { return value_.value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return value_ ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::optional<T> value_;
+  Errc error_ = Errc::kOk;
+};
+
+/// Status-only specialization: success, or the Errc explaining why not.
+template <>
+class Result<void> {
+ public:
+  Result() noexcept = default;
+  Result(Errc error) noexcept : error_(error) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return error_ == Errc::kOk; }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+  [[nodiscard]] bool ok() const noexcept { return has_value(); }
+  [[nodiscard]] Errc error() const noexcept { return error_; }
+
+ private:
+  Errc error_ = Errc::kOk;
+};
+
+}  // namespace edgewatch::core

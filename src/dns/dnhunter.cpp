@@ -90,4 +90,36 @@ std::size_t DnHunter::size() const noexcept {
 
 void DnHunter::clear() { tables_.clear(); }
 
+void DnHunter::for_each_entry(
+    const std::function<void(core::IPv4Address, core::IPv4Address, const std::string&,
+                             core::Timestamp)>& fn) const {
+  for (const auto& [client, table] : tables_) {
+    // Back of the LRU list = least recent: replaying in this order through
+    // restore_entry (front insertion) rebuilds the identical list.
+    for (auto it = table.lru.rbegin(); it != table.lru.rend(); ++it) {
+      const auto& entry = table.map.at(*it);
+      fn(client, *it, entry.name, entry.inserted);
+    }
+  }
+}
+
+void DnHunter::restore_entry(core::IPv4Address client, core::IPv4Address server,
+                             std::string name, core::Timestamp inserted) {
+  auto& table = tables_[client];
+  auto it = table.map.find(server);
+  if (it != table.map.end()) {
+    it->second.name = std::move(name);
+    it->second.inserted = inserted;
+    table.lru.splice(table.lru.begin(), table.lru, it->second.lru_pos);
+    return;
+  }
+  if (table.map.size() >= config_.max_entries_per_client) {
+    const core::IPv4Address victim = table.lru.back();
+    table.lru.pop_back();
+    table.map.erase(victim);
+  }
+  table.lru.push_front(server);
+  table.map.emplace(server, Entry{std::move(name), inserted, table.lru.begin()});
+}
+
 }  // namespace edgewatch::dns

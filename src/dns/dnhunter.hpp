@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <string>
@@ -55,6 +56,17 @@ class DnHunter {
     std::uint64_t expired = 0;
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  // Checkpoint/restore support. Entries are visited least-recently-used
+  // first within each client, so replaying them through restore_entry (a
+  // fresh insert at the LRU front) reproduces the eviction order exactly.
+  void for_each_entry(
+      const std::function<void(core::IPv4Address client, core::IPv4Address server,
+                               const std::string& name, core::Timestamp inserted)>& fn) const;
+  /// Reinsert a saved entry. Touches no counters; restore them separately.
+  void restore_entry(core::IPv4Address client, core::IPv4Address server, std::string name,
+                     core::Timestamp inserted);
+  void restore_counters(const Counters& counters) noexcept { counters_ = counters; }
 
  private:
   struct Entry {

@@ -34,7 +34,6 @@ class RttEstimator {
 
   [[nodiscard]] std::size_t outstanding() const noexcept { return outstanding_.size(); }
 
- private:
   struct Segment {
     std::uint32_t seq_begin = 0;
     std::uint32_t seq_end = 0;
@@ -42,6 +41,14 @@ class RttEstimator {
     bool retransmitted = false;
   };
 
+  // Checkpoint/restore support: the estimator's whole state is its
+  // outstanding-segment queue.
+  [[nodiscard]] const std::deque<Segment>& segments() const noexcept { return outstanding_; }
+  void restore_segment(const Segment& s) {
+    if (outstanding_.size() < kMaxOutstanding) outstanding_.push_back(s);
+  }
+
+ private:
   /// Sequence-space comparison robust to 32-bit wraparound (RFC 1982 style).
   [[nodiscard]] static bool seq_geq(std::uint32_t a, std::uint32_t b) noexcept {
     return static_cast<std::int32_t>(a - b) >= 0;

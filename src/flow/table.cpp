@@ -266,4 +266,16 @@ void FlowTable::flush(FlowCloseReason reason) {
   checkpoints_.clear();
 }
 
+void FlowTable::restore_flow(const core::FiveTuple& key, FlowState state) {
+  const core::Timestamp seen = state.record.last_packet;
+  flows_[key] = std::move(state);
+  checkpoints_.push_back({key, seen});
+}
+
+void FlowTable::reset() {
+  flows_.clear();
+  checkpoints_.clear();
+  counters_ = Counters{};
+}
+
 }  // namespace edgewatch::flow

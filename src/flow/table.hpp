@@ -111,6 +111,20 @@ class FlowTable {
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
+  // Checkpoint/restore support (probe crash recovery). A checkpoint is
+  // the set of live flows plus the counters; the expiry FIFO is rebuilt on
+  // restore from each flow's last-activity time.
+  void for_each_flow(
+      const std::function<void(const core::FiveTuple&, const FlowState&)>& fn) const {
+    for (const auto& [key, state] : flows_) fn(key, state);
+  }
+  /// Reinsert a flow saved by for_each_flow, re-arming its expiry
+  /// checkpoint. Replaces any live flow under the same key.
+  void restore_flow(const core::FiveTuple& key, FlowState state);
+  void restore_counters(const Counters& counters) noexcept { counters_ = counters; }
+  /// Drop all live flows and counters without exporting anything.
+  void reset();
+
  private:
   struct Checkpoint {
     core::FiveTuple key;

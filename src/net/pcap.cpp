@@ -9,6 +9,7 @@ namespace {
 constexpr std::uint32_t kMagicUsecLE = 0xa1b2c3d4;
 constexpr std::uint32_t kMagicUsecBE = 0xd4c3b2a1;
 constexpr std::uint32_t kMagicNsecLE = 0xa1b23c4d;
+constexpr std::uint32_t kMagicNsecBE = 0x4d3cb2a1;
 constexpr std::uint32_t kLinktypeEthernet = 1;
 
 void put32(std::ofstream& out, std::uint32_t v) {
@@ -79,31 +80,36 @@ std::uint64_t write_pcap(const std::filesystem::path& path, const Trace& trace,
   return out ? written : 0;
 }
 
-std::optional<PcapStats> read_pcap(const std::filesystem::path& path,
-                                   const std::function<void(Frame&&)>& fn) {
+core::Result<PcapStats> read_pcap(const std::filesystem::path& path,
+                                  const std::function<void(Frame&&)>& fn) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return core::Errc::kIoError;
   HeaderReader h(in);
   std::uint32_t magic = 0;
-  if (!h.read32(magic)) return std::nullopt;
+  if (!h.read32(magic)) return core::Errc::kTruncated;
   bool nanoseconds = false;
   if (magic == kMagicUsecBE) {
     h.set_swapped(true);
   } else if (magic == kMagicNsecLE) {
     nanoseconds = true;
+  } else if (magic == kMagicNsecBE) {
+    nanoseconds = true;
+    h.set_swapped(true);
   } else if (magic != kMagicUsecLE) {
-    // Could still be big-endian nanoseconds; treat anything else as bad.
-    return std::nullopt;
+    return core::Errc::kBadMagic;
   }
   std::uint16_t version_major = 0, version_minor = 0;
   std::uint32_t zone = 0, sigfigs = 0, snaplen = 0, linktype = 0;
   if (!h.read16(version_major) || !h.read16(version_minor) || !h.read32(zone) ||
       !h.read32(sigfigs) || !h.read32(snaplen) || !h.read32(linktype)) {
-    return std::nullopt;
+    return core::Errc::kTruncated;
   }
-  if (linktype != kLinktypeEthernet) return std::nullopt;
+  if (linktype != kLinktypeEthernet) return core::Errc::kUnsupported;
+  // No capture tool writes snaplen 0: the header bytes cannot be trusted.
+  if (snaplen == 0) return core::Errc::kCorrupt;
 
   PcapStats stats;
+  stats.nanosecond_timestamps = nanoseconds;
   while (true) {
     std::uint32_t sec = 0, frac = 0, incl = 0, orig = 0;
     if (!h.read32(sec)) break;  // clean EOF
@@ -122,15 +128,19 @@ std::optional<PcapStats> read_pcap(const std::filesystem::path& path,
     ++stats.frames;
     stats.bytes += incl;
     stats.truncated += incl < orig;
+    // A capture can never hold more than snaplen bytes of a frame; count
+    // the violation (the bytes are there, so still deliver them) instead
+    // of silently treating the file as well-formed.
+    stats.oversnap += incl > snaplen;
     fn(std::move(frame));
   }
   return stats;
 }
 
-std::optional<Trace> load_pcap(const std::filesystem::path& path) {
+core::Result<Trace> load_pcap(const std::filesystem::path& path) {
   Trace trace;
   const auto stats = read_pcap(path, [&trace](Frame&& f) { trace.add(std::move(f)); });
-  if (!stats) return std::nullopt;
+  if (!stats) return stats.error();
   return trace;
 }
 

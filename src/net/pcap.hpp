@@ -5,14 +5,15 @@
 //
 // Scope: linktype EN10MB (Ethernet), microsecond timestamps, both
 // endiannesses on read, native little-endian on write. The nanosecond
-// variant (0xa1b23c4d) is read with timestamps truncated to microseconds.
+// variants (0xa1b23c4d / 0x4d3cb2a1) are read with timestamps truncated to
+// microseconds; PcapStats reports that the file carried nanosecond stamps.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <functional>
-#include <optional>
 
+#include "core/result.hpp"
 #include "net/packet.hpp"
 
 namespace edgewatch::net {
@@ -21,19 +22,26 @@ struct PcapStats {
   std::uint64_t frames = 0;
   std::uint64_t bytes = 0;         ///< Captured bytes (sum of incl_len).
   std::uint64_t truncated = 0;     ///< Frames with incl_len < orig_len.
+  std::uint64_t oversnap = 0;      ///< Frames whose incl_len exceeds snaplen
+                                   ///< (malformed, but still delivered).
+  bool nanosecond_timestamps = false;  ///< File used a nanosecond magic.
 };
 
 /// Write a trace as a pcap file. Returns bytes written, 0 on I/O error.
 std::uint64_t write_pcap(const std::filesystem::path& path, const Trace& trace,
                          std::uint32_t snaplen = 65535);
 
-/// Stream frames from a pcap file. Returns stats on success; nullopt on a
-/// bad magic/linktype or truncated header. A frame cut short mid-file ends
-/// the stream gracefully (counted frames are still reported).
-std::optional<PcapStats> read_pcap(const std::filesystem::path& path,
-                                   const std::function<void(Frame&&)>& fn);
+/// Stream frames from a pcap file. Errors: kIoError (unopenable),
+/// kTruncated (global header cut short), kBadMagic, kUnsupported (non-
+/// Ethernet linktype), kCorrupt (snaplen == 0 — no capture tool writes
+/// that, so the header bytes cannot be trusted). A frame cut short
+/// mid-file ends the stream gracefully (counted frames are still
+/// reported). (Result's optional-like surface keeps `if (stats) ...
+/// stats->frames` call sites working.)
+core::Result<PcapStats> read_pcap(const std::filesystem::path& path,
+                                  const std::function<void(Frame&&)>& fn);
 
-/// Convenience: whole file into a Trace.
-std::optional<Trace> load_pcap(const std::filesystem::path& path);
+/// Convenience: whole file into a Trace. Same errors as read_pcap.
+core::Result<Trace> load_pcap(const std::filesystem::path& path);
 
 }  // namespace edgewatch::net

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <string>
 
 #include "anon/anonymizer.hpp"
+#include "core/result.hpp"
 #include "core/types.hpp"
 #include "dns/dnhunter.hpp"
 #include "flow/table.hpp"
@@ -60,6 +62,15 @@ class Probe {
 
   /// Probe software upgrade (paper events C/F change what DPI can label).
   void set_classifier_options(dpi::ClassifierOptions options);
+
+  /// Planned-maintenance checkpoint (implemented in checkpoint.cpp): write
+  /// the live flow table, DN-Hunter caches and counters to `path` so a
+  /// restart can resume without the state loss of begin_outage(). The file
+  /// is CRC-protected; returns bytes written.
+  core::Result<std::uint64_t> save_checkpoint(const std::filesystem::path& path) const;
+  /// Replace this probe's state with a saved checkpoint. On any error the
+  /// probe is left reset (empty tables) rather than half-restored.
+  core::Result<void> restore_checkpoint(const std::filesystem::path& path);
 
   struct Counters {
     std::uint64_t frames = 0;

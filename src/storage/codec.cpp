@@ -11,17 +11,26 @@ void put_varint(core::ByteWriter& w, std::uint64_t value) {
 }
 
 std::uint64_t get_varint(core::ByteReader& r) noexcept {
+  // A uint64 needs at most 10 LEB128 bytes, and the 10th may carry only
+  // bit 63. Anything longer, or a 10th byte with more payload or a
+  // continuation bit, would shift data past the end of the type: reject by
+  // poisoning the reader instead of silently wrapping (malformed blocks
+  // must decode to *errors*, not to plausible garbage records).
   std::uint64_t value = 0;
-  int shift = 0;
-  while (shift < 64) {
+  for (int i = 0; i < 10; ++i) {
     const std::uint8_t byte = r.u8();
     if (!r.ok()) return 0;
-    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (i == 9) {
+      if (byte > 1) {  // overflow or an 11th byte requested
+        r.fail();
+        return 0;
+      }
+      return value | (static_cast<std::uint64_t>(byte) << 63);
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
     if ((byte & 0x80) == 0) return value;
-    shift += 7;
   }
-  // Over-long encoding: poison the reader by forcing a failed read.
-  r.skip(~std::size_t{0});
+  r.fail();
   return 0;
 }
 
@@ -75,9 +84,9 @@ void encode_record(const flow::FlowRecord& record, core::ByteWriter& w) {
   w.string(record.content_type);
 }
 
-std::optional<flow::FlowRecord> decode_record(core::ByteReader& r) {
-  if (r.remaining() == 0) return std::nullopt;
-  if (r.u8() != kRecordVersion) return std::nullopt;
+core::Result<flow::FlowRecord> decode_record(core::ByteReader& r) {
+  if (!r.ok() || r.remaining() == 0) return core::Errc::kEndOfStream;
+  if (r.u8() != kRecordVersion) return core::Errc::kCorrupt;
   flow::FlowRecord record;
   record.client_ip = core::IPv4Address{r.u32()};
   record.server_ip = core::IPv4Address{r.u32()};
@@ -107,13 +116,13 @@ std::optional<flow::FlowRecord> decode_record(core::ByteReader& r) {
   record.web = static_cast<dpi::WebProtocol>(r.u8());
   record.name_source = static_cast<flow::NameSource>(r.u8());
   const auto name_len = get_varint(r);
-  if (name_len > 4096) return std::nullopt;  // sanity bound
+  if (name_len > 4096) return core::Errc::kCorrupt;  // sanity bound
   record.server_name = std::string(r.string(static_cast<std::size_t>(name_len)));
   record.http_status = static_cast<std::uint16_t>(get_varint(r));
   const auto ct_len = get_varint(r);
-  if (ct_len > 256) return std::nullopt;  // sanity bound
+  if (ct_len > 256) return core::Errc::kCorrupt;  // sanity bound
   record.content_type = std::string(r.string(static_cast<std::size_t>(ct_len)));
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) return core::Errc::kCorrupt;
   return record;
 }
 

@@ -3,14 +3,15 @@
 //
 // Layout per record: varint-packed fields, with timestamps delta-encoded
 // (absolute first_packet, then duration) and the hostname length-prefixed.
-// A file/block of records is independently decodable: decode returns
-// nullopt cleanly at end of input or on corruption.
+// A file/block of records is independently decodable: decode distinguishes
+// a clean end of input (Errc::kEndOfStream) from malformed bytes
+// (Errc::kCorrupt), so readers can tell "done" from "damaged".
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "core/bytes.hpp"
+#include "core/result.hpp"
 #include "flow/record.hpp"
 
 namespace edgewatch::storage {
@@ -27,8 +28,10 @@ void put_varint_signed(core::ByteWriter& w, std::int64_t value);
 /// Serialize one record.
 void encode_record(const flow::FlowRecord& record, core::ByteWriter& w);
 
-/// Decode one record; nullopt at end of input or malformed bytes.
-[[nodiscard]] std::optional<flow::FlowRecord> decode_record(core::ByteReader& r);
+/// Decode one record. Errors: kEndOfStream when the reader was already
+/// exhausted, kCorrupt on malformed bytes. (Result's optional-like surface
+/// keeps `if (auto rec = decode_record(r))` call sites working.)
+[[nodiscard]] core::Result<flow::FlowRecord> decode_record(core::ByteReader& r);
 
 /// CSV header matching FlowRecord::to_csv_row().
 [[nodiscard]] std::string_view csv_header() noexcept;

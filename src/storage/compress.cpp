@@ -1,5 +1,6 @@
 #include "storage/compress.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace edgewatch::storage {
@@ -109,6 +110,9 @@ std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte
   if (input.size() < 5) return std::nullopt;
   const auto scheme = std::to_integer<std::uint8_t>(input[0]);
   const std::size_t expected = get_le32(input.subspan(1, 4));
+  // The declared size is untrusted: cap it before it drives any
+  // allocation, or a 5-byte header could demand 4 GB up front.
+  if (expected > kMaxDecompressedSize) return std::nullopt;
   input = input.subspan(5);
 
   if (scheme == kSchemeStored) {
@@ -118,7 +122,7 @@ std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte
   if (scheme != kSchemeLz) return std::nullopt;
 
   std::vector<std::byte> out;
-  out.reserve(expected);
+  out.reserve(std::min(expected, std::size_t{64} * 1024));
   std::size_t pos = 0;
   auto read_extended = [&](std::size_t base) -> std::optional<std::size_t> {
     std::size_t len = base;
@@ -138,6 +142,7 @@ std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte
     const auto lit_len = read_extended(token >> 4);
     if (!lit_len) return std::nullopt;
     if (pos + *lit_len > input.size()) return std::nullopt;
+    if (out.size() + *lit_len > expected) return std::nullopt;
     out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
                input.begin() + static_cast<std::ptrdiff_t>(pos + *lit_len));
     pos += *lit_len;
@@ -151,6 +156,7 @@ std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte
     if (!ml_excess) return std::nullopt;
     const std::size_t match_len = *ml_excess + kMinMatch;
     if (offset == 0 || offset > out.size()) return std::nullopt;
+    if (out.size() + match_len > expected) return std::nullopt;
     // Byte-by-byte copy: overlapping matches (offset < len) are legal and
     // replicate the run, exactly as in LZ4.
     std::size_t from = out.size() - offset;

@@ -15,11 +15,18 @@
 
 namespace edgewatch::storage {
 
+/// Largest uncompressed block the decompressor will produce. The declared
+/// size in a block header is untrusted input; anything above this is
+/// rejected before it can drive an allocation. Matches the data lake's
+/// block-size ceiling.
+inline constexpr std::size_t kMaxDecompressedSize = std::size_t{1} << 26;
+
 /// Compress a block. Output begins with a 1-byte scheme tag and a 4-byte
 /// little-endian uncompressed size.
 [[nodiscard]] std::vector<std::byte> compress_block(std::span<const std::byte> input);
 
-/// Decompress; nullopt on malformed input (never reads out of bounds).
+/// Decompress; nullopt on malformed input (never reads out of bounds, never
+/// allocates more than kMaxDecompressedSize).
 [[nodiscard]] std::optional<std::vector<std::byte>> decompress_block(
     std::span<const std::byte> input);
 

@@ -44,12 +44,31 @@ class DailyLakeWriter {
   [[nodiscard]] std::size_t buffered() const noexcept { return buffered_; }
   [[nodiscard]] std::uint64_t records_written() const noexcept { return written_; }
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+  /// Appends that failed (the lake rolled back; records stayed buffered).
+  [[nodiscard]] std::uint64_t append_failures() const noexcept { return append_failures_; }
+  /// Records dropped because a failing day's buffer hit its retry cap.
+  [[nodiscard]] std::uint64_t records_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] core::Errc last_error() const noexcept { return last_error_; }
 
  private:
   void flush_day(core::CivilDate day) {
     auto it = buffers_.find(day);
     if (it == buffers_.end() || it->second.empty()) return;
-    bytes_ += lake_.append(day, it->second);
+    const auto result = lake_.append(day, it->second);
+    if (!result) {
+      // The lake rolled the file back, so the batch is still ours. Keep it
+      // for the next flush — but bounded, so a dead disk cannot grow the
+      // buffer without limit.
+      ++append_failures_;
+      last_error_ = result.error();
+      if (it->second.size() >= buffer_records_ * 4) {
+        dropped_ += it->second.size();
+        buffered_ -= it->second.size();
+        buffers_.erase(it);
+      }
+      return;
+    }
+    bytes_ += *result;
     written_ += it->second.size();
     buffered_ -= it->second.size();
     buffers_.erase(it);
@@ -61,6 +80,9 @@ class DailyLakeWriter {
   std::size_t buffered_ = 0;
   std::uint64_t written_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t append_failures_ = 0;
+  std::uint64_t dropped_ = 0;
+  core::Errc last_error_ = core::Errc::kOk;
 };
 
 }  // namespace edgewatch::storage

@@ -13,27 +13,269 @@ namespace edgewatch::storage {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'W', 'L', 'K'};
-constexpr std::uint8_t kFileVersion = 1;
+constexpr std::uint8_t kVersion1 = 1;
+constexpr std::uint8_t kVersion2 = 2;
+constexpr std::size_t kHeaderSize = 5;
 
-void write_le32(std::ofstream& out, std::uint32_t v) {
-  char bytes[4];
-  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out.write(bytes, 4);
-}
+// v2 block frame: body_len | seq | record_count | crc32c | body. The CRC
+// covers the three header fields and the body, so a flipped bit anywhere —
+// including in the length that frames the stream — fails validation.
+constexpr std::size_t kBlockHeaderSize = 16;
+// v2 seal: sentinel | magic | cumulative_records | cumulative_blocks | crc.
+constexpr std::uint32_t kSealSentinel = 0xffffffffu;
+constexpr std::uint32_t kSealMagic = 0x324c5745u;  // "EWL2"
+constexpr std::size_t kSealSize = 24;
 
-std::optional<std::uint32_t> read_le32(std::ifstream& in) {
-  char bytes[4];
-  if (!in.read(bytes, 4)) return std::nullopt;
+constexpr std::uint32_t kMaxBlockBody = 1u << 26;      // 64 MiB sanity bound
+constexpr std::uint32_t kMaxSeqJump = 1u << 20;        // resync plausibility
+
+std::uint32_t rd32(std::span<const std::byte> d, std::size_t pos) noexcept {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+    v |= std::to_integer<std::uint32_t>(d[pos + static_cast<std::size_t>(i)]) << (8 * i);
   }
   return v;
 }
 
+std::uint64_t rd64(std::span<const std::byte> d, std::size_t pos) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::to_integer<std::uint64_t>(d[pos + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+/// One validated element of a day file, by reference into the raw bytes.
+struct BlockRef {
+  std::size_t offset = 0;       ///< Frame start.
+  std::size_t header_size = 0;  ///< 16 (v2) or 8 (v1).
+  std::uint32_t body_len = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t record_count = 0;
+};
+
+struct SealRef {
+  std::size_t offset = 0;
+  std::uint64_t cum_records = 0;
+  std::uint32_t cum_blocks = 0;
+};
+
+struct BadRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Structural parse of a whole day file: every CRC-valid element, every
+/// byte range that is not one, and where the valid stream ends.
+struct FileModel {
+  std::uint8_t version = 0;
+  core::Errc errc = core::Errc::kOk;  ///< Header-level failure, if any.
+  std::vector<BlockRef> blocks;       ///< Valid blocks, stream order.
+  std::optional<SealRef> last_seal;
+  std::vector<BadRange> bad;
+  std::size_t valid_end = 0;   ///< Offset past the last valid element.
+  bool ends_sealed = false;    ///< Last element is a seal at exactly EOF.
+  std::size_t file_size = 0;
+};
+
+void parse_v2(std::span<const std::byte> data, FileModel& m) {
+  const std::size_t size = data.size();
+  std::size_t pos = kHeaderSize;
+  std::uint32_t expected_seq = 0;
+  bool last_was_seal = false;
+
+  const auto try_block = [&](std::size_t p, bool resync) -> std::optional<BlockRef> {
+    if (p + kBlockHeaderSize > size) return std::nullopt;
+    const std::uint32_t body_len = rd32(data, p);
+    if (body_len == kSealSentinel || body_len > kMaxBlockBody) return std::nullopt;
+    if (p + kBlockHeaderSize + body_len > size) return std::nullopt;
+    const std::uint32_t seq = rd32(data, p + 4);
+    const std::uint32_t nrec = rd32(data, p + 8);
+    if (resync) {
+      // Cheap plausibility before paying for a CRC at every resync offset:
+      // a real continuation block carries the next (or a later) sequence
+      // number; stale or random bytes almost never do.
+      if (seq < expected_seq || seq > expected_seq + kMaxSeqJump) return std::nullopt;
+    }
+    std::uint32_t crc = core::crc32c(data.subspan(p, 12));
+    crc = core::crc32c(data.subspan(p + kBlockHeaderSize, body_len), crc);
+    if (crc != rd32(data, p + 12)) return std::nullopt;
+    return BlockRef{p, kBlockHeaderSize, body_len, seq, nrec};
+  };
+  const auto try_seal = [&](std::size_t p) -> std::optional<SealRef> {
+    if (p + kSealSize > size) return std::nullopt;
+    if (rd32(data, p) != kSealSentinel || rd32(data, p + 4) != kSealMagic) {
+      return std::nullopt;
+    }
+    if (core::crc32c(data.subspan(p, 20)) != rd32(data, p + 20)) return std::nullopt;
+    return SealRef{p, rd64(data, p + 8), rd32(data, p + 16)};
+  };
+
+  while (pos < size) {
+    if (const auto b = try_block(pos, false)) {
+      m.blocks.push_back(*b);
+      expected_seq = b->seq + 1;
+      pos += kBlockHeaderSize + b->body_len;
+      m.valid_end = pos;
+      last_was_seal = false;
+      continue;
+    }
+    if (const auto s = try_seal(pos)) {
+      m.last_seal = *s;
+      pos += kSealSize;
+      m.valid_end = pos;
+      last_was_seal = true;
+      continue;
+    }
+    // Damaged bytes: resynchronize on the next element that proves itself
+    // with a CRC (and, for blocks, a plausible sequence number).
+    const std::size_t bad_begin = pos;
+    ++pos;
+    while (pos < size && !try_block(pos, true) && !try_seal(pos)) ++pos;
+    m.bad.push_back({bad_begin, pos});
+  }
+  m.ends_sealed = last_was_seal && m.valid_end == size;
+}
+
+void parse_v1(std::span<const std::byte> data, FileModel& m) {
+  const std::size_t size = data.size();
+  std::size_t pos = kHeaderSize;
+  std::uint32_t index = 0;
+  while (pos < size) {
+    if (pos + 8 > size) break;  // torn length/checksum pair
+    const std::uint32_t len = rd32(data, pos);
+    const std::uint32_t checksum = rd32(data, pos + 4);
+    if (len > kMaxBlockBody || pos + 8 + len > size) break;
+    const auto body = data.subspan(pos + 8, len);
+    const auto block = decompress_block(body);
+    if (!block || static_cast<std::uint32_t>(core::fnv1a64(*block)) != checksum) break;
+    // v1 frames carry no record count; derive it (and catch codec-level
+    // damage the weak 32-bit checksum missed) by decoding.
+    core::ByteReader r{*block};
+    std::uint32_t nrec = 0;
+    bool clean = true;
+    while (true) {
+      const auto rec = decode_record(r);
+      if (!rec) {
+        clean = rec.error() == core::Errc::kEndOfStream;
+        break;
+      }
+      ++nrec;
+    }
+    if (!clean) break;
+    m.blocks.push_back({pos, 8, len, index++, nrec});
+    pos += 8 + len;
+    m.valid_end = pos;
+  }
+  // v1 has no sequence numbers to resync on: everything past the first
+  // damaged byte is unreachable.
+  if (m.valid_end < size) m.bad.push_back({m.valid_end, size});
+}
+
+FileModel parse_file(std::span<const std::byte> data) {
+  FileModel m;
+  m.file_size = data.size();
+  m.valid_end = std::min(data.size(), kHeaderSize);
+  if (data.size() < kHeaderSize) {
+    m.errc = core::Errc::kTruncated;
+    return m;
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0) {
+    m.errc = core::Errc::kBadMagic;
+    return m;
+  }
+  m.version = std::to_integer<std::uint8_t>(data[4]);
+  switch (m.version) {
+    case kVersion1: parse_v1(data, m); break;
+    case kVersion2: parse_v2(data, m); break;
+    default: m.errc = core::Errc::kBadVersion; break;
+  }
+  return m;
+}
+
+std::optional<std::vector<std::byte>> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::byte> data(size);
+  in.seekg(0);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size))) {
+    return std::nullopt;
+  }
+  return data;
+}
+
+void put_block_frame(core::ByteWriter& out, std::uint32_t seq, std::uint32_t record_count,
+                     std::span<const std::byte> compressed) {
+  core::ByteWriter header;
+  header.u32le(static_cast<std::uint32_t>(compressed.size()));
+  header.u32le(seq);
+  header.u32le(record_count);
+  std::uint32_t crc = core::crc32c(header.view());
+  crc = core::crc32c(compressed, crc);
+  out.bytes(header.view());
+  out.u32le(crc);
+  out.bytes(compressed);
+}
+
+void put_seal(core::ByteWriter& out, std::uint64_t cum_records, std::uint32_t cum_blocks) {
+  core::ByteWriter seal;
+  seal.u32le(kSealSentinel);
+  seal.u32le(kSealMagic);
+  seal.u64le(cum_records);
+  seal.u32le(cum_blocks);
+  out.bytes(seal.view());
+  out.u32le(core::crc32c(seal.view()));
+}
+
+void put_v1_frame(core::ByteWriter& out, std::span<const std::byte> uncompressed,
+                  std::span<const std::byte> compressed) {
+  out.u32le(static_cast<std::uint32_t>(compressed.size()));
+  out.u32le(static_cast<std::uint32_t>(core::fnv1a64(uncompressed)));
+  out.bytes(compressed);
+}
+
+/// DayHealth as found on disk (shared by fsck and the repair pre-scan).
+DayHealth assess(const FileModel& m, core::CivilDate day) {
+  DayHealth h;
+  h.day = day;
+  h.version = m.version;
+  if (m.errc != core::Errc::kOk) {
+    h.errc = m.errc;
+    h.torn_tail = m.errc == core::Errc::kTruncated;
+    return h;
+  }
+  h.blocks_ok = m.blocks.size();
+  for (const auto& b : m.blocks) h.records_ok += b.record_count;
+  h.blocks_quarantined = static_cast<std::uint32_t>(m.bad.size());
+  for (const auto& r : m.bad) h.bytes_quarantined += r.end - r.begin;
+  h.sealed = m.ends_sealed;
+  h.torn_tail = m.version == kVersion2 ? !m.ends_sealed : !m.bad.empty();
+  if (m.last_seal) {
+    // The seal is a durability receipt: cum_records were acknowledged as
+    // stored. Valid blocks before the seal account for part of them; the
+    // difference is the exact number of sealed records now unreadable.
+    std::uint64_t recovered_sealed = 0;
+    for (const auto& b : m.blocks) {
+      if (b.seq < m.last_seal->cum_blocks) recovered_sealed += b.record_count;
+    }
+    h.records_lost = m.last_seal->cum_records > recovered_sealed
+                         ? m.last_seal->cum_records - recovered_sealed
+                         : 0;
+  }
+  if (!m.bad.empty()) {
+    h.errc = core::Errc::kCorrupt;
+  } else if (m.version == kVersion2 && !m.ends_sealed) {
+    h.errc = core::Errc::kTruncated;
+  }
+  return h;
+}
+
 }  // namespace
 
-DataLake::DataLake(std::filesystem::path root) : root_(std::move(root)) {
+DataLake::DataLake(std::filesystem::path root)
+    : root_(std::move(root)), file_factory_(make_posix_file) {
   std::filesystem::create_directories(root_);
 }
 
@@ -45,69 +287,271 @@ std::filesystem::path DataLake::day_path(core::CivilDate day) const {
   return root_ / day_filename(day);
 }
 
-std::uint64_t DataLake::append(core::CivilDate day,
-                               std::span<const flow::FlowRecord> records) {
+std::filesystem::path DataLake::quarantine_dir() const { return root_ / "quarantine"; }
+
+core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
+                                             std::span<const flow::FlowRecord> records) {
+  if (records.empty()) return std::uint64_t{0};
   const auto path = day_path(day);
-  const bool fresh = !std::filesystem::exists(path);
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return 0;
-  std::uint64_t written = 0;
+
+  // Find the resume point: end of the last valid element, dropping any
+  // torn tail a previous crash left behind.
+  std::uint64_t start = 0;
+  std::uint32_t next_seq = 0;
+  std::uint64_t cum_records = 0;
+  std::uint8_t version = kVersion2;
+  bool fresh = true;
+  if (std::filesystem::exists(path)) {
+    const auto existing = read_file(path);
+    if (!existing) return core::Errc::kIoError;
+    if (!existing->empty()) {
+      const FileModel m = parse_file(*existing);
+      if (m.errc == core::Errc::kBadMagic || m.errc == core::Errc::kBadVersion) {
+        return m.errc;  // not ours to overwrite
+      }
+      if (m.errc == core::Errc::kOk) {
+        fresh = false;
+        version = m.version;
+        start = m.valid_end;
+        if (!m.blocks.empty()) next_seq = m.blocks.back().seq + 1;
+        for (const auto& b : m.blocks) cum_records += b.record_count;
+      }
+      // A header-less stub (kTruncated) cannot hold records: rewrite it.
+    }
+  }
+
+  core::ByteWriter out;
   if (fresh) {
-    out.write(kMagic, 4);
-    out.put(static_cast<char>(kFileVersion));
-    written += 5;
+    for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+    out.u8(version);
   }
-  for (std::size_t start = 0; start < records.size(); start += kBlockRecords) {
-    const std::size_t n = std::min(kBlockRecords, records.size() - start);
+  for (std::size_t first = 0; first < records.size(); first += kBlockRecords) {
+    const std::size_t n = std::min(kBlockRecords, records.size() - first);
     core::ByteWriter block;
-    for (std::size_t i = 0; i < n; ++i) encode_record(records[start + i], block);
+    for (std::size_t i = 0; i < n; ++i) encode_record(records[first + i], block);
     const auto compressed = compress_block(block.view());
-    write_le32(out, static_cast<std::uint32_t>(compressed.size()));
-    // Checksum of the *uncompressed* block: catches corruption that the
-    // LZ framing alone would decode into garbage records.
-    write_le32(out, static_cast<std::uint32_t>(core::fnv1a64(block.view())));
-    out.write(reinterpret_cast<const char*>(compressed.data()),
-              static_cast<std::streamsize>(compressed.size()));
-    written += 8 + compressed.size();
+    if (version == kVersion2) {
+      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), compressed);
+      cum_records += n;
+    } else {
+      put_v1_frame(out, block.view(), compressed);
+    }
   }
-  return written;
+  if (version == kVersion2) put_seal(out, cum_records, next_seq);
+
+  auto file = file_factory_();
+  if (auto r = file->open_at(path, start); !r) return r.error();
+  const auto rollback = [&](core::Errc err) -> core::Result<std::uint64_t> {
+    // Survivable failure: make the append atomic by restoring the old
+    // length. After a (simulated) crash the truncate fails too and the
+    // torn tail stays for fsck/repair to find.
+    (void)file->truncate(start);
+    (void)file->sync();
+    (void)file->close();
+    return err;
+  };
+  if (auto r = file->write(out.view()); !r) return rollback(r.error());
+  if (auto r = file->sync(); !r) return rollback(r.error());
+  if (auto r = file->close(); !r) return r.error();
+  return static_cast<std::uint64_t>(out.size());
 }
 
-bool DataLake::scan_day(core::CivilDate day,
-                        const std::function<void(const flow::FlowRecord&)>& fn) const {
-  std::ifstream in(day_path(day), std::ios::binary);
-  if (!in) return false;
-  char magic[4];
-  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) return false;
-  char version = 0;
-  if (!in.get(version) || version != kFileVersion) return false;
+ScanResult DataLake::scan_day(core::CivilDate day,
+                              const std::function<void(const flow::FlowRecord&)>& fn) const {
+  ScanResult res;
+  const auto path = day_path(day);
+  if (!std::filesystem::exists(path)) {
+    res.errc = core::Errc::kNotFound;
+    return res;
+  }
+  const auto data = read_file(path);
+  if (!data) {
+    res.errc = core::Errc::kIoError;
+    return res;
+  }
+  const FileModel m = parse_file(*data);
+  if (m.errc != core::Errc::kOk) {
+    res.errc = m.errc;
+    return res;
+  }
 
-  while (true) {
-    const auto block_len = read_le32(in);
-    if (!block_len) return in.eof();
-    const auto checksum = read_le32(in);
-    if (!checksum) return false;
-    std::vector<std::byte> compressed(*block_len);
-    if (!in.read(reinterpret_cast<char*>(compressed.data()),
-                 static_cast<std::streamsize>(compressed.size()))) {
-      return false;  // truncated block
+  for (const auto& b : m.blocks) {
+    const auto body = std::span<const std::byte>{*data}.subspan(b.offset + b.header_size,
+                                                                b.body_len);
+    const auto block = decompress_block(body);
+    if (!block) {  // CRC-valid yet undecompressable: writer-level damage
+      ++res.blocks_skipped;
+      res.errc = core::Errc::kCorrupt;
+      continue;
     }
-    const auto block = decompress_block(compressed);
-    if (!block) return false;
-    if (static_cast<std::uint32_t>(core::fnv1a64(*block)) != *checksum) return false;
     core::ByteReader r{*block};
-    while (r.remaining() > 0) {
-      auto record = decode_record(r);
-      if (!record) return false;
+    while (true) {
+      const auto record = decode_record(r);
+      if (!record) {
+        if (record.error() != core::Errc::kEndOfStream) {
+          ++res.blocks_skipped;
+          res.errc = core::Errc::kCorrupt;
+        }
+        break;
+      }
       fn(*record);
+      ++res.records_delivered;
     }
   }
+  res.blocks_skipped += static_cast<std::uint32_t>(m.bad.size());
+  if (!m.bad.empty()) {
+    res.errc = core::Errc::kCorrupt;
+  } else if (res.errc == core::Errc::kOk && m.version == kVersion2 && !m.ends_sealed) {
+    res.errc = core::Errc::kTruncated;
+  }
+  return res;
 }
 
 std::vector<flow::FlowRecord> DataLake::read_day(core::CivilDate day) const {
+  ScanResult ignored;
+  return read_day(day, ignored);
+}
+
+std::vector<flow::FlowRecord> DataLake::read_day(core::CivilDate day,
+                                                 ScanResult& status) const {
   std::vector<flow::FlowRecord> out;
-  scan_day(day, [&out](const flow::FlowRecord& r) { out.push_back(r); });
+  status = scan_day(day, [&out](const flow::FlowRecord& r) { out.push_back(r); });
   return out;
+}
+
+DayHealth DataLake::fsck_day(core::CivilDate day) const {
+  const auto path = day_path(day);
+  if (!std::filesystem::exists(path)) {
+    DayHealth h;
+    h.day = day;
+    h.errc = core::Errc::kNotFound;
+    return h;
+  }
+  const auto data = read_file(path);
+  if (!data) {
+    DayHealth h;
+    h.day = day;
+    h.errc = core::Errc::kIoError;
+    return h;
+  }
+  return assess(parse_file(*data), day);
+}
+
+LakeHealthReport DataLake::fsck() const {
+  LakeHealthReport report;
+  for (const auto day : days()) report.days.push_back(fsck_day(day));
+  return report;
+}
+
+DayHealth DataLake::repair_day(core::CivilDate day) { return repair_day_impl(day, false); }
+
+LakeHealthReport DataLake::repair() {
+  LakeHealthReport report;
+  for (const auto day : days()) report.days.push_back(repair_day_impl(day, false));
+  return report;
+}
+
+core::Result<void> DataLake::migrate_to_v2(core::CivilDate day) {
+  const auto before = fsck_day(day);
+  if (before.errc == core::Errc::kNotFound) return core::Errc::kNotFound;
+  if (before.version == kVersion2 && before.healthy()) return {};
+  const auto after = repair_day_impl(day, true);
+  if (!after.repaired) return after.errc == core::Errc::kOk ? core::Errc::kIoError : after.errc;
+  return {};
+}
+
+DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
+  const auto path = day_path(day);
+  if (!std::filesystem::exists(path)) {
+    DayHealth h;
+    h.day = day;
+    h.errc = core::Errc::kNotFound;
+    return h;
+  }
+  const auto data = read_file(path);
+  if (!data) {
+    DayHealth h;
+    h.day = day;
+    h.errc = core::Errc::kIoError;
+    return h;
+  }
+  const FileModel m = parse_file(*data);
+  DayHealth h = assess(m, day);
+
+  std::error_code ec;
+  if (m.errc == core::Errc::kBadMagic || m.errc == core::Errc::kBadVersion ||
+      m.errc == core::Errc::kTruncated) {
+    // Not a parseable lake file at all: quarantine it wholesale so the
+    // day reads as absent rather than corrupt.
+    std::filesystem::create_directories(quarantine_dir(), ec);
+    std::filesystem::rename(path, quarantine_dir() / (day_filename(day) + ".file.bad"), ec);
+    if (ec) {
+      h.errc = core::Errc::kIoError;
+      return h;
+    }
+    h.repaired = true;
+    h.blocks_quarantined = 1;
+    h.bytes_quarantined = data->size();
+    return h;
+  }
+  if (h.healthy() && m.version == kVersion2 && !force_rewrite) return h;  // nothing to do
+
+  // Rebuild: surviving blocks, renumbered and resealed, always as v2. The
+  // new file is written next to the old one and swapped in by rename, so a
+  // failure at any point leaves the original untouched.
+  core::ByteWriter out;
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u8(kVersion2);
+  std::uint32_t new_seq = 0;
+  std::uint64_t cum_records = 0;
+  for (const auto& b : m.blocks) {
+    const auto body = std::span<const std::byte>{*data}.subspan(b.offset + b.header_size,
+                                                                b.body_len);
+    put_block_frame(out, new_seq++, b.record_count, body);
+    cum_records += b.record_count;
+  }
+  put_seal(out, cum_records, new_seq);
+
+  const auto temp = path.string() + ".repair.tmp";
+  auto file = file_factory_();
+  const auto fail = [&](core::Errc err) {
+    std::error_code rm_ec;
+    std::filesystem::remove(temp, rm_ec);
+    h.errc = err;
+    return h;
+  };
+  if (auto r = file->open_at(temp, 0); !r) return fail(r.error());
+  if (auto r = file->write(out.view()); !r) {
+    (void)file->close();
+    return fail(r.error());
+  }
+  if (auto r = file->sync(); !r) {
+    (void)file->close();
+    return fail(r.error());
+  }
+  if (auto r = file->close(); !r) return fail(r.error());
+
+  // Preserve the damaged bytes for offline forensics before the rename
+  // makes them unreachable.
+  if (!m.bad.empty()) {
+    std::filesystem::create_directories(quarantine_dir(), ec);
+    std::size_t index = 0;
+    for (const auto& range : m.bad) {
+      const auto qpath =
+          quarantine_dir() / (day_filename(day) + "." + std::to_string(index++) + ".bad");
+      std::ofstream q(qpath, std::ios::binary | std::ios::trunc);
+      q.write(reinterpret_cast<const char*>(data->data() + range.begin),
+              static_cast<std::streamsize>(range.end - range.begin));
+    }
+  }
+
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return fail(core::Errc::kIoError);
+  h.repaired = true;
+  h.sealed = true;
+  h.torn_tail = false;
+  h.errc = core::Errc::kOk;
+  return h;
 }
 
 std::vector<core::CivilDate> DataLake::days() const {
@@ -134,16 +578,15 @@ std::uint64_t DataLake::file_bytes(core::CivilDate day) const {
   return ec ? 0 : size;
 }
 
-std::uint64_t DataLake::export_csv(core::CivilDate day, const std::filesystem::path& out) const {
+ScanResult DataLake::export_csv(core::CivilDate day, const std::filesystem::path& out) const {
   std::ofstream csv(out);
-  if (!csv) return 0;
+  if (!csv) {
+    ScanResult res;
+    res.errc = core::Errc::kIoError;
+    return res;
+  }
   csv << csv_header() << '\n';
-  std::uint64_t rows = 0;
-  scan_day(day, [&](const flow::FlowRecord& r) {
-    csv << r.to_csv_row() << '\n';
-    ++rows;
-  });
-  return rows;
+  return scan_day(day, [&](const flow::FlowRecord& r) { csv << r.to_csv_row() << '\n'; });
 }
 
 }  // namespace edgewatch::storage

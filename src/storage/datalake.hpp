@@ -3,10 +3,23 @@
 // analytics methodology aggregates per day).
 //
 // Layout: one file per civil day under the lake root,
-//   flows_YYYY-MM-DD.ewl = magic | version | { u32le block_len, block }*
-// where each block is a compress_block() of concatenated encoded records.
-// Appending to an existing day adds blocks; scans stream records without
-// materializing the whole day.
+//   flows_YYYY-MM-DD.ewl = magic "EWLK" | version | element*
+//
+// Format v2 (written by this code) is a stream of self-checking elements:
+//
+//   block:  u32le body_len | u32le seq | u32le record_count | u32le crc32c
+//           | body                      (crc covers header fields + body)
+//   seal:   u32le 0xffffffff | u32le seal_magic | u64le cumulative_records
+//           | u32le cumulative_blocks | u32le crc32c
+//
+// Every append writes its blocks followed by a seal, fsyncs, and — if any
+// write fails while the process survives — rolls the file back to its
+// pre-append length, making appends atomic. A crash mid-append leaves a
+// torn tail after the last seal; scan/fsck detect it via CRCs and block
+// sequence numbers, and repair() truncates/quarantines so that no
+// corrupted byte is ever delivered as a record. Format v1 files
+// (u32le len | u32le fnv checksum | body, no seals) remain fully readable
+// and can be upgraded in place with migrate_to_v2().
 #pragma once
 
 #include <cstdint>
@@ -17,26 +30,107 @@
 #include <string>
 #include <vector>
 
+#include "core/result.hpp"
 #include "core/time.hpp"
 #include "flow/record.hpp"
+#include "storage/io.hpp"
 
 namespace edgewatch::storage {
+
+/// Outcome of a day scan. Partial delivery is explicit: records_delivered
+/// counts what the callback saw, blocks_skipped counts damaged regions
+/// that were detected and stepped over, errc says why the day is not
+/// pristine (kOk for a clean sealed file).
+struct ScanResult {
+  std::uint64_t records_delivered = 0;
+  std::uint32_t blocks_skipped = 0;
+  core::Errc errc = core::Errc::kOk;
+
+  [[nodiscard]] bool ok() const noexcept { return errc == core::Errc::kOk; }
+  [[nodiscard]] explicit operator bool() const noexcept { return ok(); }
+};
+
+/// Health of one day file, as found by fsck() or left behind by repair().
+struct DayHealth {
+  core::CivilDate day{};
+  std::uint8_t version = 0;
+  bool sealed = false;       ///< v2: last valid element is a seal.
+  bool torn_tail = false;    ///< Unparseable bytes at (or to) the end.
+  bool repaired = false;     ///< repair() rewrote the file.
+  std::uint64_t blocks_ok = 0;
+  std::uint64_t records_ok = 0;           ///< Records in CRC-valid blocks.
+  std::uint32_t blocks_quarantined = 0;   ///< Damaged regions found/moved.
+  std::uint64_t bytes_quarantined = 0;
+  /// Exact count of records that were sealed (durably acknowledged) but
+  /// now lie in damaged blocks. Unsealed torn-tail loss is additionally
+  /// bounded by the batch size of the append that reported failure.
+  std::uint64_t records_lost = 0;
+  core::Errc errc = core::Errc::kOk;
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return errc == core::Errc::kOk && !torn_tail && blocks_quarantined == 0;
+  }
+};
+
+struct LakeHealthReport {
+  std::vector<DayHealth> days;
+
+  [[nodiscard]] bool clean() const noexcept {
+    for (const auto& d : days) {
+      if (!d.healthy()) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::uint64_t total_records_lost() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& d : days) n += d.records_lost;
+    return n;
+  }
+  [[nodiscard]] std::uint32_t total_blocks_quarantined() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto& d : days) n += d.blocks_quarantined;
+    return n;
+  }
+};
 
 class DataLake {
  public:
   explicit DataLake(std::filesystem::path root);
 
   /// Append records to a day's log (creates the file if needed). Records
-  /// are blocked and compressed; returns bytes written to disk.
-  std::uint64_t append(core::CivilDate day, std::span<const flow::FlowRecord> records);
+  /// are blocked, compressed, CRC-framed and sealed; the write is fsynced.
+  /// Returns bytes written, or the error that prevented durability — in
+  /// which case the file was rolled back to its previous length whenever
+  /// the failure was survivable (everything except a crash).
+  core::Result<std::uint64_t> append(core::CivilDate day,
+                                     std::span<const flow::FlowRecord> records);
 
-  /// Stream every record of a day. Returns false if the day is absent or
-  /// the file is corrupt (a partial prefix may have been delivered).
-  bool scan_day(core::CivilDate day,
-                const std::function<void(const flow::FlowRecord&)>& fn) const;
+  /// Stream every recoverable record of a day. Damaged v2 blocks are
+  /// skipped (the reader resynchronizes on block sequence numbers) and
+  /// reported; a corrupt v1 file delivers its valid prefix. No record from
+  /// a block that failed its checksum is ever delivered.
+  ScanResult scan_day(core::CivilDate day,
+                      const std::function<void(const flow::FlowRecord&)>& fn) const;
 
-  /// Convenience: materialize a day.
+  /// Convenience: materialize a day (recoverable records only).
   [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;
+  /// As above, but also report how the scan went.
+  [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day,
+                                                       ScanResult& status) const;
+
+  /// Integrity-check one day / every day without modifying anything.
+  [[nodiscard]] DayHealth fsck_day(core::CivilDate day) const;
+  [[nodiscard]] LakeHealthReport fsck() const;
+
+  /// Repair one day / every day: quarantine damaged regions into
+  /// `quarantine/` under the lake root, drop torn tails, renumber and
+  /// reseal the surviving blocks (always writing format v2), atomically
+  /// replacing the file via write-temp + fsync + rename.
+  DayHealth repair_day(core::CivilDate day);
+  LakeHealthReport repair();
+
+  /// Rewrite a v1 day file as v2 (no-op on a file already at v2).
+  core::Result<void> migrate_to_v2(core::CivilDate day);
 
   /// All days present, sorted.
   [[nodiscard]] std::vector<core::CivilDate> days() const;
@@ -45,18 +139,26 @@ class DataLake {
   [[nodiscard]] std::uint64_t file_bytes(core::CivilDate day) const;
   [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
 
-  /// Export one day as CSV (interop path); returns rows written.
-  std::uint64_t export_csv(core::CivilDate day, const std::filesystem::path& out) const;
+  /// Export one day as CSV (interop path). records_delivered == rows.
+  ScanResult export_csv(core::CivilDate day, const std::filesystem::path& out) const;
 
   [[nodiscard]] static std::string day_filename(core::CivilDate day);
+
+  /// Where repair() moves damaged bytes; inspect after a non-clean fsck.
+  [[nodiscard]] std::filesystem::path quarantine_dir() const;
+
+  /// Swap the write-path file implementation (fault-injection tests).
+  void set_file_factory(FileFactory factory) { file_factory_ = std::move(factory); }
 
   /// Records per compressed block.
   static constexpr std::size_t kBlockRecords = 4096;
 
  private:
   [[nodiscard]] std::filesystem::path day_path(core::CivilDate day) const;
+  DayHealth repair_day_impl(core::CivilDate day, bool force_rewrite);
 
   std::filesystem::path root_;
+  FileFactory file_factory_;
 };
 
 }  // namespace edgewatch::storage

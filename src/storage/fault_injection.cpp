@@ -1,0 +1,101 @@
+#include "storage/fault_injection.hpp"
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace edgewatch::storage {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kNoSpace: return "no-space";
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kCrashAtOffset: return "crash-at-offset";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::seeded(FaultKind kind, std::uint64_t seed, std::uint64_t lo,
+                            std::uint64_t hi) noexcept {
+  core::SplitMix64 sm(seed);
+  FaultPlan plan;
+  plan.kind = kind;
+  const std::uint64_t span = hi > lo ? hi - lo : 1;
+  plan.at_byte = lo + sm.next() % span;
+  plan.bit = static_cast<std::uint32_t>(sm.next() % 8);
+  return plan;
+}
+
+core::Result<void> FaultyFile::open_at(const std::filesystem::path& path,
+                                       std::uint64_t offset) {
+  if (dead_) return core::Errc::kCrashed;
+  return inner_->open_at(path, offset);
+}
+
+core::Result<void> FaultyFile::write(std::span<const std::byte> data) {
+  if (dead_) return core::Errc::kCrashed;
+  const std::uint64_t begin = stream_pos_;
+  const std::uint64_t end = begin + data.size();
+  stream_pos_ = end;
+
+  if (fired_ || plan_.kind == FaultKind::kNone || plan_.at_byte >= end ||
+      plan_.at_byte < begin) {
+    return inner_->write(data);
+  }
+
+  const std::size_t hit = static_cast<std::size_t>(plan_.at_byte - begin);
+  fired_ = true;
+  switch (plan_.kind) {
+    case FaultKind::kBitFlip: {
+      std::vector<std::byte> mutated(data.begin(), data.end());
+      mutated[hit] ^= static_cast<std::byte>(1u << plan_.bit);
+      return inner_->write(mutated);
+    }
+    case FaultKind::kShortWrite:
+    case FaultKind::kNoSpace: {
+      // The prefix reaches the disk; the syscall then fails.
+      if (auto r = inner_->write(data.first(hit)); !r) return r;
+      return plan_.kind == FaultKind::kNoSpace ? core::Errc::kNoSpace
+                                               : core::Errc::kIoError;
+    }
+    case FaultKind::kCrashAtOffset: {
+      (void)inner_->write(data.first(hit));
+      (void)inner_->sync();  // what made it to the fd is on disk
+      dead_ = true;
+      return core::Errc::kCrashed;
+    }
+    case FaultKind::kNone: break;
+  }
+  return inner_->write(data);
+}
+
+core::Result<void> FaultyFile::sync() {
+  if (dead_) return core::Errc::kCrashed;
+  if (fired_ && plan_.kind == FaultKind::kNoSpace) return core::Errc::kNoSpace;
+  return inner_->sync();
+}
+
+core::Result<void> FaultyFile::truncate(std::uint64_t size) {
+  if (dead_) return core::Errc::kCrashed;  // nobody left to roll back
+  return inner_->truncate(size);
+}
+
+core::Result<void> FaultyFile::close() {
+  if (dead_) return core::Errc::kCrashed;
+  return inner_->close();
+}
+
+std::uint64_t FaultyFile::bytes_written() const noexcept { return inner_->bytes_written(); }
+
+FileFactory FaultyFile::factory_once(FaultPlan plan) {
+  auto used = std::make_shared<bool>(false);
+  return [plan, used]() -> std::unique_ptr<WritableFile> {
+    if (*used) return make_posix_file();
+    *used = true;
+    return std::make_unique<FaultyFile>(make_posix_file(), plan);
+  };
+}
+
+}  // namespace edgewatch::storage

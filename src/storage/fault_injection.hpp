@@ -1,0 +1,86 @@
+// Deterministic fault injection for the lake's write path.
+//
+// The paper's pipeline ran for five years across probe crashes, disk
+// faults and upgrades (§2.3); FaultyFile makes those events reproducible
+// on demand. It wraps a real WritableFile and injects exactly one fault at
+// a chosen byte offset of the outgoing stream:
+//
+//   kShortWrite     the write syscall persists only a prefix and fails;
+//                   the caller is alive and may roll back (truncate works).
+//   kNoSpace        as kShortWrite but the volume is full (ENOSPC) — the
+//                   rollback truncate still succeeds (frees no new space).
+//   kBitFlip        one bit of one byte is flipped in flight; every write
+//                   "succeeds" — silent media corruption, detectable only
+//                   by checksums on read.
+//   kCrashAtOffset  bytes before the offset reach the file, then the
+//                   process "dies": every later operation — including the
+//                   rollback truncate and sync — fails with kCrashed,
+//                   leaving a torn tail exactly as a power cut would.
+//
+// Plans are derived deterministically from a core::rng seed so a failing
+// corruption-matrix cell replays byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/io.hpp"
+
+namespace edgewatch::storage {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kShortWrite,
+  kNoSpace,
+  kBitFlip,
+  kCrashAtOffset,
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  /// Offset in the stream of bytes written through the handle (not a file
+  /// offset: open_at's base is excluded) at which the fault strikes.
+  std::uint64_t at_byte = 0;
+  /// For kBitFlip: which bit of the byte at `at_byte` to flip.
+  std::uint32_t bit = 0;
+
+  /// Derive a plan whose offset/bit are drawn uniformly over
+  /// [lo, hi) x [0, 8) from `seed` (SplitMix64 — reproducible forever).
+  [[nodiscard]] static FaultPlan seeded(FaultKind kind, std::uint64_t seed,
+                                        std::uint64_t lo, std::uint64_t hi) noexcept;
+};
+
+/// WritableFile decorator implementing the plan above. `inner` is usually
+/// make_posix_file(). After a terminal fault fired, `fired()` is true and
+/// the error every subsequent call returns tells the caller which world it
+/// is in (kCrashed vs kNoSpace vs kIoError).
+class FaultyFile final : public WritableFile {
+ public:
+  FaultyFile(std::unique_ptr<WritableFile> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  core::Result<void> open_at(const std::filesystem::path& path,
+                             std::uint64_t offset) override;
+  core::Result<void> write(std::span<const std::byte> data) override;
+  core::Result<void> sync() override;
+  core::Result<void> truncate(std::uint64_t size) override;
+  core::Result<void> close() override;
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept override;
+
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  /// A FileFactory producing one FaultyFile for the next handle and plain
+  /// POSIX files afterwards (fault the append under test, not the setup).
+  [[nodiscard]] static FileFactory factory_once(FaultPlan plan);
+
+ private:
+  std::unique_ptr<WritableFile> inner_;
+  FaultPlan plan_;
+  std::uint64_t stream_pos_ = 0;  ///< Bytes offered to write() so far.
+  bool fired_ = false;
+  bool dead_ = false;  ///< Crash fired: everything fails from now on.
+};
+
+}  // namespace edgewatch::storage

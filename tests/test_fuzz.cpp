@@ -4,6 +4,8 @@
 // adversarial input by construction.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/rng.hpp"
 #include "dns/message.hpp"
 #include "dpi/classifier.hpp"
@@ -89,6 +91,76 @@ TEST(Fuzz, DpiParsersNeverCrash) {
   }
 }
 
+TEST(Fuzz, OverlongVarintsAreRejectedNotWrapped) {
+  // A uint64 fits in 10 LEB128 bytes. Encodings that keep the continuation
+  // bit going, or that put anything beyond bit 63 into the 10th byte, must
+  // poison the reader — decoding them as silently wrapped integers would
+  // turn one flipped bit into a plausible-looking garbage record.
+  {
+    // 11 bytes of 0x80: continuation past the maximum length.
+    std::vector<std::byte> bytes(11, std::byte{0x80});
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint(r), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    // 10th byte with payload beyond bit 63 (0x02 << 63 overflows).
+    std::vector<std::byte> bytes(9, std::byte{0x80});
+    bytes.push_back(std::byte{0x02});
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint(r), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    // 10th byte with its continuation bit set: asks for an 11th byte.
+    std::vector<std::byte> bytes(9, std::byte{0x80});
+    bytes.push_back(std::byte{0x81});
+    bytes.push_back(std::byte{0x00});
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint(r), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    // The canonical maximum still decodes: 9×0xff then 0x01 = UINT64_MAX.
+    std::vector<std::byte> bytes(9, std::byte{0xff});
+    bytes.push_back(std::byte{0x01});
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint(r), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+  {
+    // Non-canonical but in-range (trailing zero groups) stays accepted —
+    // only *overflowing* encodings are malformed.
+    const std::byte bytes[] = {std::byte{0x81}, std::byte{0x80}, std::byte{0x00}};
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint(r), 1u);
+    EXPECT_TRUE(r.ok());
+  }
+  {
+    // Signed path inherits the rejection through the zigzag wrapper.
+    std::vector<std::byte> bytes(11, std::byte{0xff});
+    ew::core::ByteReader r{bytes};
+    EXPECT_EQ(ew::storage::get_varint_signed(r), 0);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Fuzz, RandomVarintBytesNeverCrashOrOverflow) {
+  ew::core::Xoshiro256 rng{0x7A41};
+  for (int i = 0; i < 50'000; ++i) {
+    // Heavy bias towards continuation bits so long encodings are common.
+    std::vector<std::byte> bytes(ew::core::uniform_below(rng, 16));
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>((rng() & 0x7f) | (ew::core::chance(rng, 0.8) ? 0x80 : 0));
+    }
+    ew::core::ByteReader r{bytes};
+    (void)ew::storage::get_varint(r);
+    ew::core::ByteReader rs{bytes};
+    (void)ew::storage::get_varint_signed(rs);
+  }
+}
+
 TEST(Fuzz, RecordDecoderNeverCrashes) {
   ew::core::Xoshiro256 rng{0xC0DEC};
   for (int i = 0; i < 20'000; ++i) {
@@ -97,6 +169,25 @@ TEST(Fuzz, RecordDecoderNeverCrashes) {
     ew::core::ByteReader r{bytes};
     (void)ew::storage::decode_record(r);
   }
+}
+
+TEST(Fuzz, DecompressorRejectsHugeDeclaredSizes) {
+  // A 5-byte header can declare any u32 as the uncompressed size. It must
+  // be rejected before it drives an allocation — found the hard way when
+  // the random sweep below spent minutes poisoning 4 GB reserves under
+  // ASan. Also: the output may never grow past the declared size, so a
+  // malicious token stream does bounded work before failing.
+  for (const std::uint32_t declared :
+       {std::uint32_t{0xffffffff}, std::uint32_t{(1u << 26) + 1}}) {
+    std::vector<std::byte> bytes{std::byte{1}};
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::byte>((declared >> (8 * i)) & 0xff));
+    EXPECT_FALSE(ew::storage::decompress_block(bytes).has_value());
+  }
+  // Declared size smaller than what the tokens produce: must fail, not
+  // overshoot. Token 0x20 = 2 literals, but the header promises 1.
+  const std::byte lying[] = {std::byte{1}, std::byte{1}, std::byte{0}, std::byte{0},
+                             std::byte{0}, std::byte{0x20}, std::byte{'a'}, std::byte{'b'}};
+  EXPECT_FALSE(ew::storage::decompress_block(lying).has_value());
 }
 
 TEST(Fuzz, DecompressorNeverCrashes) {

@@ -39,6 +39,37 @@ ew::net::Trace sample_trace() {
   return trace;
 }
 
+void put32(std::ofstream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put16(std::ofstream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+/// Hand-build a little-endian pcap with an arbitrary magic and snaplen.
+void write_raw_pcap(const fs::path& path, std::uint32_t magic, std::uint32_t snaplen,
+                    std::initializer_list<std::pair<std::uint32_t, std::uint32_t>> frames) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  put32(out, magic);
+  put16(out, 2);
+  put16(out, 4);
+  put32(out, 0);
+  put32(out, 0);
+  put32(out, snaplen);
+  put32(out, 1);  // Ethernet
+  for (const auto& [incl, orig] : frames) {
+    put32(out, 1000);  // sec
+    put32(out, 500);   // frac
+    put32(out, incl);
+    put32(out, orig);
+    for (std::uint32_t i = 0; i < incl; ++i) out.put('\0');
+  }
+}
+
 }  // namespace
 
 TEST(Pcap, WriteReadRoundTrip) {
@@ -83,10 +114,62 @@ TEST(Pcap, SnaplenTruncatesAndIsReported) {
 }
 
 TEST(Pcap, RejectsGarbageAndMissingFiles) {
-  EXPECT_FALSE(ew::net::load_pcap("/nonexistent/file.pcap").has_value());
+  const auto missing = ew::net::load_pcap("/nonexistent/file.pcap");
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error(), ew::core::Errc::kIoError);
   TempFile file;
   std::ofstream(file.path, std::ios::binary) << "this is not a pcap file at all";
-  EXPECT_FALSE(ew::net::load_pcap(file.path).has_value());
+  const auto garbage = ew::net::load_pcap(file.path);
+  EXPECT_FALSE(garbage.has_value());
+  EXPECT_EQ(garbage.error(), ew::core::Errc::kBadMagic);
+}
+
+TEST(Pcap, ShortGlobalHeaderIsTruncatedNotBadMagic) {
+  TempFile file;
+  std::ofstream(file.path, std::ios::binary).write("\xd4\xc3\xb2\xa1\x02\x00", 6);
+  EXPECT_EQ(ew::net::load_pcap(file.path).error(), ew::core::Errc::kTruncated);
+}
+
+TEST(Pcap, MicrosecondFilesReportNoNanosecondFlag) {
+  TempFile file;
+  ew::net::write_pcap(file.path, sample_trace());
+  const auto stats = ew::net::read_pcap(file.path, [](ew::net::Frame&&) {});
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->nanosecond_timestamps);
+  EXPECT_EQ(stats->oversnap, 0u);
+}
+
+TEST(Pcap, NanosecondMagicIsFlaggedAndTruncatedToMicros) {
+  TempFile file;
+  write_raw_pcap(file.path, 0xa1b23c4d, 65535, {{10, 10}});
+  std::vector<ew::net::Frame> frames;
+  const auto stats =
+      ew::net::read_pcap(file.path, [&](ew::net::Frame&& f) { frames.push_back(std::move(f)); });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->nanosecond_timestamps);
+  ASSERT_EQ(frames.size(), 1u);
+  // 1000 s + 500 ns floors to exactly 1000 s in microseconds.
+  EXPECT_EQ(frames[0].timestamp.micros(), 1000 * 1'000'000);
+}
+
+TEST(Pcap, ZeroSnaplenIsRejectedAsCorrupt) {
+  TempFile file;
+  write_raw_pcap(file.path, 0xa1b2c3d4, 0, {{10, 10}});
+  const auto stats = ew::net::read_pcap(file.path, [](ew::net::Frame&&) {});
+  EXPECT_FALSE(stats.has_value());
+  EXPECT_EQ(stats.error(), ew::core::Errc::kCorrupt);
+}
+
+TEST(Pcap, OversnapFramesAreCountedNotDropped) {
+  TempFile file;
+  // snaplen 64 but one record claims 100 captured bytes (malformed writer).
+  write_raw_pcap(file.path, 0xa1b2c3d4, 64, {{40, 40}, {100, 100}});
+  std::size_t n = 0;
+  const auto stats = ew::net::read_pcap(file.path, [&n](ew::net::Frame&&) { ++n; });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->frames, 2u);
+  EXPECT_EQ(n, 2u);  // delivered, not dropped
+  EXPECT_EQ(stats->oversnap, 1u);
 }
 
 TEST(Pcap, TruncatedLastRecordEndsGracefully) {

@@ -1,6 +1,12 @@
 // End-to-end probe tests: packets in, anonymized/named/classified flow
-// records out; DN-Hunter integration; outages; software upgrades.
+// records out; DN-Hunter integration; outages; software upgrades;
+// checkpoint/restore across a planned restart.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <tuple>
 
 #include "dns/message.hpp"
 #include "dpi/parsers.hpp"
@@ -262,4 +268,142 @@ TEST(Probe, RttMeasuredThroughProbe) {
   ASSERT_EQ(h.records.size(), 1u);
   ASSERT_GT(h.records[0].rtt.samples, 0u);
   EXPECT_NEAR(h.records[0].rtt.min_ms(), 2.9, 0.5);
+}
+
+// -------------------------------------------------- checkpoint / restore
+
+namespace {
+
+struct TempCheckpoint {
+  std::filesystem::path path;
+  TempCheckpoint()
+      : path(std::filesystem::temp_directory_path() /
+             ("ewckpt_" + std::to_string(::getpid()) + "_" + std::to_string(counter()++))) {}
+  ~TempCheckpoint() { std::filesystem::remove(path); }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+}  // namespace
+
+TEST(ProbeCheckpoint, ResumesMidFlowAcrossRestart) {
+  TempCheckpoint ckpt;
+
+  // Before the restart: a DNS resolution and the first half of a TCP
+  // handshake. Both live only in probe state at this point.
+  ProbeHarness a;
+  a.dns_reply(kAdslClient, "api.whatsapp.net", kServer, 500'000);
+  a.probe.process(PacketBuilder{}
+                      .ts(Timestamp{600'000})
+                      .ip(kAdslClient, kServer)
+                      .tcp(45000, 5222, 1, 0, TcpFlags::kSyn)
+                      .build());
+  const auto saved = a.probe.save_checkpoint(ckpt.path);
+  ASSERT_TRUE(saved.has_value());
+  EXPECT_GT(*saved, 0u);
+  EXPECT_TRUE(a.records.empty());
+
+  // After the restart: a fresh probe with the same config resumes.
+  ProbeHarness b;
+  ASSERT_TRUE(b.probe.restore_checkpoint(ckpt.path).ok());
+  b.probe.process(PacketBuilder{}
+                      .ts(Timestamp{603'000})
+                      .ip(kServer, kAdslClient)
+                      .tcp(5222, 45000, 100, 2, TcpFlags::kSyn | TcpFlags::kAck)
+                      .build());
+  b.probe.process(PacketBuilder{}
+                      .ts(Timestamp{610'000})
+                      .ip(kAdslClient, kServer)
+                      .tcp(45000, 5222, 2, 101, TcpFlags::kAck | TcpFlags::kPsh)
+                      .payload("\x01\x02\x03 opaque app bytes")
+                      .build());
+  b.probe.finish();
+
+  // DNS flow + app flow, exactly as an uninterrupted probe would export
+  // (export order is not defined — find the app flow by port).
+  ASSERT_EQ(b.records.size(), 2u);
+  const auto* app = &b.records[0];
+  if (app->server_port != 5222) app = &b.records[1];
+  ASSERT_EQ(app->server_port, 5222);
+  // The DN-Hunter hint attached before the restart survived it.
+  EXPECT_EQ(app->server_name, "api.whatsapp.net");
+  EXPECT_EQ(app->name_source, ew::flow::NameSource::kDnsHunter);
+  // The SYN was tracked pre-restart, the SYN-ACK matched post-restart:
+  // the RTT estimator's outstanding queue crossed the checkpoint intact.
+  EXPECT_TRUE(app->handshake_completed);
+  ASSERT_GT(app->rtt.samples, 0u);
+  EXPECT_NEAR(app->rtt.min_ms(), 3.0, 0.5);
+  // Counters are cumulative across the restart.
+  EXPECT_GE(b.probe.counters().frames, a.probe.counters().frames);
+  EXPECT_EQ(b.probe.counters().dns_responses, 1u);
+}
+
+TEST(ProbeCheckpoint, MatchesUninterruptedRun) {
+  TempCheckpoint ckpt;
+
+  ProbeHarness uninterrupted;
+  uninterrupted.dns_reply(kAdslClient, "cdn.example.net", kServer, 100'000);
+  uninterrupted.tls_flow(kAdslClient, 44100, "www.instagram.com", 600'000);
+  uninterrupted.probe.finish();
+
+  ProbeHarness first;
+  first.dns_reply(kAdslClient, "cdn.example.net", kServer, 100'000);
+  ASSERT_TRUE(first.probe.save_checkpoint(ckpt.path).has_value());
+  ProbeHarness second;
+  ASSERT_TRUE(second.probe.restore_checkpoint(ckpt.path).ok());
+  second.tls_flow(kAdslClient, 44100, "www.instagram.com", 600'000);
+  second.probe.finish();
+
+  ASSERT_EQ(second.records.size(), uninterrupted.records.size());
+  const auto by_port = [](const FlowRecord& a, const FlowRecord& b) {
+    return std::tie(a.server_port, a.client_port) < std::tie(b.server_port, b.client_port);
+  };
+  std::sort(second.records.begin(), second.records.end(), by_port);
+  std::sort(uninterrupted.records.begin(), uninterrupted.records.end(), by_port);
+  for (std::size_t i = 0; i < second.records.size(); ++i) {
+    EXPECT_EQ(second.records[i].server_name, uninterrupted.records[i].server_name);
+    EXPECT_EQ(second.records[i].client_ip, uninterrupted.records[i].client_ip);
+    EXPECT_EQ(second.records[i].up.bytes, uninterrupted.records[i].up.bytes);
+    EXPECT_EQ(second.records[i].down.bytes, uninterrupted.records[i].down.bytes);
+  }
+  EXPECT_EQ(second.probe.counters().records_exported,
+            uninterrupted.probe.counters().records_exported);
+  EXPECT_EQ(second.probe.dnhunter().size(), uninterrupted.probe.dnhunter().size());
+}
+
+TEST(ProbeCheckpoint, RejectsDamagedFiles) {
+  TempCheckpoint ckpt;
+  ProbeHarness a;
+  a.dns_reply(kAdslClient, "x.example", kServer, 100);
+  a.tls_flow(kAdslClient, 44000, "y.example", 1'000'000);
+  ASSERT_TRUE(a.probe.save_checkpoint(ckpt.path).has_value());
+
+  ProbeHarness b;
+  EXPECT_EQ(b.probe.restore_checkpoint("/nonexistent/probe.ckpt").error(),
+            ew::core::Errc::kNotFound);
+
+  // Flip one payload bit: the CRC must catch it.
+  auto contents = [&] {
+    std::ifstream in(ckpt.path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }();
+  auto corrupt = contents;
+  corrupt[contents.size() - 5] ^= 0x04;
+  std::ofstream(ckpt.path, std::ios::binary | std::ios::trunc) << corrupt;
+  EXPECT_EQ(b.probe.restore_checkpoint(ckpt.path).error(), ew::core::Errc::kCorrupt);
+
+  // A truncated file and a foreign file are told apart too.
+  std::ofstream(ckpt.path, std::ios::binary | std::ios::trunc) << contents.substr(0, 9);
+  EXPECT_EQ(b.probe.restore_checkpoint(ckpt.path).error(), ew::core::Errc::kTruncated);
+  std::ofstream(ckpt.path, std::ios::binary | std::ios::trunc) << "GIF89a definitely not it";
+  EXPECT_EQ(b.probe.restore_checkpoint(ckpt.path).error(), ew::core::Errc::kBadMagic);
+
+  // After the failed restores the probe is empty but fully functional.
+  EXPECT_EQ(b.probe.table().active_flows(), 0u);
+  b.tls_flow(kAdslClient, 44001, "fresh.example", 2'000'000);
+  b.probe.finish();
+  ASSERT_EQ(b.records.size(), 1u);
+  EXPECT_EQ(b.records[0].server_name, "fresh.example");
 }

@@ -4,11 +4,13 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/hash.hpp"
 #include "core/rng.hpp"
 #include "storage/codec.hpp"
 #include "storage/compress.hpp"
 #include "storage/daily_writer.hpp"
 #include "storage/datalake.hpp"
+#include "storage/fault_injection.hpp"
 
 namespace ew = edgewatch;
 namespace fs = std::filesystem;
@@ -93,6 +95,66 @@ struct TempDir {
     return c;
   }
 };
+
+std::vector<FlowRecord> sample_batch(std::uint64_t seed, std::size_t n) {
+  std::vector<FlowRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample_record(seed * 100'000 + i));
+  return out;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+}
+
+void spew(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+}
+
+/// Hand-rolled format-v1 writer (the pre-seal format: per block
+/// u32le len | u32le truncated-fnv1a64(uncompressed) | compressed body).
+void write_v1_file(const fs::path& path, std::span<const FlowRecord> records,
+                   std::size_t block_records = 512) {
+  ByteWriter out;
+  out.string("EWLK");
+  out.u8(1);
+  for (std::size_t first = 0; first < records.size(); first += block_records) {
+    const std::size_t n = std::min(block_records, records.size() - first);
+    ByteWriter block;
+    for (std::size_t i = 0; i < n; ++i) ew::storage::encode_record(records[first + i], block);
+    const auto compressed = ew::storage::compress_block(block.view());
+    out.u32le(static_cast<std::uint32_t>(compressed.size()));
+    out.u32le(static_cast<std::uint32_t>(ew::core::fnv1a64(block.view())));
+    out.bytes(compressed);
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(out.view().data()),
+          static_cast<std::streamsize>(out.size()));
+}
+
+/// Every delivered record must be byte-identical to some prefix-preserving
+/// subsequence of `expected` (damage may drop whole blocks, never invent
+/// or alter records).
+void expect_subsequence(const std::vector<FlowRecord>& delivered,
+                        const std::vector<FlowRecord>& expected) {
+  std::vector<std::string> expected_wire;
+  for (const auto& r : expected) {
+    ByteWriter w;
+    ew::storage::encode_record(r, w);
+    expected_wire.emplace_back(reinterpret_cast<const char*>(w.view().data()), w.size());
+  }
+  std::size_t cursor = 0;
+  for (const auto& r : delivered) {
+    ByteWriter w;
+    ew::storage::encode_record(r, w);
+    const std::string wire(reinterpret_cast<const char*>(w.view().data()), w.size());
+    while (cursor < expected_wire.size() && expected_wire[cursor] != wire) ++cursor;
+    ASSERT_LT(cursor, expected_wire.size()) << "delivered record not in expected stream";
+    ++cursor;
+  }
+}
 
 }  // namespace
 
@@ -278,7 +340,8 @@ TEST(DataLake, WriteScanRoundTrip) {
   for (std::uint64_t i = 0; i < 1000; ++i) records.push_back(sample_record(i));
   const CivilDate day{2014, 4, 15};
   const auto bytes = lake.append(day, records);
-  EXPECT_GT(bytes, 0u);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_GT(*bytes, 0u);
   const auto back = lake.read_day(day);
   ASSERT_EQ(back.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) expect_equal(records[i], back[i]);
@@ -392,7 +455,9 @@ TEST(DataLake, CsvExportWritesHeaderAndRows) {
   std::vector<FlowRecord> records{sample_record(1), sample_record(2), sample_record(3)};
   lake.append(day, records);
   const auto csv_path = dir.path / "out.csv";
-  EXPECT_EQ(lake.export_csv(day, csv_path), 3u);
+  const auto exported = lake.export_csv(day, csv_path);
+  EXPECT_TRUE(exported.ok());
+  EXPECT_EQ(exported.records_delivered, 3u);
   std::ifstream in(csv_path);
   std::string header;
   std::getline(in, header);
@@ -401,4 +466,390 @@ TEST(DataLake, CsvExportWritesHeaderAndRows) {
   std::string line;
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, 3);
+}
+
+// ------------------------------------------------------- durability (v2)
+
+TEST(DataLakeV2, CleanDayIsSealedAndHealthy) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 3, 3};
+  const auto records = sample_batch(1, 5000);  // > kBlockRecords: multi-block
+  ASSERT_TRUE(lake.append(day, records).has_value());
+
+  const auto scan = lake.scan_day(day, [](const FlowRecord&) {});
+  EXPECT_TRUE(scan.ok());
+  EXPECT_EQ(scan.records_delivered, records.size());
+  EXPECT_EQ(scan.blocks_skipped, 0u);
+
+  const auto health = lake.fsck_day(day);
+  EXPECT_TRUE(health.healthy());
+  EXPECT_EQ(health.version, 2);
+  EXPECT_TRUE(health.sealed);
+  EXPECT_FALSE(health.torn_tail);
+  EXPECT_EQ(health.records_ok, records.size());
+  EXPECT_EQ(health.records_lost, 0u);
+  EXPECT_EQ(health.blocks_ok, (records.size() + 4095) / 4096);
+}
+
+TEST(DataLakeV2, EmptyAppendWritesNothing) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const auto bytes = lake.append({2016, 3, 4}, {});
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, 0u);
+  EXPECT_FALSE(lake.has_day({2016, 3, 4}));
+}
+
+TEST(DataLakeV2, FsckReportsMissingDay) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  EXPECT_EQ(lake.fsck_day({2016, 3, 5}).errc, ew::core::Errc::kNotFound);
+  EXPECT_EQ(lake.scan_day({2016, 3, 5}, [](const FlowRecord&) {}).errc,
+            ew::core::Errc::kNotFound);
+}
+
+TEST(DataLakeV2, TornTailIsDetectedAndHealedByNextAppend) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 4, 4};
+  const auto batch1 = sample_batch(1, 300);
+  ASSERT_TRUE(lake.append(day, batch1).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+
+  // Simulate a crash mid-append: valid file plus a half-written block.
+  auto contents = slurp(path);
+  const auto sealed_size = contents.size();
+  contents += std::string(37, '\x7f');
+  spew(path, contents);
+
+  ew::storage::ScanResult status;
+  const auto before = lake.read_day(day, status);
+  EXPECT_EQ(before.size(), batch1.size());  // prefix intact, no garbage
+  EXPECT_FALSE(status.ok());
+
+  // The next append drops the torn tail and continues the sealed stream.
+  const auto batch2 = sample_batch(2, 300);
+  ASSERT_TRUE(lake.append(day, batch2).has_value());
+  const auto after = lake.read_day(day, status);
+  EXPECT_TRUE(status.ok());
+  ASSERT_EQ(after.size(), batch1.size() + batch2.size());
+  expect_equal(after.front(), batch1.front());
+  expect_equal(after.back(), batch2.back());
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+  EXPECT_GT(lake.file_bytes(day), sealed_size);
+}
+
+TEST(DataLakeV2, MidFileCorruptionSkipsOnlyTheDamagedBlock) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 5, 5};
+  const auto records = sample_batch(3, 9000);  // 3 blocks: 4096+4096+808
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+
+  // Flip one byte inside the first block's body.
+  auto contents = slurp(path);
+  contents[200] ^= 0x10;
+  spew(path, contents);
+
+  ew::storage::ScanResult status;
+  const auto delivered = lake.read_day(day, status);
+  EXPECT_FALSE(status.ok());
+  EXPECT_GE(status.blocks_skipped, 1u);
+  // Blocks 1 and 2 resynchronize via sequence numbers + CRC.
+  EXPECT_EQ(delivered.size(), records.size() - 4096);
+  expect_subsequence(delivered, records);
+
+  // fsck: exact loss accounting against the seal.
+  const auto health = lake.fsck_day(day);
+  EXPECT_FALSE(health.healthy());
+  EXPECT_TRUE(health.sealed);  // seal itself survived
+  EXPECT_EQ(health.records_lost, 4096u);
+  EXPECT_GE(health.blocks_quarantined, 1u);
+}
+
+TEST(DataLakeV2, RepairQuarantinesAndReseals) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 6, 6};
+  const auto records = sample_batch(4, 9000);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+  auto contents = slurp(path);
+  contents[contents.size() / 2] ^= 0x01;  // damage block 1 or 2
+  spew(path, contents);
+
+  const auto report = lake.repair_day(day);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_EQ(report.errc, ew::core::Errc::kOk);
+  EXPECT_GE(report.blocks_quarantined, 1u);
+  EXPECT_GT(report.bytes_quarantined, 0u);
+
+  // Damaged bytes are preserved for forensics, not destroyed.
+  EXPECT_TRUE(fs::exists(dir.path / "quarantine"));
+  EXPECT_FALSE(fs::is_empty(dir.path / "quarantine"));
+
+  // The repaired file is a pristine sealed v2 day.
+  const auto health = lake.fsck_day(day);
+  EXPECT_TRUE(health.healthy());
+  EXPECT_TRUE(health.sealed);
+  ew::storage::ScanResult status;
+  const auto delivered = lake.read_day(day, status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(delivered.size(), records.size() - 4096);
+  expect_subsequence(delivered, records);
+
+  // And the repaired day accepts further appends.
+  const auto more = sample_batch(5, 100);
+  ASSERT_TRUE(lake.append(day, more).has_value());
+  EXPECT_EQ(lake.read_day(day).size(), records.size() - 4096 + more.size());
+}
+
+TEST(DataLakeV2, RepairOnHealthyDayIsANoOp) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2016, 6, 7};
+  ASSERT_TRUE(lake.append(day, sample_batch(1, 50)).has_value());
+  const auto before = slurp(dir.path / ew::storage::DataLake::day_filename(day));
+  const auto report = lake.repair_day(day);
+  EXPECT_FALSE(report.repaired);
+  EXPECT_TRUE(report.healthy());
+  EXPECT_EQ(slurp(dir.path / ew::storage::DataLake::day_filename(day)), before);
+}
+
+TEST(DataLakeV2, LakeWideFsckAndRepair) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  ASSERT_TRUE(lake.append({2016, 7, 1}, sample_batch(1, 100)).has_value());
+  ASSERT_TRUE(lake.append({2016, 7, 2}, sample_batch(2, 100)).has_value());
+  EXPECT_TRUE(lake.fsck().clean());
+
+  const auto path = dir.path / ew::storage::DataLake::day_filename({2016, 7, 2});
+  auto contents = slurp(path);
+  contents[contents.size() - 3] ^= 0xff;  // damage the second day's seal
+  spew(path, contents);
+
+  const auto report = lake.fsck();
+  ASSERT_EQ(report.days.size(), 2u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.days[0].healthy());
+  EXPECT_FALSE(report.days[1].healthy());
+
+  lake.repair();
+  EXPECT_TRUE(lake.fsck().clean());
+  EXPECT_EQ(lake.read_day({2016, 7, 2}).size(), 100u);
+}
+
+// ------------------------------------------------- fault-injection matrix
+
+TEST(FaultMatrix, EveryInjectedFaultIsRecoveredOrQuarantined) {
+  using ew::storage::FaultKind;
+  using ew::storage::FaultPlan;
+  using ew::storage::FaultyFile;
+
+  const auto batch1 = sample_batch(10, 5000);
+  const auto batch2 = sample_batch(20, 5000);
+  std::vector<FlowRecord> all;
+  all.insert(all.end(), batch1.begin(), batch1.end());
+  all.insert(all.end(), batch2.begin(), batch2.end());
+  const CivilDate day{2016, 8, 8};
+
+  // Measure the second append's on-disk size once, to aim faults inside it.
+  std::uint64_t append_bytes = 0;
+  {
+    TempDir probe_dir;
+    ew::storage::DataLake probe{probe_dir.path};
+    ASSERT_TRUE(probe.append(day, batch1).has_value());
+    const auto bytes = probe.append(day, batch2);
+    ASSERT_TRUE(bytes.has_value());
+    append_bytes = *bytes;
+  }
+  ASSERT_GT(append_bytes, 64u);
+
+  const FaultKind kinds[] = {FaultKind::kShortWrite, FaultKind::kNoSpace, FaultKind::kBitFlip,
+                             FaultKind::kCrashAtOffset};
+  for (const auto kind : kinds) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto plan = FaultPlan::seeded(kind, seed, 1, append_bytes - 1);
+      SCOPED_TRACE(std::string(to_string(kind)) + " at byte " + std::to_string(plan.at_byte));
+
+      TempDir dir;
+      ew::storage::DataLake lake{dir.path};
+      ASSERT_TRUE(lake.append(day, batch1).has_value());  // sealed baseline
+      lake.set_file_factory(FaultyFile::factory_once(plan));
+      const auto result = lake.append(day, batch2);
+
+      ew::storage::ScanResult status;
+      const auto delivered = lake.read_day(day, status);
+      // Invariant 1: no invented or altered records, ever.
+      expect_subsequence(delivered, all);
+      // Invariant 2: the sealed first batch is never harmed.
+      ASSERT_GE(delivered.size(), batch1.size());
+      for (std::size_t i = 0; i < batch1.size(); ++i) expect_equal(delivered[i], batch1[i]);
+
+      switch (kind) {
+        case FaultKind::kShortWrite:
+        case FaultKind::kNoSpace:
+          // Survivable failure: the append reported the error and rolled
+          // back, so the lake holds exactly the first batch, still clean.
+          ASSERT_FALSE(result.has_value());
+          EXPECT_EQ(result.error(), kind == FaultKind::kNoSpace ? ew::core::Errc::kNoSpace
+                                                                : ew::core::Errc::kIoError);
+          EXPECT_TRUE(status.ok());
+          EXPECT_EQ(delivered.size(), batch1.size());
+          EXPECT_TRUE(lake.fsck_day(day).healthy());
+          break;
+        case FaultKind::kCrashAtOffset:
+          // Crash: rollback impossible, a torn tail remains. Loss is
+          // bounded by the unacknowledged batch.
+          ASSERT_FALSE(result.has_value());
+          EXPECT_EQ(result.error(), ew::core::Errc::kCrashed);
+          EXPECT_FALSE(status.ok());
+          EXPECT_LE(delivered.size(), all.size());
+          break;
+        case FaultKind::kBitFlip: {
+          // Silent media corruption: the write "succeeded", but scan/fsck
+          // must still detect the damage — no flipped bit goes unnoticed.
+          ASSERT_TRUE(result.has_value());
+          EXPECT_FALSE(status.ok());
+          EXPECT_LE(all.size() - delivered.size(), batch2.size());
+          break;
+        }
+        case FaultKind::kNone: break;
+      }
+
+      // Invariant 3: fsck's sealed-loss accounting never exceeds the
+      // unacknowledged batch.
+      const auto health = lake.fsck_day(day);
+      EXPECT_LE(health.records_lost, batch2.size());
+
+      // Invariant 4: repair always converges to a healthy sealed day that
+      // retains everything that was recoverable.
+      lake.repair_day(day);
+      EXPECT_TRUE(lake.fsck_day(day).healthy());
+      ew::storage::ScanResult after_status;
+      const auto after = lake.read_day(day, after_status);
+      EXPECT_TRUE(after_status.ok());
+      EXPECT_EQ(after.size(), delivered.size());
+      expect_subsequence(after, all);
+    }
+  }
+}
+
+// ------------------------------------------------- v1 compat & migration
+
+TEST(DataLakeV1, V1FilesRemainReadable) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2014, 1, 1};
+  const auto records = sample_batch(7, 1500);
+  write_v1_file(dir.path / ew::storage::DataLake::day_filename(day), records);
+
+  ew::storage::ScanResult status;
+  const auto delivered = lake.read_day(day, status);
+  EXPECT_TRUE(status.ok());
+  ASSERT_EQ(delivered.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) expect_equal(delivered[i], records[i]);
+  EXPECT_EQ(lake.fsck_day(day).version, 1);
+}
+
+TEST(DataLakeV1, AppendToV1FileStaysV1) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2014, 1, 2};
+  const auto batch1 = sample_batch(7, 400);
+  write_v1_file(dir.path / ew::storage::DataLake::day_filename(day), batch1);
+  const auto batch2 = sample_batch(8, 400);
+  ASSERT_TRUE(lake.append(day, batch2).has_value());
+  EXPECT_EQ(lake.fsck_day(day).version, 1);  // no silent format change
+  EXPECT_EQ(lake.read_day(day).size(), batch1.size() + batch2.size());
+}
+
+TEST(DataLakeV1, MigrateToV2PreservesEveryRecord) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2014, 2, 2};
+  const auto records = sample_batch(9, 1500);
+  write_v1_file(dir.path / ew::storage::DataLake::day_filename(day), records);
+
+  ASSERT_TRUE(lake.migrate_to_v2(day).ok());
+  const auto health = lake.fsck_day(day);
+  EXPECT_EQ(health.version, 2);
+  EXPECT_TRUE(health.sealed);
+  EXPECT_TRUE(health.healthy());
+
+  ew::storage::ScanResult status;
+  const auto delivered = lake.read_day(day, status);
+  EXPECT_TRUE(status.ok());
+  ASSERT_EQ(delivered.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) expect_equal(delivered[i], records[i]);
+
+  // Idempotent, and the upgraded day seals future appends.
+  EXPECT_TRUE(lake.migrate_to_v2(day).ok());
+  ASSERT_TRUE(lake.append(day, sample_batch(10, 10)).has_value());
+  EXPECT_TRUE(lake.fsck_day(day).sealed);
+}
+
+TEST(DataLakeV1, TornV1TailDeliversPrefixAndRepairsToV2) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2014, 3, 3};
+  const auto records = sample_batch(11, 1024);  // two 512-record v1 blocks
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+  write_v1_file(path, records);
+  auto contents = slurp(path);
+  spew(path, contents.substr(0, contents.size() - 10));  // torn final block
+
+  ew::storage::ScanResult status;
+  const auto delivered = lake.read_day(day, status);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(delivered.size(), 512u);  // the valid prefix, nothing invented
+  expect_subsequence(delivered, records);
+
+  const auto report = lake.repair_day(day);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+  EXPECT_EQ(lake.fsck_day(day).version, 2);
+  EXPECT_EQ(lake.read_day(day).size(), 512u);
+  EXPECT_FALSE(fs::is_empty(dir.path / "quarantine"));
+}
+
+TEST(DataLake, ForeignFileIsRejectedNotParsed) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2015, 9, 9};
+  spew(dir.path / ew::storage::DataLake::day_filename(day), "not a lake file at all");
+  EXPECT_EQ(lake.scan_day(day, [](const FlowRecord&) {}).errc, ew::core::Errc::kBadMagic);
+  EXPECT_EQ(lake.fsck_day(day).errc, ew::core::Errc::kBadMagic);
+  EXPECT_FALSE(lake.append(day, sample_batch(1, 5)).has_value());
+}
+
+// ------------------------------------------------- writer failure handling
+
+TEST(DailyLakeWriter, KeepsRecordsWhenAppendFailsAndRetries) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  // First file handle fails with ENOSPC almost immediately.
+  lake.set_file_factory(ew::storage::FaultyFile::factory_once(
+      {ew::storage::FaultKind::kNoSpace, /*at_byte=*/8, /*bit=*/0}));
+
+  ew::storage::DailyLakeWriter writer{lake, 4};
+  const auto day = CivilDate{2016, 5, 4};
+  for (int i = 0; i < 4; ++i) {
+    auto r = sample_record(static_cast<std::uint64_t>(i));
+    r.first_packet = ew::core::Timestamp::from_date_time(day, 10);
+    r.last_packet = r.first_packet + 1'000;
+    writer.add(std::move(r));  // 4th add triggers the failing flush
+  }
+  EXPECT_EQ(writer.append_failures(), 1u);
+  EXPECT_EQ(writer.last_error(), ew::core::Errc::kNoSpace);
+  EXPECT_EQ(writer.records_written(), 0u);
+  EXPECT_EQ(writer.buffered(), 4u);  // nothing lost
+
+  writer.finish();  // factory is healthy again: the retry lands everything
+  EXPECT_EQ(writer.records_written(), 4u);
+  EXPECT_EQ(writer.records_dropped(), 0u);
+  EXPECT_EQ(lake.read_day(day).size(), 4u);
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
 }
