@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "analytics/parallel.hpp"
+#include "core/thread_pool.hpp"
 #include "storage/codec.hpp"
 #include "storage/compress.hpp"
 #include "storage/datalake.hpp"
@@ -78,6 +80,30 @@ void BM_LakeWriteScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records.size()));
 }
 BENCHMARK(BM_LakeWriteScan);
+
+// Stage-one aggregation of one stored day with the blocks fanned out over
+// a pool of Arg(0) threads (1 = the serial path). Deterministic: every
+// thread count produces the identical DayAggregate (tests/test_parallel).
+void BM_ParallelDayAggregate(benchmark::State& state) {
+  const auto& records = sample_records();
+  const auto dir = std::filesystem::temp_directory_path() / "ew_bench_lake_par";
+  std::filesystem::remove_all(dir);
+  ew::storage::DataLake lake{dir};
+  lake.append({2016, 5, 10}, records);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    if (threads == 1) {
+      benchmark::DoNotOptimize(ew::analytics::aggregate_day(lake, {2016, 5, 10}));
+    } else {
+      ew::core::ThreadPool pool{threads};
+      benchmark::DoNotOptimize(
+          ew::analytics::aggregate_day_parallel(lake, {2016, 5, 10}, pool));
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ParallelDayAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void print_compression_report() {
   const auto& records = sample_records();

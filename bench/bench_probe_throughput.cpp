@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "probe/probe.hpp"
+#include "probe/sharded_probe.hpp"
 #include "synth/packets.hpp"
 
 namespace ew = edgewatch;
@@ -75,6 +76,29 @@ void BM_ProbePipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbePipeline);
 
+// The sharded parallel probe at 1/2/4/8 shards on the same mix. Compare
+// against BM_ProbePipeline: shards=1 shows the queueing overhead, higher
+// counts the scaling (bounded by physical cores — see the
+// hardware_concurrency line scripts/bench.sh records).
+void BM_ShardedProbeIngest(benchmark::State& state) {
+  const auto frames = make_traffic_mix();
+  std::uint64_t bytes = 0;
+  for (const auto& f : frames) bytes += f.data.size();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    ew::probe::ShardedProbeConfig cfg;
+    cfg.shards = static_cast<std::size_t>(state.range(0));
+    ew::probe::ShardedProbe probe{cfg};
+    for (const auto& frame : frames) probe.ingest(frame);
+    records += probe.finish().size();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(frames.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+  state.counters["flows"] =
+      benchmark::Counter(static_cast<double>(records) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ShardedProbeIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // Flow-table pressure: many long-lived concurrent flows (the situation at
 // a PoP at prime time). Measures ingest+advance with a full table.
 void BM_FlowTableAt50kConcurrentFlows(benchmark::State& state) {
@@ -99,8 +123,9 @@ void BM_FlowTableAt50kConcurrentFlows(benchmark::State& state) {
   std::uint64_t exported = 0;
   ew::flow::FlowTableConfig cfg;
   cfg.udp_idle_timeout_us = 3'600'000'000;  // keep everything live
+  auto count_sink = [&exported](ew::flow::FlowRecord&&) { ++exported; };
   for (auto _ : state) {
-    ew::flow::FlowTable table{cfg, [&exported](ew::flow::FlowRecord&&) { ++exported; }};
+    ew::flow::FlowTable table{cfg, count_sink};
     for (const auto& pkt : packets) {
       table.ingest(pkt);
       table.advance(pkt.timestamp);

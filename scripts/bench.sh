@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the parallel-engine scaling bench, leaving BENCH_pipeline.json
+# in the repo root. Usage:
+#
+#   scripts/bench.sh [conversations] [repeats]
+#
+# Defaults: 600 conversations, 3 repeats (best-of). The JSON records
+# hardware_concurrency next to the speedup curve — on a 1-core box the
+# curve is honestly flat.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONVERSATIONS="${1:-600}"
+REPEATS="${2:-3}"
+
+if [ ! -d build ]; then
+  cmake --preset default
+fi
+cmake --build build --target bench_parallel_scaling -j "$(nproc)"
+
+./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" BENCH_pipeline.json
+echo
+echo "results: $(pwd)/BENCH_pipeline.json"

@@ -1,22 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, and run the full test suite.
 #
-#   scripts/tier1.sh              # RelWithDebInfo (the default preset)
-#   SANITIZE=1 scripts/tier1.sh   # second configuration: Debug + ASan/UBSan
+#   scripts/tier1.sh                 # RelWithDebInfo (the default preset)
+#   SANITIZE=1 scripts/tier1.sh      # second configuration: Debug + ASan/UBSan
+#   SANITIZE=tsan scripts/tier1.sh   # third: ThreadSanitizer over the
+#                                    # concurrency suites (ThreadPool, SPSC
+#                                    # ring, ShardedProbe, parallel analytics)
 #
-# The sanitizer pass exists for the robustness work: the fault-injection
+# The sanitizer passes exist for the robustness work: the fault-injection
 # matrix, the corruption tests, and the fuzz sweeps only prove memory
-# safety when out-of-bounds reads and UB actually abort the run.
+# safety when out-of-bounds reads and UB actually abort the run — and the
+# parallel engine only proves data-race freedom under TSan. TSan is
+# incompatible with ASan, hence the separate preset; its pass filters to
+# the thread-heavy suites to keep the (≈10× slowed) run short.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if [[ "${SANITIZE:-0}" == "1" ]]; then
-  preset=asan-ubsan
-else
-  preset=default
-fi
+ctest_extra=()
+case "${SANITIZE:-0}" in
+  1) preset=asan-ubsan ;;
+  tsan)
+    preset=tsan
+    ctest_extra=(-R 'Parallel|ShardedProbe|ThreadPool|SpscQueue')
+    ;;
+  *) preset=default ;;
+esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)" "${ctest_extra[@]}"

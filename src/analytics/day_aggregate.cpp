@@ -73,18 +73,7 @@ void DayAggregator::add(const flow::FlowRecord& record) {
 }
 
 void DayAggregate::merge(const DayAggregate& other) {
-  for (const auto& [ip, sub] : other.subscribers) {
-    auto& mine = subscribers[ip];
-    mine.access = sub.access;
-    mine.flows += sub.flows;
-    mine.bytes_up += sub.bytes_up;
-    mine.bytes_down += sub.bytes_down;
-    for (std::size_t s = 0; s < services::kServiceCount; ++s) {
-      mine.per_service[s].flows += sub.per_service[s].flows;
-      mine.per_service[s].bytes_up += sub.per_service[s].bytes_up;
-      mine.per_service[s].bytes_down += sub.per_service[s].bytes_down;
-    }
-  }
+  for (const auto& [ip, sub] : other.subscribers) subscribers[ip].merge(sub);
   for (std::size_t p = 0; p < web_bytes.size(); ++p) web_bytes[p] += other.web_bytes[p];
   for (std::size_t t = 0; t < downlink_bins.size(); ++t) {
     for (std::size_t b = 0; b < kTimeBinsPerDay; ++b) {
@@ -94,15 +83,9 @@ void DayAggregate::merge(const DayAggregate& other) {
   for (std::size_t s = 0; s < services::kServiceCount; ++s) {
     rtt_min_ms[s].insert(rtt_min_ms[s].end(), other.rtt_min_ms[s].begin(),
                          other.rtt_min_ms[s].end());
-    health[s].packets += other.health[s].packets;
-    health[s].retransmits += other.health[s].retransmits;
-    health[s].out_of_order += other.health[s].out_of_order;
+    health[s].merge(other.health[s]);
   }
-  for (const auto& [ip, stats] : other.server_ips) {
-    auto& mine = server_ips[ip];
-    mine.service_mask |= stats.service_mask;
-    mine.bytes += stats.bytes;
-  }
+  for (const auto& [ip, stats] : other.server_ips) server_ips[ip].merge(stats);
   for (const auto& [key, bytes] : other.domain_bytes) domain_bytes[key] += bytes;
   for (const auto& [domain, bytes] : other.unclassified_domain_bytes) {
     unclassified_domain_bytes[domain] += bytes;

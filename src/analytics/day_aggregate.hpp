@@ -39,6 +39,12 @@ struct ServiceDayTraffic {
   std::uint64_t bytes_down = 0;
 
   [[nodiscard]] std::uint64_t total() const noexcept { return bytes_up + bytes_down; }
+
+  void merge(const ServiceDayTraffic& other) noexcept {
+    flows += other.flows;
+    bytes_up += other.bytes_up;
+    bytes_down += other.bytes_down;
+  }
 };
 
 /// Per-service TCP health counters for the day (downstream direction —
@@ -50,6 +56,12 @@ struct ServiceDayHealth {
 
   [[nodiscard]] double retransmission_rate() const noexcept {
     return packets ? static_cast<double>(retransmits) / static_cast<double>(packets) : 0.0;
+  }
+
+  void merge(const ServiceDayHealth& other) noexcept {
+    packets += other.packets;
+    retransmits += other.retransmits;
+    out_of_order += other.out_of_order;
   }
 };
 
@@ -67,6 +79,14 @@ struct SubscriberDay {
   [[nodiscard]] const ServiceDayTraffic& service(services::ServiceId id) const noexcept {
     return per_service[static_cast<std::size_t>(id)];
   }
+
+  void merge(const SubscriberDay& other) noexcept {
+    access = other.access;
+    flows += other.flows;
+    bytes_up += other.bytes_up;
+    bytes_down += other.bytes_down;
+    for (std::size_t s = 0; s < per_service.size(); ++s) per_service[s].merge(other.per_service[s]);
+  }
 };
 
 /// Per-server-IP observations for the infrastructure analysis.
@@ -81,6 +101,11 @@ struct IpDayStats {
     const std::uint32_t named =
         service_mask & ((1u << services::kNamedServiceCount) - 1u);
     return (named & (named - 1)) != 0;
+  }
+
+  void merge(const IpDayStats& other) noexcept {
+    service_mask |= other.service_mask;
+    bytes += other.bytes;
   }
 };
 
@@ -108,9 +133,13 @@ struct DayAggregate {
   [[nodiscard]] std::size_t active_subscribers(const ActivityCriteria& c = {}) const;
   [[nodiscard]] std::uint64_t total_web_bytes() const noexcept;
 
-  /// Merge another PoP's aggregate for the same civil day (paper §2.1: two
-  /// vantage points feed the same data lake). Subscriber populations are
-  /// disjoint across PoPs, but the merge is correct even on overlap.
+  /// Merge another aggregate for the same civil day: another PoP's (paper
+  /// §2.1: two vantage points feed the same data lake) or a parallel
+  /// worker's partial over a slice of the day's blocks. Commutative and
+  /// associative except for rtt_min_ms sample order, which is append-order
+  /// — merge partials in block order to reproduce the serial stream (the
+  /// figure-level distributions sort, so figures are order-insensitive
+  /// either way).
   void merge(const DayAggregate& other);
 };
 

@@ -1,0 +1,86 @@
+#include "analytics/parallel.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace edgewatch::analytics {
+
+DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate day,
+                               const services::ServiceCatalog& catalog) {
+  DayAggregator agg(day, catalog);
+  DayScanAggregate out;
+  out.scan = lake.scan_day(day, [&agg](const flow::FlowRecord& r) { agg.add(r); });
+  out.aggregate = std::move(agg).take();
+  return out;
+}
+
+DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::CivilDate day,
+                                        core::ThreadPool& pool,
+                                        const services::ServiceCatalog& catalog) {
+  DayScanAggregate out;
+  out.aggregate.date = day;
+  const storage::DayBlockIndex idx = lake.load_day_blocks(day);
+  if (idx.fatal() != core::Errc::kOk) {
+    out.scan.errc = idx.fatal();
+    return out;
+  }
+
+  struct Partial {
+    DayAggregate aggregate;
+    storage::ScanResult scan;
+  };
+  const std::size_t n = idx.blocks().size();
+  const std::size_t tasks = std::min(n, std::max<std::size_t>(1, pool.size()));
+  std::vector<std::future<Partial>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    // Balanced contiguous ranges: contiguity is what makes the in-order
+    // merge reproduce the serial record stream.
+    const std::size_t lo = n * t / tasks;
+    const std::size_t hi = n * (t + 1) / tasks;
+    futures.push_back(pool.submit([&idx, &catalog, day, lo, hi] {
+      DayAggregator agg(day, catalog);
+      Partial p;
+      storage::ScanScratch scratch;
+      auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
+      for (std::size_t b = lo; b < hi; ++b) {
+        if (!storage::DataLake::decode_block(idx.body(idx.blocks()[b]), scratch,
+                                             p.scan.records_delivered, deliver)) {
+          ++p.scan.blocks_skipped;
+          p.scan.errc = core::Errc::kCorrupt;
+        }
+      }
+      p.aggregate = std::move(agg).take();
+      return p;
+    }));
+  }
+  for (auto& f : futures) {
+    Partial p = f.get();  // rethrows a worker's exception
+    out.aggregate.merge(p.aggregate);
+    out.scan.merge(p.scan);
+  }
+  out.scan.blocks_skipped += idx.damaged_ranges();
+  if (out.scan.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
+    out.scan.errc = idx.baseline();
+  }
+  return out;
+}
+
+std::vector<DayScanAggregate> aggregate_days_parallel(const storage::DataLake& lake,
+                                                      std::span<const core::CivilDate> days,
+                                                      core::ThreadPool& pool,
+                                                      const services::ServiceCatalog& catalog) {
+  std::vector<std::future<DayScanAggregate>> futures;
+  futures.reserve(days.size());
+  for (const auto day : days) {
+    futures.push_back(
+        pool.submit([&lake, &catalog, day] { return aggregate_day(lake, day, catalog); }));
+  }
+  std::vector<DayScanAggregate> out;
+  out.reserve(days.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace edgewatch::analytics

@@ -1,0 +1,57 @@
+// Parallel stage-one analytics (paper §2.2: per-day aggregation of the
+// flow logs). Two axes of parallelism over a shared core::ThreadPool:
+//
+//   - across days: each day is one task (the natural partition — the lake
+//     is day-partitioned and days are independent);
+//   - within a day: the day file's CRC-framed blocks are independently
+//     decodable, so contiguous block ranges fan out across workers, each
+//     producing a partial DayAggregate that merge() folds back together
+//     in block order.
+//
+// Determinism: partials are merged in block-range order, so the combined
+// aggregate carries the same rtt_min_ms sample order as a serial scan and
+// every counter is a sum of the same terms — figure outputs are
+// bit-identical to the single-threaded pipeline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "core/thread_pool.hpp"
+#include "services/catalog.hpp"
+#include "storage/datalake.hpp"
+
+namespace edgewatch::analytics {
+
+/// One day's stage-one output plus how the underlying scan went (damaged
+/// blocks are skipped, never silently aggregated).
+struct DayScanAggregate {
+  DayAggregate aggregate;
+  storage::ScanResult scan;
+};
+
+/// Serial baseline: scan one day and aggregate it on the calling thread.
+/// Also the per-task body of aggregate_days_parallel.
+[[nodiscard]] DayScanAggregate aggregate_day(
+    const storage::DataLake& lake, core::CivilDate day,
+    const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
+
+/// Aggregate one day with its blocks fanned out over `pool`. Each worker
+/// decodes a contiguous block range with its own ScanScratch (one
+/// decompression buffer per worker, not per block) into a partial
+/// DayAggregate; partials merge in block order. Must not be called from
+/// inside a pool task — the fan-out waits on the same pool.
+[[nodiscard]] DayScanAggregate aggregate_day_parallel(
+    const storage::DataLake& lake, core::CivilDate day, core::ThreadPool& pool,
+    const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
+
+/// Aggregate many days, one pool task per day (aggregation inside each
+/// task is serial — day-level fan-out already saturates the pool, and
+/// nesting would deadlock). Results are in `days` order.
+[[nodiscard]] std::vector<DayScanAggregate> aggregate_days_parallel(
+    const storage::DataLake& lake, std::span<const core::CivilDate> days,
+    core::ThreadPool& pool,
+    const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
+
+}  // namespace edgewatch::analytics

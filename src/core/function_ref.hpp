@@ -1,0 +1,51 @@
+// A non-owning, trivially copyable callable reference (two words: context
+// pointer + invoke thunk). The probe's export path fires once per flow
+// record at line rate; routing it through std::function means a virtual
+// call through type-erased owning storage that the optimizer cannot see
+// through. FunctionRef keeps the type erasure but drops ownership, so the
+// hot path pays exactly one indirect call and the referenced callable is
+// eligible for inlining at its definition site.
+//
+// Lifetime contract: the referenced callable must outlive the FunctionRef.
+// Construction from temporaries is rejected at compile time — bind a named
+// object (the FlowTable/Probe pattern: a small member functor declared
+// before the table that consumes it).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace edgewatch::core {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_lvalue_reference_v<F&&> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(ctx_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace edgewatch::core

@@ -1,0 +1,70 @@
+#include "core/thread_pool.hpp"
+
+namespace edgewatch::core {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_pending)
+    : max_pending_(max_pending) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Second caller (or destructor after explicit shutdown): workers are
+      // already told to stop; fall through to join whatever is left.
+    }
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  space_ready_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    if (max_pending_ > 0) {
+      space_ready_.wait(lock, [this] {
+        return stopping_ || queue_.size() < max_pending_;
+      });
+    }
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    // packaged_task routes any exception into the matching future.
+    task();
+  }
+}
+
+}  // namespace edgewatch::core

@@ -1,0 +1,106 @@
+// Shared worker pool for the stage-one analytics fan-out (days and
+// blocks-within-day) and any other embarrassingly parallel batch work.
+// Deliberately a simple mutex-guarded task queue, not a work-stealing
+// scheduler: the pipeline's tasks are coarse (a compressed block, a day
+// file), so queue contention is negligible next to task cost and the
+// simple design is easy to prove correct under TSan.
+//
+// Error-awareness: submit() returns a std::future that carries the task's
+// result or its exception; parallel_for() rethrows the first failure after
+// every chunk finished, so a corrupt block cannot vanish silently inside a
+// worker. An optional bound on queued tasks gives backpressure — submit()
+// blocks while the backlog is at the limit.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace edgewatch::core {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  /// `max_pending == 0` means an unbounded task queue; otherwise submit()
+  /// blocks while `max_pending` tasks are already queued (backpressure).
+  explicit ThreadPool(std::size_t threads = 0, std::size_t max_pending = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Stop accepting tasks, finish everything queued, join the workers.
+  /// Blocked submitters are woken and fail with std::runtime_error.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Queue a task; the future carries its result or exception. Throws
+  /// std::runtime_error if the pool is shut down (including while blocked
+  /// on a full queue).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Run fn(i) for every i in [begin, end), chunked across the pool. The
+  /// calling thread blocks until all chunks finished; the first exception
+  /// thrown by any fn is rethrown here. Must not be called from inside a
+  /// pool task (the caller would wait on a queue it is supposed to drain).
+  template <typename F>
+  void parallel_for(std::size_t begin, std::size_t end, F&& fn) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = std::min(n, size() * 4);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, end);
+      futures.push_back(submit([&fn, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Tasks queued but not yet started (observability/tests).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;   ///< workers wait here
+  std::condition_variable space_ready_;  ///< bounded submitters wait here
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t max_pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace edgewatch::core

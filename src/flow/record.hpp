@@ -118,6 +118,13 @@ struct FlowRecord {
   std::uint16_t http_status = 0;
   std::string content_type;
 
+  /// Transient: arrival index of the packet that created this flow, as set
+  /// by the flow table (or by ShardedProbe with a probe-global sequence).
+  /// Unique per record and independent of shard count, it is the sort key
+  /// of the sharded probe's deterministic merge. NOT serialized — the
+  /// storage codec, CSV export and checkpoints ignore it.
+  std::uint64_t ingest_seq = 0;
+
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return up.bytes + down.bytes; }
   [[nodiscard]] std::int64_t duration_us() const noexcept {
     return last_packet - first_packet;

@@ -36,6 +36,7 @@ FlowState* FlowTable::ingest(const net::DecodedPacket& pkt) {
     state.record.proto = proto;
     state.record.first_packet = pkt.timestamp;
     state.record.last_packet = pkt.timestamp;
+    state.record.ingest_seq = next_ingest_seq_;
     it = flows_.emplace(key, std::move(state)).first;
     ++counters_.flows_created;
 
@@ -66,6 +67,7 @@ FlowState* FlowTable::ingest(const net::DecodedPacket& pkt) {
   }
 
   checkpoints_.push_back({it->first, state.record.last_packet});
+  ++next_ingest_seq_;  // auto mode; externally driven tables overwrite it
   return &state;
 }
 

@@ -16,6 +16,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "core/function_ref.hpp"
 #include "core/time.hpp"
 #include "core/types.hpp"
 #include "dpi/classifier.hpp"
@@ -75,10 +76,15 @@ struct FlowState {
 
 class FlowTable {
  public:
-  using ExportSink = std::function<void(FlowRecord&&)>;
+  /// Non-owning: the probe exports one record per finished flow at line
+  /// rate, so the sink is a FunctionRef (single indirect call, no owning
+  /// type erasure on the hot path). The referenced callable must outlive
+  /// the table — bind a named object, not a temporary lambda; temporaries
+  /// are rejected at compile time.
+  using ExportSink = core::FunctionRef<void(FlowRecord&&)>;
 
   explicit FlowTable(FlowTableConfig config, ExportSink sink)
-      : config_(config), sink_(std::move(sink)) {}
+      : config_(config), sink_(sink) {}
 
   /// Feed one decoded packet. Returns the flow state the packet landed in
   /// (nullptr for non-TCP/UDP packets). `is_from_client` in the state is
@@ -99,6 +105,13 @@ class FlowTable {
   void set_classifier_options(dpi::ClassifierOptions options) noexcept {
     config_.classifier = options;
   }
+
+  /// Set the arrival index stamped into the NEXT created flow's
+  /// `record.ingest_seq`. Left alone, the table counts its own ingested
+  /// packets; a sharded probe overrides it before every packet with a
+  /// probe-global sequence so the tag is independent of how flows were
+  /// partitioned across shards.
+  void set_next_ingest_seq(std::uint64_t seq) noexcept { next_ingest_seq_ = seq; }
 
   struct Counters {
     std::uint64_t packets = 0;
@@ -146,6 +159,7 @@ class FlowTable {
   std::unordered_map<core::FiveTuple, FlowState, core::FiveTupleHash> flows_;
   std::deque<Checkpoint> checkpoints_;
   Counters counters_;
+  std::uint64_t next_ingest_seq_ = 0;
 };
 
 }  // namespace edgewatch::flow

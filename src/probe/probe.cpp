@@ -9,11 +9,7 @@ Probe::Probe(ProbeConfig config, RecordSink sink)
       sink_(std::move(sink)),
       anonymizer_(config.anon_key, config.customer_net),
       dnhunter_(config.dnhunter),
-      table_(config.flow, [this](flow::FlowRecord&& record) {
-        const bool dns_named = record.name_source == flow::NameSource::kDnsHunter;
-        const flow::AccessTech tech = access_tech(record.client_ip);
-        on_export(std::move(record), tech, dns_named);
-      }) {}
+      table_(config.flow, table_sink_) {}
 
 void Probe::process(const net::Frame& frame) {
   if (!online_) {
@@ -95,12 +91,12 @@ void Probe::set_classifier_options(dpi::ClassifierOptions options) {
   table_.set_classifier_options(options);
 }
 
-void Probe::on_export(flow::FlowRecord&& record, flow::AccessTech tech, bool dns_named) {
+void Probe::on_export(flow::FlowRecord&& record) {
   if (muted_) return;
-  record.access = tech;
+  record.access = access_tech(record.client_ip);  // before anonymization
   record.client_ip = anonymizer_.apply(record.client_ip);
   ++counters_.records_exported;
-  if (dns_named) ++counters_.records_named_by_dns;
+  if (record.name_source == flow::NameSource::kDnsHunter) ++counters_.records_named_by_dns;
   if (sink_) sink_(std::move(record));
 }
 

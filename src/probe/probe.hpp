@@ -63,6 +63,12 @@ class Probe {
   /// Probe software upgrade (paper events C/F change what DPI can label).
   void set_classifier_options(dpi::ClassifierOptions options);
 
+  /// Override the arrival index stamped into the next created flow (see
+  /// FlowTable::set_next_ingest_seq). ShardedProbe drives this with a
+  /// probe-global frame sequence to make its merged export order
+  /// shard-count-independent.
+  void set_next_ingest_seq(std::uint64_t seq) noexcept { table_.set_next_ingest_seq(seq); }
+
   /// Planned-maintenance checkpoint (implemented in checkpoint.cpp): write
   /// the live flow table, DN-Hunter caches and counters to `path` so a
   /// restart can resume without the state loss of begin_outage(). The file
@@ -93,12 +99,22 @@ class Probe {
   }
 
  private:
-  void on_export(flow::FlowRecord&& record, flow::AccessTech tech, bool dns_named);
+  void on_export(flow::FlowRecord&& record);
+
+  /// Named export callable for the flow table's non-owning FunctionRef
+  /// sink. Declared before table_ so it outlives every export. A probe is
+  /// consequently not movable (the table holds a reference into it) —
+  /// which was already true of the old self-capturing lambda.
+  struct TableSink {
+    Probe* probe;
+    void operator()(flow::FlowRecord&& record) const { probe->on_export(std::move(record)); }
+  };
 
   ProbeConfig config_;
   RecordSink sink_;
   anon::CustomerAnonymizer anonymizer_;
   dns::DnHunter dnhunter_;
+  TableSink table_sink_{this};
   flow::FlowTable table_;
   bool online_ = true;
   bool muted_ = false;  ///< Discard exports (outage-time state loss).

@@ -1,0 +1,196 @@
+#include "probe/sharded_probe.hpp"
+
+#include <algorithm>
+
+namespace edgewatch::probe {
+
+namespace {
+
+std::uint32_t rd32be(const std::vector<std::byte>& d, std::size_t pos) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(d[pos + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+ShardedProbe::ShardedProbe(ShardedProbeConfig config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  ProbeConfig shard_config = config_.probe;
+  // Sampling is a feeder-global decision (mirrors the serial probe's
+  // frame-counter arithmetic); per-shard counters would sample a
+  // shard-count-dependent subset.
+  shard_config.sample_rate = 1;
+  // Keep the aggregate flow-memory bound of the single-probe deployment.
+  shard_config.flow.max_flows =
+      std::max<std::size_t>(1, config_.probe.flow.max_flows / config_.shards);
+
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.queue_capacity);
+    Shard* raw = shard.get();
+    // Batch-buffering sink: the worker appends locally, no cross-thread
+    // call per record; the merge happens once, at finish().
+    shard->probe = std::make_unique<Probe>(
+        shard_config, [raw](flow::FlowRecord&& record) {
+          raw->records.push_back(std::move(record));
+        });
+    shard->worker = std::thread([this, raw] { worker_loop(*raw); });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedProbe::~ShardedProbe() { (void)finish(); }
+
+std::size_t ShardedProbe::shard_of(const net::Frame& frame) const noexcept {
+  // Cheap L3/L4 peek — the full decode happens on the worker. Ethernet
+  // header is 14 bytes; IPv4 src/dst sit at fixed offsets 26/30 whatever
+  // the IHL. Non-IPv4 frames (IPv6, ARP, runts) carry no flow state, so
+  // any deterministic shard works; they go to shard 0 for counting.
+  if (shards_.size() == 1) return 0;
+  const auto& d = frame.data;
+  if (d.size() < 34) return 0;
+  const auto ethertype = (std::to_integer<std::uint16_t>(d[12]) << 8) |
+                         std::to_integer<std::uint16_t>(d[13]);
+  if (ethertype != 0x0800) return 0;
+  const core::IPv4Address src{rd32be(d, 26)};
+  const core::IPv4Address dst{rd32be(d, 30)};
+  const auto& net = config_.probe.customer_net;
+
+  // DNS traffic is keyed by the *client*, whichever direction the packet
+  // travels: DN-Hunter's cache lives on the client's shard, and in-net
+  // resolvers would otherwise pull responses onto the resolver's shard.
+  const auto proto = std::to_integer<std::uint8_t>(d[23]);
+  if (proto == 17) {  // UDP
+    const std::size_t ihl = (std::to_integer<std::size_t>(d[14]) & 0x0f) * 4;
+    const std::size_t l4 = 14 + ihl;
+    if (ihl >= 20 && d.size() >= l4 + 4) {
+      const auto sport = (std::to_integer<std::uint16_t>(d[l4]) << 8) |
+                         std::to_integer<std::uint16_t>(d[l4 + 1]);
+      const auto dport = (std::to_integer<std::uint16_t>(d[l4 + 2]) << 8) |
+                         std::to_integer<std::uint16_t>(d[l4 + 3]);
+      if (sport == 53 && net.contains(dst)) {
+        return core::IPv4AddressHash{}(dst) % shards_.size();  // response → client
+      }
+      if (dport == 53 && net.contains(src)) {
+        return core::IPv4AddressHash{}(src) % shards_.size();  // query from client
+      }
+    }
+  }
+
+  // Shard key: the customer side (per-subscription analytics, per-client
+  // DN-Hunter). The rule must be direction-symmetric so both halves of a
+  // flow land on the same shard: exactly one side in the customer net →
+  // that side; both or neither → the smaller address.
+  const bool src_in = net.contains(src);
+  const bool dst_in = net.contains(dst);
+  const core::IPv4Address key = src_in == dst_in ? std::min(src, dst) : (src_in ? src : dst);
+  return core::IPv4AddressHash{}(key) % shards_.size();
+}
+
+void ShardedProbe::ingest(net::Frame frame) {
+  if (finished_) return;
+  ++feeder_frames_;
+  if (config_.probe.sample_rate > 1 &&
+      (feeder_frames_ % config_.probe.sample_rate) != 0) {
+    ++feeder_sampled_out_;
+    return;
+  }
+  Item item;
+  item.seq = next_seq_++;
+  item.frame = std::move(frame);
+  const std::size_t target = shard_of(item.frame);
+  shards_[target]->queue.push(std::move(item));
+}
+
+void ShardedProbe::broadcast(Item::Kind kind, dpi::ClassifierOptions options) {
+  if (finished_) return;
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = kind;
+    item.options = options;
+    shard->queue.push(std::move(item));
+  }
+}
+
+void ShardedProbe::set_classifier_options(dpi::ClassifierOptions options) {
+  broadcast(Item::Kind::kClassifier, options);
+}
+
+void ShardedProbe::begin_outage() { broadcast(Item::Kind::kBeginOutage); }
+
+void ShardedProbe::end_outage() { broadcast(Item::Kind::kEndOutage); }
+
+void ShardedProbe::worker_loop(Shard& shard) {
+  while (auto item = shard.queue.pop()) {
+    switch (item->kind) {
+      case Item::Kind::kFrame:
+        shard.probe->set_next_ingest_seq(item->seq);
+        shard.probe->process(item->frame);
+        break;
+      case Item::Kind::kClassifier:
+        shard.probe->set_classifier_options(item->options);
+        break;
+      case Item::Kind::kBeginOutage:
+        shard.probe->begin_outage();
+        break;
+      case Item::Kind::kEndOutage:
+        shard.probe->end_outage();
+        break;
+    }
+  }
+  // Ring closed and drained: flush the shard's open flows. The exports
+  // land in shard.records with their creation-time tags, so the merge
+  // below puts them where the serial probe's flush would.
+  shard.probe->finish();
+}
+
+std::vector<flow::FlowRecord> ShardedProbe::finish() {
+  if (finished_) return {};
+  finished_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->records.size();
+  std::vector<flow::FlowRecord> merged;
+  merged.reserve(total);
+  for (auto& shard : shards_) {
+    std::move(shard->records.begin(), shard->records.end(), std::back_inserter(merged));
+    shard->records.clear();
+    shard->records.shrink_to_fit();
+  }
+  // The seq-tagged merge: ingest_seq is unique across shards (one global
+  // counter, one creating packet per flow), so this order is total and
+  // shard-count-independent.
+  std::sort(merged.begin(), merged.end(),
+            [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+              return a.ingest_seq < b.ingest_seq;
+            });
+  return merged;
+}
+
+Probe::Counters ShardedProbe::counters() const {
+  Probe::Counters total;
+  for (const auto& shard : shards_) {
+    const auto& c = shard->probe->counters();
+    total.frames += c.frames;
+    total.decode_failures += c.decode_failures;
+    total.ipv6_frames += c.ipv6_frames;
+    total.dropped_offline += c.dropped_offline;
+    total.dns_responses += c.dns_responses;
+    total.records_exported += c.records_exported;
+    total.records_named_by_dns += c.records_named_by_dns;
+  }
+  // Sampling happens at the feeder; sampled frames never reach a shard
+  // but the serial probe counts them as seen.
+  total.frames += feeder_sampled_out_;
+  total.sampled_out = feeder_sampled_out_;
+  return total;
+}
+
+}  // namespace edgewatch::probe

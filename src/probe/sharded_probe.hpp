@@ -1,0 +1,119 @@
+// Sharded parallel probe (ROADMAP: "runs as fast as the hardware allows").
+// The paper scaled by running one probe process per PoP link (§2.1); this
+// scales one link's software pipeline across cores by hashing the customer
+// address into N independent Probe shards — each with its own flow table,
+// DPI state and DN-Hunter cache — fed through bounded SPSC rings and
+// drained by one worker thread per shard.
+//
+// Why the customer address is the shard key: every analytics dimension of
+// the paper is per-subscription, and DN-Hunter's cache is per-client by
+// construction (IMC'12: the name a *client* resolved right before opening
+// *its* flow). Routing both the customer's flows and the DNS responses
+// travelling to that customer onto the same shard preserves DN-Hunter's
+// per-client semantics exactly — a shard sees the same packets for its
+// clients that a single-threaded probe would, in the same order.
+//
+// Determinism: the feeder stamps every frame with a global arrival
+// sequence number; the flow table records the stamp of the packet that
+// created each flow in `FlowRecord::ingest_seq`. Because one packet
+// creates at most one flow and every packet has exactly one global seq,
+// the tag is unique per record and independent of the shard count.
+// finish() merges the per-shard export buffers by that tag, yielding a
+// record stream (creation order) that is byte-identical for N = 1, 4, 8, …
+// and equal, as a re-ordering, to the single-threaded probe's stream.
+// Three documented exceptions, all absent from the paper's deployment:
+// packet sampling is applied at the feeder (globally, like the serial
+// probe) so shards never sample; per-shard max_flows force-eviction can
+// split flows differently than a single shared table once the aggregate
+// cap is exceeded; and a flow whose idle deadline falls between its
+// shard's last packet timestamp and the stream's may report kProbeFlush
+// where the serial probe reports kIdleTimeout (each shard's clock only
+// advances on its own packets).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/spsc_queue.hpp"
+#include "flow/record.hpp"
+#include "net/packet.hpp"
+#include "probe/probe.hpp"
+
+namespace edgewatch::probe {
+
+struct ShardedProbeConfig {
+  /// Template for every shard. `sample_rate` is honoured globally at the
+  /// feeder (shards never sample); `flow.max_flows` is divided across
+  /// shards so the aggregate memory bound is unchanged.
+  ProbeConfig probe;
+  std::size_t shards = 4;
+  /// Frames buffered per shard ring before the feeder blocks
+  /// (backpressure keeps memory bounded when one shard falls behind).
+  std::size_t queue_capacity = 1024;
+};
+
+class ShardedProbe {
+ public:
+  explicit ShardedProbe(ShardedProbeConfig config);
+  ~ShardedProbe();
+
+  ShardedProbe(const ShardedProbe&) = delete;
+  ShardedProbe& operator=(const ShardedProbe&) = delete;
+
+  /// Feed one captured frame (single feeder thread). Blocks when the
+  /// owning shard's ring is full. The frame is moved into the ring; pass
+  /// a copy to keep the original.
+  void ingest(net::Frame frame);
+
+  /// Control events ride the same rings as frames, so they take effect at
+  /// exactly the same stream position on every shard (upgrade events C/F,
+  /// outage windows of §2.3).
+  void set_classifier_options(dpi::ClassifierOptions options);
+  void begin_outage();
+  void end_outage();
+
+  /// Drain every ring, flush every shard, join the workers, and return
+  /// all exported records merged by `ingest_seq` (deterministic creation
+  /// order, independent of the shard count). Idempotent; after the first
+  /// call the probe accepts no more frames.
+  [[nodiscard]] std::vector<flow::FlowRecord> finish();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Aggregated per-shard counters plus the feeder's frame/sampling
+  /// counts. Only meaningful after finish() (shard state is thread-owned
+  /// while the workers run).
+  [[nodiscard]] Probe::Counters counters() const;
+
+ private:
+  struct Item {
+    enum class Kind : std::uint8_t { kFrame, kClassifier, kBeginOutage, kEndOutage };
+    Kind kind = Kind::kFrame;
+    std::uint64_t seq = 0;
+    net::Frame frame;
+    dpi::ClassifierOptions options;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    core::SpscQueue<Item> queue;
+    std::unique_ptr<Probe> probe;
+    std::vector<flow::FlowRecord> records;  ///< Written by worker, read after join.
+    std::thread worker;
+  };
+
+  [[nodiscard]] std::size_t shard_of(const net::Frame& frame) const noexcept;
+  void broadcast(Item::Kind kind, dpi::ClassifierOptions options = {});
+  void worker_loop(Shard& shard);
+
+  ShardedProbeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t feeder_frames_ = 0;
+  std::uint64_t feeder_sampled_out_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace edgewatch::probe

@@ -107,21 +107,28 @@ std::vector<std::byte> compress_block(std::span<const std::byte> input) {
 }
 
 std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte> input) {
-  if (input.size() < 5) return std::nullopt;
+  std::vector<std::byte> out;
+  if (!decompress_block_into(input, out)) return std::nullopt;
+  return out;
+}
+
+bool decompress_block_into(std::span<const std::byte> input, std::vector<std::byte>& out) {
+  out.clear();
+  if (input.size() < 5) return false;
   const auto scheme = std::to_integer<std::uint8_t>(input[0]);
   const std::size_t expected = get_le32(input.subspan(1, 4));
   // The declared size is untrusted: cap it before it drives any
   // allocation, or a 5-byte header could demand 4 GB up front.
-  if (expected > kMaxDecompressedSize) return std::nullopt;
+  if (expected > kMaxDecompressedSize) return false;
   input = input.subspan(5);
 
   if (scheme == kSchemeStored) {
-    if (input.size() != expected) return std::nullopt;
-    return std::vector<std::byte>{input.begin(), input.end()};
+    if (input.size() != expected) return false;
+    out.assign(input.begin(), input.end());
+    return true;
   }
-  if (scheme != kSchemeLz) return std::nullopt;
+  if (scheme != kSchemeLz) return false;
 
-  std::vector<std::byte> out;
   out.reserve(std::min(expected, std::size_t{64} * 1024));
   std::size_t pos = 0;
   auto read_extended = [&](std::size_t base) -> std::optional<std::size_t> {
@@ -140,30 +147,30 @@ std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte
   while (pos < input.size()) {
     const auto token = std::to_integer<std::uint8_t>(input[pos++]);
     const auto lit_len = read_extended(token >> 4);
-    if (!lit_len) return std::nullopt;
-    if (pos + *lit_len > input.size()) return std::nullopt;
-    if (out.size() + *lit_len > expected) return std::nullopt;
+    if (!lit_len) return false;
+    if (pos + *lit_len > input.size()) return false;
+    if (out.size() + *lit_len > expected) return false;
     out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
                input.begin() + static_cast<std::ptrdiff_t>(pos + *lit_len));
     pos += *lit_len;
     if (pos >= input.size()) break;  // final literal-only sequence
 
-    if (pos + 2 > input.size()) return std::nullopt;
+    if (pos + 2 > input.size()) return false;
     const std::size_t offset = std::to_integer<std::size_t>(input[pos]) |
                                (std::to_integer<std::size_t>(input[pos + 1]) << 8);
     pos += 2;
     const auto ml_excess = read_extended(token & 0x0f);
-    if (!ml_excess) return std::nullopt;
+    if (!ml_excess) return false;
     const std::size_t match_len = *ml_excess + kMinMatch;
-    if (offset == 0 || offset > out.size()) return std::nullopt;
-    if (out.size() + match_len > expected) return std::nullopt;
+    if (offset == 0 || offset > out.size()) return false;
+    if (out.size() + match_len > expected) return false;
     // Byte-by-byte copy: overlapping matches (offset < len) are legal and
     // replicate the run, exactly as in LZ4.
     std::size_t from = out.size() - offset;
     for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
   }
-  if (out.size() != expected) return std::nullopt;
-  return out;
+  if (out.size() != expected) return false;
+  return true;
 }
 
 }  // namespace edgewatch::storage

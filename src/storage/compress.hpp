@@ -30,4 +30,11 @@ inline constexpr std::size_t kMaxDecompressedSize = std::size_t{1} << 26;
 [[nodiscard]] std::optional<std::vector<std::byte>> decompress_block(
     std::span<const std::byte> input);
 
+/// Decompress into a caller-owned buffer, reusing its capacity. `out` is
+/// cleared and filled; on failure it is left cleared and false returned.
+/// This is the scan hot path: one scratch buffer per scan (or per parallel
+/// worker) instead of one allocation per block.
+[[nodiscard]] bool decompress_block_into(std::span<const std::byte> input,
+                                         std::vector<std::byte>& out);
+
 }  // namespace edgewatch::storage

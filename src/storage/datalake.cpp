@@ -356,53 +356,68 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
   return static_cast<std::uint64_t>(out.size());
 }
 
-ScanResult DataLake::scan_day(core::CivilDate day,
-                              const std::function<void(const flow::FlowRecord&)>& fn) const {
-  ScanResult res;
+DayBlockIndex DataLake::load_day_blocks(core::CivilDate day) const {
+  DayBlockIndex idx;
   const auto path = day_path(day);
   if (!std::filesystem::exists(path)) {
-    res.errc = core::Errc::kNotFound;
-    return res;
+    idx.fatal_ = core::Errc::kNotFound;
+    return idx;
   }
-  const auto data = read_file(path);
+  auto data = read_file(path);
   if (!data) {
-    res.errc = core::Errc::kIoError;
-    return res;
+    idx.fatal_ = core::Errc::kIoError;
+    return idx;
   }
   const FileModel m = parse_file(*data);
   if (m.errc != core::Errc::kOk) {
-    res.errc = m.errc;
+    idx.fatal_ = m.errc;
+    return idx;
+  }
+  idx.blocks_.reserve(m.blocks.size());
+  for (const auto& b : m.blocks) {
+    idx.blocks_.push_back({b.offset, b.header_size, b.body_len, b.record_count});
+  }
+  idx.damaged_ranges_ = static_cast<std::uint32_t>(m.bad.size());
+  idx.baseline_ = !m.bad.empty() ? core::Errc::kCorrupt
+                  : (m.version == kVersion2 && !m.ends_sealed) ? core::Errc::kTruncated
+                                                               : core::Errc::kOk;
+  idx.data_ = std::make_shared<const std::vector<std::byte>>(std::move(*data));
+  return idx;
+}
+
+bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratch,
+                            std::uint64_t& records_delivered,
+                            core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+  if (!decompress_block_into(body, scratch.decompressed)) {
+    return false;  // CRC-valid yet undecompressable: writer-level damage
+  }
+  core::ByteReader r{scratch.decompressed};
+  while (true) {
+    const auto record = decode_record(r);
+    if (!record) return record.error() == core::Errc::kEndOfStream;
+    fn(*record);
+    ++records_delivered;
+  }
+}
+
+ScanResult DataLake::scan_day(core::CivilDate day,
+                              const std::function<void(const flow::FlowRecord&)>& fn) const {
+  ScanResult res;
+  const DayBlockIndex idx = load_day_blocks(day);
+  if (idx.fatal() != core::Errc::kOk) {
+    res.errc = idx.fatal();
     return res;
   }
-
-  for (const auto& b : m.blocks) {
-    const auto body = std::span<const std::byte>{*data}.subspan(b.offset + b.header_size,
-                                                                b.body_len);
-    const auto block = decompress_block(body);
-    if (!block) {  // CRC-valid yet undecompressable: writer-level damage
+  ScanScratch scratch;
+  for (const auto& b : idx.blocks()) {
+    if (!decode_block(idx.body(b), scratch, res.records_delivered, fn)) {
       ++res.blocks_skipped;
       res.errc = core::Errc::kCorrupt;
-      continue;
-    }
-    core::ByteReader r{*block};
-    while (true) {
-      const auto record = decode_record(r);
-      if (!record) {
-        if (record.error() != core::Errc::kEndOfStream) {
-          ++res.blocks_skipped;
-          res.errc = core::Errc::kCorrupt;
-        }
-        break;
-      }
-      fn(*record);
-      ++res.records_delivered;
     }
   }
-  res.blocks_skipped += static_cast<std::uint32_t>(m.bad.size());
-  if (!m.bad.empty()) {
-    res.errc = core::Errc::kCorrupt;
-  } else if (res.errc == core::Errc::kOk && m.version == kVersion2 && !m.ends_sealed) {
-    res.errc = core::Errc::kTruncated;
+  res.blocks_skipped += idx.damaged_ranges();
+  if (res.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
+    res.errc = idx.baseline();
   }
   return res;
 }

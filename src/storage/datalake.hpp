@@ -25,11 +25,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/function_ref.hpp"
 #include "core/result.hpp"
 #include "core/time.hpp"
 #include "flow/record.hpp"
@@ -48,6 +50,60 @@ struct ScanResult {
 
   [[nodiscard]] bool ok() const noexcept { return errc == core::Errc::kOk; }
   [[nodiscard]] explicit operator bool() const noexcept { return ok(); }
+
+  /// Fold a partial result (one worker's share of a day's blocks) into
+  /// this one. Corruption dominates; otherwise the first non-kOk status
+  /// sticks — merge partials in block order for a deterministic outcome.
+  void merge(const ScanResult& other) noexcept {
+    records_delivered += other.records_delivered;
+    blocks_skipped += other.blocks_skipped;
+    if (errc == core::Errc::kOk || other.errc == core::Errc::kCorrupt) errc = other.errc;
+  }
+};
+
+/// Scratch buffers reused across block decodes. One per scanning thread:
+/// the decompressor fills the same allocation block after block instead of
+/// paying a fresh allocation each time.
+struct ScanScratch {
+  std::vector<std::byte> decompressed;
+};
+
+/// Random-access view of one day file for parallel scanning: the raw file
+/// bytes (shared, immutable) plus the location of every CRC-valid block.
+/// Each block is independently decodable, so workers can fan out over the
+/// block list — share the index, give each worker its own ScanScratch.
+class DayBlockIndex {
+ public:
+  struct Block {
+    std::size_t offset = 0;       ///< Frame start within the file.
+    std::size_t header_size = 0;  ///< 16 (v2) or 8 (v1).
+    std::uint32_t body_len = 0;
+    std::uint32_t record_count = 0;
+  };
+
+  /// Header-level failure (absent file, I/O error, bad magic/version,
+  /// header-less stub). When set, no blocks are available.
+  [[nodiscard]] core::Errc fatal() const noexcept { return fatal_; }
+  /// Day status before any block is decoded: kOk for a clean sealed file,
+  /// kCorrupt when damaged ranges were skipped during indexing,
+  /// kTruncated for an unsealed v2 tail.
+  [[nodiscard]] core::Errc baseline() const noexcept { return baseline_; }
+  [[nodiscard]] const std::vector<Block>& blocks() const noexcept { return blocks_; }
+  /// Damaged byte ranges stepped over while indexing (counts toward
+  /// ScanResult::blocks_skipped, exactly as in the serial scan).
+  [[nodiscard]] std::uint32_t damaged_ranges() const noexcept { return damaged_ranges_; }
+  /// The compressed body of an indexed block.
+  [[nodiscard]] std::span<const std::byte> body(const Block& b) const noexcept {
+    return std::span<const std::byte>{*data_}.subspan(b.offset + b.header_size, b.body_len);
+  }
+
+ private:
+  friend class DataLake;
+  std::shared_ptr<const std::vector<std::byte>> data_;
+  std::vector<Block> blocks_;
+  std::uint32_t damaged_ranges_ = 0;
+  core::Errc fatal_ = core::Errc::kOk;
+  core::Errc baseline_ = core::Errc::kOk;
 };
 
 /// Health of one day file, as found by fsck() or left behind by repair().
@@ -111,6 +167,19 @@ class DataLake {
   /// a block that failed its checksum is ever delivered.
   ScanResult scan_day(core::CivilDate day,
                       const std::function<void(const flow::FlowRecord&)>& fn) const;
+
+  /// Load the raw bytes and validated block index of one day for
+  /// random-access (parallel) decoding. scan_day is this plus a serial
+  /// walk over the blocks.
+  [[nodiscard]] DayBlockIndex load_day_blocks(core::CivilDate day) const;
+
+  /// Decode every record of one indexed block body into `fn`, reusing
+  /// `scratch` instead of allocating per block. Returns false on
+  /// codec-level damage — records decoded before the damaged byte are
+  /// still delivered, matching scan_day's skip semantics.
+  static bool decode_block(std::span<const std::byte> body, ScanScratch& scratch,
+                           std::uint64_t& records_delivered,
+                           core::FunctionRef<void(const flow::FlowRecord&)> fn);
 
   /// Convenience: materialize a day (recoverable records only).
   [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;

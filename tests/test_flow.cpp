@@ -25,10 +25,14 @@ constexpr IPv4Address kServer{157, 240, 1, 1};
 
 struct Harness {
   std::vector<FlowRecord> records;
+  // Named sink object: FlowTable's ExportSink is a non-owning FunctionRef.
+  struct Sink {
+    Harness* h;
+    void operator()(FlowRecord&& r) const { h->records.push_back(std::move(r)); }
+  } sink{this};
   FlowTable table;
 
-  explicit Harness(FlowTableConfig cfg = {})
-      : table(cfg, [this](FlowRecord&& r) { records.push_back(std::move(r)); }) {}
+  explicit Harness(FlowTableConfig cfg = {}) : table(cfg, sink) {}
 
   void feed(const ew::net::Frame& frame) {
     const auto pkt = ew::net::decode_frame(frame);

@@ -1,0 +1,543 @@
+// The parallel execution engine: ThreadPool and SPSC ring semantics under
+// contention, ShardedProbe's golden determinism guarantee (merged export
+// stream byte-identical for every shard count, and to the serial probe),
+// and the block/day-parallel stage-one analytics reproducing the serial
+// aggregates exactly. Run under TSan via `SANITIZE=tsan scripts/tier1.sh`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "analytics/parallel.hpp"
+#include "core/bytes.hpp"
+#include "core/spsc_queue.hpp"
+#include "core/thread_pool.hpp"
+#include "probe/sharded_probe.hpp"
+#include "storage/codec.hpp"
+#include "storage/compress.hpp"
+#include "storage/datalake.hpp"
+#include "synth/generator.hpp"
+#include "synth/packets.hpp"
+
+namespace ew = edgewatch;
+using ew::core::IPv4Address;
+using ew::core::SpscQueue;
+using ew::core::ThreadPool;
+using ew::core::Timestamp;
+using ew::flow::FlowRecord;
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ExceptionTravelsThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeAndRethrows) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 63) throw std::runtime_error("bad chunk");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    pool.shutdown();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownWakesBlockedSubmitter) {
+  ThreadPool pool(1, /*max_pending=*/1);
+  std::promise<void> gate;
+  std::promise<void> started;
+  pool.submit([&] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  started.get_future().wait();
+  pool.submit([] {});  // fills the bounded queue
+
+  std::atomic<bool> threw{false};
+  std::thread submitter([&] {
+    try {
+      pool.submit([] {});  // blocks on backpressure until shutdown
+    } catch (const std::runtime_error&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread closer([&] { pool.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.set_value();  // let the worker drain so shutdown can finish
+  submitter.join();
+  closer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, BackpressureBoundsQueue) {
+  ThreadPool pool(1, /*max_pending=*/2);
+  std::promise<void> gate;
+  std::promise<void> started;
+  pool.submit([&] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  started.get_future().wait();
+  std::atomic<int> submitted{0};
+  std::thread feeder([&] {
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([] {});
+      submitted.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // With the worker parked, at most max_pending submissions can complete.
+  EXPECT_LE(submitted.load(), 2);
+  EXPECT_LE(pool.pending(), 2u);
+  gate.set_value();
+  feeder.join();
+  EXPECT_EQ(submitted.load(), 16);
+}
+
+// -------------------------------------------------------------- SpscQueue
+
+TEST(SpscQueue, FifoAcrossThreads) {
+  SpscQueue<int> q(8);
+  constexpr int kN = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) q.push(int{i});
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kN);
+}
+
+TEST(SpscQueue, BlockingPushResumesWhenConsumerDrains) {
+  SpscQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // blocks until a slot frees
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(SpscQueue, CloseWakesBlockedConsumer) {
+  SpscQueue<int> q(4);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.pop().has_value());  // blocks, then sees close
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(SpscQueue, CloseDeliversBufferedItemsFirst) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(int{i});
+  q.close();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SpscQueue, StressSumSurvivesTinyCapacity) {
+  SpscQueue<std::uint64_t> q(2);
+  constexpr std::uint64_t kN = 50000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 1; i <= kN; ++i) q.push(std::uint64_t{i});
+    q.close();
+  });
+  std::uint64_t sum = 0;
+  while (auto v = q.pop()) sum += *v;
+  producer.join();
+  EXPECT_EQ(sum, kN * (kN + 1) / 2);
+}
+
+// ----------------------------------------------- ShardedProbe determinism
+
+namespace {
+
+constexpr IPv4Address kResolver{10, 255, 255, 53};
+
+/// A deterministic multi-client day slice: DNS lookups followed by TLS and
+/// HTTP conversations, interleaved across clients by timestamp. Spans well
+/// under the idle timeouts so close reasons are packet-driven (see the
+/// documented shard-clock exception in sharded_probe.hpp).
+std::vector<ew::net::Frame> golden_workload() {
+  struct Site {
+    IPv4Address ip;
+    const char* name;
+  };
+  const Site sites[] = {
+      {{93, 184, 216, 34}, "static.example.com"},
+      {{31, 13, 86, 36}, "edge-star.facebook.com"},
+      {{173, 194, 11, 7}, "r3---sn.googlevideo.com"},
+      {{23, 67, 1, 9}, "fbcdn.akamaihd.net"},
+  };
+  std::vector<ew::net::Frame> frames;
+  for (int c = 0; c < 24; ++c) {
+    const auto b3 = static_cast<std::uint8_t>(10 + c);
+    const IPv4Address client =
+        c % 2 == 0 ? IPv4Address{10, 0, 3, b3} : IPv4Address{10, 200, 1, b3};
+    for (int k = 0; k < 3; ++k) {
+      const auto& site = sites[static_cast<std::size_t>((c + k) % 4)];
+      const std::int64_t start_us = 100'000'000LL + (c * 977 + k * 23081) * 1000LL;
+      const IPv4Address addrs[] = {site.ip};
+      frames.push_back(ew::synth::render_dns_response(client, kResolver, site.name, addrs,
+                                                      Timestamp{start_us - 40'000}));
+      ew::synth::ConversationSpec spec;
+      spec.client = client;
+      spec.server = site.ip;
+      spec.client_port = static_cast<std::uint16_t>(41000 + c * 8 + k);
+      spec.web = k == 1 ? ew::dpi::WebProtocol::kHttp : ew::dpi::WebProtocol::kTls;
+      if (k == 2) {  // SPDY flows: what the classifier-upgrade test toggles
+        spec.alpn = "spdy/3.1";
+        spec.server_alpn = "spdy/3.1";
+      }
+      spec.server_name = site.name;
+      spec.response_bytes = static_cast<std::size_t>(1500 + c * 137 + k * 911);
+      spec.start = Timestamp{start_us};
+      spec.rtt_us = 12'000 + c * 500;
+      spec.teardown = (c + k) % 3 != 0;  // some flows only close at finish()
+      const auto conv = ew::synth::render_conversation(spec);
+      frames.insert(frames.end(), conv.begin(), conv.end());
+    }
+  }
+  std::stable_sort(frames.begin(), frames.end(),
+                   [](const ew::net::Frame& a, const ew::net::Frame& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return frames;
+}
+
+std::vector<std::byte> encode_stream(const std::vector<FlowRecord>& records) {
+  ew::core::ByteWriter w;
+  for (const auto& r : records) ew::storage::encode_record(r, w);
+  return {w.view().begin(), w.view().end()};
+}
+
+/// Serial reference: the single-threaded probe's exports, put into
+/// creation order (the order ShardedProbe::finish defines).
+std::vector<FlowRecord> serial_reference(const std::vector<ew::net::Frame>& frames,
+                                         const ew::probe::ProbeConfig& cfg,
+                                         ew::probe::Probe::Counters* counters = nullptr,
+                                         std::size_t options_flip_at = SIZE_MAX) {
+  std::vector<FlowRecord> records;
+  ew::probe::Probe probe(cfg, [&records](FlowRecord&& r) { records.push_back(std::move(r)); });
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == options_flip_at) {
+      probe.set_classifier_options({.report_spdy = false, .report_fbzero = false});
+    }
+    probe.process(frames[i]);
+  }
+  probe.finish();
+  if (counters != nullptr) *counters = probe.counters();
+  std::stable_sort(records.begin(), records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.ingest_seq < b.ingest_seq;
+                   });
+  return records;
+}
+
+}  // namespace
+
+TEST(ShardedProbe, GoldenStreamIdenticalForEveryShardCount) {
+  const auto frames = golden_workload();
+  const ew::probe::ProbeConfig cfg;
+  ew::probe::Probe::Counters serial_counters;
+  const auto expected = encode_stream(serial_reference(frames, cfg, &serial_counters));
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    ew::probe::ShardedProbeConfig scfg;
+    scfg.probe = cfg;
+    scfg.shards = shards;
+    scfg.queue_capacity = 64;
+    ew::probe::ShardedProbe sp(scfg);
+    for (const auto& f : frames) sp.ingest(f);  // copies keep `frames` reusable
+    const auto merged = sp.finish();
+    EXPECT_EQ(encode_stream(merged), expected) << "shards=" << shards;
+
+    const auto c = sp.counters();
+    EXPECT_EQ(c.frames, serial_counters.frames) << "shards=" << shards;
+    EXPECT_EQ(c.dns_responses, serial_counters.dns_responses) << "shards=" << shards;
+    EXPECT_EQ(c.records_exported, serial_counters.records_exported) << "shards=" << shards;
+    EXPECT_EQ(c.records_named_by_dns, serial_counters.records_named_by_dns)
+        << "shards=" << shards;
+    EXPECT_EQ(c.decode_failures, serial_counters.decode_failures) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedProbe, FeederSamplingMatchesSerialProbe) {
+  const auto frames = golden_workload();
+  ew::probe::ProbeConfig cfg;
+  cfg.sample_rate = 3;
+  ew::probe::Probe::Counters serial_counters;
+  const auto expected = encode_stream(serial_reference(frames, cfg, &serial_counters));
+
+  ew::probe::ShardedProbeConfig scfg;
+  scfg.probe = cfg;
+  scfg.shards = 4;
+  ew::probe::ShardedProbe sp(scfg);
+  for (const auto& f : frames) sp.ingest(f);
+  EXPECT_EQ(encode_stream(sp.finish()), expected);
+  const auto c = sp.counters();
+  EXPECT_EQ(c.frames, serial_counters.frames);
+  EXPECT_EQ(c.sampled_out, serial_counters.sampled_out);
+  EXPECT_EQ(c.records_exported, serial_counters.records_exported);
+}
+
+TEST(ShardedProbe, ClassifierUpgradeAppliesAtSameStreamPosition) {
+  const auto frames = golden_workload();
+  const std::size_t flip_at = frames.size() / 2;
+  const ew::probe::ProbeConfig cfg;
+  const auto expected =
+      encode_stream(serial_reference(frames, cfg, nullptr, flip_at));
+
+  ew::probe::ShardedProbeConfig scfg;
+  scfg.probe = cfg;
+  scfg.shards = 4;
+  ew::probe::ShardedProbe sp(scfg);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == flip_at) {
+      sp.set_classifier_options({.report_spdy = false, .report_fbzero = false});
+    }
+    sp.ingest(frames[i]);
+  }
+  EXPECT_EQ(encode_stream(sp.finish()), expected);
+}
+
+TEST(ShardedProbe, OutageWindowMatchesSerialProbe) {
+  const auto frames = golden_workload();
+  const std::size_t off_at = frames.size() / 3;
+  const std::size_t on_at = frames.size() / 2;
+  const ew::probe::ProbeConfig cfg;
+
+  std::vector<FlowRecord> serial_records;
+  ew::probe::Probe probe(cfg,
+                         [&serial_records](FlowRecord&& r) { serial_records.push_back(std::move(r)); });
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == off_at) probe.begin_outage();
+    if (i == on_at) probe.end_outage();
+    probe.process(frames[i]);
+  }
+  probe.finish();
+  std::stable_sort(serial_records.begin(), serial_records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.ingest_seq < b.ingest_seq;
+                   });
+
+  ew::probe::ShardedProbeConfig scfg;
+  scfg.probe = cfg;
+  scfg.shards = 4;
+  ew::probe::ShardedProbe sp(scfg);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i == off_at) sp.begin_outage();
+    if (i == on_at) sp.end_outage();
+    sp.ingest(frames[i]);
+  }
+  EXPECT_EQ(encode_stream(sp.finish()), encode_stream(serial_records));
+  EXPECT_EQ(sp.counters().dropped_offline, probe.counters().dropped_offline);
+}
+
+// ------------------------------------------------- parallel stage-one
+
+namespace {
+
+struct TempLakeDir {
+  std::filesystem::path path;
+  TempLakeDir() {
+    path = std::filesystem::path(::testing::TempDir()) /
+           ("ew_parallel_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+  }
+  ~TempLakeDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+void expect_aggregates_equal(const ew::analytics::DayAggregate& a,
+                             const ew::analytics::DayAggregate& b) {
+  EXPECT_EQ(a.date.to_string(), b.date.to_string());
+  EXPECT_EQ(a.web_bytes, b.web_bytes);
+  EXPECT_EQ(a.downlink_bins, b.downlink_bins);
+  for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+    EXPECT_EQ(a.rtt_min_ms[s], b.rtt_min_ms[s]) << "service " << s;  // exact order
+    EXPECT_EQ(a.health[s].packets, b.health[s].packets);
+    EXPECT_EQ(a.health[s].retransmits, b.health[s].retransmits);
+    EXPECT_EQ(a.health[s].out_of_order, b.health[s].out_of_order);
+  }
+  ASSERT_EQ(a.subscribers.size(), b.subscribers.size());
+  for (const auto& [ip, sub] : a.subscribers) {
+    const auto it = b.subscribers.find(ip);
+    ASSERT_NE(it, b.subscribers.end());
+    EXPECT_EQ(sub.access, it->second.access);
+    EXPECT_EQ(sub.flows, it->second.flows);
+    EXPECT_EQ(sub.bytes_up, it->second.bytes_up);
+    EXPECT_EQ(sub.bytes_down, it->second.bytes_down);
+    for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+      EXPECT_EQ(sub.per_service[s].flows, it->second.per_service[s].flows);
+      EXPECT_EQ(sub.per_service[s].bytes_up, it->second.per_service[s].bytes_up);
+      EXPECT_EQ(sub.per_service[s].bytes_down, it->second.per_service[s].bytes_down);
+    }
+  }
+  ASSERT_EQ(a.server_ips.size(), b.server_ips.size());
+  for (const auto& [ip, stats] : a.server_ips) {
+    const auto it = b.server_ips.find(ip);
+    ASSERT_NE(it, b.server_ips.end());
+    EXPECT_EQ(stats.service_mask, it->second.service_mask);
+    EXPECT_EQ(stats.bytes, it->second.bytes);
+  }
+  EXPECT_EQ(a.domain_bytes, b.domain_bytes);
+  EXPECT_EQ(a.unclassified_domain_bytes, b.unclassified_domain_bytes);
+}
+
+}  // namespace
+
+TEST(ParallelAnalytics, BlockFanOutReproducesSerialAggregate) {
+  TempLakeDir dir;
+  ew::storage::DataLake lake(dir.path);
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7, 0.2)};
+  const ew::core::CivilDate day{2015, 6, 10};
+  // Two appends → several blocks, so the fan-out actually splits work.
+  ASSERT_TRUE(lake.append(day, gen.day_records(day)));
+  ASSERT_TRUE(lake.append(day, gen.day_records({2015, 6, 11})));
+
+  const auto serial = ew::analytics::aggregate_day(lake, day);
+  ASSERT_TRUE(serial.scan.ok());
+  ASSERT_GT(serial.scan.records_delivered, 0u);
+  ASSERT_GT(lake.load_day_blocks(day).blocks().size(), 1u);
+
+  ThreadPool pool(4);
+  const auto parallel = ew::analytics::aggregate_day_parallel(lake, day, pool);
+  EXPECT_EQ(parallel.scan.records_delivered, serial.scan.records_delivered);
+  EXPECT_EQ(parallel.scan.blocks_skipped, serial.scan.blocks_skipped);
+  EXPECT_EQ(parallel.scan.errc, serial.scan.errc);
+  expect_aggregates_equal(parallel.aggregate, serial.aggregate);
+}
+
+TEST(ParallelAnalytics, DayFanOutReproducesSerialAggregates) {
+  TempLakeDir dir;
+  ew::storage::DataLake lake(dir.path);
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7, 0.1)};
+  const std::vector<ew::core::CivilDate> days = {
+      {2014, 3, 3}, {2015, 6, 10}, {2016, 9, 20}, {2017, 1, 5}};
+  for (const auto day : days) ASSERT_TRUE(lake.append(day, gen.day_records(day)));
+
+  ThreadPool pool(4);
+  const auto results = ew::analytics::aggregate_days_parallel(lake, days, pool);
+  ASSERT_EQ(results.size(), days.size());
+  for (std::size_t i = 0; i < days.size(); ++i) {
+    const auto serial = ew::analytics::aggregate_day(lake, days[i]);
+    EXPECT_EQ(results[i].scan.records_delivered, serial.scan.records_delivered);
+    EXPECT_EQ(results[i].scan.errc, serial.scan.errc);
+    expect_aggregates_equal(results[i].aggregate, serial.aggregate);
+  }
+}
+
+TEST(ParallelAnalytics, DamagedDayReportsSameStatusAsSerialScan) {
+  TempLakeDir dir;
+  ew::storage::DataLake lake(dir.path);
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7, 0.2)};
+  const ew::core::CivilDate day{2015, 6, 10};
+  ASSERT_TRUE(lake.append(day, gen.day_records(day)));
+  ASSERT_TRUE(lake.append(day, gen.day_records({2015, 6, 12})));
+
+  // Flip bytes mid-file: CRC framing quarantines the damaged block(s).
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(path) / 2));
+    const char junk[32] = {};
+    f.write(junk, sizeof junk);
+  }
+
+  const auto serial = ew::analytics::aggregate_day(lake, day);
+  EXPECT_EQ(serial.scan.errc, ew::core::Errc::kCorrupt);
+  EXPECT_GT(serial.scan.blocks_skipped, 0u);
+
+  ThreadPool pool(4);
+  const auto parallel = ew::analytics::aggregate_day_parallel(lake, day, pool);
+  EXPECT_EQ(parallel.scan.records_delivered, serial.scan.records_delivered);
+  EXPECT_EQ(parallel.scan.blocks_skipped, serial.scan.blocks_skipped);
+  EXPECT_EQ(parallel.scan.errc, serial.scan.errc);
+  expect_aggregates_equal(parallel.aggregate, serial.aggregate);
+
+  const auto missing = ew::analytics::aggregate_day_parallel(lake, {2019, 1, 1}, pool);
+  EXPECT_EQ(missing.scan.errc, ew::core::Errc::kNotFound);
+  EXPECT_TRUE(missing.aggregate.subscribers.empty());
+}
+
+TEST(ParallelScan, DecompressIntoReusesScratchBuffer) {
+  std::vector<std::byte> input;
+  for (int i = 0; i < 10000; ++i) {
+    input.push_back(static_cast<std::byte>(i % 7));  // compressible
+  }
+  const auto compressed = ew::storage::compress_block(input);
+  ew::storage::ScanScratch scratch;
+  ASSERT_TRUE(ew::storage::decompress_block_into(compressed, scratch.decompressed));
+  EXPECT_EQ(scratch.decompressed, input);
+  const auto* before = scratch.decompressed.data();
+  ASSERT_TRUE(ew::storage::decompress_block_into(compressed, scratch.decompressed));
+  EXPECT_EQ(scratch.decompressed, input);
+  EXPECT_EQ(scratch.decompressed.data(), before);  // capacity reused, no realloc
+
+  ASSERT_FALSE(
+      ew::storage::decompress_block_into(std::span<const std::byte>{}, scratch.decompressed));
+  EXPECT_TRUE(scratch.decompressed.empty());  // failure leaves it cleared
+}
