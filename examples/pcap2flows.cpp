@@ -2,13 +2,16 @@
 // Tstat-style flow records as CSV — the offline batch mode of the paper's
 // measurement pipeline, usable on any Ethernet/IPv4 capture.
 //
-//   ./build/examples/pcap2flows <trace.pcap> [out.csv]
+//   ./build/examples/pcap2flows [trace.pcap] [--out out.csv]
 //
-// With no arguments, a demonstration capture is synthesized, written to a
+// With no capture, a demonstration trace is synthesized, written to a
 // temporary pcap (openable with any standard tool), and then processed.
+// Output defaults to build/flows.csv so runs never litter the source tree.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
+#include <system_error>
 
 #include "net/pcap.hpp"
 #include "probe/probe.hpp"
@@ -68,15 +71,34 @@ fs::path make_demo_capture() {
 
 int main(int argc, char** argv) {
   fs::path input;
+  fs::path output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: pcap2flows [trace.pcap] [--out out.csv]\n");
+      return 0;
+    } else {
+      input = argv[i];
+    }
+  }
   bool demo = false;
-  if (argc > 1) {
-    input = argv[1];
-  } else {
+  if (input.empty()) {
     input = make_demo_capture();
     demo = true;
     std::printf("no capture given; synthesized a demo trace at %s\n", input.c_str());
   }
-  const fs::path output = argc > 2 ? argv[2] : fs::path{"flows.csv"};
+  if (output.empty()) {
+    // Keep generated CSVs out of the source tree: land next to the build
+    // artifacts when a build/ directory is around, else in the temp dir.
+    const fs::path build_dir{"build"};
+    output = (fs::is_directory(build_dir) ? build_dir : fs::temp_directory_path()) / "flows.csv";
+  }
+  if (output.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(output.parent_path(), ec);
+  }
 
   std::ofstream csv(output);
   if (!csv) {

@@ -1,23 +1,56 @@
 #!/usr/bin/env bash
-# Build and run the parallel-engine scaling bench, leaving BENCH_pipeline.json
-# in the repo root. Usage:
+# Build and run the machine-readable benches, merging their results into
+# BENCH_pipeline.json in the repo root. Usage:
 #
 #   scripts/bench.sh [conversations] [repeats]
 #
-# Defaults: 600 conversations, 3 repeats (best-of). The JSON records
-# hardware_concurrency next to the speedup curve — on a 1-core box the
-# curve is honestly flat.
+# Defaults: 600 conversations, 3 repeats (best-of). Each bench binary
+# writes its own JSON fragment under build/bench_fragments/; this script
+# then merges fragments into BENCH_pipeline.json as {"benches": [...]},
+# replacing only the entries it re-ran and keeping the rest — so running a
+# subset never clobbers earlier results. A legacy single-object
+# BENCH_pipeline.json is migrated into the merged form on first run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CONVERSATIONS="${1:-600}"
 REPEATS="${2:-3}"
+OUT=BENCH_pipeline.json
+FRAGMENTS=build/bench_fragments
 
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_query_latency -j "$(nproc)"
 
-./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" BENCH_pipeline.json
+mkdir -p "$FRAGMENTS"
+./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
+  "$FRAGMENTS/parallel_scaling.json"
+./build/bench/bench_query_latency 25 "$REPEATS" "$FRAGMENTS/query_latency.json"
+
+# Merge: flatten every input (previous merged file, legacy single-bench
+# object, or fresh fragment) into one list, keeping the *last* entry per
+# bench name — fragments come after $OUT, so re-run benches win.
+inputs=()
+[ -f "$OUT" ] && inputs+=("$OUT")
+inputs+=("$FRAGMENTS"/*.json)
+if command -v jq >/dev/null 2>&1; then
+  jq -s '[.[] | if type == "object" and has("benches") then .benches[] else . end]
+         | group_by(.bench) | map(last) | {benches: .}' "${inputs[@]}" > "$OUT.tmp"
+  mv "$OUT.tmp" "$OUT"
+else
+  # Without jq, keep only this run's fragments (still merged, not clobbered
+  # per bench) so the file stays valid JSON.
+  {
+    echo '{"benches": ['
+    first=1
+    for f in "$FRAGMENTS"/*.json; do
+      [ "$first" = 1 ] || echo ','
+      first=0
+      cat "$f"
+    done
+    echo ']}'
+  } > "$OUT"
+fi
 echo
-echo "results: $(pwd)/BENCH_pipeline.json"
+echo "results: $(pwd)/$OUT"

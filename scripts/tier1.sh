@@ -2,7 +2,8 @@
 # Tier-1 gate: configure, build, and run the full test suite.
 #
 #   scripts/tier1.sh                 # RelWithDebInfo (the default preset)
-#   SANITIZE=1 scripts/tier1.sh      # second configuration: Debug + ASan/UBSan
+#   SANITIZE=asan scripts/tier1.sh   # second configuration: Debug + ASan/UBSan
+#                                    # (SANITIZE=1 is an accepted synonym)
 #   SANITIZE=tsan scripts/tier1.sh   # third: ThreadSanitizer over the
 #                                    # concurrency suites (ThreadPool, SPSC
 #                                    # ring, ShardedProbe, parallel analytics)
@@ -19,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 ctest_extra=()
 case "${SANITIZE:-0}" in
-  1) preset=asan-ubsan ;;
+  1 | asan) preset=asan-ubsan ;;
   tsan)
     preset=tsan
     ctest_extra=(-R 'Parallel|ShardedProbe|ThreadPool|SpscQueue')

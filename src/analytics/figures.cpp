@@ -23,14 +23,13 @@ std::map<core::MonthIndex, std::vector<std::size_t>> by_month(
   return groups;
 }
 
-/// Does this subscriber-day count as "using" the service (§4.1)?
+}  // namespace
+
 bool uses_service(const SubscriberDay& sub, const services::ServiceCatalog& catalog,
-                  services::ServiceId id) {
+                  services::ServiceId id) noexcept {
   const auto threshold = catalog.info(id).activity_threshold_bytes;
   return sub.service(id).total() >= std::max<std::uint64_t>(threshold, 1);
 }
-
-}  // namespace
 
 DailyVolumeDistributions daily_volume_distributions(std::span<const DayAggregate> days,
                                                     const ActivityCriteria& criteria) {

@@ -16,6 +16,14 @@ namespace edgewatch::analytics {
 
 inline constexpr std::size_t kAccessTechCount = 2;  // ADSL, FTTH
 
+/// Does this subscriber-day count as "using" the service (the §4.1
+/// per-service activity threshold)? Shared by every figure below and by the
+/// query:: rollup builder, so rollup-backed popularity answers apply the
+/// exact same definition as the full-scan path.
+[[nodiscard]] bool uses_service(const SubscriberDay& sub,
+                                const services::ServiceCatalog& catalog,
+                                services::ServiceId id) noexcept;
+
 /// Fig. 2 — CCDF of per-active-subscriber daily traffic, by access
 /// technology and direction.
 struct DailyVolumeDistributions {

@@ -1,0 +1,178 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <utility>
+
+namespace edgewatch::query {
+
+namespace {
+
+bool per_tech(Metric m) noexcept {
+  return m == Metric::kVolumeQuantile || m == Metric::kActiveSubscribers;
+}
+
+core::CivilDate bucket_start(core::CivilDate day, TimeBucket bucket,
+                             core::CivilDate range_from) noexcept {
+  switch (bucket) {
+    case TimeBucket::kTotal:
+      return range_from;
+    case TimeBucket::kDay:
+      return day;
+    case TimeBucket::kWeek: {
+      const std::int64_t z = core::days_from_civil(day);
+      return core::civil_from_days(z - (core::weekday_from_days(z) - 1));
+    }
+    case TimeBucket::kMonth:
+      return core::MonthIndex{day}.first_day();
+  }
+  return day;
+}
+
+/// One bucket's merge + row extraction (the per-task body).
+struct BucketOutcome {
+  std::vector<QueryRow> rows;
+  std::size_t days_merged = 0;
+  std::vector<core::CivilDate> missing;
+  core::Errc errc = core::Errc::kOk;
+};
+
+BucketOutcome merge_bucket(const RollupStore& store, const QuerySpec& spec, Dimension dim,
+                           std::uint32_t columns, core::CivilDate start,
+                           const std::vector<core::CivilDate>& days) {
+  BucketOutcome out;
+  DayRollup merged;
+  bool any = false;
+  for (const core::CivilDate day : days) {
+    auto rollup = store.load(day, dim, columns);
+    if (!rollup) {
+      if (rollup.error() == core::Errc::kNotFound) {
+        out.missing.push_back(day);
+      } else if (out.errc == core::Errc::kOk) {
+        out.errc = rollup.error();
+      }
+      continue;
+    }
+    ++out.days_merged;
+    if (!any) {
+      merged = std::move(*rollup);
+      any = true;
+    } else {
+      merged.merge(*rollup);
+    }
+  }
+  if (!any) return out;
+
+  const auto emit = [&](std::uint32_t key, double value, double bound) {
+    out.rows.push_back(QueryRow{start, key, value, bound});
+  };
+  if (per_tech(spec.metric)) {
+    for (std::uint32_t t = 0; t < merged.subscribers.size(); ++t) {
+      if (spec.group && *spec.group != t) continue;
+      const TechRollup& tech = merged.subscribers[t];
+      if (spec.metric == Metric::kActiveSubscribers) {
+        emit(t, static_cast<double>(tech.active), 0);
+      } else {
+        const core::QuantileSketch& sketch = spec.download ? tech.down_bytes : tech.up_bytes;
+        if (!sketch.empty()) emit(t, sketch.quantile(spec.quantile), sketch.relative_accuracy());
+      }
+    }
+  } else {
+    for (const auto& [key, group] : merged.groups) {
+      if (spec.group && *spec.group != key) continue;
+      switch (spec.metric) {
+        case Metric::kBytes:
+          emit(key, static_cast<double>(group.bytes_total()), 0);
+          break;
+        case Metric::kFlows:
+          emit(key, static_cast<double>(group.flows), 0);
+          break;
+        case Metric::kDistinctClients:
+          if (!group.clients.empty()) {
+            emit(key, group.clients.estimate(), group.clients.error_bound());
+          }
+          break;
+        case Metric::kDistinctServers:
+          if (!group.servers.empty()) {
+            emit(key, group.servers.estimate(), group.servers.error_bound());
+          }
+          break;
+        case Metric::kRttQuantile:
+          if (!group.rtt_ms.empty()) {
+            emit(key, group.rtt_ms.quantile(spec.quantile), group.rtt_ms.relative_accuracy());
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::stable_sort(out.rows.begin(), out.rows.end(),
+                   [](const QueryRow& a, const QueryRow& b) { return a.value > b.value; });
+  if (spec.top_k != 0 && out.rows.size() > spec.top_k) out.rows.resize(spec.top_k);
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t columns_for(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kBytes:
+    case Metric::kFlows:
+      return kColCounters;
+    case Metric::kDistinctClients:
+      return kColClients;
+    case Metric::kDistinctServers:
+      return kColServers;
+    case Metric::kRttQuantile:
+      return kColRtt;
+    case Metric::kVolumeQuantile:
+    case Metric::kActiveSubscribers:
+      return kColSubscribers;
+  }
+  return kAllColumns;
+}
+
+QueryResult run_query(const RollupStore& store, const QuerySpec& spec, core::ThreadPool* pool) {
+  QueryResult result;
+  result.columns_loaded = columns_for(spec.metric);
+  // The subscriber section only exists in service-dimension rollups.
+  const Dimension dim = per_tech(spec.metric) ? Dimension::kService : spec.dimension;
+  if (spec.to < spec.from) return result;
+
+  // Bucket the calendar range. Days the store has no rollup for surface in
+  // missing_days — the engine never silently narrows a question's range.
+  std::map<core::CivilDate, std::vector<core::CivilDate>> buckets;
+  for (std::int64_t z = core::days_from_civil(spec.from); z <= core::days_from_civil(spec.to);
+       ++z) {
+    const core::CivilDate day = core::civil_from_days(z);
+    buckets[bucket_start(day, spec.bucket, spec.from)].push_back(day);
+  }
+
+  std::vector<BucketOutcome> outcomes(buckets.size());
+  std::vector<std::pair<core::CivilDate, const std::vector<core::CivilDate>*>> order;
+  order.reserve(buckets.size());
+  for (const auto& [start, days] : buckets) order.emplace_back(start, &days);
+
+  const auto run_one = [&](std::size_t i) {
+    outcomes[i] =
+        merge_bucket(store, spec, dim, result.columns_loaded, order[i].first, *order[i].second);
+  };
+  if (pool != nullptr && order.size() > 1) {
+    pool->parallel_for(0, order.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i) run_one(i);
+  }
+
+  for (auto& out : outcomes) {
+    result.rows.insert(result.rows.end(), out.rows.begin(), out.rows.end());
+    result.missing_days.insert(result.missing_days.end(), out.missing.begin(),
+                               out.missing.end());
+    result.days_merged += out.days_merged;
+    if (result.errc == core::Errc::kOk && out.errc != core::Errc::kOk) result.errc = out.errc;
+  }
+  return result;
+}
+
+}  // namespace edgewatch::query

@@ -1,0 +1,58 @@
+// Rollup-backed figure queries: the paper questions the issue names,
+// answered from `.ewr` files alone. Two kinds:
+//
+//  - exact reproductions that return the *same row types* as the full-scan
+//    analytics (protocol_shares, volume_trend) — golden tests assert
+//    equality with analytics::protocol_shares / analytics::volume_trend,
+//    because every input to those formulas is carried exactly in the
+//    rollups (byte counters, active counts, byte sums);
+//
+//  - sketch-backed answers (weekly RTT quantiles, top-k services by
+//    distinct subscribers) whose rows carry the documented error bound the
+//    golden tests hold against exact full-scan recomputation.
+#pragma once
+
+#include <vector>
+
+#include "analytics/figures.hpp"
+#include "core/thread_pool.hpp"
+#include "core/time.hpp"
+#include "query/engine.hpp"
+#include "query/store.hpp"
+#include "services/catalog.hpp"
+
+namespace edgewatch::query {
+
+/// "Weekly median (or any quantile) RTT per service" — one row per ISO
+/// week in [from, to], value in milliseconds, error_bound = the sketch's
+/// relative value accuracy.
+[[nodiscard]] std::vector<QueryRow> weekly_rtt_quantile(const RollupStore& store,
+                                                        services::ServiceId service,
+                                                        core::CivilDate from, core::CivilDate to,
+                                                        double q = 0.5,
+                                                        core::ThreadPool* pool = nullptr);
+
+/// "Top-k services by distinct subscribers per month" (§4.1 activity
+/// thresholds applied, exactly as the full-scan popularity figures do).
+/// Rows are value-descending; key = ServiceId; error_bound = the HLL
+/// contract bound.
+[[nodiscard]] std::vector<QueryRow> top_services_by_subscribers(const RollupStore& store,
+                                                                core::MonthIndex month,
+                                                                std::size_t k,
+                                                                core::ThreadPool* pool = nullptr);
+
+/// Fig. 8 from rollups: monthly web-protocol byte shares. Bit-identical to
+/// analytics::protocol_shares over the same days (the counters are exact).
+[[nodiscard]] std::vector<analytics::ProtocolShareRow> protocol_shares(
+    const RollupStore& store, core::CivilDate from, core::CivilDate to,
+    core::ThreadPool* pool = nullptr);
+
+/// Fig. 3 from rollups: monthly per-subscription volume averages. Matches
+/// analytics::volume_trend over the same days to floating-point summation
+/// order (TechRollup carries the byte sums as exact integers; the full
+/// scan accumulates doubles subscriber by subscriber).
+[[nodiscard]] std::vector<analytics::VolumeTrendRow> volume_trend(
+    const RollupStore& store, core::CivilDate from, core::CivilDate to,
+    core::ThreadPool* pool = nullptr);
+
+}  // namespace edgewatch::query

@@ -1,0 +1,107 @@
+// Persistent rollup store: one compact columnar `.ewr` file per day per
+// dimension under a rollup directory, built incrementally from the data
+// lake. build() is idempotent and cheap to re-run: a day/dimension is
+// rebuilt only when the lake day file's FileIdentity (size + mtime +
+// trailing-seal sequence — the same identity fsck reports) differs from the
+// identity recorded inside the existing rollup header, so a nightly build
+// touches exactly the days that changed.
+//
+// Durability reuses the lake's idioms: rollups are written to a temp file,
+// fsynced, then renamed into place, and every section carries a CRC — a
+// torn or damaged rollup is detected at load and simply counts as stale.
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "asn/lpm.hpp"
+#include "core/result.hpp"
+#include "core/thread_pool.hpp"
+#include "core/time.hpp"
+#include "query/rollup.hpp"
+#include "services/catalog.hpp"
+#include "storage/datalake.hpp"
+
+namespace edgewatch::query {
+
+struct BuildOptions {
+  SketchParams sketch;
+  analytics::ActivityCriteria criteria;
+  bool force = false;  ///< Rebuild even when the rollup looks fresh.
+};
+
+/// What one build() pass did. `built`/`reused`/`failed` count
+/// day-by-dimension rollup files.
+struct BuildReport {
+  std::size_t built = 0;
+  std::size_t reused = 0;
+  std::size_t failed = 0;
+  std::vector<std::pair<core::CivilDate, core::Errc>> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return failed == 0; }
+
+  void merge(const BuildReport& other) {
+    built += other.built;
+    reused += other.reused;
+    failed += other.failed;
+    errors.insert(errors.end(), other.errors.begin(), other.errors.end());
+  }
+};
+
+class RollupStore {
+ public:
+  /// `dir` is created on demand. `rib` feeds the server-ASN dimension
+  /// (optional: without it every server groups under ASN 0). The store
+  /// keeps references — lake, catalog and rib must outlive it.
+  RollupStore(std::filesystem::path dir, const storage::DataLake& lake,
+              const services::ServiceCatalog& catalog = services::ServiceCatalog::standard(),
+              const asn::Rib* rib = nullptr);
+
+  /// `rollup_YYYY-MM-DD.<dimension>.ewr`
+  [[nodiscard]] static std::string rollup_filename(core::CivilDate day, Dimension dim);
+  [[nodiscard]] std::filesystem::path rollup_path(core::CivilDate day, Dimension dim) const;
+
+  /// True when an intact rollup exists whose recorded source identity still
+  /// matches the lake day file. Missing, torn or corrupt rollups are stale.
+  [[nodiscard]] bool fresh(core::CivilDate day, Dimension dim) const;
+
+  /// Bring every lake day's rollups (all dimensions) up to date, one pool
+  /// task per day: each stale day is aggregated once and all its stale
+  /// dimensions are encoded from that single aggregate. Must not be called
+  /// from inside a pool task.
+  BuildReport build(core::ThreadPool& pool, const BuildOptions& options = {});
+  /// As above for an explicit day list.
+  BuildReport build(std::span<const core::CivilDate> days, core::ThreadPool& pool,
+                    const BuildOptions& options = {});
+
+  /// Load one rollup, materializing only the requested columns (the file is
+  /// memory-mapped; unrequested sketch sections are never touched).
+  /// kNotFound when absent, kTruncated/kCorrupt per decode_rollup.
+  [[nodiscard]] core::Result<DayRollup> load(core::CivilDate day, Dimension dim,
+                                             std::uint32_t columns = kAllColumns) const;
+
+  /// Days with a rollup present for `dim`, sorted.
+  [[nodiscard]] std::vector<core::CivilDate> days(Dimension dim) const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+  [[nodiscard]] const storage::DataLake& lake() const noexcept { return lake_; }
+
+ private:
+  struct DayOutcome {
+    std::size_t built = 0;
+    std::size_t reused = 0;
+    std::size_t failed = 0;
+    core::Errc errc = core::Errc::kOk;
+  };
+  [[nodiscard]] DayOutcome build_day(core::CivilDate day, const BuildOptions& options) const;
+
+  std::filesystem::path dir_;
+  const storage::DataLake& lake_;
+  const services::ServiceCatalog& catalog_;
+  const asn::Rib* rib_;
+};
+
+}  // namespace edgewatch::query

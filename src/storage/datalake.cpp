@@ -1,6 +1,8 @@
 #include "storage/datalake.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 
@@ -274,6 +276,38 @@ DayHealth assess(const FileModel& m, core::CivilDate day) {
 
 }  // namespace
 
+FileIdentity file_identity(const std::filesystem::path& path) {
+  FileIdentity id;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return id;
+  id.size = size;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (!ec) {
+    id.mtime_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      mtime.time_since_epoch())
+                      .count();
+  }
+  // A clean v2 file ends in a seal; its cumulative block count is the
+  // logical "version" of the day's contents (appends bump it, byte-level
+  // damage invalidates its CRC). Read just the trailing kSealSize bytes.
+  if (size >= kHeaderSize + kSealSize) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::array<std::byte, kSealSize> tail{};
+      in.seekg(static_cast<std::streamoff>(size - kSealSize));
+      if (in.read(reinterpret_cast<char*>(tail.data()), kSealSize)) {
+        const std::span<const std::byte> t{tail};
+        if (rd32(t, 0) == kSealSentinel && rd32(t, 4) == kSealMagic &&
+            core::crc32c(t.subspan(0, 20)) == rd32(t, 20)) {
+          id.seal_seq = rd32(t, 16);
+        }
+      }
+    }
+  }
+  return id;
+}
+
 DataLake::DataLake(std::filesystem::path root)
     : root_(std::move(root)), file_factory_(make_posix_file) {
   std::filesystem::create_directories(root_);
@@ -449,7 +483,9 @@ DayHealth DataLake::fsck_day(core::CivilDate day) const {
     h.errc = core::Errc::kIoError;
     return h;
   }
-  return assess(parse_file(*data), day);
+  DayHealth h = assess(parse_file(*data), day);
+  h.identity = file_identity(path);
+  return h;
 }
 
 LakeHealthReport DataLake::fsck() const {
@@ -591,6 +627,10 @@ std::uint64_t DataLake::file_bytes(core::CivilDate day) const {
   std::error_code ec;
   const auto size = std::filesystem::file_size(day_path(day), ec);
   return ec ? 0 : size;
+}
+
+FileIdentity DataLake::day_identity(core::CivilDate day) const {
+  return file_identity(day_path(day));
 }
 
 ScanResult DataLake::export_csv(core::CivilDate day, const std::filesystem::path& out) const {

@@ -106,9 +106,30 @@ class DayBlockIndex {
   core::Errc baseline_ = core::Errc::kOk;
 };
 
+/// Cheap identity of one on-disk day file: stat facts plus the cumulative
+/// block count of the trailing seal (v2's durability receipt). Two reads of
+/// the same path compare equal iff the file was not rewritten in between —
+/// the staleness test shared by fsck reporting and the rollup store
+/// (query::RollupStore rebuilds a day's rollups only when the lake file's
+/// identity changed since the rollup was built).
+struct FileIdentity {
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;    ///< last_write_time, ns since filesystem epoch.
+  std::uint32_t seal_seq = 0;   ///< cumulative_blocks of a trailing v2 seal; 0 otherwise.
+
+  [[nodiscard]] bool exists() const noexcept { return size != 0 || mtime_ns != 0; }
+  bool operator==(const FileIdentity&) const noexcept = default;
+};
+
+/// The one place that stats a lake-format file for identity purposes
+/// (size + mtime + trailing-seal sequence). Missing/unreadable files yield
+/// a default identity (exists() == false).
+[[nodiscard]] FileIdentity file_identity(const std::filesystem::path& path);
+
 /// Health of one day file, as found by fsck() or left behind by repair().
 struct DayHealth {
   core::CivilDate day{};
+  FileIdentity identity{};  ///< As stat'ed by the same helper the rollup store uses.
   std::uint8_t version = 0;
   bool sealed = false;       ///< v2: last valid element is a seal.
   bool torn_tail = false;    ///< Unparseable bytes at (or to) the end.
@@ -206,6 +227,8 @@ class DataLake {
 
   [[nodiscard]] bool has_day(core::CivilDate day) const;
   [[nodiscard]] std::uint64_t file_bytes(core::CivilDate day) const;
+  /// Identity of the day's file (see file_identity); default when absent.
+  [[nodiscard]] FileIdentity day_identity(core::CivilDate day) const;
   [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
 
   /// Export one day as CSV (interop path). records_delivered == rows.
