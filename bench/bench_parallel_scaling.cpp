@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
       ew::probe::Probe probe{{}, [&records](ew::flow::FlowRecord&& rec) {
                                records.push_back(std::move(rec));
                              }};
-      for (const auto& f : frames) probe.process(f);
+      probe.process(std::span<const ew::net::Frame>(frames));
       probe.finish();
       best = std::min(best, seconds_since(t0));
     }

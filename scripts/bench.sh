@@ -4,7 +4,9 @@
 #
 #   scripts/bench.sh [conversations] [repeats]
 #
-# Defaults: 600 conversations, 3 repeats (best-of). Each bench binary
+# Defaults: 40000 conversations (≈1M frames — the serial probe pass runs
+# ≥200 ms, so sharded-speedup numbers measure work, not dispatch noise) and
+# 3 repeats (best-of). Each bench binary
 # writes its own JSON fragment under build/bench_fragments/; this script
 # then merges fragments into BENCH_pipeline.json as {"benches": [...]},
 # replacing only the entries it re-ran and keeping the rest — so running a
@@ -13,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CONVERSATIONS="${1:-600}"
+CONVERSATIONS="${1:-40000}"
 REPEATS="${2:-3}"
 OUT=BENCH_pipeline.json
 FRAGMENTS=build/bench_fragments
@@ -21,11 +23,13 @@ FRAGMENTS=build/bench_fragments
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling bench_query_latency -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency -j "$(nproc)"
 
 mkdir -p "$FRAGMENTS"
 ./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
   "$FRAGMENTS/parallel_scaling.json"
+./build/bench/bench_probe_hotpath "$CONVERSATIONS" "$REPEATS" \
+  "$FRAGMENTS/probe_hotpath.json"
 ./build/bench/bench_query_latency 25 "$REPEATS" "$FRAGMENTS/query_latency.json"
 
 # Merge: flatten every input (previous merged file, legacy single-bench

@@ -62,12 +62,21 @@ void DayAggregator::add(const flow::FlowRecord& record) {
   ip_stats.bytes += record.total_bytes();
 
   if (!record.server_name.empty()) {
+    // Heterogeneous probes: the std::string key is only materialized the
+    // first time a (service, domain) pair is seen, not on every flow.
+    const std::string_view sld = second_level_domain(record.server_name);
     if (service != services::ServiceId::kOther) {
-      agg_.domain_bytes[{service, second_level_domain(record.server_name)}] +=
-          record.total_bytes();
+      auto it = agg_.domain_bytes.find(std::pair{service, sld});
+      if (it == agg_.domain_bytes.end()) {
+        it = agg_.domain_bytes.emplace(std::pair{service, std::string(sld)}, 0).first;
+      }
+      it->second += record.total_bytes();
     } else {
-      agg_.unclassified_domain_bytes[second_level_domain(record.server_name)] +=
-          record.total_bytes();
+      auto it = agg_.unclassified_domain_bytes.find(sld);
+      if (it == agg_.unclassified_domain_bytes.end()) {
+        it = agg_.unclassified_domain_bytes.emplace(std::string(sld), 0).first;
+      }
+      it->second += record.total_bytes();
     }
   }
 }
@@ -94,16 +103,16 @@ void DayAggregate::merge(const DayAggregate& other) {
 
 DayAggregate DayAggregator::take() && { return std::move(agg_); }
 
-std::string second_level_domain(std::string_view host) {
+std::string_view second_level_domain(std::string_view host) {
   // Find the last two labels; if the ending is a known multi-label suffix
   // owner (none needed beyond defaults here), this simple rule suffices for
   // the study's domain universe.
   if (host.empty()) return {};
   auto last = host.rfind('.');
-  if (last == std::string_view::npos || last == 0) return std::string(host);
+  if (last == std::string_view::npos || last == 0) return host;
   auto prev = host.rfind('.', last - 1);
-  if (prev == std::string_view::npos) return std::string(host);
-  return std::string(host.substr(prev + 1));
+  if (prev == std::string_view::npos) return host;
+  return host.substr(prev + 1);
 }
 
 }  // namespace edgewatch::analytics

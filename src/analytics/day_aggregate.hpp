@@ -12,9 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "core/flat_hash_map.hpp"
 #include "core/time.hpp"
 #include "core/types.hpp"
 #include "flow/record.hpp"
@@ -109,9 +110,20 @@ struct IpDayStats {
   }
 };
 
+/// Orders (service, domain) keys; transparent so the aggregation hot path
+/// can probe with a string_view instead of materializing a std::string.
+struct DomainKeyLess {
+  using is_transparent = void;
+  template <typename A, typename B>
+  [[nodiscard]] bool operator()(const A& a, const B& b) const noexcept {
+    if (a.first != b.first) return a.first < b.first;
+    return std::string_view(a.second) < std::string_view(b.second);
+  }
+};
+
 struct DayAggregate {
   core::CivilDate date;
-  std::unordered_map<core::IPv4Address, SubscriberDay, core::IPv4AddressHash> subscribers;
+  core::FlatHashMap<core::IPv4Address, SubscriberDay, core::IPv4AddressHash> subscribers;
   /// Up+down L4 bytes per web protocol (index = WebProtocol).
   std::array<std::uint64_t, kWebProtocolCount> web_bytes{};
   /// Downlink bytes per 10-min bin, split by access technology.
@@ -121,13 +133,16 @@ struct DayAggregate {
   /// Per-service downstream TCP health.
   std::array<ServiceDayHealth, services::kServiceCount> health{};
   /// Per server address: which services used it and how many bytes.
-  std::unordered_map<core::IPv4Address, IpDayStats, core::IPv4AddressHash> server_ips;
-  /// (service, second-level domain) -> bytes (Fig. 11 bottom).
-  std::map<std::pair<services::ServiceId, std::string>, std::uint64_t> domain_bytes;
+  core::FlatHashMap<core::IPv4Address, IpDayStats, core::IPv4AddressHash> server_ips;
+  /// (service, second-level domain) -> bytes (Fig. 11 bottom). Ordered so
+  /// report output is deterministic; transparent comparison keeps the
+  /// per-flow update allocation-free once a domain has been seen.
+  std::map<std::pair<services::ServiceId, std::string>, std::uint64_t, DomainKeyLess>
+      domain_bytes;
   /// Named-but-unclassified traffic: the rule-curation worklist of §2.3
   /// ("our team has continuously monitored the most common server domain
   /// names seen in the network").
-  std::map<std::string, std::uint64_t> unclassified_domain_bytes;
+  std::map<std::string, std::uint64_t, std::less<>> unclassified_domain_bytes;
 
   [[nodiscard]] std::size_t total_subscribers() const noexcept { return subscribers.size(); }
   [[nodiscard]] std::size_t active_subscribers(const ActivityCriteria& c = {}) const;
@@ -164,6 +179,8 @@ class DayAggregator {
 /// "facebook.com" from "edge-star-shv-01-mxp1.facebook.com"; keeps known
 /// multi-part public suffixes whole (co.uk-style endings are not needed for
 /// the study's domains, but akamaihd.net must yield akamaihd.net).
-[[nodiscard]] std::string second_level_domain(std::string_view host);
+/// Returns a subrange of `host` — no allocation; copy if it must outlive
+/// the argument.
+[[nodiscard]] std::string_view second_level_domain(std::string_view host);
 
 }  // namespace edgewatch::analytics

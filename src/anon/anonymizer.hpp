@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "core/flat_hash_map.hpp"
 #include "core/hash.hpp"
 #include "core/types.hpp"
 
@@ -48,15 +49,29 @@ class CustomerAnonymizer {
   }
 
   /// Returns the anonymized address for customers, the input otherwise.
-  [[nodiscard]] core::IPv4Address apply(core::IPv4Address a) const noexcept {
-    return is_customer(a) ? impl_.anonymize(a) : a;
+  /// The CryptoPAn walk costs 32 PRF calls and the same subscriber address
+  /// recurs on every flow it opens, so the (key-determined, pure) mapping
+  /// is memoized — caching cannot change any output.
+  [[nodiscard]] core::IPv4Address apply(core::IPv4Address a) const {
+    if (!is_customer(a)) return a;
+    auto it = cache_.find(a);
+    if (it != cache_.end()) return it->second;
+    if (cache_.size() >= kCacheCap) cache_.clear();  // bound memory, keep correctness
+    const core::IPv4Address mapped = impl_.anonymize(a);
+    cache_.emplace(a, mapped);
+    return mapped;
   }
 
   [[nodiscard]] const PrefixPreservingAnonymizer& impl() const noexcept { return impl_; }
 
  private:
+  /// More distinct customer addresses than any real probe serves; if ever
+  /// exceeded the memo is dropped and rebuilt, never grown unboundedly.
+  static constexpr std::size_t kCacheCap = std::size_t{1} << 20;
+
   PrefixPreservingAnonymizer impl_;
   core::IPv4Prefix customer_net_;
+  mutable core::FlatHashMap<core::IPv4Address, core::IPv4Address, core::IPv4AddressHash> cache_;
 };
 
 }  // namespace edgewatch::anon

@@ -3,10 +3,13 @@
 //  - crc32c: the Castagnoli CRC (as in iSCSI/ext4/LevelDB), the on-disk
 //    integrity check of the storage layer — strong burst-error detection
 //    for the bit flips and torn writes a five-year lake accumulates.
-//  - SipHash-2-4: a keyed PRF; the anonymizer (CryptoPAn construction) and
-//    the flow table use it where key-independence or flood resistance
-//    matters. Implemented from the reference description (Aumasson &
-//    Bernstein, 2012).
+//  - SipHash-2-4: a keyed PRF; the anonymizer (CryptoPAn construction)
+//    uses it where cryptographic key-independence matters. Implemented
+//    from the reference description (Aumasson & Bernstein, 2012). The flow
+//    table hashed with it too until the hot-path overhaul; per-packet
+//    hashing now uses a keyed multiply-mix (see FiveTupleHash) an order of
+//    magnitude cheaper, trading PRF-grade flood resistance the hardcoded
+//    key never provided anyway.
 #pragma once
 
 #include <array>
@@ -28,6 +31,17 @@ namespace edgewatch::core {
 }
 
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// Transparent string hasher for heterogeneous container lookup: hashes
+/// std::string, std::string_view, and const char* identically, so a
+/// string-keyed map can be probed with a string_view without materializing
+/// a temporary std::string (the probe's classify path depends on this).
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(fnv1a64(s));
+  }
+};
 
 /// CRC-32C (Castagnoli, reflected polynomial 0x82f63b78). `seed` chains
 /// incremental computation: crc32c(b, crc32c(a)) == crc32c(a ++ b).

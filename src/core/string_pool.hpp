@@ -1,0 +1,82 @@
+// Append-only string interning arena.
+//
+// intern() stores each distinct string once in chunked storage and returns
+// a std::string_view that stays valid until clear() — unlike views into
+// map-owned std::string values, which SSO moves invalidate on rehash. The
+// probe uses one pool per DN-Hunter so DPI, DN-Hunter entries, and live
+// flow hints all share a single copy of each hostname; the rule engine
+// uses pools for service names and trie labels.
+//
+// Lifetime rule: clear() invalidates every view the pool ever returned.
+// Owners must therefore only clear when nothing downstream holds a view
+// (the probe clears the DN-Hunter pool exactly when the flow table is
+// already empty: outage handling and checkpoint restore).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/flat_hash_map.hpp"
+#include "core/hash.hpp"
+
+namespace edgewatch::core {
+
+class StringPool {
+ public:
+  StringPool() = default;
+  // Views point into the chunks; moving the pool keeps them valid, copying
+  // could not, so copies are forbidden.
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) noexcept = default;
+  StringPool& operator=(StringPool&&) noexcept = default;
+
+  /// A stable view of `s`, storing it on first sight.
+  [[nodiscard]] std::string_view intern(std::string_view s) {
+    if (const auto it = index_.find(s); it != index_.end()) return it->first;
+    const std::string_view stored = append(s);
+    index_.emplace(stored, true);
+    return stored;
+  }
+
+  /// Distinct strings interned.
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  /// Bytes of string payload held (not counting index overhead).
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Drop everything. Invalidates all previously returned views.
+  void clear() noexcept {
+    index_.clear();
+    chunks_.clear();
+    chunk_used_ = 0;
+    chunk_size_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kChunkSize = 64 * 1024;
+
+  std::string_view append(std::string_view s) {
+    if (chunks_.empty() || s.size() > chunk_size_ - chunk_used_) {
+      const std::size_t want = s.size() > kChunkSize ? s.size() : kChunkSize;
+      chunks_.push_back(std::make_unique<char[]>(want));
+      chunk_size_ = want;
+      chunk_used_ = 0;
+    }
+    char* dst = chunks_.back().get() + chunk_used_;
+    if (!s.empty()) std::memcpy(dst, s.data(), s.size());
+    chunk_used_ += s.size();
+    bytes_ += s.size();
+    return {dst, s.size()};
+  }
+
+  FlatHashMap<std::string_view, bool, StringHash> index_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = 0;
+  std::size_t chunk_size_ = 0;  ///< Capacity of the current (last) chunk.
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace edgewatch::core

@@ -37,11 +37,11 @@ void DnHunter::observe_response(core::IPv4Address client, const Message& msg,
   }
 }
 
-void DnHunter::insert(ClientTable& table, core::IPv4Address server, std::string name,
+void DnHunter::insert(ClientTable& table, core::IPv4Address server, std::string_view name,
                       core::Timestamp now) {
   auto it = table.map.find(server);
   if (it != table.map.end()) {
-    it->second.name = std::move(name);
+    it->second.name = pool_.intern(name);
     it->second.inserted = now;
     table.lru.splice(table.lru.begin(), table.lru, it->second.lru_pos);
     return;
@@ -53,12 +53,12 @@ void DnHunter::insert(ClientTable& table, core::IPv4Address server, std::string 
     ++counters_.lru_evictions;
   }
   table.lru.push_front(server);
-  table.map.emplace(server, Entry{std::move(name), now, table.lru.begin()});
+  table.map.emplace(server, Entry{pool_.intern(name), now, table.lru.begin()});
   ++counters_.entries_inserted;
 }
 
-std::optional<std::string> DnHunter::lookup(core::IPv4Address client, core::IPv4Address server,
-                                            core::Timestamp now) {
+std::optional<std::string_view> DnHunter::lookup(core::IPv4Address client,
+                                                 core::IPv4Address server, core::Timestamp now) {
   auto table_it = tables_.find(client);
   if (table_it == tables_.end()) {
     ++counters_.misses;
@@ -88,10 +88,13 @@ std::size_t DnHunter::size() const noexcept {
   return total;
 }
 
-void DnHunter::clear() { tables_.clear(); }
+void DnHunter::clear() {
+  tables_.clear();
+  pool_.clear();
+}
 
 void DnHunter::for_each_entry(
-    const std::function<void(core::IPv4Address, core::IPv4Address, const std::string&,
+    const std::function<void(core::IPv4Address, core::IPv4Address, std::string_view,
                              core::Timestamp)>& fn) const {
   for (const auto& [client, table] : tables_) {
     // Back of the LRU list = least recent: replaying in this order through
@@ -104,11 +107,11 @@ void DnHunter::for_each_entry(
 }
 
 void DnHunter::restore_entry(core::IPv4Address client, core::IPv4Address server,
-                             std::string name, core::Timestamp inserted) {
+                             std::string_view name, core::Timestamp inserted) {
   auto& table = tables_[client];
   auto it = table.map.find(server);
   if (it != table.map.end()) {
-    it->second.name = std::move(name);
+    it->second.name = pool_.intern(name);
     it->second.inserted = inserted;
     table.lru.splice(table.lru.begin(), table.lru, it->second.lru_pos);
     return;
@@ -119,7 +122,7 @@ void DnHunter::restore_entry(core::IPv4Address client, core::IPv4Address server,
     table.map.erase(victim);
   }
   table.lru.push_front(server);
-  table.map.emplace(server, Entry{std::move(name), inserted, table.lru.begin()});
+  table.map.emplace(server, Entry{pool_.intern(name), inserted, table.lru.begin()});
 }
 
 }  // namespace edgewatch::dns

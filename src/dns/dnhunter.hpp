@@ -13,9 +13,10 @@
 #include <functional>
 #include <list>
 #include <optional>
-#include <string>
-#include <unordered_map>
+#include <string_view>
 
+#include "core/flat_hash_map.hpp"
+#include "core/string_pool.hpp"
 #include "core/time.hpp"
 #include "core/types.hpp"
 #include "dns/message.hpp"
@@ -37,15 +38,24 @@ class DnHunter {
   void observe_response(core::IPv4Address client, const Message& msg, core::Timestamp now);
 
   /// Name the client resolved for `server`, if fresh. Refreshes LRU order.
-  [[nodiscard]] std::optional<std::string> lookup(core::IPv4Address client,
-                                                  core::IPv4Address server, core::Timestamp now);
+  /// The view points into the hunter's interning pool and stays valid until
+  /// clear() — no string is materialized on the per-flow hot path.
+  [[nodiscard]] std::optional<std::string_view> lookup(core::IPv4Address client,
+                                                       core::IPv4Address server,
+                                                       core::Timestamp now);
 
   /// Total cached entries across clients (observability/testing).
   [[nodiscard]] std::size_t size() const noexcept;
   [[nodiscard]] std::size_t clients() const noexcept { return tables_.size(); }
 
-  /// Drop every entry (e.g. on probe restart).
+  /// Drop every entry (e.g. on probe restart). Invalidates every view the
+  /// hunter ever handed out — callers must flush dependent state first.
   void clear();
+
+  /// Copy an external string into the hunter's interning pool and return
+  /// the pooled view (used when restoring checkpointed flow hints whose
+  /// backing pool did not survive the crash).
+  [[nodiscard]] std::string_view intern_name(std::string_view name) { return pool_.intern(name); }
 
   struct Counters {
     std::uint64_t responses_ingested = 0;
@@ -62,28 +72,32 @@ class DnHunter {
   // fresh insert at the LRU front) reproduces the eviction order exactly.
   void for_each_entry(
       const std::function<void(core::IPv4Address client, core::IPv4Address server,
-                               const std::string& name, core::Timestamp inserted)>& fn) const;
+                               std::string_view name, core::Timestamp inserted)>& fn) const;
   /// Reinsert a saved entry. Touches no counters; restore them separately.
-  void restore_entry(core::IPv4Address client, core::IPv4Address server, std::string name,
+  void restore_entry(core::IPv4Address client, core::IPv4Address server, std::string_view name,
                      core::Timestamp inserted);
   void restore_counters(const Counters& counters) noexcept { counters_ = counters; }
 
  private:
   struct Entry {
-    std::string name;
+    std::string_view name;  ///< Interned in pool_; 16 bytes instead of a heap string.
     core::Timestamp inserted;
     std::list<core::IPv4Address>::iterator lru_pos;
   };
   struct ClientTable {
-    std::unordered_map<core::IPv4Address, Entry, core::IPv4AddressHash> map;
+    core::FlatHashMap<core::IPv4Address, Entry, core::IPv4AddressHash> map;
     std::list<core::IPv4Address> lru;  ///< Front = most recent.
   };
 
-  void insert(ClientTable& table, core::IPv4Address server, std::string name,
+  void insert(ClientTable& table, core::IPv4Address server, std::string_view name,
               core::Timestamp now);
 
   DnHunterConfig config_;
-  std::unordered_map<core::IPv4Address, ClientTable, core::IPv4AddressHash> tables_;
+  core::FlatHashMap<core::IPv4Address, ClientTable, core::IPv4AddressHash> tables_;
+  /// Owns every hostname the hunter has seen. DNS churn re-resolves the
+  /// same names constantly, so deduplicated interning keeps this small even
+  /// over long captures; it is released wholesale by clear().
+  core::StringPool pool_;
   Counters counters_;
 };
 

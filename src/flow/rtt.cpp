@@ -18,7 +18,8 @@ void RttEstimator::on_client_segment(std::uint32_t seq, std::uint32_t seq_end,
   }
   if (overlap) return;
 
-  if (outstanding_.size() >= kMaxOutstanding) outstanding_.pop_front();
+  if (outstanding_.size() >= kMaxOutstanding) outstanding_.erase(outstanding_.begin());
+  if (outstanding_.capacity() == 0) outstanding_.reserve(kMaxOutstanding);
   outstanding_.push_back({seq, seq_end, ts, false});
 }
 
@@ -30,7 +31,7 @@ void RttEstimator::on_server_ack(std::uint32_t ack, core::Timestamp ts, RttStats
       const std::int64_t sample = ts - seg.sent;
       if (sample >= 0) stats.add(sample);
     }
-    outstanding_.pop_front();
+    outstanding_.erase(outstanding_.begin());
   }
 }
 

@@ -10,7 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "core/time.hpp"
 #include "flow/record.hpp"
@@ -43,7 +43,7 @@ class RttEstimator {
 
   // Checkpoint/restore support: the estimator's whole state is its
   // outstanding-segment queue.
-  [[nodiscard]] const std::deque<Segment>& segments() const noexcept { return outstanding_; }
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept { return outstanding_; }
   void restore_segment(const Segment& s) {
     if (outstanding_.size() < kMaxOutstanding) outstanding_.push_back(s);
   }
@@ -54,7 +54,13 @@ class RttEstimator {
     return static_cast<std::int32_t>(a - b) >= 0;
   }
 
-  std::deque<Segment> outstanding_;
+  // A vector, not a deque: a default-constructed vector owns no memory, so
+  // the estimator embedded in every FlowState costs nothing until the flow
+  // actually carries data (libstdc++'s deque allocates its map + one node
+  // on construction — measured as the dominant allocator traffic of the
+  // replay hot path). Pop-front is an O(kMaxOutstanding) memmove of
+  // trivially-copyable 24-byte segments: cheaper than a heap round trip.
+  std::vector<Segment> outstanding_;
 };
 
 }  // namespace edgewatch::flow

@@ -1,5 +1,6 @@
 #include "flow/table.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace edgewatch::flow {
@@ -10,15 +11,10 @@ FlowState* FlowTable::ingest(const net::DecodedPacket& pkt) {
   ++counters_.packets;
 
   const core::FiveTuple as_sent = pkt.five_tuple();
-  bool from_client = true;
-  auto it = flows_.find(as_sent);
-  if (it == flows_.end()) {
-    auto rit = flows_.find(as_sent.reversed());
-    if (rit != flows_.end()) {
-      it = rit;
-      from_client = false;
-    }
-  }
+  // One orientation-insensitive probe replaces the former find(as_sent) /
+  // find(reversed()) pair; direction falls out of comparing the stored key.
+  auto it = flows_.find(EitherOrientation{as_sent});
+  bool from_client = it == flows_.end() || it->first == as_sent;
 
   if (it == flows_.end()) {
     // New flow: the sender of the first packet is the client. A bare
@@ -209,8 +205,15 @@ void FlowTable::run_server_dpi(FlowState& state, const net::DecodedPacket& pkt) 
 }
 
 void FlowTable::advance(core::Timestamp now) {
+  // Cheapest possible timeout any flow could be subject to: if even that
+  // has not elapsed since the oldest checkpoint, nothing can expire and the
+  // per-packet call returns without touching the flow map at all.
+  const std::int64_t min_timeout =
+      std::min({config_.closed_linger_us, config_.tcp_idle_timeout_us,
+                config_.udp_idle_timeout_us});
   while (!checkpoints_.empty()) {
     const Checkpoint& cp = checkpoints_.front();
+    if (now - cp.seen < min_timeout) break;
     auto it = flows_.find(cp.key);
     if (it == flows_.end()) {
       checkpoints_.pop_front();
@@ -240,7 +243,7 @@ void FlowTable::export_flow(const core::FiveTuple& key, FlowCloseReason reason) 
   // DPI hostnames (Host:/SNI) take precedence; the DN-Hunter hint captured
   // at flow start fills in only when the payload exposed nothing.
   if (it->second.record.server_name.empty() && !it->second.dns_hint.empty()) {
-    it->second.record.server_name = std::move(it->second.dns_hint);
+    it->second.record.server_name.assign(it->second.dns_hint);
     it->second.record.name_source = NameSource::kDnsHunter;
   }
   FlowRecord record = std::move(it->second.record);
@@ -251,12 +254,16 @@ void FlowTable::export_flow(const core::FiveTuple& key, FlowCloseReason reason) 
 }
 
 void FlowTable::flush(FlowCloseReason reason) {
-  // Export in key order? Not needed; export whatever order the map yields,
-  // collecting keys first since export_flow mutates the map.
-  std::vector<core::FiveTuple> keys;
+  // Export in flow-arrival order (ingest_seq is unique per flow), so the
+  // flush output is a pure function of the packets seen and never of the
+  // hash table's internal layout. Keys are collected first because
+  // export_flow mutates the map.
+  std::vector<std::pair<std::uint64_t, core::FiveTuple>> keys;
   keys.reserve(flows_.size());
-  for (const auto& [key, _] : flows_) keys.push_back(key);
-  for (const auto& key : keys) {
+  for (const auto& [key, state] : flows_) keys.emplace_back(state.record.ingest_seq, key);
+  std::sort(keys.begin(), keys.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [_, key] : keys) {
     auto it = flows_.find(key);
     if (it == flows_.end()) continue;
     const FlowCloseReason r =

@@ -14,8 +14,9 @@
 #include <functional>
 #include <optional>
 #include <span>
-#include <unordered_map>
+#include <string_view>
 
+#include "core/flat_hash_map.hpp"
 #include "core/function_ref.hpp"
 #include "core/time.hpp"
 #include "core/types.hpp"
@@ -35,6 +36,11 @@ struct FlowTableConfig {
   /// Hard cap on concurrent flows; above it, the oldest-checkpoint flows
   /// are force-expired (probes must bound memory).
   std::size_t max_flows = 1'000'000;
+  /// Slots pre-reserved at construction. A probe knows it will track
+  /// thousands of concurrent flows; growing there from an empty table
+  /// rehash-moves every live FlowState several times over. ~1.5 MB at the
+  /// default — noise next to the per-flow state itself.
+  std::size_t reserve_flows = 4096;
   /// Per-flow DPI reassembly budget: how many client-stream bytes may be
   /// buffered while waiting for a split first-flight to complete.
   std::size_t dpi_buffer_limit = 8192;
@@ -42,9 +48,19 @@ struct FlowTableConfig {
 };
 
 /// Live per-flow state. The embedded record accumulates as packets arrive.
+///
+/// Member order is the hot path's memory layout: the fields every TCP
+/// packet reads or writes sit first, so inside a map slot they share a
+/// cache line with the FiveTuple key — the lookup's key comparison has
+/// already paid for the line by the time the state machine runs. Colder
+/// members (DPI buffer, RTT queue) sink to the tail.
 struct FlowState {
-  FlowRecord record;
-  RttEstimator rtt;
+  // TCP sequence tracking for anomaly counters (ref [29]): next expected
+  // sequence number per direction, valid once the first segment is seen.
+  std::uint32_t next_seq_client = 0;
+  std::uint32_t next_seq_server = 0;
+  bool seq_valid_client = false;
+  bool seq_valid_server = false;
 
   // TCP bookkeeping.
   bool syn_seen = false;
@@ -52,26 +68,65 @@ struct FlowState {
   bool fin_client = false;
   bool fin_server = false;
   bool closed = false;
-  core::Timestamp closed_at;
 
   bool dpi_done = false;
   bool server_dpi_done = false;  ///< ServerHello (negotiated ALPN) examined.
+  bool dns_checked = false;
+
+  FlowRecord record;
+  core::Timestamp closed_at;
+
+  /// DN-Hunter name captured at flow start by the probe; applied at export
+  /// only if DPI found no hostname in the payload itself (paper §2.1). A
+  /// view into the DN-Hunter's interning pool — not owned. The probe only
+  /// clears that pool after flushing the table, so the view cannot dangle.
+  std::string_view dns_hint;
+
   /// Client-payload reassembly buffer for DPI: a TLS ClientHello often
   /// spans TCP segments; the probe buffers the first bytes of the client
   /// stream until a classification succeeds or the budget is exhausted.
   std::vector<std::byte> dpi_buffer;
 
-  /// DN-Hunter name captured at flow start by the probe; applied at export
-  /// only if DPI found no hostname in the payload itself (paper §2.1).
-  std::string dns_hint;
-  bool dns_checked = false;
+  RttEstimator rtt;
+};
 
-  // TCP sequence tracking for anomaly counters (ref [29]): next expected
-  // sequence number per direction, valid once the first segment is seen.
-  std::uint32_t next_seq_client = 0;
-  std::uint32_t next_seq_server = 0;
-  bool seq_valid_client = false;
-  bool seq_valid_server = false;
+/// Heterogeneous probe key for the flow map: matches a stored flow no
+/// matter which direction the packet travelled. Only meaningful together
+/// with FlowKeyHash, which makes the two orientations hash identically.
+struct EitherOrientation {
+  core::FiveTuple as_sent;
+
+  friend bool operator==(const core::FiveTuple& stored, const EitherOrientation& k) noexcept {
+    return stored == k.as_sent || stored == k.as_sent.reversed();
+  }
+};
+
+/// Orientation-insensitive flow-key hash: a tuple and its reversed twin
+/// hash identically (the endpoints are combined commutatively before the
+/// keyed multiply-mix), so ingest resolves a packet to its flow with ONE
+/// probe sequence instead of a find(as_sent) + find(reversed) pair. The two
+/// orientations can never coexist as distinct flows — ingest checks both
+/// before inserting — so matching either is unambiguous.
+struct FlowKeyHash {
+  /// Fully mixed result; FlatHashMap skips its own finalizer.
+  using is_avalanching = void;
+
+  [[nodiscard]] std::size_t operator()(const core::FiveTuple& t) const noexcept {
+    const std::uint64_t a = (std::uint64_t{t.src_ip.value()} << 16) | t.src_port;
+    const std::uint64_t b = (std::uint64_t{t.dst_ip.value()} << 16) | t.dst_port;
+    // (a+b, a^b) identifies the unordered endpoint pair; fold the protocol
+    // into the odd word so TCP/UDP flows between the same endpoints split.
+    const std::uint64_t x = (a + b) ^ 0x9e3779b97f4a7c15ull;
+    const std::uint64_t y = (a ^ b) ^ (static_cast<std::uint64_t>(t.proto) << 56) ^
+                            0xe7037ed1a0b428dbull;
+    __extension__ using uint128 = unsigned __int128;
+    const auto m = static_cast<uint128>(x) * y;
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(m) ^
+                                    static_cast<std::uint64_t>(m >> 64));
+  }
+  [[nodiscard]] std::size_t operator()(const EitherOrientation& k) const noexcept {
+    return (*this)(k.as_sent);
+  }
 };
 
 class FlowTable {
@@ -84,12 +139,22 @@ class FlowTable {
   using ExportSink = core::FunctionRef<void(FlowRecord&&)>;
 
   explicit FlowTable(FlowTableConfig config, ExportSink sink)
-      : config_(config), sink_(sink) {}
+      : config_(config), sink_(sink) {
+    flows_.reserve(config_.reserve_flows);
+  }
 
   /// Feed one decoded packet. Returns the flow state the packet landed in
   /// (nullptr for non-TCP/UDP packets). `is_from_client` in the state is
   /// derived from who sent the first packet (or the SYN).
   FlowState* ingest(const net::DecodedPacket& pkt);
+
+  /// Warm the cache lines the next ingest() of this packet would probe
+  /// (control group + primary slot). Pure hint, no observable effect; used
+  /// by the probe's pipelined replay to overlap the slot fetch with the
+  /// previous packet's state machine.
+  void prefetch_flow(const core::FiveTuple& as_sent) const noexcept {
+    flows_.prefetch(EitherOrientation{as_sent});
+  }
 
   /// Advance time: expire idle and lingering-closed flows with
   /// last-activity before `now - timeout`. Call with each packet timestamp
@@ -155,8 +220,12 @@ class FlowTable {
 
   FlowTableConfig config_;
   ExportSink sink_;
-  // Keyed by the client→server orientation of the first packet.
-  std::unordered_map<core::FiveTuple, FlowState, core::FiveTupleHash> flows_;
+  // Keyed by the client→server orientation of the first packet, hashed
+  // orientation-insensitively (FlowKeyHash) so a packet from either side
+  // resolves in a single probe sequence. Open addressing: one probe usually
+  // touches a single cache line instead of chasing a bucket list, which is
+  // where the per-packet budget goes.
+  core::FlatHashMap<core::FiveTuple, FlowState, FlowKeyHash> flows_;
   std::deque<Checkpoint> checkpoints_;
   Counters counters_;
   std::uint64_t next_ingest_seq_ = 0;

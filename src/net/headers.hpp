@@ -33,6 +33,9 @@ struct EthernetHeader {
   std::uint16_t ether_type = 0;
 
   static std::optional<EthernetHeader> parse(core::ByteReader& r) noexcept;
+  /// Parse directly into `out` (no temporary + move on the per-frame path).
+  /// Same accept/reject semantics as parse(); `out` is garbage on failure.
+  static bool parse_into(core::ByteReader& r, EthernetHeader& out) noexcept;
   void serialize(core::ByteWriter& w) const;
 };
 
@@ -69,6 +72,7 @@ struct IPv4Header {
   }
 
   static std::optional<IPv4Header> parse(core::ByteReader& r) noexcept;
+  static bool parse_into(core::ByteReader& r, IPv4Header& out) noexcept;
   /// Serializes with a freshly computed checksum; `total_length` must
   /// already include the payload.
   void serialize(core::ByteWriter& w) const;
@@ -120,6 +124,7 @@ struct TcpHeader {
   [[nodiscard]] std::optional<std::uint16_t> mss() const noexcept;
 
   static std::optional<TcpHeader> parse(core::ByteReader& r) noexcept;
+  static bool parse_into(core::ByteReader& r, TcpHeader& out) noexcept;
   void serialize(core::ByteWriter& w) const;
 };
 
@@ -132,6 +137,7 @@ struct UdpHeader {
   std::uint16_t checksum = 0;
 
   static std::optional<UdpHeader> parse(core::ByteReader& r) noexcept;
+  static bool parse_into(core::ByteReader& r, UdpHeader& out) noexcept;
   void serialize(core::ByteWriter& w) const;
 };
 

@@ -16,35 +16,42 @@ std::size_t DecodedPacket::transport_payload_declared() const noexcept {
 }
 
 std::optional<DecodedPacket> decode_frame(const Frame& frame) noexcept {
+  std::optional<DecodedPacket> out(std::in_place);
+  if (!decode_frame_into(frame, *out)) return std::nullopt;
+  return out;
+}
+
+bool decode_frame_into(const Frame& frame, DecodedPacket& pkt) noexcept {
+  // Headers are parsed straight into the packet's fields: on the per-frame
+  // hot path the temporary-header-then-move dance costs more than the
+  // parsing itself. Clear what parse_into may leave stale on reuse.
+  pkt.tcp.reset();
+  pkt.udp.reset();
+  pkt.ip.options.clear();
   core::ByteReader r{frame.data};
-  auto eth = EthernetHeader::parse(r);
-  if (!eth) return std::nullopt;
+  if (!EthernetHeader::parse_into(r, pkt.eth)) return false;
   // Skip a single 802.1Q tag if present.
-  if (eth->ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
+  if (pkt.eth.ether_type == static_cast<std::uint16_t>(EtherType::kVlan)) {
     r.skip(2);  // PCP/DEI/VID
-    eth->ether_type = r.u16();
+    pkt.eth.ether_type = r.u16();
   }
-  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIPv4)) return std::nullopt;
+  if (pkt.eth.ether_type != static_cast<std::uint16_t>(EtherType::kIPv4)) return false;
 
-  auto ip = IPv4Header::parse(r);
-  if (!ip) return std::nullopt;
-
-  DecodedPacket pkt;
+  if (!IPv4Header::parse_into(r, pkt.ip)) return false;
   pkt.timestamp = frame.timestamp;
-  pkt.eth = *eth;
-  pkt.ip = std::move(*ip);
 
   // Non-first fragments carry no L4 header we could parse.
-  if (pkt.ip.fragment_offset != 0) return pkt;
+  if (pkt.ip.fragment_offset != 0) {
+    pkt.payload = {};
+    return true;
+  }
 
   switch (pkt.ip.transport()) {
     case core::TransportProto::kTcp:
-      pkt.tcp = TcpHeader::parse(r);
-      if (!pkt.tcp) return std::nullopt;
+      if (!TcpHeader::parse_into(r, pkt.tcp.emplace())) return false;
       break;
     case core::TransportProto::kUdp:
-      pkt.udp = UdpHeader::parse(r);
-      if (!pkt.udp) return std::nullopt;
+      if (!UdpHeader::parse_into(r, pkt.udp.emplace())) return false;
       break;
     default:
       break;
@@ -52,7 +59,7 @@ std::optional<DecodedPacket> decode_frame(const Frame& frame) noexcept {
   pkt.payload = frame.data.size() > r.position()
                     ? std::span<const std::byte>{frame.data}.subspan(r.position())
                     : std::span<const std::byte>{};
-  return pkt;
+  return true;
 }
 
 Frame PacketBuilder::build() const {

@@ -58,6 +58,11 @@ struct DecodedPacket {
 /// fragments with nonzero offset are decoded but carry no L4 header.
 [[nodiscard]] std::optional<DecodedPacket> decode_frame(const Frame& frame) noexcept;
 
+/// Same decode into a caller-owned packet, for loops that reuse one buffer
+/// instead of materializing (and moving) a fresh DecodedPacket per frame.
+/// `out` is fully overwritten on success and unspecified on failure.
+[[nodiscard]] bool decode_frame_into(const Frame& frame, DecodedPacket& out) noexcept;
+
 /// Fluent builder producing valid frames.
 class PacketBuilder {
  public:

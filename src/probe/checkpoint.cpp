@@ -111,7 +111,7 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
 
   payload.u64(dnhunter_.size());
   dnhunter_.for_each_entry([&payload](core::IPv4Address client, core::IPv4Address server,
-                                      const std::string& name, core::Timestamp inserted) {
+                                      std::string_view name, core::Timestamp inserted) {
     payload.u32(client.value());
     payload.u32(server.value());
     put_ts(payload, inserted);
@@ -224,7 +224,8 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
     if (buffer_len > config_.flow.dpi_buffer_limit) return fail();
     const auto buffer = r.bytes(static_cast<std::size_t>(buffer_len));
     state.dpi_buffer.assign(buffer.begin(), buffer.end());
-    state.dns_hint = get_string(r, 4096);
+    // dns_hint is a view; repoint it at this process's interning pool.
+    state.dns_hint = dnhunter_.intern_name(get_string(r, 4096));
     const std::uint8_t segment_count = r.u8();
     if (segment_count > flow::RttEstimator::kMaxOutstanding) return fail();
     for (std::uint8_t s = 0; s < segment_count; ++s) {
@@ -254,9 +255,9 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
     const auto client = core::IPv4Address{r.u32()};
     const auto server = core::IPv4Address{r.u32()};
     const auto inserted = get_ts(r);
-    auto name = get_string(r, 4096);
+    const auto name = get_string(r, 4096);
     if (!r.ok()) return fail();
-    dnhunter_.restore_entry(client, server, std::move(name), inserted);
+    dnhunter_.restore_entry(client, server, name, inserted);
   }
   dnhunter_.restore_counters(dc);
   if (!r.ok() || r.remaining() != 0) return fail();

@@ -53,6 +53,7 @@ constexpr std::uint64_t kMB = 1000 * 1000;
 ServiceCatalog::ServiceCatalog() {
   auto define = [this](ServiceId id, ServiceCategory cat, std::uint64_t threshold) {
     infos_[static_cast<std::size_t>(id)] = {id, services::to_string(id), cat, threshold};
+    by_name_.insert_or_assign(services::to_string(id), id);
   };
   // Thresholds follow §4.1: tiny for search (a query is small), larger for
   // services whose buttons/beacons are embedded across the web.
@@ -181,10 +182,9 @@ ServiceId ServiceCatalog::classify_flow(dpi::L7Protocol l7, std::string_view ser
 }
 
 std::optional<ServiceId> ServiceCatalog::by_name(std::string_view name) const noexcept {
-  for (const auto& info : infos_) {
-    if (info.name == name) return info.id;
-  }
-  return std::nullopt;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace edgewatch::services

@@ -10,6 +10,8 @@
 #include <optional>
 #include <string_view>
 
+#include "core/flat_hash_map.hpp"
+#include "core/hash.hpp"
 #include "dpi/classifier.hpp"
 #include "services/rules.hpp"
 
@@ -94,6 +96,9 @@ class ServiceCatalog {
  private:
   RuleEngine rules_;
   std::array<ServiceInfo, kServiceCount> infos_{};
+  /// Display name → id; keys are the static to_string literals, so views
+  /// are stable. classify_domain resolves every rule hit through this.
+  core::FlatHashMap<std::string_view, ServiceId, core::StringHash> by_name_;
 };
 
 }  // namespace edgewatch::services

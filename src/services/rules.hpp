@@ -6,17 +6,32 @@
 //                suffix rules match, the longest (most specific) wins
 //   3. regex   — "^fbstatic-[a-z].akamaihd.net$" (checked in insertion
 //                order, first hit wins)
-// Lookups are case-normalized. Exact rules live in a hash map; suffix rules
-// are probed per label boundary from the most specific suffix down, so a
-// lookup costs O(#labels) hash probes; regexes are scanned last.
+//
+// The engine is compiled for the per-flow hot path: every server hostname
+// the probe exports goes through classify(), so a lookup allocates nothing.
+//   - Hostnames are case-normalized into a stack buffer.
+//   - Exact rules live in an open-addressing map keyed by interned views.
+//   - Suffix rules form a reversed-label trie: "cdn.fbcdn.net" walks
+//     net → fbcdn → cdn, and the deepest node carrying a service is the
+//     longest (most specific) matching suffix — one hash probe per label
+//     instead of one full-string map probe per label boundary.
+//   - Each regex carries a required literal fragment extracted from its
+//     pattern; a hostname that does not contain the fragment skips the
+//     backtracking engine entirely.
+// All rule text (keys, labels, service names) is interned in a pool owned
+// by the engine, so classify() results stay valid for the engine's
+// lifetime regardless of later rule insertions.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_hash_map.hpp"
+#include "core/hash.hpp"
+#include "core/string_pool.hpp"
 #include "services/regex.hpp"
 
 namespace edgewatch::services {
@@ -33,15 +48,61 @@ class RuleEngine {
   [[nodiscard]] std::optional<std::string_view> classify(std::string_view domain) const;
 
   [[nodiscard]] std::size_t exact_rules() const noexcept { return exact_.size(); }
-  [[nodiscard]] std::size_t suffix_rules() const noexcept { return suffix_.size(); }
+  [[nodiscard]] std::size_t suffix_rules() const noexcept { return suffix_index_.size(); }
   [[nodiscard]] std::size_t regex_rules() const noexcept { return regex_.size(); }
 
  private:
-  static std::string normalize(std::string_view domain);
+  /// One trie node per distinct reversed-label path across all suffix
+  /// rules. `service.data() == nullptr` means no rule ends here (an empty
+  /// service *name* is a valid, distinct value).
+  struct SuffixNode {
+    core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash> children;
+    std::string_view service{};
+  };
 
-  std::unordered_map<std::string, std::string> exact_;
-  std::unordered_map<std::string, std::string> suffix_;
-  std::vector<std::pair<Regex, std::string>> regex_;
+  struct RegexRule {
+    Regex re;
+    std::string_view service;
+    /// Literal fragment every match must contain; empty = no prefilter.
+    std::string required;
+  };
+
+  /// Visit `name`'s dot-separated labels right to left ("a.b.c" → c, b, a).
+  /// Shared by insertion and lookup so both sides agree on label
+  /// boundaries (including empty labels from consecutive dots).
+  template <typename Fn>
+  static void for_each_label_rtl(std::string_view name, Fn&& fn) {
+    std::size_t end = name.size();
+    for (;;) {
+      std::size_t begin = 0;
+      if (end > 0) {
+        const auto dot = name.rfind('.', end - 1);
+        if (dot != std::string_view::npos && dot < end) begin = dot + 1;
+      }
+      fn(name.substr(begin, end - begin));
+      if (begin == 0) break;
+      end = begin - 1;
+    }
+  }
+
+  /// Lowercase `domain` and strip one trailing dot, into `stack` when it
+  /// fits (the common case — hostnames are short) or `heap` otherwise.
+  static std::string_view normalize_into(std::string_view domain, char* stack,
+                                         std::size_t stack_size, std::string& heap);
+
+  [[nodiscard]] std::string_view intern(std::string_view s) { return pool_.intern(s); }
+
+  /// Longest literal run that any string matching `pattern` must contain;
+  /// empty when no sound fragment can be extracted (e.g. alternation).
+  static std::string extract_required_literal(std::string_view pattern);
+
+  core::StringPool pool_;  ///< Owns all rule keys, labels and service names.
+  core::FlatHashMap<std::string_view, std::string_view, core::StringHash> exact_;
+  /// Flat view of the suffix rules (normalized suffix → service): rule
+  /// count, overwrite semantics, and a golden reference for the trie.
+  core::FlatHashMap<std::string_view, std::string_view, core::StringHash> suffix_index_;
+  std::vector<SuffixNode> trie_{SuffixNode{}};  ///< [0] is the root.
+  std::vector<RegexRule> regex_;
 };
 
 }  // namespace edgewatch::services

@@ -131,8 +131,9 @@ TEST(Probe, DnHunterNamesSniLessFlows) {
                       .build());
   h.probe.finish();
   ASSERT_EQ(h.records.size(), 2u);  // DNS flow + app flow
+  // Export order is not defined; the app flow is the TCP one.
   const auto* app = &h.records[0];
-  if (app->server_port == 53) app = &h.records[1];
+  if (app->proto != ew::core::TransportProto::kTcp) app = &h.records[1];
   EXPECT_EQ(app->server_name, "api.whatsapp.net");
   EXPECT_EQ(app->name_source, ew::flow::NameSource::kDnsHunter);
   EXPECT_EQ(h.probe.counters().records_named_by_dns, 1u);
@@ -145,7 +146,7 @@ TEST(Probe, SniBeatsDnHunter) {
   h.probe.finish();
   ASSERT_EQ(h.records.size(), 2u);
   const auto* app = &h.records[0];
-  if (app->server_port == 53) app = &h.records[1];
+  if (app->proto != ew::core::TransportProto::kTcp) app = &h.records[1];
   EXPECT_EQ(app->server_name, "www.instagram.com");
   EXPECT_EQ(app->name_source, ew::flow::NameSource::kTlsSni);
 }

@@ -294,7 +294,9 @@ TEST(PacketRenderer, DnsResponseFeedsDnHunter) {
   probe.finish();
 
   ASSERT_EQ(records.size(), 2u);
-  const auto* app = records[0].server_port == 53 ? &records[1] : &records[0];
+  // Export order is not defined; the app flow is the TCP one.
+  const auto* app =
+      records[0].proto != ew::core::TransportProto::kTcp ? &records[1] : &records[0];
   EXPECT_EQ(app->server_name, "e1.whatsapp.net");
   EXPECT_EQ(app->name_source, ew::flow::NameSource::kDnsHunter);
 }
