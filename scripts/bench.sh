@@ -23,7 +23,7 @@ FRAGMENTS=build/bench_fragments
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload -j "$(nproc)"
 
 mkdir -p "$FRAGMENTS"
 ./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
@@ -31,6 +31,9 @@ mkdir -p "$FRAGMENTS"
 ./build/bench/bench_probe_hotpath "$CONVERSATIONS" "$REPEATS" \
   "$FRAGMENTS/probe_hotpath.json"
 ./build/bench/bench_query_latency 25 "$REPEATS" "$FRAGMENTS/query_latency.json"
+# Overload sweep is about shed *ratios*, not throughput — a few hundred
+# conversations give a full Healthy→Shedding curve without minutes of spin.
+./build/bench/bench_overload 400 "$REPEATS" "$FRAGMENTS/overload.json"
 
 # Merge: flatten every input (previous merged file, legacy single-bench
 # object, or fresh fragment) into one list, keeping the *last* entry per

@@ -6,7 +6,8 @@
 #                                    # (SANITIZE=1 is an accepted synonym)
 #   SANITIZE=tsan scripts/tier1.sh   # third: ThreadSanitizer over the
 #                                    # concurrency suites (ThreadPool, SPSC
-#                                    # ring, ShardedProbe, parallel analytics)
+#                                    # ring, ShardedProbe, parallel analytics,
+#                                    # supervised runtime + chaos recovery)
 #
 # The sanitizer passes exist for the robustness work: the fault-injection
 # matrix, the corruption tests, and the fuzz sweeps only prove memory
@@ -23,7 +24,7 @@ case "${SANITIZE:-0}" in
   1 | asan) preset=asan-ubsan ;;
   tsan)
     preset=tsan
-    ctest_extra=(-R 'Parallel|ShardedProbe|ThreadPool|SpscQueue')
+    ctest_extra=(-R 'Parallel|ShardedProbe|ThreadPool|SpscQueue|Supervisor|Chaos')
     ;;
   *) preset=default ;;
 esac

@@ -99,6 +99,7 @@ void DayAggregate::merge(const DayAggregate& other) {
   for (const auto& [domain, bytes] : other.unclassified_domain_bytes) {
     unclassified_domain_bytes[domain] += bytes;
   }
+  capture.merge(other.capture);
 }
 
 DayAggregate DayAggregator::take() && { return std::move(agg_); }

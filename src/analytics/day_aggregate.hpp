@@ -27,6 +27,44 @@ inline constexpr std::size_t kWebProtocolCount =
     static_cast<std::size_t>(dpi::WebProtocol::kFbZero) + 1;
 inline constexpr std::size_t kTimeBinsPerDay = 144;  // 10-minute bins (§3.2)
 
+/// Capture-quality accounting for one civil day, produced by the runtime
+/// supervision layer (runtime::Supervisor) and threaded into the day's
+/// aggregate so downstream figures are corrected, never silently wrong:
+/// when the probe shed load under pressure, every shed frame is *recorded*
+/// here, and offered == ingested + shed + quarantined always reconciles.
+struct CaptureQuality {
+  std::uint64_t frames_offered = 0;      ///< Everything the capture layer handed us.
+  std::uint64_t frames_ingested = 0;     ///< Fully processed by a probe shard.
+  std::uint64_t frames_shed = 0;         ///< Dropped by degradation sampling/backpressure.
+  std::uint64_t frames_quarantined = 0;  ///< Poison frames captured to the quarantine log.
+
+  /// True when the day saw every offered frame (the paper's normal state:
+  /// "no traffic sampling is performed", §2.1).
+  [[nodiscard]] bool complete() const noexcept {
+    return frames_shed == 0 && frames_quarantined == 0;
+  }
+  /// Multiplicative volume correction for figures over this day's records:
+  /// offered / ingested (1.0 when complete; only shed load is corrected
+  /// for — quarantined frames are inspectable, not extrapolatable).
+  [[nodiscard]] double correction_factor() const noexcept {
+    const std::uint64_t kept = frames_ingested;
+    if (kept == 0 || frames_shed == 0) return 1.0;
+    return static_cast<double>(kept + frames_shed) / static_cast<double>(kept);
+  }
+  [[nodiscard]] bool reconciles() const noexcept {
+    return frames_offered == frames_ingested + frames_shed + frames_quarantined;
+  }
+
+  void merge(const CaptureQuality& other) noexcept {
+    frames_offered += other.frames_offered;
+    frames_ingested += other.frames_ingested;
+    frames_shed += other.frames_shed;
+    frames_quarantined += other.frames_quarantined;
+  }
+
+  bool operator==(const CaptureQuality&) const noexcept = default;
+};
+
 /// The §3 definition of an *active* subscriber.
 struct ActivityCriteria {
   std::uint64_t min_flows = 10;
@@ -143,6 +181,10 @@ struct DayAggregate {
   /// ("our team has continuously monitored the most common server domain
   /// names seen in the network").
   std::map<std::string, std::uint64_t, std::less<>> unclassified_domain_bytes;
+  /// What fraction of the day's traffic this aggregate actually saw
+  /// (degradation shed-accounting; default-constructed == assumed
+  /// complete). Set from runtime::Supervisor's per-day report.
+  CaptureQuality capture;
 
   [[nodiscard]] std::size_t total_subscribers() const noexcept { return subscribers.size(); }
   [[nodiscard]] std::size_t active_subscribers(const ActivityCriteria& c = {}) const;

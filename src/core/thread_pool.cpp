@@ -62,8 +62,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     space_ready_.notify_one();
-    // packaged_task routes any exception into the matching future.
-    task();
+    // packaged_task routes a submit()ed task's exception into the matching
+    // future; this guard is for anything that escapes that capture. A
+    // worker must never die of a task's exception — that turns one bad
+    // block into std::terminate for the whole process.
+    try {
+      task();
+    } catch (...) {
+      stray_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -60,8 +62,12 @@ class ThreadPool {
 
   /// Run fn(i) for every i in [begin, end), chunked across the pool. The
   /// calling thread blocks until all chunks finished; the first exception
-  /// thrown by any fn is rethrown here. Must not be called from inside a
-  /// pool task (the caller would wait on a queue it is supposed to drain).
+  /// thrown by any fn is rethrown here. The chunks capture `fn` by
+  /// reference, so even when submit() itself fails mid-fan-out (a shutdown
+  /// race) every chunk already queued is waited for before the error
+  /// leaves this frame — no task ever outlives the callable it references.
+  /// Must not be called from inside a pool task (the caller would wait on
+  /// a queue it is supposed to drain).
   template <typename F>
   void parallel_for(std::size_t begin, std::size_t end, F&& fn) {
     if (begin >= end) return;
@@ -70,13 +76,18 @@ class ThreadPool {
     const std::size_t chunk = (n + chunks - 1) / chunks;
     std::vector<std::future<void>> futures;
     futures.reserve(chunks);
+    std::exception_ptr first_error;
     for (std::size_t lo = begin; lo < end; lo += chunk) {
       const std::size_t hi = std::min(lo + chunk, end);
-      futures.push_back(submit([&fn, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      }));
+      try {
+        futures.push_back(submit([&fn, lo, hi] {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        }));
+      } catch (...) {
+        first_error = std::current_exception();
+        break;
+      }
     }
-    std::exception_ptr first_error;
     for (auto& f : futures) {
       try {
         f.get();
@@ -90,6 +101,14 @@ class ThreadPool {
   /// Tasks queued but not yet started (observability/tests).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Exceptions that escaped a task outside the packaged_task capture
+  /// (raw enqueued work). Each would previously have terminated the whole
+  /// process via a dying worker; now the worker survives and the event is
+  /// counted.
+  [[nodiscard]] std::uint64_t stray_exceptions() const noexcept {
+    return stray_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
@@ -100,6 +119,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t max_pending_ = 0;
+  std::atomic<std::uint64_t> stray_exceptions_{0};
   bool stopping_ = false;
 };
 

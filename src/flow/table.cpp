@@ -281,6 +281,20 @@ void FlowTable::restore_flow(const core::FiveTuple& key, FlowState state) {
   checkpoints_.push_back({key, seen});
 }
 
+void FlowTable::finalize_restore() {
+  std::sort(checkpoints_.begin(), checkpoints_.end(),
+            [this](const Checkpoint& a, const Checkpoint& b) {
+              if (a.seen != b.seen) return a.seen < b.seen;
+              const auto ia = flows_.find(a.key);
+              const auto ib = flows_.find(b.key);
+              const std::uint64_t sa =
+                  ia != flows_.end() ? ia->second.record.ingest_seq : 0;
+              const std::uint64_t sb =
+                  ib != flows_.end() ? ib->second.record.ingest_seq : 0;
+              return sa < sb;
+            });
+}
+
 void FlowTable::reset() {
   flows_.clear();
   checkpoints_.clear();

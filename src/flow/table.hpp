@@ -177,6 +177,7 @@ class FlowTable {
   /// probe-global sequence so the tag is independent of how flows were
   /// partitioned across shards.
   void set_next_ingest_seq(std::uint64_t seq) noexcept { next_ingest_seq_ = seq; }
+  [[nodiscard]] std::uint64_t next_ingest_seq() const noexcept { return next_ingest_seq_; }
 
   struct Counters {
     std::uint64_t packets = 0;
@@ -200,6 +201,11 @@ class FlowTable {
   /// checkpoint. Replaces any live flow under the same key.
   void restore_flow(const core::FiveTuple& key, FlowState state);
   void restore_counters(const Counters& counters) noexcept { counters_ = counters; }
+  /// Call once after the last restore_flow: orders the rebuilt expiry FIFO
+  /// by (last activity, ingest_seq) so timeout sweeps after a restore
+  /// export flows in the same order an uninterrupted run would —
+  /// independent of the hash-table iteration order the flows were saved in.
+  void finalize_restore();
   /// Drop all live flows and counters without exporting anything.
   void reset();
 

@@ -22,7 +22,7 @@ namespace edgewatch::probe {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'W', 'C', 'P'};
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;  // v2: +next_ingest_seq, +per-flow ingest_seq
 constexpr std::size_t kFileHeaderSize = 4 + 1 + 4 + 8;
 constexpr std::uint64_t kMaxPayload = 1ull << 32;
 
@@ -50,9 +50,7 @@ std::string get_string(core::ByteReader& r, std::size_t max_len) {
 
 }  // namespace
 
-core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& path) const {
-  core::ByteWriter payload;
-
+void Probe::encode_checkpoint_payload(core::ByteWriter& payload) const {
   payload.u64(counters_.frames);
   payload.u64(counters_.decode_failures);
   payload.u64(counters_.ipv6_frames);
@@ -71,6 +69,7 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
   payload.u64(tc.closed_teardown);
   payload.u64(tc.closed_reset);
   payload.u64(tc.forced_evictions);
+  payload.u64(table_.next_ingest_seq());
 
   payload.u64(table_.active_flows());
   table_.for_each_flow([&payload](const core::FiveTuple& key, const flow::FlowState& s) {
@@ -79,6 +78,9 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
     payload.u16(key.src_port);
     payload.u16(key.dst_port);
     payload.u8(static_cast<std::uint8_t>(key.proto));
+    // The on-disk record codec drops ingest_seq (a live ordering tag, not
+    // archive data); flush order depends on it, so the checkpoint keeps it.
+    payload.u64(s.record.ingest_seq);
     storage::encode_record(s.record, payload);
     payload.u8(static_cast<std::uint8_t>(
         (s.syn_seen ? 1u : 0u) | (s.synack_seen ? 2u : 0u) | (s.fin_client ? 4u : 0u) |
@@ -117,6 +119,11 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
     put_ts(payload, inserted);
     put_string(payload, name);
   });
+}
+
+std::vector<std::byte> Probe::checkpoint_image() const {
+  core::ByteWriter payload;
+  encode_checkpoint_payload(payload);
 
   core::ByteWriter out;
   for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
@@ -124,10 +131,15 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
   out.u32le(core::crc32c(payload.view()));
   out.u64le(payload.size());
   out.bytes(payload.view());
+  const auto view = out.view();
+  return {view.begin(), view.end()};
+}
 
+core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& path) const {
+  const auto image = checkpoint_image();
   auto file = storage::make_posix_file();
   if (auto r = file->open_at(path, 0); !r) return r.error();
-  if (auto r = file->write(out.view()); !r) {
+  if (auto r = file->write(image); !r) {
     (void)file->close();
     return r.error();
   }
@@ -136,7 +148,24 @@ core::Result<std::uint64_t> Probe::save_checkpoint(const std::filesystem::path& 
     return r.error();
   }
   if (auto r = file->close(); !r) return r.error();
-  return static_cast<std::uint64_t>(out.size());
+  return static_cast<std::uint64_t>(image.size());
+}
+
+core::Result<void> Probe::restore_image(std::span<const std::byte> data) {
+  const auto size = data.size();
+  if (size < kFileHeaderSize) return core::Errc::kTruncated;
+  if (std::memcmp(data.data(), kMagic, 4) != 0) return core::Errc::kBadMagic;
+  if (std::to_integer<std::uint8_t>(data[4]) != kVersion) return core::Errc::kBadVersion;
+  core::ByteReader header{data.subspan(5, 12)};
+  const std::uint32_t crc = header.u32le();
+  const std::uint64_t payload_len = header.u64le();
+  if (payload_len > kMaxPayload || kFileHeaderSize + payload_len != size) {
+    return core::Errc::kTruncated;
+  }
+  const auto payload = data.subspan(kFileHeaderSize);
+  if (core::crc32c(payload) != crc) return core::Errc::kCorrupt;
+  core::ByteReader r{payload};
+  return decode_checkpoint_payload(r);
 }
 
 core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) {
@@ -149,17 +178,10 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
   if (!in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size))) {
     return core::Errc::kIoError;
   }
-  if (std::memcmp(data.data(), kMagic, 4) != 0) return core::Errc::kBadMagic;
-  if (std::to_integer<std::uint8_t>(data[4]) != kVersion) return core::Errc::kBadVersion;
-  core::ByteReader header{std::span<const std::byte>{data}.subspan(5, 12)};
-  const std::uint32_t crc = header.u32le();
-  const std::uint64_t payload_len = header.u64le();
-  if (payload_len > kMaxPayload || kFileHeaderSize + payload_len != size) {
-    return core::Errc::kTruncated;
-  }
-  const auto payload = std::span<const std::byte>{data}.subspan(kFileHeaderSize);
-  if (core::crc32c(payload) != crc) return core::Errc::kCorrupt;
+  return restore_image(data);
+}
 
+core::Result<void> Probe::decode_checkpoint_payload(core::ByteReader& r) {
   // The CRC passed, so decoding should succeed; if it somehow does not,
   // leave the probe empty rather than half-restored.
   table_.reset();
@@ -171,7 +193,6 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
     return core::Errc::kCorrupt;
   };
 
-  core::ByteReader r{payload};
   Counters pc;
   pc.frames = r.u64();
   pc.decode_failures = r.u64();
@@ -191,6 +212,7 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
   tc.closed_teardown = r.u64();
   tc.closed_reset = r.u64();
   tc.forced_evictions = r.u64();
+  const std::uint64_t next_ingest_seq = r.u64();
 
   const std::uint64_t flow_count = r.u64();
   if (!r.ok()) return fail();
@@ -201,10 +223,12 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
     key.src_port = r.u16();
     key.dst_port = r.u16();
     key.proto = static_cast<core::TransportProto>(r.u8());
+    const std::uint64_t ingest_seq = r.u64();
     const auto record = storage::decode_record(r);
     if (!record) return fail();
     flow::FlowState state;
     state.record = *record;
+    state.record.ingest_seq = ingest_seq;
     const std::uint8_t flags = r.u8();
     state.syn_seen = (flags & 1) != 0;
     state.synack_seen = (flags & 2) != 0;
@@ -240,6 +264,8 @@ core::Result<void> Probe::restore_checkpoint(const std::filesystem::path& path) 
     table_.restore_flow(key, std::move(state));
   }
   table_.restore_counters(tc);
+  table_.set_next_ingest_seq(next_ingest_seq);
+  table_.finalize_restore();
 
   dns::DnHunter::Counters dc;
   dc.responses_ingested = r.u64();

@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "anon/anonymizer.hpp"
 #include "core/result.hpp"
@@ -21,6 +23,11 @@
 #include "dns/dnhunter.hpp"
 #include "flow/table.hpp"
 #include "net/packet.hpp"
+
+namespace edgewatch::core {
+class ByteWriter;
+class ByteReader;
+}  // namespace edgewatch::core
 
 namespace edgewatch::probe {
 
@@ -86,6 +93,16 @@ class Probe {
   /// probe is left reset (empty tables) rather than half-restored.
   core::Result<void> restore_checkpoint(const std::filesystem::path& path);
 
+  /// The same CRC-protected EWCP image save_checkpoint() writes, but in
+  /// memory: the sharded pipeline's supervision layer snapshots every shard
+  /// through this (per-shard blobs ride inside one pipeline checkpoint
+  /// file) and the poison-frame watchdog restores a shard from its last
+  /// good in-memory image without touching the filesystem.
+  [[nodiscard]] std::vector<std::byte> checkpoint_image() const;
+  /// Inverse of checkpoint_image(); same failure contract as
+  /// restore_checkpoint (on error the probe is reset, never half-restored).
+  core::Result<void> restore_image(std::span<const std::byte> image);
+
   struct Counters {
     std::uint64_t frames = 0;
     std::uint64_t decode_failures = 0;
@@ -108,6 +125,11 @@ class Probe {
 
  private:
   void on_export(flow::FlowRecord&& record);
+
+  /// Checkpoint payload codec shared by the file and in-memory paths
+  /// (checkpoint.cpp).
+  void encode_checkpoint_payload(core::ByteWriter& payload) const;
+  core::Result<void> decode_checkpoint_payload(core::ByteReader& r);
 
   /// Per-frame accounting shared by the single-frame and pipelined paths:
   /// online check, frame counter, sampling, IPv6 triage. True if the frame

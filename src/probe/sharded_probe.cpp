@@ -105,6 +105,22 @@ void ShardedProbe::ingest(net::Frame frame) {
   shards_[target]->queue.push(std::move(item));
 }
 
+bool ShardedProbe::try_ingest(net::Frame& frame) {
+  if (finished_) return false;
+  Item item;
+  item.seq = next_seq_;  // claimed only on success
+  item.frame = std::move(frame);
+  const std::size_t target = shard_of(item.frame);
+  if (!shards_[target]->queue.try_push(std::move(item))) {
+    // try_push leaves the item untouched on failure; give the frame back.
+    frame = std::move(item.frame);
+    return false;
+  }
+  ++next_seq_;
+  ++feeder_frames_;
+  return true;
+}
+
 void ShardedProbe::broadcast(Item::Kind kind, dpi::ClassifierOptions options) {
   if (finished_) return;
   for (auto& shard : shards_) {
@@ -123,12 +139,117 @@ void ShardedProbe::begin_outage() { broadcast(Item::Kind::kBeginOutage); }
 
 void ShardedProbe::end_outage() { broadcast(Item::Kind::kEndOutage); }
 
+std::vector<std::shared_ptr<ShardedProbe::BarrierSlot>> ShardedProbe::barrier(
+    Item::Kind kind, const std::vector<std::vector<std::byte>>* state_in) {
+  std::vector<std::shared_ptr<BarrierSlot>> slots;
+  slots.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto slot = std::make_shared<BarrierSlot>();
+    if (state_in != nullptr) slot->state_in = (*state_in)[i];
+    Item item;
+    item.kind = kind;
+    item.barrier = slot;
+    shards_[i]->queue.push(std::move(item));
+    slots.push_back(std::move(slot));
+  }
+  for (auto& slot : slots) slot->done.wait(false);
+  return slots;
+}
+
+PipelineSnapshot ShardedProbe::snapshot() {
+  PipelineSnapshot snap;
+  if (finished_) return snap;
+  const auto slots = barrier(Item::Kind::kSnapshot, nullptr);
+  snap.next_seq = next_seq_;
+  snap.shard_state.reserve(slots.size());
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot->records.size();
+  snap.records.reserve(total);
+  for (const auto& slot : slots) {
+    snap.shard_state.push_back(std::move(slot->state_out));
+    std::move(slot->records.begin(), slot->records.end(), std::back_inserter(snap.records));
+  }
+  std::sort(snap.records.begin(), snap.records.end(),
+            [](const flow::FlowRecord& a, const flow::FlowRecord& b) {
+              return a.ingest_seq < b.ingest_seq;
+            });
+  return snap;
+}
+
+core::Result<void> ShardedProbe::restore(
+    const std::vector<std::vector<std::byte>>& shard_state, std::uint64_t next_seq) {
+  if (finished_) return core::Errc::kUnsupported;
+  if (shard_state.size() != shards_.size()) return core::Errc::kUnsupported;
+  const auto slots = barrier(Item::Kind::kRestore, &shard_state);
+  for (const auto& slot : slots) {
+    if (slot->errc != core::Errc::kOk) return slot->errc;
+  }
+  next_seq_ = next_seq;
+  feeder_frames_ = next_seq;
+  return {};
+}
+
+void ShardedProbe::handle_frame(Shard& shard, Item& item) {
+  bool state_suspect = false;
+  try {
+    if (config_.frame_inspector) config_.frame_inspector(item.seq, item.frame);
+    state_suspect = true;  // from here on, a throw leaves the probe half-mutated
+    shard.probe->set_next_ingest_seq(item.seq);
+    shard.probe->process(item.frame);
+    if (config_.snapshot_interval > 0 &&
+        ++shard.frames_since_snapshot >= config_.snapshot_interval) {
+      shard.last_snapshot = shard.probe->checkpoint_image();
+      shard.frames_since_snapshot = 0;
+    }
+    return;
+  } catch (const StateSuspectError&) {
+    state_suspect = true;
+  } catch (...) {
+    // Inspector threw before processing started: probe state untouched.
+  }
+
+  // Poison frame: quarantine it and, if the probe may be half-mutated,
+  // roll the shard back to its last good state instead of letting one bad
+  // frame take down five years of uptime.
+  bool restored = false;
+  if (state_suspect) {
+    if (!shard.last_snapshot.empty() &&
+        shard.probe->restore_image(shard.last_snapshot).ok()) {
+      restored = true;
+    } else {
+      // No snapshot to roll back to (snapshot_interval == 0 or capture
+      // failed): drop the flow state the outage way — without exporting
+      // records from a suspect table.
+      shard.probe->begin_outage();
+      shard.probe->end_outage();
+    }
+    shard.frames_since_snapshot = 0;
+    shard.restores.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.quarantined.fetch_add(1, std::memory_order_relaxed);
+  if (config_.poison_sink) config_.poison_sink(item.seq, item.frame, restored);
+}
+
 void ShardedProbe::worker_loop(Shard& shard) {
+  if (config_.snapshot_interval > 0) {
+    // Initial snapshot: a poison frame before the first interval elapses
+    // still has a good (empty) state to roll back to.
+    shard.last_snapshot = shard.probe->checkpoint_image();
+  }
   while (auto item = shard.queue.pop()) {
+    if (abandoned_.load(std::memory_order_acquire)) {
+      // Simulated kill: drain without processing. Barrier waiters are
+      // unblocked so the feeder never hangs on a dead pipeline.
+      if (item->barrier) {
+        item->barrier->errc = core::Errc::kCrashed;
+        item->barrier->done.store(true, std::memory_order_release);
+        item->barrier->done.notify_one();
+      }
+      continue;
+    }
     switch (item->kind) {
       case Item::Kind::kFrame:
-        shard.probe->set_next_ingest_seq(item->seq);
-        shard.probe->process(item->frame);
+        handle_frame(shard, *item);
         break;
       case Item::Kind::kClassifier:
         shard.probe->set_classifier_options(item->options);
@@ -139,21 +260,66 @@ void ShardedProbe::worker_loop(Shard& shard) {
       case Item::Kind::kEndOutage:
         shard.probe->end_outage();
         break;
+      case Item::Kind::kSnapshot: {
+        auto& slot = *item->barrier;
+        slot.state_out = shard.probe->checkpoint_image();
+        if (config_.snapshot_interval > 0) {
+          // Re-anchor poison rollback at the barrier image: a run resumed
+          // from this checkpoint starts with exactly this snapshot, so the
+          // rollback schedule replays identically after recovery.
+          shard.last_snapshot = slot.state_out;
+          shard.frames_since_snapshot = 0;
+        }
+        slot.records = std::move(shard.records);
+        shard.records.clear();
+        slot.done.store(true, std::memory_order_release);
+        slot.done.notify_one();
+        break;
+      }
+      case Item::Kind::kRestore: {
+        auto& slot = *item->barrier;
+        const auto r = shard.probe->restore_image(slot.state_in);
+        slot.errc = r ? core::Errc::kOk : r.error();
+        if (config_.snapshot_interval > 0) {
+          shard.last_snapshot = shard.probe->checkpoint_image();
+          shard.frames_since_snapshot = 0;
+        }
+        slot.done.store(true, std::memory_order_release);
+        slot.done.notify_one();
+        break;
+      }
     }
+    shard.heartbeat.fetch_add(1, std::memory_order_release);
   }
+  if (abandoned_.load(std::memory_order_acquire)) return;  // killed: no flush
   // Ring closed and drained: flush the shard's open flows. The exports
   // land in shard.records with their creation-time tags, so the merge
   // below puts them where the serial probe's flush would.
   shard.probe->finish();
 }
 
-std::vector<flow::FlowRecord> ShardedProbe::finish() {
-  if (finished_) return {};
-  finished_ = true;
+void ShardedProbe::join_workers() {
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+}
+
+void ShardedProbe::abandon() {
+  if (finished_) return;
+  finished_ = true;
+  abandoned_.store(true, std::memory_order_release);
+  join_workers();
+  for (auto& shard : shards_) {
+    shard->records.clear();
+    shard->records.shrink_to_fit();
+  }
+}
+
+std::vector<flow::FlowRecord> ShardedProbe::finish() {
+  if (finished_) return {};
+  finished_ = true;
+  join_workers();
 
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->records.size();
@@ -172,6 +338,34 @@ std::vector<flow::FlowRecord> ShardedProbe::finish() {
               return a.ingest_seq < b.ingest_seq;
             });
   return merged;
+}
+
+std::size_t ShardedProbe::queue_depth(std::size_t i) const noexcept {
+  return shards_[i]->queue.size();
+}
+
+std::size_t ShardedProbe::queue_capacity() const noexcept {
+  return shards_.empty() ? 0 : shards_[0]->queue.capacity();
+}
+
+std::uint64_t ShardedProbe::heartbeat(std::size_t i) const noexcept {
+  return shards_[i]->heartbeat.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShardedProbe::quarantined(std::size_t i) const noexcept {
+  return shards_[i]->quarantined.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedProbe::quarantined_total() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->quarantined.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t ShardedProbe::state_restores() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->restores.load(std::memory_order_relaxed);
+  return n;
 }
 
 Probe::Counters ShardedProbe::counters() const {

@@ -29,19 +29,40 @@
 // shard's last packet timestamp and the stream's may report kProbeFlush
 // where the serial probe reports kIdleTimeout (each shard's clock only
 // advances on its own packets).
+//
+// Supervision hooks (runtime::Supervisor, DESIGN §11): the feeder can
+// probe ring occupancy (try_ingest + queue_depth) to drive overload-aware
+// shedding, read per-shard heartbeats for stall detection, quarantine a
+// frame whose processing throws (restoring the shard's probe from its last
+// good in-memory checkpoint instead of killing the process), and run
+// coordinated snapshot/restore barriers through the rings so a pipeline
+// checkpoint captures every shard at exactly the same stream position.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "core/result.hpp"
 #include "core/spsc_queue.hpp"
 #include "flow/record.hpp"
 #include "net/packet.hpp"
 #include "probe/probe.hpp"
 
 namespace edgewatch::probe {
+
+/// Thrown by a frame inspector (or anything reached from Probe::process)
+/// to signal that the shard's probe state may be half-mutated and must be
+/// rolled back to its last good snapshot, not merely skipped past. Any
+/// other exception thrown *before* processing starts leaves the probe
+/// untouched, so the worker only quarantines the frame.
+struct StateSuspectError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct ShardedProbeConfig {
   /// Template for every shard. `sample_rate` is honoured globally at the
@@ -52,6 +73,30 @@ struct ShardedProbeConfig {
   /// Frames buffered per shard ring before the feeder blocks
   /// (backpressure keeps memory bounded when one shard falls behind).
   std::size_t queue_capacity = 1024;
+
+  /// Invoked on the worker thread for every frame, before it reaches the
+  /// shard's probe. The hook where payload-touching extensions plug in —
+  /// and where the chaos harness injects poison (throw) and stalls
+  /// (block). May throw: a plain exception quarantines the frame (probe
+  /// state untouched); StateSuspectError additionally restores the shard
+  /// from its last snapshot.
+  std::function<void(std::uint64_t seq, const net::Frame&)> frame_inspector;
+  /// Invoked on the worker thread when a frame is quarantined.
+  /// `state_restored` tells whether the shard rolled back to a snapshot.
+  std::function<void(std::uint64_t seq, const net::Frame&, bool state_restored)> poison_sink;
+  /// Worker-local frames between automatic probe snapshots (the "last good
+  /// state" a poison rollback restores). 0 disables snapshots — a poison
+  /// frame then resets the shard to empty.
+  std::uint64_t snapshot_interval = 0;
+};
+
+/// Coordinated state capture of the whole sharded pipeline at one stream
+/// position: every shard's EWCP image, plus all records exported so far
+/// (drained, merged in creation order). Taken via ShardedProbe::snapshot().
+struct PipelineSnapshot {
+  std::uint64_t next_seq = 0;                       ///< First unassigned frame seq.
+  std::vector<std::vector<std::byte>> shard_state;  ///< One EWCP image per shard.
+  std::vector<flow::FlowRecord> records;            ///< Exported so far, by ingest_seq.
 };
 
 class ShardedProbe {
@@ -67,6 +112,11 @@ class ShardedProbe {
   /// a copy to keep the original.
   void ingest(net::Frame frame);
 
+  /// Non-blocking ingest for overload-aware feeders: false when the owning
+  /// shard's ring is full (the frame is left in `frame`, no sequence
+  /// number is consumed — the caller may retry, reroute or shed it).
+  [[nodiscard]] bool try_ingest(net::Frame& frame);
+
   /// Control events ride the same rings as frames, so they take effect at
   /// exactly the same stream position on every shard (upgrade events C/F,
   /// outage windows of §2.3).
@@ -74,13 +124,45 @@ class ShardedProbe {
   void begin_outage();
   void end_outage();
 
+  /// Checkpoint barrier: wait for every shard to drain its ring, then
+  /// capture each probe's state and hand over all exported records. After
+  /// it returns, the pipeline keeps running — this is the supervisor's
+  /// periodic pipeline checkpoint, not a shutdown.
+  [[nodiscard]] PipelineSnapshot snapshot();
+
+  /// Restore barrier: replace every shard's probe state with the given
+  /// EWCP images (one per shard, from PipelineSnapshot::shard_state) and
+  /// reset the feeder's frame sequence to `next_seq`. Must run before any
+  /// frame is ingested. Fails with kUnsupported on a shard-count mismatch;
+  /// a shard whose image fails to decode is left reset and reported.
+  core::Result<void> restore(const std::vector<std::vector<std::byte>>& shard_state,
+                             std::uint64_t next_seq);
+
   /// Drain every ring, flush every shard, join the workers, and return
   /// all exported records merged by `ingest_seq` (deterministic creation
   /// order, independent of the shard count). Idempotent; after the first
   /// call the probe accepts no more frames.
   [[nodiscard]] std::vector<flow::FlowRecord> finish();
 
+  /// Simulated hard kill (chaos harness): stop the workers without
+  /// flushing open flows or exporting anything — in-memory state dies
+  /// exactly as it would with SIGKILL. Idempotent with finish().
+  void abandon();
+
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// --- Observability for the supervision layer (any thread) ---
+  /// Frames currently buffered in shard `i`'s ring.
+  [[nodiscard]] std::size_t queue_depth(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t queue_capacity() const noexcept;
+  /// Heartbeat: items shard `i`'s worker has fully handled. A shard whose
+  /// heartbeat stands still while its ring is non-empty is stalled.
+  [[nodiscard]] std::uint64_t heartbeat(std::size_t i) const noexcept;
+  /// Frames quarantined (processing threw) per shard / total.
+  [[nodiscard]] std::uint64_t quarantined(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t quarantined_total() const noexcept;
+  /// Poison rollbacks that restored a shard from its last snapshot.
+  [[nodiscard]] std::uint64_t state_restores() const noexcept;
 
   /// Aggregated per-shard counters plus the feeder's frame/sampling
   /// counts. Only meaningful after finish() (shard state is thread-owned
@@ -88,12 +170,29 @@ class ShardedProbe {
   [[nodiscard]] Probe::Counters counters() const;
 
  private:
+  /// Filled by the worker at a snapshot/restore barrier item.
+  struct BarrierSlot {
+    std::vector<std::byte> state_in;     ///< kRestore: image to apply.
+    std::vector<std::byte> state_out;    ///< kSnapshot: captured image.
+    std::vector<flow::FlowRecord> records;  ///< kSnapshot: drained exports.
+    core::Errc errc = core::Errc::kOk;
+    std::atomic<bool> done{false};
+  };
+
   struct Item {
-    enum class Kind : std::uint8_t { kFrame, kClassifier, kBeginOutage, kEndOutage };
+    enum class Kind : std::uint8_t {
+      kFrame,
+      kClassifier,
+      kBeginOutage,
+      kEndOutage,
+      kSnapshot,
+      kRestore,
+    };
     Kind kind = Kind::kFrame;
     std::uint64_t seq = 0;
     net::Frame frame;
     dpi::ClassifierOptions options;
+    std::shared_ptr<BarrierSlot> barrier;
   };
 
   struct Shard {
@@ -102,17 +201,31 @@ class ShardedProbe {
     std::unique_ptr<Probe> probe;
     std::vector<flow::FlowRecord> records;  ///< Written by worker, read after join.
     std::thread worker;
+    // Worker-owned poison-recovery state.
+    std::vector<std::byte> last_snapshot;
+    std::uint64_t frames_since_snapshot = 0;
+    // Cross-thread observability.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> quarantined{0};
+    std::atomic<std::uint64_t> restores{0};
   };
 
   [[nodiscard]] std::size_t shard_of(const net::Frame& frame) const noexcept;
   void broadcast(Item::Kind kind, dpi::ClassifierOptions options = {});
+  /// Push one barrier item per shard and wait for every worker to mark its
+  /// slot done. Returns the slots for harvesting.
+  std::vector<std::shared_ptr<BarrierSlot>> barrier(
+      Item::Kind kind, const std::vector<std::vector<std::byte>>* state_in);
   void worker_loop(Shard& shard);
+  void handle_frame(Shard& shard, Item& item);
+  void join_workers();
 
   ShardedProbeConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t feeder_frames_ = 0;
   std::uint64_t feeder_sampled_out_ = 0;
+  std::atomic<bool> abandoned_{false};
   bool finished_ = false;
 };
 

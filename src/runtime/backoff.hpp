@@ -1,0 +1,72 @@
+// Bounded retry-with-backoff for transient I/O failures on the live write
+// path. A five-year pipeline (paper §2.3) meets full disks and flaky
+// controllers as a matter of course; the correct reaction to ENOSPC/EIO on
+// a lake append is a few spaced retries (an operator or log-rotation cron
+// frees space within seconds), then a recorded failure — never a tight
+// loop and never silent data loss.
+//
+// Delays are computed, not slept, so the policy is deterministic and
+// testable: callers hand the delay to an injectable sleeper. The chaos
+// harness uses a recording no-op sleeper; production uses
+// std::this_thread::sleep_for.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "core/result.hpp"
+
+namespace edgewatch::runtime {
+
+struct BackoffPolicy {
+  std::uint32_t max_attempts = 4;  ///< Total tries (first attempt included).
+  std::chrono::microseconds initial{2'000};
+  double multiplier = 4.0;
+  std::chrono::microseconds cap{500'000};
+
+  /// Delay before retry number `retry` (1-based: the wait after the first
+  /// failure is delay(1)). Exponential, capped, deterministic.
+  [[nodiscard]] std::chrono::microseconds delay(std::uint32_t retry) const noexcept {
+    if (retry == 0) return std::chrono::microseconds{0};
+    double us = static_cast<double>(initial.count());
+    for (std::uint32_t i = 1; i < retry; ++i) {
+      us *= multiplier;
+      if (us >= static_cast<double>(cap.count())) return cap;
+    }
+    const auto clamped = us < static_cast<double>(cap.count())
+                             ? static_cast<std::chrono::microseconds::rep>(us)
+                             : cap.count();
+    return std::chrono::microseconds{clamped};
+  }
+};
+
+/// How the retry loop pauses between attempts. Injectable so tests and the
+/// chaos harness never actually sleep.
+using Sleeper = std::function<void(std::chrono::microseconds)>;
+
+/// Transient errors are worth retrying: the OS may recover (EIO on a
+/// congested controller) or space may be freed (ENOSPC). Corruption,
+/// format and crash errors are not transient — retrying cannot fix them.
+[[nodiscard]] constexpr bool transient(core::Errc e) noexcept {
+  return e == core::Errc::kIoError || e == core::Errc::kNoSpace;
+}
+
+/// Run `op` (returning core::Result<T>) up to policy.max_attempts times,
+/// sleeping policy.delay(i) between attempts while the error stays
+/// transient. `retries_out`, when non-null, accumulates the number of
+/// retries actually performed (for health accounting).
+template <typename Op>
+auto with_backoff(const BackoffPolicy& policy, const Sleeper& sleep, Op&& op,
+                  std::uint64_t* retries_out = nullptr) -> decltype(op()) {
+  auto result = op();
+  for (std::uint32_t retry = 1; !result && retry < policy.max_attempts; ++retry) {
+    if (!transient(result.error())) break;
+    if (sleep) sleep(policy.delay(retry));
+    if (retries_out != nullptr) ++*retries_out;
+    result = op();
+  }
+  return result;
+}
+
+}  // namespace edgewatch::runtime

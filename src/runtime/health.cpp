@@ -1,0 +1,33 @@
+#include "runtime/health.hpp"
+
+#include <sstream>
+
+namespace edgewatch::runtime {
+
+std::string HealthSnapshot::format() const {
+  std::ostringstream out;
+  out << "state=" << to_string(state) << " keep=1/" << (std::uint64_t{1} << sample_shift)
+      << "\n";
+  out << "offered=" << frames_offered << " ingested=" << frames_ingested
+      << " shed=" << shed_total() << " (sampled=" << shed_sampled
+      << " backpressure=" << shed_backpressure << ") quarantined=" << frames_quarantined
+      << (reconciles() ? " [reconciled]" : " [in-flight]") << "\n";
+  out << "appends: retries=" << append_retries << " failures=" << append_failures;
+  if (last_append_error != core::Errc::kOk) {
+    out << " last_error=" << core::to_string(last_append_error);
+  }
+  out << "\n";
+  out << "checkpoints=" << checkpoints_written << " last_at_offered="
+      << last_checkpoint_offered << " stalls=" << stalls_detected << "\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& s = shards[i];
+    out << "shard[" << i << "] hb=" << s.heartbeat << " depth=" << s.queue_depth << "/"
+        << s.queue_capacity << " quarantined=" << s.quarantined;
+    if (s.stalled) out << " STALLED";
+    else if (s.stall_strikes > 0) out << " strikes=" << s.stall_strikes;
+    out << "\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace edgewatch::runtime

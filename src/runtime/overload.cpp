@@ -1,0 +1,37 @@
+#include "runtime/overload.hpp"
+
+#include <algorithm>
+
+namespace edgewatch::runtime {
+
+void OverloadController::observe(double occupancy) {
+  ++observations_;
+  if (occupancy >= policy_.high_watermark) {
+    ++pressure_streak_;
+    calm_streak_ = 0;
+    if (pressure_streak_ >= policy_.escalate_after && shift_ < policy_.max_shift) {
+      move_to(shift_ + 1);
+      pressure_streak_ = 0;
+    }
+  } else if (occupancy <= policy_.low_watermark) {
+    ++calm_streak_;
+    pressure_streak_ = 0;
+    if (calm_streak_ >= policy_.recover_after && shift_ > 0) {
+      move_to(shift_ - 1);
+      calm_streak_ = 0;
+    }
+  } else {
+    // Hysteresis band: neither escalating nor recovering. Streaks reset so
+    // only *sustained* pressure or calm moves the machine.
+    pressure_streak_ = 0;
+    calm_streak_ = 0;
+  }
+}
+
+void OverloadController::move_to(std::uint32_t shift) {
+  const HealthState from = state();
+  shift_ = std::min(shift, policy_.max_shift);
+  transitions_.push_back({observations_, from, state(), shift_});
+}
+
+}  // namespace edgewatch::runtime

@@ -1,0 +1,116 @@
+// Overload-aware graceful degradation (DESIGN §11). High-speed capture
+// systems must shed load in a controlled, *recorded* way rather than fall
+// over silently (Clegg et al.; FlowDNS bounds its queues and drops
+// deterministically). This controller watches ring occupancy at the feeder
+// and walks a watermark-driven state machine:
+//
+//   Healthy ──sustained high occupancy──▶ Degraded (keep 1-in-2)
+//   Degraded ──still pressured──▶ Shedding (keep 1-in-4 … 1-in-2^max)
+//   … ──sustained low occupancy──▶ step back down, one level at a time
+//
+// All decisions are deterministic functions of the observation stream and
+// the offered-frame index: no wall-clock, no randomness. Every transition
+// is logged with the observation count that caused it, and every shed
+// frame is counted per civil day so downstream figures can be corrected
+// (analytics::CaptureQuality), never silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/health.hpp"
+
+namespace edgewatch::runtime {
+
+struct OverloadPolicy {
+  /// Occupancy fraction (max across shards) at/above which an observation
+  /// counts as pressure.
+  double high_watermark = 0.75;
+  /// At/below which an observation counts as calm (in between: neutral,
+  /// streaks reset — that gap is the hysteresis band).
+  double low_watermark = 0.25;
+  /// Consecutive pressured observations before escalating one level.
+  std::uint32_t escalate_after = 8;
+  /// Consecutive calm observations before de-escalating one level
+  /// (deliberately larger: recovering too eagerly causes flapping).
+  std::uint32_t recover_after = 64;
+  /// Maximum sampling shift: at full escalation 1 in 2^max_shift frames
+  /// is kept.
+  std::uint32_t max_shift = 6;
+  /// Bounded retries (with a CPU-relax each) a full ring gets before the
+  /// frame is shed as backpressure.
+  std::uint32_t ingest_retries = 64;
+  /// The feeder samples occupancy every N offered frames (occupancy reads
+  /// are cheap but not free on the per-packet path).
+  std::uint32_t observe_every = 16;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadPolicy policy = {}) : policy_(policy) {}
+
+  /// One sampled occupancy observation (0..1, max across shards).
+  void observe(double occupancy);
+  /// A bounded ingest retry loop exhausted on a full ring: counts as a
+  /// maximal-pressure observation regardless of the sampling cadence.
+  void on_ring_full() { observe(1.0); }
+
+  /// Deterministic shed decision for the offered frame with this index:
+  /// keep 1 in 2^shift. Pure — same controller state and index, same
+  /// answer, whatever thread or run asks.
+  [[nodiscard]] bool should_keep(std::uint64_t offered_index) const noexcept {
+    const std::uint32_t shift = shift_;
+    if (shift == 0) return true;
+    return (offered_index & ((std::uint64_t{1} << shift) - 1)) == 0;
+  }
+
+  [[nodiscard]] HealthState state() const noexcept {
+    return shift_ == 0 ? HealthState::kHealthy
+           : shift_ == 1 ? HealthState::kDegraded
+                         : HealthState::kShedding;
+  }
+  [[nodiscard]] std::uint32_t sample_shift() const noexcept { return shift_; }
+  [[nodiscard]] const OverloadPolicy& policy() const noexcept { return policy_; }
+
+  /// Every state-machine move, stamped with the observation index that
+  /// triggered it (health telemetry and tests).
+  struct Transition {
+    std::uint64_t at_observation = 0;
+    HealthState from = HealthState::kHealthy;
+    HealthState to = HealthState::kHealthy;
+    std::uint32_t shift = 0;
+  };
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// Checkpointable controller state (pipeline checkpoint: a resumed run
+  /// restarts the state machine where the killed run left it).
+  struct Saved {
+    std::uint32_t shift = 0;
+    std::uint32_t pressure_streak = 0;
+    std::uint32_t calm_streak = 0;
+    std::uint64_t observations = 0;
+  };
+  [[nodiscard]] Saved save() const noexcept {
+    return {shift_, pressure_streak_, calm_streak_, observations_};
+  }
+  void load(const Saved& s) noexcept {
+    shift_ = s.shift;
+    pressure_streak_ = s.pressure_streak;
+    calm_streak_ = s.calm_streak;
+    observations_ = s.observations;
+  }
+
+ private:
+  void move_to(std::uint32_t shift);
+
+  OverloadPolicy policy_;
+  std::uint32_t shift_ = 0;
+  std::uint32_t pressure_streak_ = 0;
+  std::uint32_t calm_streak_ = 0;
+  std::uint64_t observations_ = 0;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace edgewatch::runtime

@@ -1,0 +1,189 @@
+#include "runtime/pipeline_checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/bytes.hpp"
+#include "core/hash.hpp"
+#include "storage/codec.hpp"
+
+namespace edgewatch::runtime {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'W', 'P', 'C'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kFileHeaderSize = 4 + 1 + 4 + 8;
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+// Decode-side sanity bounds: a CRC-valid payload should never trip these,
+// but a bounded reject beats an unbounded allocation.
+constexpr std::uint64_t kMaxShards = 4096;
+constexpr std::uint64_t kMaxDays = 1u << 20;
+
+void encode_payload(const PipelineCheckpoint& cp, core::ByteWriter& w) {
+  w.u64le(cp.replay_from);
+  w.u64le(cp.probe_next_seq);
+  w.u64le(cp.frames_offered);
+  w.u64le(cp.frames_ingested);
+  w.u64le(cp.shed_sampled);
+  w.u64le(cp.shed_backpressure);
+  w.u64le(cp.frames_quarantined);
+  w.u64le(cp.append_retries);
+  w.u64le(cp.append_failures);
+  w.u64le(cp.checkpoints_written);
+  w.u64le(cp.stalls_detected);
+
+  w.u32le(cp.controller.shift);
+  w.u32le(cp.controller.pressure_streak);
+  w.u32le(cp.controller.calm_streak);
+  w.u64le(cp.controller.observations);
+
+  w.u64le(cp.quarantine_bytes);
+  w.u64le(cp.quarantine_entries);
+
+  w.u32le(static_cast<std::uint32_t>(cp.shard_state.size()));
+  for (const auto& image : cp.shard_state) {
+    w.u64le(image.size());
+    w.bytes(image);
+  }
+
+  w.u32le(static_cast<std::uint32_t>(cp.days.size()));
+  for (const auto& d : cp.days) {
+    w.u32le(static_cast<std::uint32_t>(d.day.year));
+    w.u8(d.day.month);
+    w.u8(d.day.day);
+    w.u64le(d.lake_bytes);
+    w.u64le(d.quality.frames_offered);
+    w.u64le(d.quality.frames_ingested);
+    w.u64le(d.quality.frames_shed);
+    w.u64le(d.quality.frames_quarantined);
+  }
+
+  w.u64le(cp.pending.size());
+  for (const auto& record : cp.pending) storage::encode_record(record, w);
+}
+
+core::Result<PipelineCheckpoint> decode_payload(core::ByteReader& r) {
+  PipelineCheckpoint cp;
+  cp.replay_from = r.u64le();
+  cp.probe_next_seq = r.u64le();
+  cp.frames_offered = r.u64le();
+  cp.frames_ingested = r.u64le();
+  cp.shed_sampled = r.u64le();
+  cp.shed_backpressure = r.u64le();
+  cp.frames_quarantined = r.u64le();
+  cp.append_retries = r.u64le();
+  cp.append_failures = r.u64le();
+  cp.checkpoints_written = r.u64le();
+  cp.stalls_detected = r.u64le();
+
+  cp.controller.shift = r.u32le();
+  cp.controller.pressure_streak = r.u32le();
+  cp.controller.calm_streak = r.u32le();
+  cp.controller.observations = r.u64le();
+
+  cp.quarantine_bytes = r.u64le();
+  cp.quarantine_entries = r.u64le();
+
+  const std::uint32_t shard_count = r.u32le();
+  if (!r.ok() || shard_count > kMaxShards) return core::Errc::kCorrupt;
+  cp.shard_state.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    const std::uint64_t len = r.u64le();
+    if (len > r.remaining()) return core::Errc::kCorrupt;
+    const auto image = r.bytes(static_cast<std::size_t>(len));
+    cp.shard_state.emplace_back(image.begin(), image.end());
+  }
+
+  const std::uint32_t day_count = r.u32le();
+  if (!r.ok() || day_count > kMaxDays) return core::Errc::kCorrupt;
+  cp.days.reserve(day_count);
+  for (std::uint32_t i = 0; i < day_count; ++i) {
+    PipelineCheckpoint::DayState d;
+    d.day.year = static_cast<std::int32_t>(r.u32le());
+    d.day.month = r.u8();
+    d.day.day = r.u8();
+    d.lake_bytes = r.u64le();
+    d.quality.frames_offered = r.u64le();
+    d.quality.frames_ingested = r.u64le();
+    d.quality.frames_shed = r.u64le();
+    d.quality.frames_quarantined = r.u64le();
+    cp.days.push_back(d);
+  }
+
+  const std::uint64_t pending_count = r.u64le();
+  if (!r.ok()) return core::Errc::kCorrupt;
+  cp.pending.reserve(static_cast<std::size_t>(pending_count));
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    auto record = storage::decode_record(r);
+    if (!record) return core::Errc::kCorrupt;
+    cp.pending.push_back(std::move(*record));
+  }
+  if (!r.ok() || r.remaining() != 0) return core::Errc::kCorrupt;
+  return cp;
+}
+
+}  // namespace
+
+core::Result<void> save_pipeline_checkpoint(const PipelineCheckpoint& cp,
+                                            const std::filesystem::path& path,
+                                            const storage::FileFactory& factory) {
+  core::ByteWriter payload;
+  encode_payload(cp, payload);
+  if (payload.size() > kMaxPayload) return core::Errc::kUnsupported;
+
+  core::ByteWriter out{kFileHeaderSize + payload.size()};
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u8(kVersion);
+  out.u32le(core::crc32c(payload.view()));
+  out.u64le(payload.size());
+  out.bytes(payload.view());
+
+  // Atomic replace: the previous checkpoint stays valid until the new one
+  // is durably in place. A crash between write and rename costs nothing —
+  // the resume just starts one checkpoint earlier.
+  auto tmp = path;
+  tmp += ".tmp";
+  auto file = factory ? factory() : storage::make_posix_file();
+  if (auto r = file->open_at(tmp, 0); !r) return r;
+  if (auto r = file->write(out.view()); !r) {
+    (void)file->close();
+    return r;
+  }
+  if (auto r = file->sync(); !r) {
+    (void)file->close();
+    return r;
+  }
+  if (auto r = file->close(); !r) return r;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return core::Errc::kIoError;
+  return {};
+}
+
+core::Result<PipelineCheckpoint> load_pipeline_checkpoint(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return core::Errc::kNotFound;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  if (size < kFileHeaderSize) return core::Errc::kTruncated;
+  std::vector<std::byte> data(size);
+  in.seekg(0);
+  if (!in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size))) {
+    return core::Errc::kIoError;
+  }
+  if (std::memcmp(data.data(), kMagic, 4) != 0) return core::Errc::kBadMagic;
+  if (std::to_integer<std::uint8_t>(data[4]) != kVersion) return core::Errc::kBadVersion;
+  core::ByteReader header{std::span<const std::byte>{data}.subspan(5, 12)};
+  const std::uint32_t crc = header.u32le();
+  const std::uint64_t payload_len = header.u64le();
+  if (payload_len > kMaxPayload || kFileHeaderSize + payload_len != size) {
+    return core::Errc::kTruncated;
+  }
+  const auto payload = std::span<const std::byte>{data}.subspan(kFileHeaderSize);
+  if (core::crc32c(payload) != crc) return core::Errc::kCorrupt;
+  core::ByteReader r{payload};
+  return decode_payload(r);
+}
+
+}  // namespace edgewatch::runtime

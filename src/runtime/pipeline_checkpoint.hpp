@@ -1,0 +1,85 @@
+// Whole-pipeline checkpoint (EWPC): everything a crash-recovery resume
+// needs to continue a supervised run mid-stream and still produce
+// byte-identical day output (DESIGN §11).
+//
+// The consistency protocol is ordering, not locking. At a checkpoint
+// barrier the supervisor (1) snapshots every shard at one stream position,
+// (2) appends all drained records to the lake and syncs the quarantine
+// log, and only then (3) writes this file atomically (temp + fsync +
+// rename). The checkpoint therefore records the lake and quarantine files
+// *at sizes that are already durable*; a resume truncates both back to
+// those sizes, discarding any bytes a half-finished post-checkpoint append
+// left behind (the torn-tail repair), restores the shards, and replays the
+// source from `replay_from`.
+//
+// File layout mirrors the probe checkpoint:
+//   "EWPC" | u8 version | u32le crc32c(payload) | u64le payload_len | payload
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "analytics/day_aggregate.hpp"
+#include "core/result.hpp"
+#include "core/time.hpp"
+#include "flow/record.hpp"
+#include "runtime/overload.hpp"
+#include "storage/io.hpp"
+
+namespace edgewatch::runtime {
+
+struct PipelineCheckpoint {
+  /// Offered frames consumed (the replay cursor: a resumed feeder skips
+  /// this many frames of its source). Shed frames consume an offered index
+  /// but no probe sequence number, so this is NOT probe_next_seq.
+  std::uint64_t replay_from = 0;
+  /// First unassigned probe ingest sequence number.
+  std::uint64_t probe_next_seq = 0;
+
+  // Supervisor counters at the barrier (health continuity across resume).
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t shed_sampled = 0;
+  std::uint64_t shed_backpressure = 0;
+  std::uint64_t frames_quarantined = 0;
+  std::uint64_t append_retries = 0;
+  std::uint64_t append_failures = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t stalls_detected = 0;
+
+  OverloadController::Saved controller;
+
+  std::uint64_t quarantine_bytes = 0;
+  std::uint64_t quarantine_entries = 0;
+
+  /// One EWCP image per shard, captured at the barrier.
+  std::vector<std::vector<std::byte>> shard_state;
+
+  /// Durable per-day state at the barrier. A resume truncates each listed
+  /// day's lake file to `lake_bytes` and removes day files the checkpoint
+  /// does not list (they were created after it).
+  struct DayState {
+    core::CivilDate day{};
+    std::uint64_t lake_bytes = 0;
+    analytics::CaptureQuality quality;
+  };
+  std::vector<DayState> days;
+
+  /// Records drained at an earlier barrier whose lake append kept failing
+  /// (disk full): carried forward so no acknowledged record is lost.
+  std::vector<flow::FlowRecord> pending;
+};
+
+/// Write atomically: temp file + fsync + rename. `factory` supplies the
+/// write handle (fault injection); default POSIX.
+core::Result<void> save_pipeline_checkpoint(const PipelineCheckpoint& cp,
+                                            const std::filesystem::path& path,
+                                            const storage::FileFactory& factory = {});
+
+/// Read + validate (magic, version, CRC, exact length). kNotFound when the
+/// file does not exist — the caller then starts fresh.
+[[nodiscard]] core::Result<PipelineCheckpoint> load_pipeline_checkpoint(
+    const std::filesystem::path& path);
+
+}  // namespace edgewatch::runtime

@@ -29,17 +29,31 @@ class DailyLakeWriter {
     auto& bucket = buffers_[day];
     bucket.push_back(std::move(record));
     ++buffered_;
-    if (bucket.size() >= buffer_records_) flush_day(day);
+    if (bucket.size() >= buffer_records_) (void)flush_day(day);
   }
 
-  /// Flush every buffered day (call at shutdown; the destructor does too).
-  void finish() {
+  /// Flush every buffered day, reporting the first failure as a typed
+  /// error (kNoSpace for a full volume, kIoError for a sick disk …). On
+  /// failure the lake is still consistent — a failed append rolled its file
+  /// back, so no partial block is ever visible — and the unflushed records
+  /// stay buffered for a later retry.
+  [[nodiscard]] core::Result<void> flush_all() {
     // Copy keys first: flush_day mutates the map.
     std::vector<core::CivilDate> days;
     days.reserve(buffers_.size());
     for (const auto& [day, _] : buffers_) days.push_back(day);
-    for (const auto day : days) flush_day(day);
+    core::Errc first = core::Errc::kOk;
+    for (const auto day : days) {
+      if (auto r = flush_day(day); !r && first == core::Errc::kOk) first = r.error();
+    }
+    if (first != core::Errc::kOk) return first;
+    return {};
   }
+
+  /// Flush every buffered day (call at shutdown; the destructor does too).
+  /// Untyped convenience over flush_all(); failures remain visible through
+  /// append_failures()/last_error().
+  void finish() { (void)flush_all(); }
 
   [[nodiscard]] std::size_t buffered() const noexcept { return buffered_; }
   [[nodiscard]] std::uint64_t records_written() const noexcept { return written_; }
@@ -51,9 +65,9 @@ class DailyLakeWriter {
   [[nodiscard]] core::Errc last_error() const noexcept { return last_error_; }
 
  private:
-  void flush_day(core::CivilDate day) {
+  core::Result<void> flush_day(core::CivilDate day) {
     auto it = buffers_.find(day);
-    if (it == buffers_.end() || it->second.empty()) return;
+    if (it == buffers_.end() || it->second.empty()) return {};
     const auto result = lake_.append(day, it->second);
     if (!result) {
       // The lake rolled the file back, so the batch is still ours. Keep it
@@ -66,12 +80,13 @@ class DailyLakeWriter {
         buffered_ -= it->second.size();
         buffers_.erase(it);
       }
-      return;
+      return result.error();
     }
     bytes_ += *result;
     written_ += it->second.size();
     buffered_ -= it->second.size();
     buffers_.erase(it);
+    return {};
   }
 
   DataLake& lake_;

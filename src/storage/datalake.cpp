@@ -382,6 +382,11 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
     (void)file->truncate(start);
     (void)file->sync();
     (void)file->close();
+    if (start == 0 && err != core::Errc::kCrashed) {
+      // This append created the file; atomic means the day stays absent.
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
     return err;
   };
   if (auto r = file->write(out.view()); !r) return rollback(r.error());
@@ -508,6 +513,22 @@ core::Result<void> DataLake::migrate_to_v2(core::CivilDate day) {
   if (before.version == kVersion2 && before.healthy()) return {};
   const auto after = repair_day_impl(day, true);
   if (!after.repaired) return after.errc == core::Errc::kOk ? core::Errc::kIoError : after.errc;
+  return {};
+}
+
+core::Result<void> DataLake::truncate_day(core::CivilDate day, std::uint64_t size) {
+  const auto path = day_path(day);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return core::Errc::kNotFound;
+  std::filesystem::resize_file(path, size, ec);
+  if (ec) return core::Errc::kIoError;
+  return {};
+}
+
+core::Result<void> DataLake::remove_day(core::CivilDate day) {
+  std::error_code ec;
+  std::filesystem::remove(day_path(day), ec);
+  if (ec) return core::Errc::kIoError;
   return {};
 }
 

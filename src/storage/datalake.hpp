@@ -222,6 +222,17 @@ class DataLake {
   /// Rewrite a v1 day file as v2 (no-op on a file already at v2).
   core::Result<void> migrate_to_v2(core::CivilDate day);
 
+  /// Cut a day file back to exactly `size` bytes. Crash-recovery resume
+  /// (runtime::Supervisor): the pipeline checkpoint records each day's
+  /// durable length; truncating back to it erases any torn tail a
+  /// half-finished post-checkpoint append left behind, because appends are
+  /// strictly at the end of the file. kNotFound when the day is absent.
+  core::Result<void> truncate_day(core::CivilDate day, std::uint64_t size);
+
+  /// Delete a day file entirely (resume: the day did not exist at the
+  /// checkpoint). Succeeds when already absent.
+  core::Result<void> remove_day(core::CivilDate day);
+
   /// All days present, sorted.
   [[nodiscard]] std::vector<core::CivilDate> days() const;
 
@@ -240,7 +251,10 @@ class DataLake {
   [[nodiscard]] std::filesystem::path quarantine_dir() const;
 
   /// Swap the write-path file implementation (fault-injection tests).
-  void set_file_factory(FileFactory factory) { file_factory_ = std::move(factory); }
+  /// An empty factory resets to plain POSIX files.
+  void set_file_factory(FileFactory factory) {
+    file_factory_ = factory ? std::move(factory) : FileFactory{make_posix_file};
+  }
 
   /// Records per compressed block.
   static constexpr std::size_t kBlockRecords = 4096;

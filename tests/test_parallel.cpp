@@ -80,6 +80,48 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   EXPECT_THROW(pool.submit([] {}), std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForFailureLeavesWorkersAlive) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(0, 256, [](std::size_t) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+    // Every worker survived the storm of exceptions: the pool still does work.
+    EXPECT_EQ(pool.submit([] { return 11; }).get(), 11);
+  }
+  // submit()ed exceptions are captured by futures, never loose in a worker.
+  EXPECT_EQ(pool.stray_exceptions(), 0u);
+}
+
+TEST(ThreadPool, ParallelForDrainsOtherChunksBeforeRethrow) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_for(0, n, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("first chunk dies");
+      executed.fetch_add(1);
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  // The rethrow happened only after every other chunk ran to completion —
+  // no in-flight chunk was abandoned holding a reference to fn. Only the
+  // throwing chunk's tail (at most one chunk) is missing.
+  const std::size_t chunk = (n + 4 * 4 - 1) / (4 * 4);
+  EXPECT_GE(executed.load(), n - chunk);
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrowsInsteadOfHanging) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(pool.parallel_for(0, 100, [&](std::size_t) { executed.fetch_add(1); }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 0u);
+}
+
 TEST(ThreadPool, ShutdownWakesBlockedSubmitter) {
   ThreadPool pool(1, /*max_pending=*/1);
   std::promise<void> gate;

@@ -853,3 +853,34 @@ TEST(DailyLakeWriter, KeepsRecordsWhenAppendFailsAndRetries) {
   EXPECT_EQ(lake.read_day(day).size(), 4u);
   EXPECT_TRUE(lake.fsck_day(day).healthy());
 }
+
+TEST(DailyLakeWriter, FlushAllReportsTypedErrorAndLakeStaysConsistent) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const auto day = CivilDate{2016, 5, 4};
+  ew::storage::DailyLakeWriter writer{lake, 64};
+  for (int i = 0; i < 10; ++i) {
+    auto r = sample_record(static_cast<std::uint64_t>(i));
+    r.first_packet = ew::core::Timestamp::from_date_time(day, 10);
+    r.last_packet = r.first_packet + 1'000;
+    writer.add(std::move(r));
+  }
+
+  // The volume fills up right as the flush starts.
+  lake.set_file_factory(ew::storage::FaultyFile::factory_once(
+      {ew::storage::FaultKind::kNoSpace, /*at_byte=*/0, /*bit=*/0}));
+  const auto result = writer.flush_all();
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error(), ew::core::Errc::kNoSpace);
+  // The failed append rolled back completely: no partial day file, clean
+  // fsck, and every record still buffered for the retry.
+  EXPECT_FALSE(lake.has_day(day));
+  EXPECT_TRUE(lake.fsck().clean());
+  EXPECT_EQ(writer.buffered(), 10u);
+
+  // Space freed: the same call now lands the batch.
+  ASSERT_TRUE(writer.flush_all());
+  EXPECT_EQ(writer.buffered(), 0u);
+  EXPECT_EQ(lake.read_day(day).size(), 10u);
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+}
