@@ -23,7 +23,7 @@ FRAGMENTS=build/bench_fragments
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload bench_scan_selectivity -j "$(nproc)"
 
 mkdir -p "$FRAGMENTS"
 ./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
@@ -34,6 +34,10 @@ mkdir -p "$FRAGMENTS"
 # Overload sweep is about shed *ratios*, not throughput — a few hundred
 # conversations give a full Healthy→Shedding curve without minutes of spin.
 ./build/bench/bench_overload 400 "$REPEATS" "$FRAGMENTS/overload.json"
+# v2-vs-v3 scan path: 8 merged synthetic days make enough blocks that the
+# one-hour predicate must prune ≥90% of them (the binary exits non-zero if
+# it doesn't, or if the two formats deliver different records).
+./build/bench/bench_scan_selectivity 8 "$REPEATS" "$FRAGMENTS/scan_selectivity.json"
 
 # Merge: flatten every input (previous merged file, legacy single-bench
 # object, or fresh fragment) into one list, keeping the *last* entry per

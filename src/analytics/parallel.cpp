@@ -6,18 +6,57 @@
 
 namespace edgewatch::analytics {
 
+namespace {
+
+/// The stage-one default when the caller pushes no predicate of its own:
+/// unrestricted rows, but only the columns DayAggregator::add reads.
+const storage::ScanPredicate& day_aggregate_projection() {
+  static const storage::ScanPredicate p =
+      storage::ScanPredicate::project(kDayAggregateScanFields);
+  return p;
+}
+
+}  // namespace
+
 DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate day,
                                const services::ServiceCatalog& catalog) {
+  storage::ScanScratch scratch;
+  return aggregate_day(lake, day, scratch, nullptr, catalog);
+}
+
+DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate day,
+                               storage::ScanScratch& scratch,
+                               const storage::ScanPredicate* predicate,
+                               const services::ServiceCatalog& catalog) {
+  if (predicate == nullptr) predicate = &day_aggregate_projection();
   DayAggregator agg(day, catalog);
   DayScanAggregate out;
-  out.scan = lake.scan_day(day, [&agg](const flow::FlowRecord& r) { agg.add(r); });
+  out.aggregate.date = day;
+  const storage::DayBlockIndex idx = lake.load_day_blocks(day);
+  if (idx.fatal() != core::Errc::kOk) {
+    out.scan.errc = idx.fatal();
+    return out;
+  }
+  auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
+  for (const auto& b : idx.blocks()) {
+    storage::DataLake::scan_block(idx.body(b), b.record_count, predicate, scratch, out.scan,
+                                  deliver);
+  }
+  out.scan.blocks_skipped += idx.damaged_ranges();
+  if (out.scan.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
+    out.scan.errc = idx.baseline();
+  }
   out.aggregate = std::move(agg).take();
   return out;
 }
 
-DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::CivilDate day,
-                                        core::ThreadPool& pool,
-                                        const services::ServiceCatalog& catalog) {
+namespace {
+
+DayScanAggregate aggregate_day_parallel_impl(const storage::DataLake& lake, core::CivilDate day,
+                                             core::ThreadPool& pool,
+                                             const storage::ScanPredicate* predicate,
+                                             const services::ServiceCatalog& catalog) {
+  if (predicate == nullptr) predicate = &day_aggregate_projection();
   DayScanAggregate out;
   out.aggregate.date = day;
   const storage::DayBlockIndex idx = lake.load_day_blocks(day);
@@ -39,17 +78,15 @@ DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::Civ
     // merge reproduce the serial record stream.
     const std::size_t lo = n * t / tasks;
     const std::size_t hi = n * (t + 1) / tasks;
-    futures.push_back(pool.submit([&idx, &catalog, day, lo, hi] {
+    futures.push_back(pool.submit([&idx, &catalog, predicate, day, lo, hi] {
       DayAggregator agg(day, catalog);
       Partial p;
       storage::ScanScratch scratch;
       auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
       for (std::size_t b = lo; b < hi; ++b) {
-        if (!storage::DataLake::decode_block(idx.body(idx.blocks()[b]), scratch,
-                                             p.scan.records_delivered, deliver)) {
-          ++p.scan.blocks_skipped;
-          p.scan.errc = core::Errc::kCorrupt;
-        }
+        const auto& block = idx.blocks()[b];
+        storage::DataLake::scan_block(idx.body(block), block.record_count, predicate, scratch,
+                                      p.scan, deliver);
       }
       p.aggregate = std::move(agg).take();
       return p;
@@ -65,6 +102,21 @@ DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::Civ
     out.scan.errc = idx.baseline();
   }
   return out;
+}
+
+}  // namespace
+
+DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::CivilDate day,
+                                        core::ThreadPool& pool,
+                                        const services::ServiceCatalog& catalog) {
+  return aggregate_day_parallel_impl(lake, day, pool, nullptr, catalog);
+}
+
+DayScanAggregate aggregate_day_parallel(const storage::DataLake& lake, core::CivilDate day,
+                                        core::ThreadPool& pool,
+                                        const storage::ScanPredicate& predicate,
+                                        const services::ServiceCatalog& catalog) {
+  return aggregate_day_parallel_impl(lake, day, pool, &predicate, catalog);
 }
 
 std::vector<DayScanAggregate> aggregate_days_parallel(const storage::DataLake& lake,

@@ -31,10 +31,38 @@ struct DayScanAggregate {
   storage::ScanResult scan;
 };
 
+/// Exactly the FlowRecord fields DayAggregator::add reads — the projection
+/// the stage-one scan pushes down so v3 days skip the 14 column segments
+/// (duration, ports, close flags, upstream packet/quality counters, wire
+/// bytes, HTTP status, content-type, RTT spread, name source) the
+/// aggregation never touches. first_packet, proto and server_ip are always
+/// materialized by the decoder; tests/test_parallel.cpp holds the
+/// projected and unprojected aggregates bit-identical, which is what keeps
+/// this mask honest when add() grows a new field read.
+inline constexpr std::uint32_t kDayAggregateScanFields = storage::scan_fields::kDayAggregate;
+static_assert(kDayAggregateScanFields ==
+                  (storage::scan_fields::kClientIp | storage::scan_fields::kAccess |
+                   storage::scan_fields::kUpBytes | storage::scan_fields::kDownBytes |
+                   storage::scan_fields::kDownPackets | storage::scan_fields::kDownQuality |
+                   storage::scan_fields::kRttMin | storage::scan_fields::kL7 |
+                   storage::scan_fields::kWeb | storage::scan_fields::kServerName),
+              "storage's kDayAggregate preset must track DayAggregator::add's field reads");
+
 /// Serial baseline: scan one day and aggregate it on the calling thread.
 /// Also the per-task body of aggregate_days_parallel.
 [[nodiscard]] DayScanAggregate aggregate_day(
     const storage::DataLake& lake, core::CivilDate day,
+    const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
+
+/// Scratch-reusing, optionally filtered variant: the caller owns the scan
+/// buffers, so a loop over many days (the rollup store's incremental
+/// build) decodes every block of every day into the same allocations. A
+/// non-null predicate is pushed below the block decoder — v3 blocks are
+/// pruned on zone maps (ScanResult::blocks_pruned) and only referenced
+/// column segments decode.
+[[nodiscard]] DayScanAggregate aggregate_day(
+    const storage::DataLake& lake, core::CivilDate day, storage::ScanScratch& scratch,
+    const storage::ScanPredicate* predicate = nullptr,
     const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
 
 /// Aggregate one day with its blocks fanned out over `pool`. Each worker
@@ -44,6 +72,15 @@ struct DayScanAggregate {
 /// inside a pool task — the fan-out waits on the same pool.
 [[nodiscard]] DayScanAggregate aggregate_day_parallel(
     const storage::DataLake& lake, core::CivilDate day, core::ThreadPool& pool,
+    const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
+
+/// Parallel + predicate pushdown: same fan-out, but every worker passes
+/// the predicate to its block scans, so zone-map pruning and column
+/// skipping happen inside each contiguous range. Merge order (and thus
+/// the delivered record order) is unchanged.
+[[nodiscard]] DayScanAggregate aggregate_day_parallel(
+    const storage::DataLake& lake, core::CivilDate day, core::ThreadPool& pool,
+    const storage::ScanPredicate& predicate,
     const services::ServiceCatalog& catalog = services::ServiceCatalog::standard());
 
 /// Aggregate many days, one pool task per day (aggregation inside each

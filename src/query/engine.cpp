@@ -34,9 +34,19 @@ core::CivilDate bucket_start(core::CivilDate day, TimeBucket bucket,
 struct BucketOutcome {
   std::vector<QueryRow> rows;
   std::size_t days_merged = 0;
+  std::size_t days_raw = 0;
   std::vector<core::CivilDate> missing;
   core::Errc errc = core::Errc::kOk;
 };
+
+/// The raw fallback only serves exact group counters: approximate metrics
+/// would need the sketches a rollup holds, and the ASN dimension needs the
+/// RIB snapshot the store used at build time.
+bool raw_fallback_applies(const QuerySpec& spec, Dimension dim) noexcept {
+  if (!spec.raw_fallback) return false;
+  if (spec.metric != Metric::kBytes && spec.metric != Metric::kFlows) return false;
+  return dim == Dimension::kService || dim == Dimension::kProtocol;
+}
 
 BucketOutcome merge_bucket(const RollupStore& store, const QuerySpec& spec, Dimension dim,
                            std::uint32_t columns, core::CivilDate start,
@@ -61,6 +71,45 @@ BucketOutcome merge_bucket(const RollupStore& store, const QuerySpec& spec, Dime
     } else {
       merged.merge(*rollup);
     }
+  }
+  // Rollup-less days: with raw_fallback, answer them straight from the
+  // lake. Accumulation mirrors build_day_rollup's counters exactly —
+  // service groups count (flows, bytes_up, bytes_down) per classified
+  // record; protocol groups sum web bytes into bytes_down — so a fallback
+  // day is indistinguishable from a rollup-answered one. The day file is
+  // the time partition (no time filter pushed), but a group-restricted
+  // service query pushes its service mask below the block decoder: v3
+  // blocks whose zone map lacks the service are pruned undecompressed.
+  if (raw_fallback_applies(spec, dim) && !out.missing.empty()) {
+    std::vector<core::CivilDate> still_missing;
+    for (const core::CivilDate day : out.missing) {
+      storage::ScanPredicate pred;
+      pred.catalog = &store.catalog();
+      if (dim == Dimension::kService && spec.group && *spec.group < services::kServiceCount) {
+        pred.service_mask = 1u << *spec.group;
+      }
+      const auto deliver = [&](const flow::FlowRecord& r) {
+        if (dim == Dimension::kService) {
+          GroupRollup& g = merged.groups[static_cast<std::uint32_t>(
+              store.catalog().classify_flow(r.l7, r.server_name))];
+          ++g.flows;
+          g.bytes_up += r.up.bytes;
+          g.bytes_down += r.down.bytes;
+        } else if (r.web != dpi::WebProtocol::kNotWeb) {
+          merged.groups[static_cast<std::uint32_t>(r.web)].bytes_down += r.total_bytes();
+        }
+      };
+      const storage::ScanResult scan = store.lake().scan_day(day, pred, deliver);
+      if (scan.errc == core::Errc::kNotFound) {
+        still_missing.push_back(day);
+        continue;
+      }
+      if (scan.errc != core::Errc::kOk && out.errc == core::Errc::kOk) out.errc = scan.errc;
+      ++out.days_merged;
+      ++out.days_raw;
+      any = true;
+    }
+    out.missing = std::move(still_missing);
   }
   if (!any) return out;
 
@@ -170,6 +219,7 @@ QueryResult run_query(const RollupStore& store, const QuerySpec& spec, core::Thr
     result.missing_days.insert(result.missing_days.end(), out.missing.begin(),
                                out.missing.end());
     result.days_merged += out.days_merged;
+    result.days_scanned_raw += out.days_raw;
     if (result.errc == core::Errc::kOk && out.errc != core::Errc::kOk) result.errc = out.errc;
   }
   return result;

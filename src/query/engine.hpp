@@ -63,6 +63,14 @@ struct QuerySpec {
   bool download = true;
   /// Keep only the k largest rows per bucket (0 = all), ordered by value.
   std::size_t top_k = 0;
+  /// Answer rollup-less days of the range by scanning the raw lake with a
+  /// pushed-down ScanPredicate instead of reporting them missing. Exact
+  /// metrics only (kBytes/kFlows, service or protocol dimension): a
+  /// service-restricted query prunes whole v3 blocks via zone maps, so the
+  /// fallback touches a fraction of the day file. Days that stay
+  /// unanswerable (no lake file either, or an approximate metric) are
+  /// still reported missing.
+  bool raw_fallback = false;
 };
 
 struct QueryRow {
@@ -78,6 +86,9 @@ struct QueryResult {
   std::vector<QueryRow> rows;  ///< bucket-major, value-descending inside a bucket
   std::vector<core::CivilDate> missing_days;  ///< range days with no rollup
   std::size_t days_merged = 0;
+  /// Of days_merged, how many were answered by a raw-lake fallback scan
+  /// (QuerySpec::raw_fallback) instead of a rollup file.
+  std::size_t days_scanned_raw = 0;
   std::uint32_t columns_loaded = 0;  ///< the projection mask the planner used
   core::Errc errc = core::Errc::kOk;  ///< first corrupt/torn rollup, if any
 

@@ -85,7 +85,12 @@ RollupStore::DayOutcome RollupStore::build_day(core::CivilDate day,
   // mid-build, the rollup records the pre-append identity and the next
   // build() pass sees it as stale again — never the other way around.
   const storage::FileIdentity source = lake_.day_identity(day);
-  const auto scan = analytics::aggregate_day(lake_, day, catalog_);
+  // One ScanScratch per worker thread, reused across every day this worker
+  // builds: block decompression and the v3 column buffers warm up once per
+  // build() instead of reallocating per day (and, before the scratch-passing
+  // aggregate_day existed, per block).
+  thread_local storage::ScanScratch scratch;
+  const auto scan = analytics::aggregate_day(lake_, day, scratch, nullptr, catalog_);
   if (scan.scan.errc != core::Errc::kOk && scan.scan.records_delivered == 0) {
     out.failed += stale.size();
     out.errc = scan.scan.errc;

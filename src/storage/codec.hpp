@@ -8,7 +8,10 @@
 // (Errc::kCorrupt), so readers can tell "done" from "damaged".
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <span>
 
 #include "core/bytes.hpp"
 #include "core/result.hpp"
@@ -19,6 +22,171 @@ namespace edgewatch::storage {
 /// LEB128 unsigned varint.
 void put_varint(core::ByteWriter& w, std::uint64_t value);
 [[nodiscard]] std::uint64_t get_varint(core::ByteReader& r) noexcept;
+
+/// Raw-pointer varint cursor for the columnar batch decode loops. Same
+/// monadic failure contract as ByteReader (one ok() check per column) but
+/// without its per-byte ensure() cost, and with a SWAR fast path: one
+/// unaligned 8-byte load finds the varint terminator for all 1..8-byte
+/// values via the inverted continuation-bit mask, in the spirit of the
+/// flat-hash-map group probes (DESIGN.md §10). Falls back to the checked
+/// byte loop near the buffer end and for 9/10-byte varints, preserving
+/// get_varint's overlong-encoding rejection exactly.
+struct VarintCursor {
+  const std::uint8_t* p = nullptr;
+  const std::uint8_t* end = nullptr;
+  bool failed = false;
+
+  constexpr VarintCursor() noexcept = default;
+  explicit VarintCursor(std::span<const std::byte> data) noexcept
+      : p(reinterpret_cast<const std::uint8_t*>(data.data())), end(p + data.size()) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !failed; }
+  /// True when every input byte was consumed — column decodes require
+  /// exact consumption, so trailing garbage is detected as corruption.
+  [[nodiscard]] bool exhausted() const noexcept { return p == end; }
+  void fail() noexcept { failed = true; }
+};
+
+[[nodiscard]] inline std::uint64_t get_varint(VarintCursor& c) noexcept {
+  if (c.failed) return 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    if (c.end - c.p >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, c.p, 8);
+      const std::uint64_t stop = ~w & 0x8080808080808080ULL;  // terminator bytes
+      if (stop != 0) {
+        const unsigned n = static_cast<unsigned>(std::countr_zero(stop) >> 3) + 1;
+        c.p += n;
+        if (n < 8) w &= (std::uint64_t{1} << (8 * n)) - 1;
+        std::uint64_t value = w & 0x7f;
+        for (unsigned i = 1; i < n; ++i) value |= ((w >> (8 * i)) & 0x7f) << (7 * i);
+        return value;
+      }
+      // 9- or 10-byte varint: rare, take the checked path below.
+    }
+  }
+  // Near-end / big-varint tail: byte-checked loop with the exact overlong
+  // rejection semantics of get_varint(ByteReader&).
+  std::uint64_t value = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (c.p == c.end) {
+      c.fail();
+      return 0;
+    }
+    const std::uint8_t byte = *c.p++;
+    if (i == 9) {
+      if (byte > 1) {
+        c.fail();
+        return 0;
+      }
+      return value | (static_cast<std::uint64_t>(byte) << 63);
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) return value;
+  }
+  c.fail();
+  return 0;
+}
+
+[[nodiscard]] inline std::int64_t get_varint_signed(VarintCursor& c) noexcept {
+  const std::uint64_t zigzag = get_varint(c);
+  return static_cast<std::int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+/// Batch-decode `n` varints from `c` into `out`. Equivalent to n get_varint
+/// calls, but the column hot loop: one 8-byte SWAR window is loaded per
+/// iteration and every varint that terminates inside it is peeled off with
+/// register shifts, so consecutive small values share a single load instead
+/// of each paying the load→length→advance dependency chain. False on
+/// malformed/truncated input (c.failed is set; out contents unspecified).
+[[nodiscard]] inline bool get_varint_batch(VarintCursor& c, std::uint64_t* out,
+                                           std::size_t n) noexcept {
+  if (c.failed) return false;
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (i < n && c.end - c.p >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, c.p, 8);
+      std::uint64_t stops = ~w & 0x8080808080808080ULL;
+      if (stops == 0) {
+        // A varint of 8+ bytes fills the window: take the checked path.
+        out[i++] = get_varint(c);
+        if (c.failed) return false;
+        continue;
+      }
+      do {
+        const unsigned nb = static_cast<unsigned>(std::countr_zero(stops) >> 3) + 1;
+        std::uint64_t value = w & 0x7f;
+        for (unsigned k = 1; k < nb; ++k) value |= ((w >> (8 * k)) & 0x7f) << (7 * k);
+        out[i++] = value;
+        c.p += nb;
+        if (nb == 8) break;
+        w >>= 8 * nb;
+        stops >>= 8 * nb;
+      } while (stops != 0 && i < n);
+    }
+  }
+  for (; i < n; ++i) {
+    out[i] = get_varint(c);
+    if (c.failed) return false;
+  }
+  return true;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EW_VARINT_BMI2 1
+/// BMI2 batch decode: same contract as get_varint_batch, but each varint's
+/// payload bits are gathered with one PEXT instead of the per-byte
+/// shift/or chain — the extraction cost stops depending on the varint's
+/// length, which is what the multi-byte delta and byte-counter columns pay
+/// for most. Values are handed to `sink(index, value)` so column decoders
+/// can fuse their per-value transform (zigzag, bound-check, narrowing)
+/// into the decode pass instead of re-traversing the output. Dispatch at
+/// the column level via varint_batch_bmi2_available(); the target attribute
+/// keeps the containing binary runnable on pre-Haswell CPUs.
+template <class Sink>
+__attribute__((target("bmi2"))) [[nodiscard]] inline bool get_varint_batch_bmi2(
+    VarintCursor& c, std::size_t n, Sink&& sink) noexcept {
+  if (c.failed) return false;
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (i < n && c.end - c.p >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, c.p, 8);
+      std::uint64_t stops = ~w & 0x8080808080808080ULL;
+      if (stops == 0) {
+        // A varint of 8+ bytes fills the window: take the checked path.
+        const std::uint64_t value = get_varint(c);
+        if (c.failed) return false;
+        sink(i++, value);
+        continue;
+      }
+      do {
+        const unsigned nb = static_cast<unsigned>(std::countr_zero(stops) >> 3) + 1;
+        // BZHI keeps the low 8·nb bits (passing 64 keeps all), PEXT packs
+        // the seven payload bits of every byte in one step.
+        sink(i++, __builtin_ia32_pext_di(__builtin_ia32_bzhi_di(w, 8 * nb),
+                                         0x7f7f7f7f7f7f7f7fULL));
+        c.p += nb;
+        if (nb == 8) break;
+        w >>= 8 * nb;
+        stops >>= 8 * nb;
+      } while (stops != 0 && i < n);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t value = get_varint(c);
+    if (c.failed) return false;
+    sink(i, value);
+  }
+  return true;
+}
+
+[[nodiscard]] inline bool varint_batch_bmi2_available() noexcept {
+  static const bool available = __builtin_cpu_supports("bmi2");
+  return available;
+}
+#endif
 
 /// ZigZag-mapped signed varint (for RTT minima that can round to 0 and
 /// for any field that may regress).

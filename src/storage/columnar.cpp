@@ -1,0 +1,792 @@
+#include "storage/columnar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "core/flat_hash_map.hpp"
+#include "core/hash.hpp"
+#include "storage/codec.hpp"
+#include "storage/compress.hpp"
+
+namespace edgewatch::storage {
+
+namespace {
+
+// Fixed column schema of layout v1. Every column id below must appear
+// exactly once in a block's segment directory; unknown ids are corruption.
+enum Column : std::uint8_t {
+  kColTs = 0,          // zigzag delta chain of first_packet µs
+  kColDur = 1,         // zigzag last−first (mirrors the v2 field exactly)
+  kColService = 2,     // u8 dict codes into the service dictionary
+  kColProto = 3,       // u8 raw TransportProto values
+  kColAccess = 4,      // u8
+  kColFlags = 5,       // u8 handshake | close_reason<<1 (v2 flag byte)
+  kColL7 = 6,          // u8
+  kColWeb = 7,         // u8
+  kColNameSource = 8,  // u8
+  kColClientPort = 9,  // u16le fixed
+  kColServerPort = 10, // varint
+  kColClientIp = 11,   // u32le fixed
+  kColServerIp = 12,   // u32le fixed
+  kColUpPkts = 13,     // varint … through kColDnOoo
+  kColUpBytes = 14,
+  kColUpHdr = 15,
+  kColUpRetx = 16,
+  kColUpOoo = 17,
+  kColDnPkts = 18,
+  kColDnBytes = 19,
+  kColDnHdr = 20,
+  kColDnRetx = 21,
+  kColDnOoo = 22,
+  kColRttSamples = 23,   // varint
+  kColRttMin = 24,       // zigzag, dense over rows with samples > 0
+  kColRttMaxDelta = 25,  // zigzag, dense
+  kColRttAvgDelta = 26,  // zigzag, dense
+  kColHttpStatus = 27,   // varint
+  kColNameDict = 28,     // varint count | count × (varint len, bytes)
+  kColNameIdx = 29,      // varint dict index per row
+  kColCtDict = 30,
+  kColCtIdx = 31,
+};
+constexpr std::size_t kColumnCount = 32;
+
+// u8 column payloads carry a 1-byte encoding tag: most enum columns are
+// single-valued across a whole block (one access tech per vantage, one
+// protocol per service's blocks once data clusters), so a constant column
+// costs 2 bytes instead of 4096.
+constexpr std::uint8_t kU8Constant = 0;
+constexpr std::uint8_t kU8Plain = 1;
+
+constexpr std::size_t kZoneMapSize = 36;
+constexpr std::size_t kMaxNameLen = 4096;  // decode_record's sanity bounds
+constexpr std::size_t kMaxCtLen = 256;
+
+void put_zone_map(core::ByteWriter& w, const ZoneMap& z) {
+  w.u64le(static_cast<std::uint64_t>(z.ts_min_us));
+  w.u64le(static_cast<std::uint64_t>(z.ts_max_us));
+  w.u32le(z.service_bitmap);
+  w.u32le(z.proto_bitmap);
+  w.u32le(z.server_ip_min);
+  w.u32le(z.server_ip_max);
+  w.u32le(z.record_count);
+}
+
+[[nodiscard]] ZoneMap get_zone_map(core::ByteReader& r) noexcept {
+  ZoneMap z;
+  z.ts_min_us = static_cast<std::int64_t>(r.u64le());
+  z.ts_max_us = static_cast<std::int64_t>(r.u64le());
+  z.service_bitmap = r.u32le();
+  z.proto_bitmap = r.u32le();
+  z.server_ip_min = r.u32le();
+  z.server_ip_max = r.u32le();
+  z.record_count = r.u32le();
+  return z;
+}
+
+// ---- encode helpers ------------------------------------------------------
+
+struct SegmentSink {
+  std::vector<std::byte> payloads;
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> directory;  // id → len
+
+  void add(std::uint8_t id, std::span<const std::byte> stream) {
+    auto compressed = compress_block_lazy(stream);
+    directory.emplace_back(id, static_cast<std::uint32_t>(compressed.size()));
+    payloads.insert(payloads.end(), compressed.begin(), compressed.end());
+  }
+};
+
+void encode_u8_column(SegmentSink& sink, std::uint8_t id, std::span<const std::uint8_t> values) {
+  core::ByteWriter w(values.size() + 1);
+  const bool constant =
+      !values.empty() &&
+      std::all_of(values.begin(), values.end(), [&](std::uint8_t v) { return v == values[0]; });
+  if (constant) {
+    w.u8(kU8Constant);
+    w.u8(values[0]);
+  } else {
+    w.u8(kU8Plain);
+    for (const auto v : values) w.u8(v);
+  }
+  sink.add(id, w.view());
+}
+
+template <typename Get>
+void encode_varint_column(SegmentSink& sink, std::uint8_t id, std::size_t n, Get&& get) {
+  core::ByteWriter w(n * 2);
+  for (std::size_t i = 0; i < n; ++i) put_varint(w, get(i));
+  sink.add(id, w.view());
+}
+
+// ---- decode helpers ------------------------------------------------------
+
+struct SegmentTable {
+  std::array<std::span<const std::byte>, kColumnCount> seg{};
+  std::array<bool, kColumnCount> present{};
+
+  [[nodiscard]] bool complete() const noexcept {
+    return std::all_of(present.begin(), present.end(), [](bool b) { return b; });
+  }
+};
+
+[[nodiscard]] bool decode_u8_column(std::span<const std::byte> payload,
+                                    std::vector<std::byte>& scratch, std::size_t n,
+                                    std::vector<std::uint8_t>& out) {
+  const auto stream = decompress_block_view(payload, scratch);
+  if (!stream) return false;
+  if (stream->empty()) return false;
+  const auto enc = std::to_integer<std::uint8_t>((*stream)[0]);
+  if (enc == kU8Constant) {
+    if (stream->size() != 2) return false;
+    out.assign(n, std::to_integer<std::uint8_t>((*stream)[1]));
+    return true;
+  }
+  if (enc != kU8Plain || stream->size() != 1 + n) return false;
+  out.resize(n);
+  std::memcpy(out.data(), stream->data() + 1, n);
+  return true;
+}
+
+template <typename T, typename Out>
+[[nodiscard]] bool decode_fixed_column(std::span<const std::byte> payload,
+                                       std::vector<std::byte>& scratch, std::size_t n,
+                                       std::vector<Out>& out) {
+  static_assert(sizeof(T) == sizeof(Out));
+  const auto stream = decompress_block_view(payload, scratch);
+  if (!stream || stream->size() != n * sizeof(T)) return false;
+  out.resize(n);
+  if (n != 0) std::memcpy(out.data(), stream->data(), n * sizeof(T));
+  return true;
+}
+
+[[nodiscard]] bool decode_varint_column(std::span<const std::byte> payload,
+                                        std::vector<std::byte>& scratch, std::size_t n,
+                                        std::vector<std::uint64_t>& out) {
+  const auto stream = decompress_block_view(payload, scratch);
+  if (!stream) return false;
+  out.resize(n);
+  VarintCursor c(*stream);
+#ifdef EW_VARINT_BMI2
+  if (varint_batch_bmi2_available()) {
+    auto* d = out.data();
+    return get_varint_batch_bmi2(c, n, [d](std::size_t i, std::uint64_t v) { d[i] = v; }) &&
+           c.exhausted();
+  }
+#endif
+  return get_varint_batch(c, out.data(), n) && c.exhausted();
+}
+
+/// Zigzag batch: decode n varints into `out` (reinterpreted as unsigned —
+/// signed/unsigned aliasing is well-defined), then unmap in place. The BMI2
+/// path fuses the unmap into the decode's value sink instead of
+/// re-traversing the output.
+[[nodiscard]] bool decode_zigzag_column_into(std::span<const std::byte> stream, std::size_t n,
+                                             std::int64_t* out) {
+  VarintCursor c(stream);
+#ifdef EW_VARINT_BMI2
+  if (varint_batch_bmi2_available()) {
+    return get_varint_batch_bmi2(c, n,
+                                 [out](std::size_t i, std::uint64_t z) {
+                                   out[i] = static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+                                 }) &&
+           c.exhausted();
+  }
+#endif
+  auto* u = reinterpret_cast<std::uint64_t*>(out);
+  if (!get_varint_batch(c, u, n) || !c.exhausted()) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t z = u[i];
+    out[i] = static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+  return true;
+}
+
+/// Parse a string dictionary blob into views over `blob` (which receives
+/// the decompressed bytes and must outlive the views).
+[[nodiscard]] bool decode_string_dict(std::span<const std::byte> payload,
+                                      std::vector<std::byte>& blob, std::size_t max_entries,
+                                      std::size_t max_len, std::vector<std::string_view>& dict) {
+  dict.clear();
+  // The blob buffer doubles as the decompression target; a stored payload
+  // is copied so views never dangle into per-block scratch.
+  const auto view = decompress_block_view(payload, blob);
+  if (!view) return false;
+  if (view->data() != blob.data()) blob.assign(view->begin(), view->end());
+  core::ByteReader r(std::span<const std::byte>{blob});
+  const std::uint64_t count = get_varint(r);
+  if (!r.ok() || count > max_entries) return false;
+  dict.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = get_varint(r);
+    if (!r.ok() || len > max_len) return false;
+    const auto s = r.string(static_cast<std::size_t>(len));
+    if (!r.ok()) return false;
+    dict.push_back(s);
+  }
+  return r.remaining() == 0;
+}
+
+[[nodiscard]] bool decode_index_column(std::span<const std::byte> payload,
+                                       std::vector<std::byte>& scratch,
+                                       std::vector<std::uint64_t>& staging, std::size_t n,
+                                       std::size_t dict_size, std::vector<std::uint32_t>& out) {
+  const auto stream = decompress_block_view(payload, scratch);
+  if (!stream) return false;
+  VarintCursor c(*stream);
+  out.resize(n);
+#ifdef EW_VARINT_BMI2
+  if (varint_batch_bmi2_available()) {
+    // The bound check accumulates instead of early-returning so the sink
+    // stays branch-free; one out-of-range index still fails the column.
+    std::uint64_t bad = 0;
+    auto* d = out.data();
+    const auto ok = get_varint_batch_bmi2(c, n, [d, dict_size, &bad](std::size_t i,
+                                                                     std::uint64_t v) {
+      bad |= static_cast<std::uint64_t>(v >= dict_size);
+      d[i] = static_cast<std::uint32_t>(v);
+    });
+    return ok && c.exhausted() && bad == 0;
+  }
+#endif
+  staging.resize(n);
+  if (!get_varint_batch(c, staging.data(), n) || !c.exhausted()) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (staging[i] >= dict_size) return false;
+    out[i] = static_cast<std::uint32_t>(staging[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ScanPredicate::matches(const flow::FlowRecord& record) const {
+  const std::int64_t ts = record.first_packet.micros();
+  if (ts < time_min_us || ts > time_max_us) return false;
+  if (proto_mask != 0 && (proto_mask & (1u << proto_bit(record.proto))) == 0) return false;
+  if (service_mask != 0) {
+    const auto& cat = catalog != nullptr ? *catalog : services::ServiceCatalog::standard();
+    const auto id = cat.classify_flow(record.l7, record.server_name);
+    if ((service_mask & (1u << static_cast<unsigned>(id))) == 0) return false;
+  }
+  return true;
+}
+
+bool is_columnar_block(std::span<const std::byte> body) noexcept {
+  return !body.empty() && std::to_integer<std::uint8_t>(body[0]) == kColumnarTag;
+}
+
+std::optional<ZoneMap> peek_zone_map(std::span<const std::byte> body) noexcept {
+  core::ByteReader r(body);
+  if (r.u8() != kColumnarTag) return std::nullopt;
+  if (r.u8() != kColumnarLayout) return std::nullopt;
+  const ZoneMap z = get_zone_map(r);
+  if (!r.ok() || z.record_count > kMaxColumnarRecords) return std::nullopt;
+  return z;
+}
+
+void encode_columnar_block(std::span<const flow::FlowRecord> records,
+                           const services::ServiceCatalog& catalog, core::ByteWriter& out) {
+  const std::size_t n = records.size();
+
+  // Pass 1: service ids, the service dictionary (first-appearance order)
+  // and the zone map.
+  ZoneMap zone;
+  zone.record_count = static_cast<std::uint32_t>(n);
+  std::vector<std::uint8_t> service_code(n);
+  std::vector<std::uint8_t> dict;  // dict code → global ServiceId
+  std::array<std::uint8_t, services::kServiceCount> code_of{};
+  code_of.fill(0xff);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = records[i];
+    const auto sid =
+        static_cast<std::uint8_t>(catalog.classify_flow(r.l7, r.server_name));
+    if (code_of[sid] == 0xff) {
+      code_of[sid] = static_cast<std::uint8_t>(dict.size());
+      dict.push_back(sid);
+    }
+    service_code[i] = code_of[sid];
+    zone.service_bitmap |= 1u << sid;
+    zone.proto_bitmap |= 1u << proto_bit(r.proto);
+    const std::int64_t ts = r.first_packet.micros();
+    const std::uint32_t sip = r.server_ip.value();
+    if (i == 0) {
+      zone.ts_min_us = zone.ts_max_us = ts;
+      zone.server_ip_min = zone.server_ip_max = sip;
+    } else {
+      zone.ts_min_us = std::min(zone.ts_min_us, ts);
+      zone.ts_max_us = std::max(zone.ts_max_us, ts);
+      zone.server_ip_min = std::min(zone.server_ip_min, sip);
+      zone.server_ip_max = std::max(zone.server_ip_max, sip);
+    }
+  }
+
+  // Pass 2: transpose into column streams, each with its own compression
+  // envelope so similar bytes sit together.
+  SegmentSink sink;
+  {
+    core::ByteWriter w(n * 3);
+    std::int64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t ts = records[i].first_packet.micros();
+      put_varint_signed(w, ts - prev);
+      prev = ts;
+    }
+    sink.add(kColTs, w.view());
+  }
+  {
+    core::ByteWriter w(n * 2);
+    for (const auto& r : records) put_varint_signed(w, r.last_packet - r.first_packet);
+    sink.add(kColDur, w.view());
+  }
+  encode_u8_column(sink, kColService, service_code);
+  {
+    std::vector<std::uint8_t> tmp(n);
+    const auto u8col = [&](std::uint8_t id, auto&& get) {
+      for (std::size_t i = 0; i < n; ++i) tmp[i] = get(records[i]);
+      encode_u8_column(sink, id, tmp);
+    };
+    u8col(kColProto, [](const auto& r) { return static_cast<std::uint8_t>(r.proto); });
+    u8col(kColAccess, [](const auto& r) { return static_cast<std::uint8_t>(r.access); });
+    u8col(kColFlags, [](const auto& r) {
+      return static_cast<std::uint8_t>((r.handshake_completed ? 1 : 0) |
+                                       (static_cast<std::uint8_t>(r.close_reason) << 1));
+    });
+    u8col(kColL7, [](const auto& r) { return static_cast<std::uint8_t>(r.l7); });
+    u8col(kColWeb, [](const auto& r) { return static_cast<std::uint8_t>(r.web); });
+    u8col(kColNameSource, [](const auto& r) { return static_cast<std::uint8_t>(r.name_source); });
+  }
+  {
+    core::ByteWriter w(n * 2);
+    for (const auto& r : records) {
+      w.u8(static_cast<std::uint8_t>(r.client_port & 0xff));
+      w.u8(static_cast<std::uint8_t>(r.client_port >> 8));
+    }
+    sink.add(kColClientPort, w.view());
+  }
+  encode_varint_column(sink, kColServerPort, n, [&](std::size_t i) { return records[i].server_port; });
+  {
+    core::ByteWriter w(n * 4);
+    for (const auto& r : records) w.u32le(r.client_ip.value());
+    sink.add(kColClientIp, w.view());
+  }
+  {
+    core::ByteWriter w(n * 4);
+    for (const auto& r : records) w.u32le(r.server_ip.value());
+    sink.add(kColServerIp, w.view());
+  }
+  const auto dir_col = [&](std::uint8_t id, auto&& get) {
+    encode_varint_column(sink, id, n, [&](std::size_t i) { return get(records[i]); });
+  };
+  dir_col(kColUpPkts, [](const auto& r) { return r.up.packets; });
+  dir_col(kColUpBytes, [](const auto& r) { return r.up.bytes; });
+  dir_col(kColUpHdr, [](const auto& r) { return r.up.bytes_with_hdr; });
+  dir_col(kColUpRetx, [](const auto& r) { return std::uint64_t{r.up.retransmits}; });
+  dir_col(kColUpOoo, [](const auto& r) { return std::uint64_t{r.up.out_of_order}; });
+  dir_col(kColDnPkts, [](const auto& r) { return r.down.packets; });
+  dir_col(kColDnBytes, [](const auto& r) { return r.down.bytes; });
+  dir_col(kColDnHdr, [](const auto& r) { return r.down.bytes_with_hdr; });
+  dir_col(kColDnRetx, [](const auto& r) { return std::uint64_t{r.down.retransmits}; });
+  dir_col(kColDnOoo, [](const auto& r) { return std::uint64_t{r.down.out_of_order}; });
+  dir_col(kColRttSamples, [](const auto& r) { return std::uint64_t{r.rtt.samples}; });
+  {
+    // RTT stats exist only when samples > 0: dense sub-columns over those
+    // rows, in row order (the row-aligned expansion at decode replays the
+    // same order).
+    core::ByteWriter wmin, wmax, wavg;
+    for (const auto& r : records) {
+      if (r.rtt.samples == 0) continue;
+      put_varint_signed(wmin, r.rtt.min_us);
+      put_varint_signed(wmax, r.rtt.max_us - r.rtt.min_us);
+      put_varint_signed(wavg, static_cast<std::int64_t>(r.rtt.avg_us) - r.rtt.min_us);
+    }
+    sink.add(kColRttMin, wmin.view());
+    sink.add(kColRttMaxDelta, wmax.view());
+    sink.add(kColRttAvgDelta, wavg.view());
+  }
+  dir_col(kColHttpStatus, [](const auto& r) { return std::uint64_t{r.http_status}; });
+
+  // String dictionaries (server_name, content_type), first-appearance order.
+  const auto string_dict = [&](std::uint8_t dict_id, std::uint8_t idx_id, auto&& get) {
+    core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash> codes;
+    core::ByteWriter entries;
+    std::uint32_t count = 0;
+    core::ByteWriter idx(n);
+    for (const auto& r : records) {
+      const std::string_view s = get(r);
+      auto [it, inserted] = codes.try_emplace(s, count);
+      if (inserted) {
+        put_varint(entries, s.size());
+        entries.string(s);
+        ++count;
+      }
+      put_varint(idx, it->second);
+    }
+    core::ByteWriter blob(entries.size() + 4);
+    put_varint(blob, count);
+    blob.bytes(entries.view());
+    sink.add(dict_id, blob.view());
+    sink.add(idx_id, idx.view());
+  };
+  string_dict(kColNameDict, kColNameIdx,
+              [](const auto& r) { return std::string_view{r.server_name}; });
+  string_dict(kColCtDict, kColCtIdx,
+              [](const auto& r) { return std::string_view{r.content_type}; });
+
+  // Assemble: prefix | zone map | service dict | directory | payloads.
+  out.u8(kColumnarTag);
+  out.u8(kColumnarLayout);
+  put_zone_map(out, zone);
+  out.u8(static_cast<std::uint8_t>(dict.size()));
+  for (const auto sid : dict) out.u8(sid);
+  out.u8(static_cast<std::uint8_t>(sink.directory.size()));
+  for (const auto& [id, len] : sink.directory) {
+    out.u8(id);
+    put_varint(out, len);
+  }
+  out.bytes(sink.payloads);
+}
+
+BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnScratch& s,
+                                        const ScanPredicate* predicate,
+                                        std::uint64_t& records_delivered,
+                                        core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                                        std::uint32_t expected_records) {
+  core::ByteReader r(body);
+  if (r.u8() != kColumnarTag || r.u8() != kColumnarLayout) return BlockDecodeStatus::kCorrupt;
+  const ZoneMap zone = get_zone_map(r);
+  if (!r.ok() || zone.record_count > kMaxColumnarRecords) return BlockDecodeStatus::kCorrupt;
+  if (expected_records != kAnyRecordCount && zone.record_count != expected_records) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  const std::size_t n = zone.record_count;
+
+  // Service dictionary: every entry must be a valid global ServiceId — a
+  // "bad dictionary" is structural corruption, not a mapping to garbage.
+  const std::uint8_t dict_size = r.u8();
+  std::array<std::uint8_t, services::kServiceCount> dict{};
+  if (dict_size > services::kServiceCount) return BlockDecodeStatus::kCorrupt;
+  for (std::size_t i = 0; i < dict_size; ++i) {
+    const std::uint8_t sid = r.u8();
+    if (sid >= services::kServiceCount) return BlockDecodeStatus::kCorrupt;
+    dict[i] = sid;
+  }
+
+  // Segment directory: layout v1 requires each column exactly once.
+  SegmentTable segs;
+  const std::uint8_t seg_count = r.u8();
+  if (!r.ok() || seg_count != kColumnCount) return BlockDecodeStatus::kCorrupt;
+  struct DirEntry {
+    std::uint8_t id;
+    std::uint32_t len;
+  };
+  std::array<DirEntry, kColumnCount> entries{};
+  for (auto& e : entries) {
+    e.id = r.u8();
+    const std::uint64_t len = get_varint(r);
+    if (!r.ok() || e.id >= kColumnCount || len > body.size()) return BlockDecodeStatus::kCorrupt;
+    e.len = static_cast<std::uint32_t>(len);
+  }
+  for (const auto& e : entries) {
+    if (segs.present[e.id]) return BlockDecodeStatus::kCorrupt;
+    segs.seg[e.id] = r.bytes(e.len);
+    segs.present[e.id] = true;
+  }
+  if (!r.ok() || r.remaining() != 0 || !segs.complete()) return BlockDecodeStatus::kCorrupt;
+
+  bool zone_lied = false;
+
+  // Filter columns first: timestamps, service, proto. When a predicate
+  // selects nothing, the remaining 29 segments are never decompressed.
+  {
+    const auto stream = decompress_block_view(segs.seg[kColTs], s.seg);
+    if (!stream) return BlockDecodeStatus::kCorrupt;
+    s.ts.resize(n);
+    if (!decode_zigzag_column_into(*stream, n, s.ts.data())) return BlockDecodeStatus::kCorrupt;
+  }
+  if (!decode_u8_column(segs.seg[kColService], s.seg, n, s.service) ||
+      !decode_u8_column(segs.seg[kColProto], s.seg, n, s.proto)) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+
+  // One fused pass: undo the timestamp delta chain, resolve service dict
+  // codes, and run the zone cross-check (advisory-never-authoritative —
+  // every record must lie inside the zone that advertised the block). The
+  // serial prefix-sum chain overlaps with the independent checks instead of
+  // costing three separate traversals of the arrays.
+  {
+    std::int64_t prev = 0;
+    std::uint32_t outside = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      prev += s.ts[i];
+      s.ts[i] = prev;
+      const std::uint8_t code = s.service[i];
+      if (code >= dict_size) return BlockDecodeStatus::kCorrupt;
+      const std::uint8_t sid = dict[code];  // dict code → global ServiceId
+      s.service[i] = sid;
+      outside |= static_cast<std::uint32_t>(prev < zone.ts_min_us) |
+                 static_cast<std::uint32_t>(prev > zone.ts_max_us) |
+                 (~zone.service_bitmap >> sid & 1u) |
+                 (~zone.proto_bitmap >>
+                      proto_bit(static_cast<core::TransportProto>(s.proto[i])) &
+                  1u);
+    }
+    zone_lied = outside != 0;
+  }
+
+  // Row selection.
+  const bool filtered = predicate != nullptr && !predicate->unrestricted();
+  s.sel.clear();
+  if (filtered) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s.ts[i] < predicate->time_min_us || s.ts[i] > predicate->time_max_us) continue;
+      if (predicate->service_mask != 0 &&
+          (predicate->service_mask & (1u << s.service[i])) == 0) {
+        continue;
+      }
+      if (predicate->proto_mask != 0 &&
+          (predicate->proto_mask &
+           (1u << proto_bit(static_cast<core::TransportProto>(s.proto[i])))) == 0) {
+        continue;
+      }
+      s.sel.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (s.sel.empty()) {
+      return zone_lied ? BlockDecodeStatus::kZoneMapLied : BlockDecodeStatus::kOk;
+    }
+  }
+
+  // Remaining columns, gated on the projection: a segment backing no
+  // requested field is never decompressed or decoded (its bytes were still
+  // CRC-verified with the rest of the frame).
+  const std::uint32_t fields = predicate != nullptr ? predicate->fields : scan_fields::kAll;
+  const auto want = [fields](std::uint32_t bit) noexcept { return (fields & bit) != 0; };
+  const bool want_rtt = want(scan_fields::kRttMin | scan_fields::kRttSpread);
+  const auto vcol = [&](Column id, std::vector<std::uint64_t>& out) {
+    return decode_varint_column(segs.seg[id], s.seg, n, out);
+  };
+  if (want(scan_fields::kLastPacket)) {
+    const auto stream = decompress_block_view(segs.seg[kColDur], s.seg);
+    if (!stream) return BlockDecodeStatus::kCorrupt;
+    s.dur.resize(n);
+    if (!decode_zigzag_column_into(*stream, n, s.dur.data())) return BlockDecodeStatus::kCorrupt;
+  }
+  if ((want(scan_fields::kAccess) && !decode_u8_column(segs.seg[kColAccess], s.seg, n, s.access)) ||
+      (want(scan_fields::kCloseState) &&
+       !decode_u8_column(segs.seg[kColFlags], s.seg, n, s.flags)) ||
+      (want(scan_fields::kL7) && !decode_u8_column(segs.seg[kColL7], s.seg, n, s.l7)) ||
+      (want(scan_fields::kWeb) && !decode_u8_column(segs.seg[kColWeb], s.seg, n, s.web)) ||
+      (want(scan_fields::kNameSource) &&
+       !decode_u8_column(segs.seg[kColNameSource], s.seg, n, s.name_source))) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  if ((want(scan_fields::kClientPort) &&
+       !decode_fixed_column<std::uint16_t>(segs.seg[kColClientPort], s.seg, n, s.cport)) ||
+      (want(scan_fields::kClientIp) &&
+       !decode_fixed_column<std::uint32_t>(segs.seg[kColClientIp], s.seg, n, s.cip)) ||
+      !decode_fixed_column<std::uint32_t>(segs.seg[kColServerIp], s.seg, n, s.sip)) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  // Fixed-width columns are little-endian on the wire and memcpy'd in;
+  // normalize on big-endian hosts.
+  if constexpr (std::endian::native == std::endian::big) {
+    for (auto& v : s.cport) v = static_cast<std::uint16_t>((v >> 8) | (v << 8));
+    for (auto* col : {&s.cip, &s.sip}) {
+      for (auto& v : *col) v = __builtin_bswap32(v);
+    }
+  }
+  if (want(scan_fields::kServerPort)) {
+    if (!vcol(kColServerPort, s.u64_tmp)) return BlockDecodeStatus::kCorrupt;
+    s.sport.resize(n);
+    for (std::size_t i = 0; i < n; ++i) s.sport[i] = static_cast<std::uint16_t>(s.u64_tmp[i]);
+  }
+  if ((want(scan_fields::kUpPackets) && !vcol(kColUpPkts, s.up_pkts)) ||
+      (want(scan_fields::kUpBytes) && !vcol(kColUpBytes, s.up_bytes)) ||
+      (want(scan_fields::kUpWireBytes) && !vcol(kColUpHdr, s.up_hdr)) ||
+      (want(scan_fields::kUpQuality) &&
+       (!vcol(kColUpRetx, s.up_retx) || !vcol(kColUpOoo, s.up_ooo))) ||
+      (want(scan_fields::kDownPackets) && !vcol(kColDnPkts, s.dn_pkts)) ||
+      (want(scan_fields::kDownBytes) && !vcol(kColDnBytes, s.dn_bytes)) ||
+      (want(scan_fields::kDownWireBytes) && !vcol(kColDnHdr, s.dn_hdr)) ||
+      (want(scan_fields::kDownQuality) &&
+       (!vcol(kColDnRetx, s.dn_retx) || !vcol(kColDnOoo, s.dn_ooo))) ||
+      (want(scan_fields::kHttpStatus) && !vcol(kColHttpStatus, s.http_status))) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  if (want_rtt) {
+    if (!vcol(kColRttSamples, s.rtt_samples)) return BlockDecodeStatus::kCorrupt;
+    // Row-aligned expansion of the dense RTT sub-columns: batch-decode the
+    // dense stream (one value per row with samples > 0), then scatter.
+    std::size_t rtt_rows = 0;
+    for (std::size_t i = 0; i < n; ++i) rtt_rows += s.rtt_samples[i] > 0 ? 1 : 0;
+    const auto dense_zigzag = [&](Column id, std::vector<std::int64_t>& col) {
+      const auto stream = decompress_block_view(segs.seg[id], s.seg);
+      if (!stream) return false;
+      s.u64_tmp.resize(rtt_rows);
+      auto* dense = reinterpret_cast<std::int64_t*>(s.u64_tmp.data());
+      if (!decode_zigzag_column_into(*stream, rtt_rows, dense)) return false;
+      col.resize(n);
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < n; ++i) col[i] = s.rtt_samples[i] > 0 ? dense[k++] : 0;
+      return true;
+    };
+    if (!dense_zigzag(kColRttMin, s.rtt_min)) return BlockDecodeStatus::kCorrupt;
+    if (want(scan_fields::kRttSpread) &&
+        (!dense_zigzag(kColRttMaxDelta, s.rtt_max_delta) ||
+         !dense_zigzag(kColRttAvgDelta, s.rtt_avg_delta))) {
+      return BlockDecodeStatus::kCorrupt;
+    }
+  }
+  if (want(scan_fields::kServerName) &&
+      (!decode_string_dict(segs.seg[kColNameDict], s.name_blob, n, kMaxNameLen, s.name_dict) ||
+       !decode_index_column(segs.seg[kColNameIdx], s.seg, s.u64_tmp, n, s.name_dict.size(),
+                            s.name_idx))) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  if (want(scan_fields::kContentType) &&
+      (!decode_string_dict(segs.seg[kColCtDict], s.ct_blob, n, kMaxCtLen, s.ct_dict) ||
+       !decode_index_column(segs.seg[kColCtIdx], s.seg, s.u64_tmp, n, s.ct_dict.size(),
+                            s.ct_idx))) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+
+  // Server-IP zone check needs the decoded column; done here so a filtered
+  // scan that selected nothing never pays for it (fsck's full decode does).
+  if (!zone_lied) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s.sip[i] < zone.server_ip_min || s.sip[i] > zone.server_ip_max) {
+        zone_lied = true;
+        break;
+      }
+    }
+  }
+
+  // Emit rows through the one reused record. Projected fields are assigned
+  // per row; under a narrowed projection, the unprojected ones are
+  // value-initialized once per block first — the record object carries state
+  // between rows and blocks, so stale values must be cleared, but clearing
+  // per row would charge every scan for fields nobody asked for.
+  //
+  // The whole tail is generic over the projection test so the dispatch below
+  // can instantiate it with a compile-time mask for the hot presets: every
+  // `wantp()` folds to a constant, leaving the per-row loop with no
+  // projection branches at all. ~20 tests per row are individually cheap but
+  // this loop runs once per record of every scan.
+  const auto emit_rows = [&](auto wantp) {
+    const bool wrtt = wantp(scan_fields::kRttMin | scan_fields::kRttSpread);
+    {
+      flow::FlowRecord& rec = s.rec;
+      if (!wantp(scan_fields::kLastPacket)) rec.last_packet = core::Timestamp{};
+      if (!wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{};
+      if (!wantp(scan_fields::kClientPort)) rec.client_port = 0;
+      if (!wantp(scan_fields::kServerPort)) rec.server_port = 0;
+      if (!wantp(scan_fields::kAccess)) rec.access = flow::AccessTech{};
+      if (!wantp(scan_fields::kCloseState)) {
+        rec.handshake_completed = false;
+        rec.close_reason = flow::FlowCloseReason{};
+      }
+      if (!wantp(scan_fields::kUpPackets)) rec.up.packets = 0;
+      if (!wantp(scan_fields::kUpBytes)) rec.up.bytes = 0;
+      if (!wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = 0;
+      if (!wantp(scan_fields::kUpQuality)) rec.up.retransmits = rec.up.out_of_order = 0;
+      if (!wantp(scan_fields::kDownPackets)) rec.down.packets = 0;
+      if (!wantp(scan_fields::kDownBytes)) rec.down.bytes = 0;
+      if (!wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = 0;
+      if (!wantp(scan_fields::kDownQuality)) rec.down.retransmits = rec.down.out_of_order = 0;
+      if (!wrtt) rec.rtt = flow::RttStats{};
+      if (!wantp(scan_fields::kRttSpread)) {
+        rec.rtt.max_us = 0;
+        rec.rtt.avg_us = 0;
+      }
+      if (!wantp(scan_fields::kL7)) rec.l7 = dpi::L7Protocol{};
+      if (!wantp(scan_fields::kWeb)) rec.web = dpi::WebProtocol{};
+      if (!wantp(scan_fields::kNameSource)) rec.name_source = flow::NameSource{};
+      if (!wantp(scan_fields::kServerName)) rec.server_name.clear();
+      if (!wantp(scan_fields::kHttpStatus)) rec.http_status = 0;
+      if (!wantp(scan_fields::kContentType)) rec.content_type.clear();
+      rec.ingest_seq = 0;  // not stored in v3; always zero on the scan path
+    }
+    // The dictionary columns repeat heavily (one hostname serves many
+    // flows), so the emit loop only re-assigns a string when the row's dict
+    // index differs from the previously emitted row's. Sentinel resets per
+    // block: a new block means a new dictionary, so index equality across
+    // blocks proves nothing.
+    std::uint32_t last_name_idx = 0xffffffffu;
+    std::uint32_t last_ct_idx = 0xffffffffu;
+    const auto emit = [&](std::size_t i) {
+      flow::FlowRecord& rec = s.rec;
+      if (wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{s.cip[i]};
+      rec.server_ip = core::IPv4Address{s.sip[i]};
+      if (wantp(scan_fields::kClientPort)) rec.client_port = s.cport[i];
+      if (wantp(scan_fields::kServerPort)) rec.server_port = s.sport[i];
+      rec.proto = static_cast<core::TransportProto>(s.proto[i]);
+      if (wantp(scan_fields::kAccess)) rec.access = static_cast<flow::AccessTech>(s.access[i]);
+      rec.first_packet = core::Timestamp{s.ts[i]};
+      if (wantp(scan_fields::kLastPacket)) rec.last_packet = rec.first_packet + s.dur[i];
+      if (wantp(scan_fields::kUpPackets)) rec.up.packets = s.up_pkts[i];
+      if (wantp(scan_fields::kUpBytes)) rec.up.bytes = s.up_bytes[i];
+      if (wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = s.up_hdr[i];
+      if (wantp(scan_fields::kUpQuality)) {
+        rec.up.retransmits = static_cast<std::uint32_t>(s.up_retx[i]);
+        rec.up.out_of_order = static_cast<std::uint32_t>(s.up_ooo[i]);
+      }
+      if (wantp(scan_fields::kDownPackets)) rec.down.packets = s.dn_pkts[i];
+      if (wantp(scan_fields::kDownBytes)) rec.down.bytes = s.dn_bytes[i];
+      if (wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = s.dn_hdr[i];
+      if (wantp(scan_fields::kDownQuality)) {
+        rec.down.retransmits = static_cast<std::uint32_t>(s.dn_retx[i]);
+        rec.down.out_of_order = static_cast<std::uint32_t>(s.dn_ooo[i]);
+      }
+      if (wantp(scan_fields::kCloseState)) {
+        rec.handshake_completed = (s.flags[i] & 1) != 0;
+        rec.close_reason = static_cast<flow::FlowCloseReason>(s.flags[i] >> 1);
+      }
+      if (wrtt) {
+        rec.rtt.samples = static_cast<std::uint32_t>(s.rtt_samples[i]);
+        rec.rtt.min_us = rec.rtt.samples > 0 ? s.rtt_min[i] : 0;
+        if (wantp(scan_fields::kRttSpread)) {
+          if (rec.rtt.samples > 0) {
+            rec.rtt.max_us = s.rtt_min[i] + s.rtt_max_delta[i];
+            rec.rtt.avg_us = static_cast<double>(s.rtt_min[i] + s.rtt_avg_delta[i]);
+          } else {
+            rec.rtt.max_us = 0;
+            rec.rtt.avg_us = 0;
+          }
+        }
+      }
+      if (wantp(scan_fields::kL7)) rec.l7 = static_cast<dpi::L7Protocol>(s.l7[i]);
+      if (wantp(scan_fields::kWeb)) rec.web = static_cast<dpi::WebProtocol>(s.web[i]);
+      if (wantp(scan_fields::kNameSource)) {
+        rec.name_source = static_cast<flow::NameSource>(s.name_source[i]);
+      }
+      if (wantp(scan_fields::kServerName) && s.name_idx[i] != last_name_idx) {
+        last_name_idx = s.name_idx[i];
+        rec.server_name.assign(s.name_dict[last_name_idx]);
+      }
+      if (wantp(scan_fields::kHttpStatus)) {
+        rec.http_status = static_cast<std::uint16_t>(s.http_status[i]);
+      }
+      if (wantp(scan_fields::kContentType) && s.ct_idx[i] != last_ct_idx) {
+        last_ct_idx = s.ct_idx[i];
+        rec.content_type.assign(s.ct_dict[last_ct_idx]);
+      }
+      fn(rec);
+      ++records_delivered;
+    };
+    if (filtered) {
+      for (const auto i : s.sel) emit(i);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) emit(i);
+    }
+  };
+  if (fields == scan_fields::kAll) {
+    emit_rows([](std::uint32_t) { return true; });
+  } else if (fields == scan_fields::kDayAggregate) {
+    emit_rows([](std::uint32_t bit) { return (scan_fields::kDayAggregate & bit) != 0; });
+  } else {
+    emit_rows([fields](std::uint32_t bit) { return (fields & bit) != 0; });
+  }
+  return zone_lied ? BlockDecodeStatus::kZoneMapLied : BlockDecodeStatus::kOk;
+}
+
+}  // namespace edgewatch::storage

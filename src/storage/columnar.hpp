@@ -1,0 +1,260 @@
+// Columnar `.ewl` v3 block bodies: the read-optimized counterpart of the
+// row-oriented v2 stream (paper §2.2 — the analytics side re-scans years of
+// day logs, so the scan path must be able to *skip* and to decode in batch).
+//
+// Within one CRC-framed lake block, records are transposed into per-field
+// column segments, each with its own varint/fixed-width stream and its own
+// compression envelope (similar bytes sit together, so the LZ pass bites
+// harder and a stored fallback costs nothing). The body is prefixed by a
+// fixed-width **zone map** — per-block min/max timestamp, service-id bitmap,
+// transport-protocol bitmap, server-IP range, record count — that a
+// selective scan reads without decompressing anything, skipping whole
+// blocks whose zone provably cannot match the predicate.
+//
+// Zone maps are *advisory for skipping, authoritative never*: every decoded
+// record is checked back against the zone that announced it, and a lying
+// zone map (one that excludes records actually present) turns the block
+// status to kZoneMapLied so fsck/repair can quarantine it — records are
+// still delivered, never silently dropped (tests/test_storage.cpp holds
+// this; DESIGN.md §12 states the contract).
+//
+// Body layout (all integers little-endian; the body sits verbatim inside a
+// v2-style CRC frame, so every byte below is checksummed):
+//
+//   u8  tag = 0xC3            distinguishes columnar bodies from the v1/v2
+//                             compression envelope (scheme bytes 0x00/0x01)
+//   u8  layout = 1
+//   zone map (36 bytes):      i64 ts_min_us | i64 ts_max_us
+//                             | u32 service_bitmap | u32 proto_bitmap
+//                             | u32 server_ip_min | u32 server_ip_max
+//                             | u32 record_count
+//   u8  dict_size, then dict_size × u8 global ServiceId  (service dictionary)
+//   u8  segment_count, then per segment: u8 column_id | varint payload_len
+//   segment payloads, each a compress.hpp envelope of the column stream
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "core/function_ref.hpp"
+#include "core/types.hpp"
+#include "flow/record.hpp"
+#include "services/catalog.hpp"
+
+namespace edgewatch::storage {
+
+inline constexpr std::uint8_t kColumnarTag = 0xC3;
+inline constexpr std::uint8_t kColumnarLayout = 1;
+/// Sanity ceiling on the per-block record count a zone map may declare.
+inline constexpr std::uint32_t kMaxColumnarRecords = 1u << 20;
+
+/// Compact bit index for the transport-protocol bitmaps: TransportProto
+/// values are IANA numbers (6/17/255), too sparse for a direct bitmap.
+[[nodiscard]] constexpr unsigned proto_bit(core::TransportProto p) noexcept {
+  return p == core::TransportProto::kTcp ? 0u : p == core::TransportProto::kUdp ? 1u : 2u;
+}
+
+/// The per-block skip index. min/max are inclusive; the service bitmap has
+/// bit i set when some record classifies as ServiceId i (kServiceCount ≤ 32
+/// by construction), the proto bitmap uses proto_bit().
+struct ZoneMap {
+  std::int64_t ts_min_us = 0;   ///< min first_packet across the block
+  std::int64_t ts_max_us = 0;   ///< max first_packet across the block
+  std::uint32_t service_bitmap = 0;
+  std::uint32_t proto_bitmap = 0;
+  std::uint32_t server_ip_min = 0;
+  std::uint32_t server_ip_max = 0;
+  std::uint32_t record_count = 0;
+};
+
+/// Field-projection bits for ScanPredicate::fields: which FlowRecord fields
+/// a columnar scan must materialize. Every bit maps to the column segment(s)
+/// backing that field; segments backing no requested field are never
+/// decompressed or decoded ("skip unreferenced column segments inside
+/// surviving blocks"). The filter/zone columns — first_packet, proto,
+/// server_ip plus the materialized service codes — are always decoded: they
+/// drive row selection and the zone-map cross-check, so those three record
+/// fields are always populated. All other unprojected fields of the emitted
+/// records are value-initialized (zero / empty), never stale.
+///
+/// Projection is a v3 fast path, not a semantic filter: row-format (v1/v2)
+/// blocks materialize every field regardless, and a consumer must not rely
+/// on unprojected fields being zeroed when it may read v2 days. Skipped
+/// segments are still CRC-covered by the block frame, but their *structural*
+/// integrity (torn varint streams, bad dictionaries) is only verified by a
+/// full-projection decode — which is what fsck and repair run.
+namespace scan_fields {
+inline constexpr std::uint32_t kLastPacket = 1u << 0;     ///< duration column
+inline constexpr std::uint32_t kClientIp = 1u << 1;
+inline constexpr std::uint32_t kClientPort = 1u << 2;
+inline constexpr std::uint32_t kServerPort = 1u << 3;
+inline constexpr std::uint32_t kAccess = 1u << 4;
+inline constexpr std::uint32_t kCloseState = 1u << 5;     ///< handshake + close_reason
+inline constexpr std::uint32_t kUpPackets = 1u << 6;
+inline constexpr std::uint32_t kUpBytes = 1u << 7;
+inline constexpr std::uint32_t kUpWireBytes = 1u << 8;    ///< bytes_with_hdr
+inline constexpr std::uint32_t kUpQuality = 1u << 9;      ///< retransmits + out_of_order
+inline constexpr std::uint32_t kDownPackets = 1u << 10;
+inline constexpr std::uint32_t kDownBytes = 1u << 11;
+inline constexpr std::uint32_t kDownWireBytes = 1u << 12;
+inline constexpr std::uint32_t kDownQuality = 1u << 13;
+inline constexpr std::uint32_t kRttMin = 1u << 14;        ///< rtt.samples + rtt.min_us
+inline constexpr std::uint32_t kRttSpread = 1u << 15;     ///< + rtt.max_us / rtt.avg_us
+inline constexpr std::uint32_t kL7 = 1u << 16;
+inline constexpr std::uint32_t kWeb = 1u << 17;
+inline constexpr std::uint32_t kNameSource = 1u << 18;
+inline constexpr std::uint32_t kServerName = 1u << 19;    ///< name dictionary + indexes
+inline constexpr std::uint32_t kHttpStatus = 1u << 20;
+inline constexpr std::uint32_t kContentType = 1u << 21;   ///< content-type dict + indexes
+inline constexpr std::uint32_t kAll = 0xffffffffu;
+/// Canonical projection presets. The decoder keeps a branch-free emit loop
+/// pre-instantiated for each preset (plus kAll), so scans that use one
+/// exactly pay no per-row projection tests. kDayAggregate is the stage-one
+/// day-rollup working set — the hottest scan in the pipeline
+/// (analytics::kDayAggregateScanFields aliases it).
+inline constexpr std::uint32_t kDayAggregate = kClientIp | kAccess | kUpBytes | kDownBytes |
+                                               kDownPackets | kDownQuality | kRttMin | kL7 |
+                                               kWeb | kServerName;
+}  // namespace scan_fields
+
+/// The predicate a selective scan pushes below the decoder. Default state
+/// matches everything (a full scan). Time bounds are inclusive and apply to
+/// first_packet, mirroring how the day files are partitioned.
+struct ScanPredicate {
+  std::int64_t time_min_us = std::numeric_limits<std::int64_t>::min();
+  std::int64_t time_max_us = std::numeric_limits<std::int64_t>::max();
+  /// Bit per services::ServiceId; 0 = any service.
+  std::uint32_t service_mask = 0;
+  /// Bit per proto_bit(TransportProto); 0 = any transport.
+  std::uint32_t proto_mask = 0;
+  /// Classifier for row-format (v1/v2) record filtering when service_mask
+  /// is set; nullptr = services::ServiceCatalog::standard(). v3 blocks
+  /// filter on their materialized service column instead (written with the
+  /// lake's write catalog — the same standard catalog by default).
+  const services::ServiceCatalog* catalog = nullptr;
+  /// Projection (scan_fields bits): which record fields the consumer will
+  /// read. kAll decodes everything; a narrower mask lets v3 blocks skip the
+  /// unreferenced column segments entirely. Orthogonal to the row filters
+  /// above — a fields-only predicate is still an unrestricted (full) scan.
+  std::uint32_t fields = scan_fields::kAll;
+
+  [[nodiscard]] bool unrestricted() const noexcept {
+    return time_min_us == std::numeric_limits<std::int64_t>::min() &&
+           time_max_us == std::numeric_limits<std::int64_t>::max() && service_mask == 0 &&
+           proto_mask == 0;
+  }
+
+  /// Could any record admitted by this predicate live in `zone`? False is a
+  /// proof of absence *if the zone map is truthful* — which is exactly why
+  /// zone maps are advisory-only and cross-checked at decode.
+  [[nodiscard]] bool admits(const ZoneMap& zone) const noexcept {
+    if (zone.ts_max_us < time_min_us || zone.ts_min_us > time_max_us) return false;
+    if (service_mask != 0 && (service_mask & zone.service_bitmap) == 0) return false;
+    if (proto_mask != 0 && (proto_mask & zone.proto_bitmap) == 0) return false;
+    return true;
+  }
+
+  /// Row-level match for already-materialized records (the v1/v2 path and
+  /// the post-decode oracle the golden tests compare against).
+  [[nodiscard]] bool matches(const flow::FlowRecord& record) const;
+
+  /// Convenience: restrict to one service.
+  static ScanPredicate for_service(services::ServiceId id) noexcept {
+    ScanPredicate p;
+    p.service_mask = 1u << static_cast<unsigned>(id);
+    return p;
+  }
+
+  /// Convenience: restrict to one transport protocol.
+  static ScanPredicate for_proto(core::TransportProto proto) noexcept {
+    ScanPredicate p;
+    p.proto_mask = 1u << proto_bit(proto);
+    return p;
+  }
+
+  /// Convenience: an unrestricted scan that materializes only `field_mask`.
+  static ScanPredicate project(std::uint32_t field_mask) noexcept {
+    ScanPredicate p;
+    p.fields = field_mask;
+    return p;
+  }
+};
+
+/// Reusable decode buffers for the columnar path: one per scanning thread,
+/// filled block after block with zero steady-state allocation. Owned by
+/// storage::ScanScratch (datalake.hpp).
+struct ColumnScratch {
+  // Column arrays, row-aligned (record i of the block is index i).
+  std::vector<std::int64_t> ts;        ///< first_packet, µs
+  std::vector<std::int64_t> dur;       ///< last_packet − first_packet
+  std::vector<std::uint8_t> service;   ///< global ServiceId, dict-resolved
+  std::vector<std::uint8_t> proto, access, flags, l7, web, name_source;
+  std::vector<std::uint16_t> cport, sport;
+  std::vector<std::uint32_t> cip, sip;
+  std::vector<std::uint64_t> up_pkts, up_bytes, up_hdr, up_retx, up_ooo;
+  std::vector<std::uint64_t> dn_pkts, dn_bytes, dn_hdr, dn_retx, dn_ooo;
+  std::vector<std::uint64_t> rtt_samples, http_status;
+  std::vector<std::int64_t> rtt_min, rtt_max_delta, rtt_avg_delta;
+  std::vector<std::uint32_t> name_idx, ct_idx;
+  // String dictionaries: views into the two persistent blob buffers below.
+  std::vector<std::string_view> name_dict, ct_dict;
+  std::vector<std::byte> name_blob, ct_blob;
+  /// Per-segment decompression scratch (reused; stored segments decode
+  /// zero-copy straight from the file bytes).
+  std::vector<std::byte> seg;
+  /// Wide staging for varint columns that narrow on emit (server_port).
+  std::vector<std::uint64_t> u64_tmp;
+  /// Selected row indexes of a filtered decode.
+  std::vector<std::uint32_t> sel;
+  /// The one FlowRecord object rows are emitted through: string capacity is
+  /// reused across rows and blocks, so a full-day scan performs no
+  /// per-record allocation once the dictionaries warmed the buffers.
+  flow::FlowRecord rec;
+};
+
+/// Outcome of decoding one columnar body.
+enum class BlockDecodeStatus : std::uint8_t {
+  kOk = 0,
+  /// Structural damage (bad tag/dictionary/segment, torn column, count
+  /// mismatch). No record of the block is delivered — columnar blocks
+  /// decode atomically, unlike the v2 row stream's valid-prefix delivery.
+  kCorrupt,
+  /// Every record decoded and was delivered, but at least one contradicts
+  /// the zone map (a record outside the claimed time/service/proto/IP
+  /// zone). The block must be quarantined: a selective scan trusting this
+  /// zone map could have skipped records a truthful map would have kept.
+  kZoneMapLied,
+};
+
+/// True when `body` carries the columnar tag (v3); false for the v1/v2
+/// compression envelope.
+[[nodiscard]] bool is_columnar_block(std::span<const std::byte> body) noexcept;
+
+/// Read just the fixed-width zone map — no decompression, no column decode.
+/// nullopt on a malformed prefix.
+[[nodiscard]] std::optional<ZoneMap> peek_zone_map(std::span<const std::byte> body) noexcept;
+
+/// Transpose `records` into a columnar body appended to `out`. `catalog`
+/// materializes the per-record service ids (dictionary-coded) and the zone
+/// map's service bitmap.
+void encode_columnar_block(std::span<const flow::FlowRecord> records,
+                           const services::ServiceCatalog& catalog, core::ByteWriter& out);
+
+/// Decode a columnar body, delivering records (in row order) to `fn`.
+/// With a predicate, only matching records are delivered — the filter
+/// columns (timestamp, service, proto) decode first and, when nothing
+/// matches, the remaining segments are never touched. `expected_records`
+/// cross-checks the frame header's count (pass kAnyRecordCount to skip).
+/// records_delivered counts what `fn` saw.
+inline constexpr std::uint32_t kAnyRecordCount = 0xffffffffu;
+[[nodiscard]] BlockDecodeStatus decode_columnar_block(
+    std::span<const std::byte> body, ColumnScratch& scratch, const ScanPredicate* predicate,
+    std::uint64_t& records_delivered, core::FunctionRef<void(const flow::FlowRecord&)> fn,
+    std::uint32_t expected_records = kAnyRecordCount);
+
+}  // namespace edgewatch::storage

@@ -106,10 +106,32 @@ std::vector<std::byte> compress_block(std::span<const std::byte> input) {
   return out;
 }
 
+std::vector<std::byte> compress_block_lazy(std::span<const std::byte> input) {
+  auto out = compress_block(input);
+  if (std::to_integer<std::uint8_t>(out[0]) == kSchemeLz &&
+      out.size() > 5 + input.size() - input.size() / 8) {
+    out.resize(5);
+    out[0] = static_cast<std::byte>(kSchemeStored);
+    out.insert(out.end(), input.begin(), input.end());
+  }
+  return out;
+}
+
 std::optional<std::vector<std::byte>> decompress_block(std::span<const std::byte> input) {
   std::vector<std::byte> out;
   if (!decompress_block_into(input, out)) return std::nullopt;
   return out;
+}
+
+std::optional<std::span<const std::byte>> decompress_block_view(std::span<const std::byte> input,
+                                                                std::vector<std::byte>& scratch) {
+  if (input.size() >= 5 && std::to_integer<std::uint8_t>(input[0]) == kSchemeStored) {
+    const std::size_t expected = get_le32(input.subspan(1, 4));
+    if (expected > kMaxDecompressedSize || input.size() - 5 != expected) return std::nullopt;
+    return input.subspan(5);
+  }
+  if (!decompress_block_into(input, scratch)) return std::nullopt;
+  return std::span<const std::byte>{scratch};
 }
 
 bool decompress_block_into(std::span<const std::byte> input, std::vector<std::byte>& out) {

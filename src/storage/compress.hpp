@@ -25,6 +25,15 @@ inline constexpr std::size_t kMaxDecompressedSize = std::size_t{1} << 26;
 /// little-endian uncompressed size.
 [[nodiscard]] std::vector<std::byte> compress_block(std::span<const std::byte> input);
 
+/// As compress_block, but emits the stored envelope unless LZ saves at
+/// least 1/8 of the input. Column segments are already varint/delta/dict
+/// packed, so LZ rarely buys much on them — and a stored segment is
+/// decoded zero-copy straight from the file bytes (decompress_block_view
+/// returns a subspan), which is what makes the columnar scan path fast.
+/// Row-format block bodies keep plain compress_block: they compress well
+/// and are decoded once per block, not once per column.
+[[nodiscard]] std::vector<std::byte> compress_block_lazy(std::span<const std::byte> input);
+
 /// Decompress; nullopt on malformed input (never reads out of bounds, never
 /// allocates more than kMaxDecompressedSize).
 [[nodiscard]] std::optional<std::vector<std::byte>> decompress_block(
@@ -36,5 +45,13 @@ inline constexpr std::size_t kMaxDecompressedSize = std::size_t{1} << 26;
 /// worker) instead of one allocation per block.
 [[nodiscard]] bool decompress_block_into(std::span<const std::byte> input,
                                          std::vector<std::byte>& out);
+
+/// View the uncompressed bytes of a block: a stored block is returned as a
+/// subspan of `input` itself (zero copy — the columnar scan path decodes
+/// incompressible column segments straight from the mapped file bytes);
+/// an LZ block is inflated into `scratch` and a span over it returned.
+/// nullopt on malformed input.
+[[nodiscard]] std::optional<std::span<const std::byte>> decompress_block_view(
+    std::span<const std::byte> input, std::vector<std::byte>& scratch);
 
 }  // namespace edgewatch::storage

@@ -2,7 +2,10 @@
 // paper's probes buffer flow logs locally and ship them to long-term
 // storage daily (§2.2); this writer buffers finished FlowRecords, assigns
 // each to the civil day its flow *started*, and appends day batches to the
-// lake whenever a buffer fills or the day rolls over.
+// lake whenever a buffer fills or the day rolls over. The on-disk block
+// format is the lake's choice (DataLake::set_write_format — columnar v3 by
+// default, row v2 for compatibility); the writer itself is format-blind
+// and preserves arrival order, never sorting a batch.
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,7 @@ namespace {
 constexpr char kMagic[4] = {'E', 'W', 'L', 'K'};
 constexpr std::uint8_t kVersion1 = 1;
 constexpr std::uint8_t kVersion2 = 2;
+constexpr std::uint8_t kVersion3 = 3;  // v2 framing, columnar block bodies
 constexpr std::size_t kHeaderSize = 5;
 
 // v2 block frame: body_len | seq | record_count | crc32c | body. The CRC
@@ -189,10 +190,38 @@ FileModel parse_file(std::span<const std::byte> data) {
   m.version = std::to_integer<std::uint8_t>(data[4]);
   switch (m.version) {
     case kVersion1: parse_v1(data, m); break;
-    case kVersion2: parse_v2(data, m); break;
+    // v3 shares v2's element framing (frames, seals, resync); only the
+    // block bodies differ and those are opaque at this level.
+    case kVersion2:
+    case kVersion3: parse_v2(data, m); break;
     default: m.errc = core::Errc::kBadVersion; break;
   }
   return m;
+}
+
+/// fsck/repair pre-scan for v3 files: CRC-valid frames can still hold
+/// structurally damaged columnar bodies (a bit-flip that was re-CRC'd, a
+/// writer bug, a deliberately patched zone map). Decode every block fully
+/// — including the zone-map truthfulness cross-check — and demote failures
+/// to damaged ranges so repair quarantines them.
+void deep_verify_columnar(std::span<const std::byte> data, FileModel& m) {
+  if (m.version != kVersion3) return;
+  ColumnScratch scratch;
+  std::vector<BlockRef> good;
+  good.reserve(m.blocks.size());
+  std::uint64_t ignored = 0;
+  const auto sink = [](const flow::FlowRecord&) {};
+  for (const auto& b : m.blocks) {
+    const auto body = data.subspan(b.offset + b.header_size, b.body_len);
+    const auto status =
+        decode_columnar_block(body, scratch, nullptr, ignored, sink, b.record_count);
+    if (status == BlockDecodeStatus::kOk) {
+      good.push_back(b);
+    } else {
+      m.bad.push_back({b.offset, b.offset + b.header_size + b.body_len});
+    }
+  }
+  m.blocks = std::move(good);
 }
 
 std::optional<std::vector<std::byte>> read_file(const std::filesystem::path& path) {
@@ -253,7 +282,7 @@ DayHealth assess(const FileModel& m, core::CivilDate day) {
   h.blocks_quarantined = static_cast<std::uint32_t>(m.bad.size());
   for (const auto& r : m.bad) h.bytes_quarantined += r.end - r.begin;
   h.sealed = m.ends_sealed;
-  h.torn_tail = m.version == kVersion2 ? !m.ends_sealed : !m.bad.empty();
+  h.torn_tail = m.version >= kVersion2 ? !m.ends_sealed : !m.bad.empty();
   if (m.last_seal) {
     // The seal is a durability receipt: cum_records were acknowledged as
     // stored. Valid blocks before the seal account for part of them; the
@@ -268,7 +297,7 @@ DayHealth assess(const FileModel& m, core::CivilDate day) {
   }
   if (!m.bad.empty()) {
     h.errc = core::Errc::kCorrupt;
-  } else if (m.version == kVersion2 && !m.ends_sealed) {
+  } else if (m.version >= kVersion2 && !m.ends_sealed) {
     h.errc = core::Errc::kTruncated;
   }
   return h;
@@ -323,6 +352,45 @@ std::filesystem::path DataLake::day_path(core::CivilDate day) const {
 
 std::filesystem::path DataLake::quarantine_dir() const { return root_ / "quarantine"; }
 
+namespace {
+
+/// Chunk `records` into block frames of the requested on-disk version,
+/// appending frames (and, for v2/v3, a trailing seal) to `out`. Shared by
+/// append() and rewrite_day().
+void encode_day_elements(core::ByteWriter& out, std::span<const flow::FlowRecord> records,
+                         std::uint8_t version, std::uint32_t next_seq,
+                         std::uint64_t cum_records, const services::ServiceCatalog& catalog) {
+  for (std::size_t first = 0; first < records.size(); first += DataLake::kBlockRecords) {
+    const std::size_t n = std::min(DataLake::kBlockRecords, records.size() - first);
+    const auto chunk = records.subspan(first, n);
+    if (version == kVersion3) {
+      // Columnar bodies carry per-segment compression envelopes already;
+      // the frame wraps them uncompressed so zone maps stay peekable.
+      core::ByteWriter body;
+      encode_columnar_block(chunk, catalog, body);
+      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), body.view());
+      cum_records += n;
+      continue;
+    }
+    core::ByteWriter block;
+    for (const auto& record : chunk) encode_record(record, block);
+    const auto compressed = compress_block(block.view());
+    if (version == kVersion2) {
+      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), compressed);
+      cum_records += n;
+    } else {
+      put_v1_frame(out, block.view(), compressed);
+    }
+  }
+  if (version >= kVersion2) put_seal(out, cum_records, next_seq);
+}
+
+}  // namespace
+
+const services::ServiceCatalog& DataLake::effective_catalog() const noexcept {
+  return write_catalog_ != nullptr ? *write_catalog_ : services::ServiceCatalog::standard();
+}
+
 core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
                                              std::span<const flow::FlowRecord> records) {
   if (records.empty()) return std::uint64_t{0};
@@ -333,7 +401,7 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
   std::uint64_t start = 0;
   std::uint32_t next_seq = 0;
   std::uint64_t cum_records = 0;
-  std::uint8_t version = kVersion2;
+  std::uint8_t version = static_cast<std::uint8_t>(write_format_);
   bool fresh = true;
   if (std::filesystem::exists(path)) {
     const auto existing = read_file(path);
@@ -345,7 +413,7 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
       }
       if (m.errc == core::Errc::kOk) {
         fresh = false;
-        version = m.version;
+        version = m.version;  // appends continue the file's format
         start = m.valid_end;
         if (!m.blocks.empty()) next_seq = m.blocks.back().seq + 1;
         for (const auto& b : m.blocks) cum_records += b.record_count;
@@ -359,19 +427,7 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
     for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
     out.u8(version);
   }
-  for (std::size_t first = 0; first < records.size(); first += kBlockRecords) {
-    const std::size_t n = std::min(kBlockRecords, records.size() - first);
-    core::ByteWriter block;
-    for (std::size_t i = 0; i < n; ++i) encode_record(records[first + i], block);
-    const auto compressed = compress_block(block.view());
-    if (version == kVersion2) {
-      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), compressed);
-      cum_records += n;
-    } else {
-      put_v1_frame(out, block.view(), compressed);
-    }
-  }
-  if (version == kVersion2) put_seal(out, cum_records, next_seq);
+  encode_day_elements(out, records, version, next_seq, cum_records, effective_catalog());
 
   auto file = file_factory_();
   if (auto r = file->open_at(path, start); !r) return r.error();
@@ -424,23 +480,72 @@ DayBlockIndex DataLake::load_day_blocks(core::CivilDate day) const {
   return idx;
 }
 
-bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratch,
-                            std::uint64_t& records_delivered,
-                            core::FunctionRef<void(const flow::FlowRecord&)> fn) {
-  if (!decompress_block_into(body, scratch.decompressed)) {
-    return false;  // CRC-valid yet undecompressable: writer-level damage
+void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_count,
+                          const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
+                          core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+  if (is_columnar_block(body)) {
+    if (predicate != nullptr && !predicate->unrestricted()) {
+      const auto zone = peek_zone_map(body);
+      if (!zone ||
+          (record_count != kAnyRecordCount && zone->record_count != record_count)) {
+        ++res.blocks_skipped;
+        res.errc = core::Errc::kCorrupt;
+        return;
+      }
+      if (!predicate->admits(*zone)) {
+        // Zone-map proof of absence: skip the block without touching a
+        // single column segment. This is the selective-scan fast path.
+        ++res.blocks_pruned;
+        return;
+      }
+    }
+    const auto status = decode_columnar_block(body, scratch.columns, predicate,
+                                              res.records_delivered, fn, record_count);
+    if (status == BlockDecodeStatus::kCorrupt) {
+      ++res.blocks_skipped;
+      res.errc = core::Errc::kCorrupt;
+    } else if (status == BlockDecodeStatus::kZoneMapLied) {
+      // Records were delivered in full, but the block's skip index is
+      // untrustworthy: surface corruption so fsck/repair quarantines it.
+      res.errc = core::Errc::kCorrupt;
+    }
+    return;
   }
+
+  // Row-oriented (v1/v2) body: decompress, then decode-and-filter.
+  if (!decompress_block_into(body, scratch.decompressed)) {
+    ++res.blocks_skipped;  // CRC-valid yet undecompressable: writer-level damage
+    res.errc = core::Errc::kCorrupt;
+    return;
+  }
+  const bool filtered = predicate != nullptr && !predicate->unrestricted();
   core::ByteReader r{scratch.decompressed};
   while (true) {
     const auto record = decode_record(r);
-    if (!record) return record.error() == core::Errc::kEndOfStream;
+    if (!record) {
+      if (record.error() != core::Errc::kEndOfStream) {
+        ++res.blocks_skipped;
+        res.errc = core::Errc::kCorrupt;
+      }
+      return;
+    }
+    if (filtered && !predicate->matches(*record)) continue;
     fn(*record);
-    ++records_delivered;
+    ++res.records_delivered;
   }
 }
 
-ScanResult DataLake::scan_day(core::CivilDate day,
-                              const std::function<void(const flow::FlowRecord&)>& fn) const {
+bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratch,
+                            std::uint64_t& records_delivered,
+                            core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+  ScanResult res;
+  scan_block(body, kAnyRecordCount, nullptr, scratch, res, fn);
+  records_delivered += res.records_delivered;
+  return res.errc == core::Errc::kOk;
+}
+
+ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
+                                   const std::function<void(const flow::FlowRecord&)>& fn) const {
   ScanResult res;
   const DayBlockIndex idx = load_day_blocks(day);
   if (idx.fatal() != core::Errc::kOk) {
@@ -448,17 +553,25 @@ ScanResult DataLake::scan_day(core::CivilDate day,
     return res;
   }
   ScanScratch scratch;
+  const auto deliver = [&fn](const flow::FlowRecord& r) { fn(r); };
   for (const auto& b : idx.blocks()) {
-    if (!decode_block(idx.body(b), scratch, res.records_delivered, fn)) {
-      ++res.blocks_skipped;
-      res.errc = core::Errc::kCorrupt;
-    }
+    scan_block(idx.body(b), b.record_count, predicate, scratch, res, deliver);
   }
   res.blocks_skipped += idx.damaged_ranges();
   if (res.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
     res.errc = idx.baseline();
   }
   return res;
+}
+
+ScanResult DataLake::scan_day(core::CivilDate day,
+                              const std::function<void(const flow::FlowRecord&)>& fn) const {
+  return scan_day_impl(day, nullptr, fn);
+}
+
+ScanResult DataLake::scan_day(core::CivilDate day, const ScanPredicate& predicate,
+                              const std::function<void(const flow::FlowRecord&)>& fn) const {
+  return scan_day_impl(day, &predicate, fn);
 }
 
 std::vector<flow::FlowRecord> DataLake::read_day(core::CivilDate day) const {
@@ -488,7 +601,9 @@ DayHealth DataLake::fsck_day(core::CivilDate day) const {
     h.errc = core::Errc::kIoError;
     return h;
   }
-  DayHealth h = assess(parse_file(*data), day);
+  FileModel m = parse_file(*data);
+  deep_verify_columnar(*data, m);
+  DayHealth h = assess(m, day);
   h.identity = file_identity(path);
   return h;
 }
@@ -511,8 +626,55 @@ core::Result<void> DataLake::migrate_to_v2(core::CivilDate day) {
   const auto before = fsck_day(day);
   if (before.errc == core::Errc::kNotFound) return core::Errc::kNotFound;
   if (before.version == kVersion2 && before.healthy()) return {};
+  if (before.version == kVersion3) {
+    // A v3 body is columnar; repair's verbatim body copy would mislabel it
+    // inside a v2 file. Transcode record-by-record instead.
+    return rewrite_day(day, LakeFormat::kV2);
+  }
   const auto after = repair_day_impl(day, true);
   if (!after.repaired) return after.errc == core::Errc::kOk ? core::Errc::kIoError : after.errc;
+  return {};
+}
+
+core::Result<void> DataLake::rewrite_day(core::CivilDate day, LakeFormat format) {
+  const auto path = day_path(day);
+  if (!std::filesystem::exists(path)) return core::Errc::kNotFound;
+  // Quarantine damage before transcoding so corrupt bytes are preserved
+  // for forensics and never silently dropped by the rewrite.
+  if (const auto before = fsck_day(day); !before.healthy()) {
+    const auto repaired = repair_day_impl(day, false);
+    if (repaired.errc != core::Errc::kOk) return repaired.errc;
+  }
+  ScanResult status;
+  const auto records = read_day(day, status);
+  if (status.errc != core::Errc::kOk) return status.errc;
+
+  core::ByteWriter out;
+  for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u8(static_cast<std::uint8_t>(format));
+  encode_day_elements(out, records, static_cast<std::uint8_t>(format), 0, 0,
+                      effective_catalog());
+
+  const auto temp = path.string() + ".rewrite.tmp";
+  auto file = file_factory_();
+  const auto fail = [&](core::Errc err) -> core::Result<void> {
+    std::error_code rm_ec;
+    std::filesystem::remove(temp, rm_ec);
+    return err;
+  };
+  if (auto r = file->open_at(temp, 0); !r) return fail(r.error());
+  if (auto r = file->write(out.view()); !r) {
+    (void)file->close();
+    return fail(r.error());
+  }
+  if (auto r = file->sync(); !r) {
+    (void)file->close();
+    return fail(r.error());
+  }
+  if (auto r = file->close(); !r) return fail(r.error());
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return fail(core::Errc::kIoError);
   return {};
 }
 
@@ -547,7 +709,8 @@ DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
     h.errc = core::Errc::kIoError;
     return h;
   }
-  const FileModel m = parse_file(*data);
+  FileModel m = parse_file(*data);
+  deep_verify_columnar(*data, m);
   DayHealth h = assess(m, day);
 
   std::error_code ec;
@@ -566,14 +729,17 @@ DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
     h.bytes_quarantined = data->size();
     return h;
   }
-  if (h.healthy() && m.version == kVersion2 && !force_rewrite) return h;  // nothing to do
+  if (h.healthy() && m.version >= kVersion2 && !force_rewrite) return h;  // nothing to do
 
-  // Rebuild: surviving blocks, renumbered and resealed, always as v2. The
-  // new file is written next to the old one and swapped in by rename, so a
-  // failure at any point leaves the original untouched.
+  // Rebuild: surviving blocks (bodies copied verbatim), renumbered and
+  // resealed. v2/v3 files keep their format — the body layout must match
+  // the header version; v1 is upgraded to v2. The new file is written
+  // next to the old one and swapped in by rename, so a failure at any
+  // point leaves the original untouched.
+  const std::uint8_t out_version = m.version == kVersion3 ? kVersion3 : kVersion2;
   core::ByteWriter out;
   for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
-  out.u8(kVersion2);
+  out.u8(out_version);
   std::uint32_t new_seq = 0;
   std::uint64_t cum_records = 0;
   for (const auto& b : m.blocks) {

@@ -20,6 +20,13 @@
 // corrupted byte is ever delivered as a record. Format v1 files
 // (u32le len | u32le fnv checksum | body, no seals) remain fully readable
 // and can be upgraded in place with migrate_to_v2().
+//
+// Format v3 (the default write format) keeps the v2 file framing —
+// identical block frames, seals, crash semantics — but each block body is
+// columnar (storage/columnar.hpp): per-field column segments behind a
+// zone map, enabling predicate-pushdown scans that skip whole blocks and
+// unreferenced columns. v1/v2/v3 files coexist in one lake; every reader
+// dispatches per block on the self-describing body.
 #pragma once
 
 #include <cstdint>
@@ -35,17 +42,27 @@
 #include "core/result.hpp"
 #include "core/time.hpp"
 #include "flow/record.hpp"
+#include "storage/columnar.hpp"
 #include "storage/io.hpp"
 
 namespace edgewatch::storage {
 
+/// On-disk format a lake writes. Reads auto-detect per file; appends to an
+/// existing day continue that file's format regardless of this setting.
+enum class LakeFormat : std::uint8_t {
+  kV2 = 2,  ///< row-oriented varint stream per block
+  kV3 = 3,  ///< columnar segments + zone map per block (storage/columnar.hpp)
+};
+
 /// Outcome of a day scan. Partial delivery is explicit: records_delivered
 /// counts what the callback saw, blocks_skipped counts damaged regions
-/// that were detected and stepped over, errc says why the day is not
-/// pristine (kOk for a clean sealed file).
+/// that were detected and stepped over, blocks_pruned counts healthy blocks
+/// a predicate skipped wholesale via their zone maps, errc says why the day
+/// is not pristine (kOk for a clean sealed file).
 struct ScanResult {
   std::uint64_t records_delivered = 0;
   std::uint32_t blocks_skipped = 0;
+  std::uint32_t blocks_pruned = 0;
   core::Errc errc = core::Errc::kOk;
 
   [[nodiscard]] bool ok() const noexcept { return errc == core::Errc::kOk; }
@@ -57,15 +74,17 @@ struct ScanResult {
   void merge(const ScanResult& other) noexcept {
     records_delivered += other.records_delivered;
     blocks_skipped += other.blocks_skipped;
+    blocks_pruned += other.blocks_pruned;
     if (errc == core::Errc::kOk || other.errc == core::Errc::kCorrupt) errc = other.errc;
   }
 };
 
 /// Scratch buffers reused across block decodes. One per scanning thread:
-/// the decompressor fills the same allocation block after block instead of
-/// paying a fresh allocation each time.
+/// the decompressor and the columnar decoder fill the same allocations
+/// block after block instead of paying fresh allocations each time.
 struct ScanScratch {
-  std::vector<std::byte> decompressed;
+  std::vector<std::byte> decompressed;  ///< row-format (v1/v2) block bodies
+  ColumnScratch columns;                ///< columnar (v3) block bodies
 };
 
 /// Random-access view of one day file for parallel scanning: the raw file
@@ -182,11 +201,20 @@ class DataLake {
   core::Result<std::uint64_t> append(core::CivilDate day,
                                      std::span<const flow::FlowRecord> records);
 
-  /// Stream every recoverable record of a day. Damaged v2 blocks are
+  /// Stream every recoverable record of a day. Damaged v2/v3 blocks are
   /// skipped (the reader resynchronizes on block sequence numbers) and
   /// reported; a corrupt v1 file delivers its valid prefix. No record from
   /// a block that failed its checksum is ever delivered.
   ScanResult scan_day(core::CivilDate day,
+                      const std::function<void(const flow::FlowRecord&)>& fn) const;
+
+  /// Selective scan with predicate pushdown: v3 blocks whose zone map
+  /// cannot match are skipped without decompressing anything (counted in
+  /// ScanResult::blocks_pruned), surviving v3 blocks decode only the
+  /// column segments the filter and the callback need, and v1/v2 blocks
+  /// fall back to decode-then-filter — the delivered record set is
+  /// identical across formats.
+  ScanResult scan_day(core::CivilDate day, const ScanPredicate& predicate,
                       const std::function<void(const flow::FlowRecord&)>& fn) const;
 
   /// Load the raw bytes and validated block index of one day for
@@ -197,10 +225,22 @@ class DataLake {
   /// Decode every record of one indexed block body into `fn`, reusing
   /// `scratch` instead of allocating per block. Returns false on
   /// codec-level damage — records decoded before the damaged byte are
-  /// still delivered, matching scan_day's skip semantics.
+  /// still delivered for row-format bodies (columnar bodies decode
+  /// atomically), matching scan_day's skip semantics.
   static bool decode_block(std::span<const std::byte> body, ScanScratch& scratch,
                            std::uint64_t& records_delivered,
                            core::FunctionRef<void(const flow::FlowRecord&)> fn);
+
+  /// Scan one indexed block body with optional predicate pushdown,
+  /// folding delivery/skip/prune accounting into `res`. The workhorse
+  /// behind scan_day and the parallel day aggregators: format dispatch is
+  /// per block (the body self-describes as columnar or row-stream), so one
+  /// scan loop serves v1/v2/v3 files alike. `record_count` is the frame
+  /// header's count (cross-checked against a v3 zone map; pass
+  /// kAnyRecordCount when unknown).
+  static void scan_block(std::span<const std::byte> body, std::uint32_t record_count,
+                         const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
+                         core::FunctionRef<void(const flow::FlowRecord&)> fn);
 
   /// Convenience: materialize a day (recoverable records only).
   [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;
@@ -214,13 +254,24 @@ class DataLake {
 
   /// Repair one day / every day: quarantine damaged regions into
   /// `quarantine/` under the lake root, drop torn tails, renumber and
-  /// reseal the surviving blocks (always writing format v2), atomically
-  /// replacing the file via write-temp + fsync + rename.
+  /// reseal the surviving blocks, atomically replacing the file via
+  /// write-temp + fsync + rename. A v2/v3 file keeps its format; a v1 file
+  /// is upgraded to v2. For v3 files the pre-scan deep-verifies every
+  /// block (column structure, dictionaries, zone-map truthfulness), so a
+  /// lying zone map or torn column segment is quarantined even though its
+  /// CRC frame is intact.
   DayHealth repair_day(core::CivilDate day);
   LakeHealthReport repair();
 
-  /// Rewrite a v1 day file as v2 (no-op on a file already at v2).
+  /// Rewrite a v1/v3 day file as v2 (no-op on a file already at v2).
+  /// v3 input is transcoded record-by-record via rewrite_day.
   core::Result<void> migrate_to_v2(core::CivilDate day);
+
+  /// Transcode one day to the target format: decode every recoverable
+  /// record, re-encode at `format`, swap in atomically (temp + fsync +
+  /// rename). Unhealthy days are repaired (damage quarantined) first so
+  /// the rewrite never launders corrupt bytes into a clean-looking file.
+  core::Result<void> rewrite_day(core::CivilDate day, LakeFormat format);
 
   /// Cut a day file back to exactly `size` bytes. Crash-recovery resume
   /// (runtime::Supervisor): the pipeline checkpoint records each day's
@@ -256,15 +307,31 @@ class DataLake {
     file_factory_ = factory ? std::move(factory) : FileFactory{make_posix_file};
   }
 
+  /// Format for freshly created day files (appends to an existing day
+  /// always continue its on-disk format). Defaults to kV3.
+  void set_write_format(LakeFormat format) noexcept { write_format_ = format; }
+  [[nodiscard]] LakeFormat write_format() const noexcept { return write_format_; }
+
+  /// Catalog the v3 writer uses to materialize per-record service ids
+  /// (zone maps + service column). nullptr = ServiceCatalog::standard().
+  void set_write_catalog(const services::ServiceCatalog* catalog) noexcept {
+    write_catalog_ = catalog;
+  }
+
   /// Records per compressed block.
   static constexpr std::size_t kBlockRecords = 4096;
 
  private:
   [[nodiscard]] std::filesystem::path day_path(core::CivilDate day) const;
   DayHealth repair_day_impl(core::CivilDate day, bool force_rewrite);
+  ScanResult scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
+                           const std::function<void(const flow::FlowRecord&)>& fn) const;
+  [[nodiscard]] const services::ServiceCatalog& effective_catalog() const noexcept;
 
   std::filesystem::path root_;
   FileFactory file_factory_;
+  LakeFormat write_format_ = LakeFormat::kV3;
+  const services::ServiceCatalog* write_catalog_ = nullptr;
 };
 
 }  // namespace edgewatch::storage

@@ -1,0 +1,261 @@
+// v2 ↔ v3 golden equivalence: the columnar rewrite must be invisible to
+// every consumer. The same record stream stored row-wise (v2) and
+// columnar (v3) has to produce byte-identical day aggregates and rollups,
+// predicate pushdown has to deliver exactly what post-decode filtering
+// delivers, the parallel scanner has to reproduce the serial one, and the
+// query engine's raw-lake fallback has to be indistinguishable from a
+// rollup-answered day.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "analytics/parallel.hpp"
+#include "core/thread_pool.hpp"
+#include "query/engine.hpp"
+#include "query/rollup.hpp"
+#include "query/store.hpp"
+#include "storage/codec.hpp"
+#include "storage/columnar.hpp"
+#include "storage/datalake.hpp"
+#include "synth/generator.hpp"
+
+namespace ew = edgewatch;
+namespace fs = std::filesystem;
+using ew::core::CivilDate;
+using ew::core::ThreadPool;
+using ew::flow::FlowRecord;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::path(::testing::TempDir()) /
+           ("ew_colgold_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+void expect_aggregates_equal(const ew::analytics::DayAggregate& a,
+                             const ew::analytics::DayAggregate& b) {
+  EXPECT_EQ(a.date.to_string(), b.date.to_string());
+  EXPECT_EQ(a.web_bytes, b.web_bytes);
+  EXPECT_EQ(a.downlink_bins, b.downlink_bins);
+  for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+    EXPECT_EQ(a.rtt_min_ms[s], b.rtt_min_ms[s]) << "service " << s;  // exact order
+    EXPECT_EQ(a.health[s].packets, b.health[s].packets);
+    EXPECT_EQ(a.health[s].retransmits, b.health[s].retransmits);
+  }
+  ASSERT_EQ(a.subscribers.size(), b.subscribers.size());
+  for (const auto& [ip, sub] : a.subscribers) {
+    const auto it = b.subscribers.find(ip);
+    ASSERT_NE(it, b.subscribers.end());
+    EXPECT_EQ(sub.flows, it->second.flows);
+    EXPECT_EQ(sub.bytes_up, it->second.bytes_up);
+    EXPECT_EQ(sub.bytes_down, it->second.bytes_down);
+    for (std::size_t s = 0; s < ew::services::kServiceCount; ++s) {
+      EXPECT_EQ(sub.per_service[s].flows, it->second.per_service[s].flows);
+      EXPECT_EQ(sub.per_service[s].bytes_down, it->second.per_service[s].bytes_down);
+    }
+  }
+  ASSERT_EQ(a.server_ips.size(), b.server_ips.size());
+  EXPECT_EQ(a.domain_bytes, b.domain_bytes);
+  EXPECT_EQ(a.unclassified_domain_bytes, b.unclassified_domain_bytes);
+}
+
+/// Wire-encode a record stream for byte-exact comparison.
+std::string encode_stream(const std::vector<FlowRecord>& records) {
+  ew::core::ByteWriter w;
+  for (const auto& r : records) ew::storage::encode_record(r, w);
+  return std::string(reinterpret_cast<const char*>(w.view().data()), w.size());
+}
+
+std::vector<FlowRecord> paper_day(CivilDate day) {
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7, 0.2)};
+  return gen.day_records(day);
+}
+
+/// Two lakes over the same records, one per format.
+struct FormatPair {
+  TempDir v2_dir, v3_dir;
+  ew::storage::DataLake v2, v3;
+  FormatPair(CivilDate day, const std::vector<FlowRecord>& records)
+      : v2(v2_dir.path), v3(v3_dir.path) {
+    v2.set_write_format(ew::storage::LakeFormat::kV2);
+    EXPECT_TRUE(v2.append(day, records).has_value());
+    EXPECT_TRUE(v3.append(day, records).has_value());
+    EXPECT_EQ(v2.fsck_day(day).version, 2);
+    EXPECT_EQ(v3.fsck_day(day).version, 3);
+  }
+};
+
+}  // namespace
+
+TEST(ColumnarGolden, AggregatesAndRollupsAreByteIdenticalAcrossFormats) {
+  const CivilDate day{2015, 6, 10};
+  const auto records = paper_day(day);
+  FormatPair lakes(day, records);
+
+  const auto from_v2 = ew::analytics::aggregate_day(lakes.v2, day);
+  const auto from_v3 = ew::analytics::aggregate_day(lakes.v3, day);
+  ASSERT_TRUE(from_v2.scan.ok());
+  ASSERT_TRUE(from_v3.scan.ok());
+  EXPECT_EQ(from_v2.scan.records_delivered, from_v3.scan.records_delivered);
+  expect_aggregates_equal(from_v2.aggregate, from_v3.aggregate);
+
+  // The figure-feeding rollups — counters, HLLs, quantile sketches — are
+  // byte-identical, so every downstream figure is too.
+  for (std::size_t d = 0; d < ew::query::kDimensionCount; ++d) {
+    const auto dim = static_cast<ew::query::Dimension>(d);
+    const auto r2 = ew::query::build_day_rollup(from_v2.aggregate, dim);
+    const auto r3 = ew::query::build_day_rollup(from_v3.aggregate, dim);
+    EXPECT_EQ(ew::query::encode_rollup(r2), ew::query::encode_rollup(r3))
+        << "dimension " << d;
+  }
+}
+
+TEST(ColumnarGolden, RewriteDayIsLossless) {
+  const CivilDate day{2015, 7, 1};
+  const auto records = paper_day(day);
+  TempDir dir;
+  ew::storage::DataLake lake(dir.path);
+  lake.set_write_format(ew::storage::LakeFormat::kV2);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto before = ew::analytics::aggregate_day(lake, day);
+
+  ASSERT_TRUE(lake.rewrite_day(day, ew::storage::LakeFormat::kV3).has_value());
+  ASSERT_EQ(lake.fsck_day(day).version, 3);
+  ASSERT_TRUE(lake.fsck_day(day).healthy());
+  const auto after = ew::analytics::aggregate_day(lake, day);
+
+  EXPECT_EQ(encode_stream(lake.read_day(day)), encode_stream(records));
+  expect_aggregates_equal(before.aggregate, after.aggregate);
+}
+
+TEST(ColumnarGolden, PushdownDeliversExactlyThePostFilterSet) {
+  const CivilDate day{2015, 8, 15};
+  // Time-sort the synthetic stream (the generator emits subscriber-major)
+  // so blocks are time-clustered and the window predicate can prune.
+  auto records = paper_day(day);
+  std::stable_sort(records.begin(), records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.first_packet < b.first_packet;
+                   });
+  FormatPair lakes(day, records);
+
+  ew::storage::ScanPredicate pred =
+      ew::storage::ScanPredicate::for_service(ew::services::ServiceId::kYouTube);
+  pred.time_min_us = ew::core::Timestamp::from_date_time(day, 8).micros();
+  pred.time_max_us = ew::core::Timestamp::from_date_time(day, 20).micros() - 1;
+
+  // The oracle: decode everything, filter afterwards.
+  std::vector<FlowRecord> oracle;
+  for (const auto& r : records) {
+    if (pred.matches(r)) oracle.push_back(r);
+  }
+  ASSERT_FALSE(oracle.empty());
+  ASSERT_LT(oracle.size(), records.size());
+
+  for (auto* lake : {&lakes.v2, &lakes.v3}) {
+    std::vector<FlowRecord> got;
+    auto sink = [&](const FlowRecord& r) { got.push_back(r); };
+    const auto scan = lake->scan_day(day, pred, sink);
+    EXPECT_TRUE(scan.ok());
+    EXPECT_EQ(encode_stream(got), encode_stream(oracle));
+  }
+
+  // And the filtered aggregates agree across formats (v2 post-filters
+  // after decode, v3 pushes the predicate below the decoder).
+  ew::storage::ScanScratch s2, s3;
+  const auto agg2 = ew::analytics::aggregate_day(lakes.v2, day, s2, &pred);
+  const auto agg3 = ew::analytics::aggregate_day(lakes.v3, day, s3, &pred);
+  EXPECT_EQ(agg2.scan.records_delivered, agg3.scan.records_delivered);
+  EXPECT_GT(agg3.scan.blocks_pruned, 0u);
+  expect_aggregates_equal(agg2.aggregate, agg3.aggregate);
+}
+
+TEST(ColumnarGolden, ParallelPredicateScanMatchesSerial) {
+  const CivilDate day{2015, 9, 9};
+  const auto records = paper_day(day);
+  TempDir dir;
+  ew::storage::DataLake lake(dir.path);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  ASSERT_GT(lake.load_day_blocks(day).blocks().size(), 1u);
+
+  const auto pred = ew::storage::ScanPredicate::for_service(ew::services::ServiceId::kNetflix);
+  ew::storage::ScanScratch scratch;
+  const auto serial = ew::analytics::aggregate_day(lake, day, scratch, &pred);
+  ThreadPool pool(4);
+  const auto parallel = ew::analytics::aggregate_day_parallel(lake, day, pool, pred);
+
+  EXPECT_EQ(parallel.scan.records_delivered, serial.scan.records_delivered);
+  EXPECT_EQ(parallel.scan.blocks_pruned, serial.scan.blocks_pruned);
+  EXPECT_EQ(parallel.scan.errc, serial.scan.errc);
+  expect_aggregates_equal(parallel.aggregate, serial.aggregate);
+}
+
+TEST(ColumnarGolden, QueryRawFallbackMatchesRollupAnswers) {
+  const CivilDate day1{2015, 10, 1}, day2{2015, 10, 2};
+  TempDir lake_dir, full_dir, partial_dir;
+  ew::storage::DataLake lake(lake_dir.path);
+  ASSERT_TRUE(lake.append(day1, paper_day(day1)).has_value());
+  ASSERT_TRUE(lake.append(day2, paper_day(day2)).has_value());
+
+  ThreadPool pool(4);
+  ew::query::RollupStore full(full_dir.path, lake);
+  ASSERT_TRUE(full.build(pool).errors.empty());
+  ew::query::RollupStore partial(partial_dir.path, lake);
+  const std::vector<CivilDate> only_day1 = {day1};
+  ASSERT_TRUE(partial.build(only_day1, pool).errors.empty());
+
+  for (const auto metric : {ew::query::Metric::kBytes, ew::query::Metric::kFlows}) {
+    for (const auto dim : {ew::query::Dimension::kService, ew::query::Dimension::kProtocol}) {
+      ew::query::QuerySpec spec;
+      spec.metric = metric;
+      spec.dimension = dim;
+      spec.from = day1;
+      spec.to = day2;
+      const auto want = ew::query::run_query(full, spec);
+      ASSERT_TRUE(want.ok());
+      EXPECT_EQ(want.days_merged, 2u);
+
+      // Without the fallback, day2 is simply missing.
+      auto miss = ew::query::run_query(partial, spec);
+      EXPECT_EQ(miss.days_merged, 1u);
+      ASSERT_EQ(miss.missing_days.size(), 1u);
+
+      // With it, the missing day is answered from the raw lake — and the
+      // rows are exactly what full rollups produce.
+      spec.raw_fallback = true;
+      const auto got = ew::query::run_query(partial, spec);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.days_merged, 2u);
+      EXPECT_EQ(got.days_scanned_raw, 1u);
+      EXPECT_TRUE(got.missing_days.empty());
+      ASSERT_EQ(got.rows.size(), want.rows.size());
+      for (std::size_t i = 0; i < got.rows.size(); ++i) {
+        EXPECT_EQ(got.rows[i].key, want.rows[i].key);
+        EXPECT_EQ(got.rows[i].value, want.rows[i].value);
+      }
+
+      // A group-restricted service query pushes its service mask down.
+      if (dim == ew::query::Dimension::kService) {
+        ew::query::QuerySpec one = spec;
+        one.group = static_cast<std::uint32_t>(ew::services::ServiceId::kYouTube);
+        const auto got_one = ew::query::run_query(partial, one);
+        ew::query::QuerySpec one_full = one;
+        one_full.raw_fallback = false;
+        const auto want_one = ew::query::run_query(full, one_full);
+        ASSERT_EQ(got_one.rows.size(), want_one.rows.size());
+        for (std::size_t i = 0; i < got_one.rows.size(); ++i) {
+          EXPECT_EQ(got_one.rows[i].value, want_one.rows[i].value);
+        }
+      }
+    }
+  }
+}

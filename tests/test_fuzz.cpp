@@ -14,6 +14,7 @@
 #include "dpi/parsers.hpp"
 #include "net/packet.hpp"
 #include "storage/codec.hpp"
+#include "storage/columnar.hpp"
 #include "storage/compress.hpp"
 #include "storage/datalake.hpp"
 
@@ -226,9 +227,9 @@ TEST(Fuzz, MutatedValidInputsSurviveParsers) {
 // ------------------------------------------------ lake truncation sweep
 
 TEST(Fuzz, TruncatedLakeFileSurvivesFsckAndRepairAtEveryOffset) {
-  // A sealed v2 day file cut at EVERY byte offset: fsck and repair must
-  // never crash, and at most the final block can be damaged by the cut —
-  // everything sealed before it stays recoverable.
+  // A sealed day file — row v2 AND columnar v3 — cut at EVERY byte offset:
+  // fsck and repair must never crash, and at most the final block can be
+  // damaged by the cut — everything sealed before it stays recoverable.
   const auto root = std::filesystem::temp_directory_path() / "ew_fuzz_trunc";
   std::filesystem::remove_all(root);
 
@@ -246,45 +247,108 @@ TEST(Fuzz, TruncatedLakeFileSurvivesFsckAndRepairAtEveryOffset) {
     r.server_name = "fuzz.example.com";
     batch.push_back(std::move(r));
   }
-  std::vector<std::byte> sealed;
-  {
-    ew::storage::DataLake lake{root / "master"};
-    ASSERT_TRUE(lake.append(day, batch));
-    ASSERT_TRUE(lake.append(day, batch));  // second block group + reseal
-    const auto path = lake.root() / ew::storage::DataLake::day_filename(day);
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    sealed.resize(static_cast<std::size_t>(in.tellg()));
-    in.seekg(0);
-    in.read(reinterpret_cast<char*>(sealed.data()),
-            static_cast<std::streamsize>(sealed.size()));
-  }
-  ASSERT_GT(sealed.size(), 32u);
-
-  for (std::size_t cut = 0; cut <= sealed.size(); ++cut) {
-    const auto dir = root / "sweep";
-    std::filesystem::remove_all(dir);
-    ew::storage::DataLake lake{dir};
-    // Materialize the truncated file where the lake expects the day.
-    std::filesystem::create_directories(dir);
+  for (const auto format : {ew::storage::LakeFormat::kV2, ew::storage::LakeFormat::kV3}) {
+    SCOPED_TRACE(static_cast<int>(format));
+    std::vector<std::byte> sealed;
     {
-      std::ofstream out(dir / ew::storage::DataLake::day_filename(day),
-                        std::ios::binary | std::ios::trunc);
-      out.write(reinterpret_cast<const char*>(sealed.data()),
-                static_cast<std::streamsize>(cut));
+      ew::storage::DataLake lake{root / "master"};
+      lake.set_write_format(format);
+      ASSERT_TRUE(lake.append(day, batch));
+      ASSERT_TRUE(lake.append(day, batch));  // second block group + reseal
+      const auto path = lake.root() / ew::storage::DataLake::day_filename(day);
+      std::ifstream in(path, std::ios::binary | std::ios::ate);
+      sealed.resize(static_cast<std::size_t>(in.tellg()));
+      in.seekg(0);
+      in.read(reinterpret_cast<char*>(sealed.data()),
+              static_cast<std::streamsize>(sealed.size()));
     }
+    ASSERT_GT(sealed.size(), 32u);
 
-    const auto before = lake.fsck_day(day);  // must not crash
-    const auto health = lake.repair_day(day);
-    EXPECT_LE(health.blocks_quarantined, 1u) << "cut=" << cut;
-    // Whatever repair left behind must now scan clean end to end.
-    const auto after = lake.fsck_day(day);
-    if (std::filesystem::exists(dir / ew::storage::DataLake::day_filename(day))) {
-      EXPECT_TRUE(after.healthy()) << "cut=" << cut << " errc="
-                                   << static_cast<int>(after.errc);
-      EXPECT_LE(after.records_ok, 12u);
-      (void)lake.read_day(day);  // decoding the survivors must not crash
+    for (std::size_t cut = 0; cut <= sealed.size(); ++cut) {
+      const auto dir = root / "sweep";
+      std::filesystem::remove_all(dir);
+      ew::storage::DataLake lake{dir};
+      // Materialize the truncated file where the lake expects the day.
+      std::filesystem::create_directories(dir);
+      {
+        std::ofstream out(dir / ew::storage::DataLake::day_filename(day),
+                          std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char*>(sealed.data()),
+                  static_cast<std::streamsize>(cut));
+      }
+
+      const auto before = lake.fsck_day(day);  // must not crash
+      const auto health = lake.repair_day(day);
+      EXPECT_LE(health.blocks_quarantined, 1u) << "cut=" << cut;
+      // Whatever repair left behind must now scan clean end to end.
+      const auto after = lake.fsck_day(day);
+      if (std::filesystem::exists(dir / ew::storage::DataLake::day_filename(day))) {
+        EXPECT_TRUE(after.healthy()) << "cut=" << cut << " errc="
+                                     << static_cast<int>(after.errc);
+        EXPECT_LE(after.records_ok, 12u);
+        (void)lake.read_day(day);  // decoding the survivors must not crash
+      }
+      (void)before;
     }
-    (void)before;
+    std::filesystem::remove_all(root / "master");
   }
   std::filesystem::remove_all(root);
+}
+
+// ------------------------------------------------ columnar body mutations
+
+TEST(Fuzz, MutatedColumnarBodiesNeverCrashOrLeakPartialBlocks) {
+  // Start from a valid columnar v3 body, then throw bit flips, truncations
+  // and fully random 0xC3-prefixed bytes at the decoder. It must never
+  // crash or read out of bounds (ASan/UBSan in CI), and a body it calls
+  // corrupt must have delivered nothing — columnar decode is atomic.
+  const ew::core::CivilDate day{2016, 5, 4};
+  std::vector<ew::flow::FlowRecord> records;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ew::flow::FlowRecord r;
+    r.client_ip = ew::core::IPv4Address{static_cast<std::uint32_t>(0x0a000000 + i)};
+    r.server_ip = ew::core::IPv4Address{static_cast<std::uint32_t>(0x5db8d800 + i % 7)};
+    r.client_port = static_cast<std::uint16_t>(40'000 + i);
+    r.server_port = i % 2 ? 443 : 80;
+    r.proto = i % 3 ? ew::core::TransportProto::kTcp : ew::core::TransportProto::kUdp;
+    r.first_packet = ew::core::Timestamp::from_date_time(day, static_cast<int>(i % 24));
+    r.last_packet = r.first_packet + 1'000'000;
+    r.up.packets = i;
+    r.up.bytes = i * 100;
+    r.down.bytes = i * 1000;
+    if (i % 4) r.rtt.add(static_cast<std::int64_t>(2000 + i));
+    r.l7 = i % 2 ? ew::dpi::L7Protocol::kTls : ew::dpi::L7Protocol::kHttp;
+    r.server_name = i % 5 ? "fuzz.example.com" : "cdn.netflix.com";
+    r.content_type = i % 6 ? "" : "video/mp4";
+    records.push_back(std::move(r));
+  }
+  ew::core::ByteWriter body;
+  ew::storage::encode_columnar_block(records, ew::services::ServiceCatalog::standard(), body);
+  const auto valid = body.view();
+
+  ew::core::Xoshiro256 rng{0xC3F0};
+  ew::storage::ColumnScratch scratch;
+  const auto pred = ew::storage::ScanPredicate::for_proto(ew::core::TransportProto::kUdp);
+  std::vector<std::byte> mut;
+  for (int i = 0; i < 20'000; ++i) {
+    if (i % 4 == 3) {
+      mut = seeded_bytes(rng, 512, {0xC3, 1});  // wholly random, right tag
+    } else {
+      mut.assign(valid.begin(), valid.end());
+      const std::size_t flips = 1 + ew::core::uniform_below(rng, 8);
+      for (std::size_t f = 0; f < flips; ++f) {
+        mut[ew::core::uniform_below(rng, mut.size())] ^=
+            static_cast<std::byte>(1u << (rng() & 7));
+      }
+      if (i % 4 == 2) mut.resize(ew::core::uniform_below(rng, mut.size() + 1));
+    }
+    std::uint64_t delivered = 0;
+    auto sink = [](const ew::flow::FlowRecord&) {};
+    const auto status = ew::storage::decode_columnar_block(
+        mut, scratch, i % 2 ? &pred : nullptr, delivered, sink,
+        i % 3 ? ew::storage::kAnyRecordCount : static_cast<std::uint32_t>(records.size()));
+    if (status == ew::storage::BlockDecodeStatus::kCorrupt) {
+      EXPECT_EQ(delivered, 0u) << "iteration " << i;
+    }
+  }
 }

@@ -565,6 +565,30 @@ TEST(ParallelAnalytics, DamagedDayReportsSameStatusAsSerialScan) {
   EXPECT_TRUE(missing.aggregate.subscribers.empty());
 }
 
+TEST(ParallelAnalytics, ProjectedScanReproducesFullDecodeAggregate) {
+  // aggregate_day pushes kDayAggregateScanFields down to the v3 decoder by
+  // default; this is the check parallel.hpp promises keeps that mask
+  // honest — the projected aggregate must be bit-identical to one built
+  // from fully-materialized records, or add() grew a field read the
+  // projection no longer covers.
+  TempLakeDir dir;
+  ew::storage::DataLake lake(dir.path);
+  const ew::synth::WorkloadGenerator gen{ew::synth::build_paper_scenario(7, 0.2)};
+  const ew::core::CivilDate day{2015, 6, 10};
+  ASSERT_TRUE(lake.append(day, gen.day_records(day)));
+
+  const auto projected = ew::analytics::aggregate_day(lake, day);
+  ASSERT_TRUE(projected.scan.ok());
+  ASSERT_GT(projected.scan.records_delivered, 0u);
+
+  ew::storage::ScanScratch scratch;
+  const auto all = ew::storage::ScanPredicate::project(ew::storage::scan_fields::kAll);
+  const auto full = ew::analytics::aggregate_day(lake, day, scratch, &all);
+  ASSERT_TRUE(full.scan.ok());
+  EXPECT_EQ(projected.scan.records_delivered, full.scan.records_delivered);
+  expect_aggregates_equal(projected.aggregate, full.aggregate);
+}
+
 TEST(ParallelScan, DecompressIntoReusesScratchBuffer) {
   std::vector<std::byte> input;
   for (int i = 0; i < 10000; ++i) {

@@ -7,6 +7,7 @@
 #include "core/hash.hpp"
 #include "core/rng.hpp"
 #include "storage/codec.hpp"
+#include "storage/columnar.hpp"
 #include "storage/compress.hpp"
 #include "storage/daily_writer.hpp"
 #include "storage/datalake.hpp"
@@ -484,7 +485,7 @@ TEST(DataLakeV2, CleanDayIsSealedAndHealthy) {
 
   const auto health = lake.fsck_day(day);
   EXPECT_TRUE(health.healthy());
-  EXPECT_EQ(health.version, 2);
+  EXPECT_EQ(health.version, 3);  // columnar v3 is the default write format
   EXPECT_TRUE(health.sealed);
   EXPECT_FALSE(health.torn_tail);
   EXPECT_EQ(health.records_ok, records.size());
@@ -883,4 +884,426 @@ TEST(DailyLakeWriter, FlushAllReportsTypedErrorAndLakeStaysConsistent) {
   EXPECT_EQ(writer.buffered(), 0u);
   EXPECT_EQ(lake.read_day(day).size(), 10u);
   EXPECT_TRUE(lake.fsck_day(day).healthy());
+}
+
+// ----------------------------------------------------- columnar v3 lake
+
+namespace {
+
+/// Records varied enough to exercise every v3 column and make blocks
+/// zone-distinguishable: service changes per 4096-record block, transport
+/// and timestamps vary per row, some rows carry no RTT samples or name.
+std::vector<FlowRecord> varied_batch(std::uint64_t seed, std::size_t n, CivilDate day) {
+  static constexpr const char* kNames[] = {"www.google.com", "static.facebook.com",
+                                           "api.netflix.com", "cdn.somewhere-else.org"};
+  auto out = sample_batch(seed, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& r = out[i];
+    r.server_name = kNames[(i / 4096) % 4];
+    r.proto = i % 3 == 0   ? ew::core::TransportProto::kUdp
+              : i % 7 == 0 ? ew::core::TransportProto::kOther
+                           : ew::core::TransportProto::kTcp;
+    r.first_packet = ew::core::Timestamp::from_date_time(day, static_cast<int>(i * 24 / n),
+                                                         static_cast<int>(i % 60),
+                                                         static_cast<int>((i / 60) % 60));
+    r.last_packet = r.first_packet + 5'000'000;
+    if (i % 5 == 0) r.rtt = ew::flow::RttStats{};  // dense RTT sub-column gap
+    if (i % 11 == 0) r.server_name.clear();
+  }
+  return out;
+}
+
+/// Overwrite bytes inside the *first block's body* of a day file and
+/// recompute the frame CRC. This simulates an encoder bug (a lying zone
+/// map, a bad dictionary) rather than media damage: the frame still
+/// checksums clean, so only the columnar decoder's own cross-checks stand
+/// between the lie and the query results.
+void patch_first_body(const fs::path& path, std::size_t offset,
+                      std::span<const unsigned char> replacement) {
+  auto contents = slurp(path);
+  const std::size_t frame = 5;  // "EWLK" + version byte
+  ASSERT_GE(contents.size(), frame + 16);
+  const auto u8at = [&](std::size_t i) { return static_cast<unsigned char>(contents[i]); };
+  const std::size_t body_len = u8at(frame) | (u8at(frame + 1) << 8) | (u8at(frame + 2) << 16) |
+                               (static_cast<std::size_t>(u8at(frame + 3)) << 24);
+  const std::size_t body = frame + 16;
+  ASSERT_LE(offset + replacement.size(), body_len);
+  for (std::size_t i = 0; i < replacement.size(); ++i) {
+    contents[body + offset + i] = static_cast<char>(replacement[i]);
+  }
+  const auto* bytes = reinterpret_cast<const std::byte*>(contents.data());
+  std::uint32_t crc = ew::core::crc32c({bytes + frame, 12});
+  crc = ew::core::crc32c({bytes + body, body_len}, crc);
+  for (int i = 0; i < 4; ++i) contents[frame + 12 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  spew(path, contents);
+}
+
+}  // namespace
+
+TEST(ColumnarV3, BodyRoundTripAndZonePeek) {
+  const CivilDate day{2017, 1, 5};
+  const auto records = varied_batch(31, 1000, day);
+  ByteWriter body;
+  ew::storage::encode_columnar_block(records, ew::services::ServiceCatalog::standard(), body);
+  ASSERT_TRUE(ew::storage::is_columnar_block(body.view()));
+
+  const auto zone = ew::storage::peek_zone_map(body.view());
+  ASSERT_TRUE(zone.has_value());
+  EXPECT_EQ(zone->record_count, records.size());
+  std::int64_t ts_min = records[0].first_packet.micros(), ts_max = ts_min;
+  for (const auto& r : records) {
+    ts_min = std::min(ts_min, r.first_packet.micros());
+    ts_max = std::max(ts_max, r.first_packet.micros());
+  }
+  EXPECT_EQ(zone->ts_min_us, ts_min);
+  EXPECT_EQ(zone->ts_max_us, ts_max);
+
+  ew::storage::ColumnScratch scratch;
+  std::vector<FlowRecord> decoded;
+  std::uint64_t delivered = 0;
+  auto sink = [&](const FlowRecord& r) { decoded.push_back(r); };
+  const auto status = ew::storage::decode_columnar_block(
+      body.view(), scratch, nullptr, delivered, sink,
+      static_cast<std::uint32_t>(records.size()));
+  EXPECT_EQ(status, ew::storage::BlockDecodeStatus::kOk);
+  EXPECT_EQ(delivered, records.size());
+  ASSERT_EQ(decoded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) expect_equal(decoded[i], records[i]);
+}
+
+TEST(ColumnarV3, TruncatedBodySweepDecodesAtomically) {
+  const CivilDate day{2017, 1, 6};
+  const auto records = varied_batch(32, 600, day);
+  ByteWriter body;
+  ew::storage::encode_columnar_block(records, ew::services::ServiceCatalog::standard(), body);
+
+  ew::storage::ColumnScratch scratch;
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    std::uint64_t delivered = 0;
+    auto sink = [](const FlowRecord&) {};
+    const auto status = ew::storage::decode_columnar_block(body.view().subspan(0, len), scratch,
+                                                           nullptr, delivered, sink);
+    // A torn column segment must never crash and never deliver a partial
+    // block: columnar decode is all-or-nothing.
+    EXPECT_EQ(status, ew::storage::BlockDecodeStatus::kCorrupt) << "prefix length " << len;
+    EXPECT_EQ(delivered, 0u) << "prefix length " << len;
+  }
+}
+
+TEST(DataLakeV3, FormatControlsAndAppendContinuity) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  EXPECT_EQ(lake.write_format(), ew::storage::LakeFormat::kV3);
+
+  const CivilDate v2_day{2017, 2, 1}, v3_day{2017, 2, 2};
+  lake.set_write_format(ew::storage::LakeFormat::kV2);
+  ASSERT_TRUE(lake.append(v2_day, sample_batch(1, 100)).has_value());
+  EXPECT_EQ(lake.fsck_day(v2_day).version, 2);
+
+  lake.set_write_format(ew::storage::LakeFormat::kV3);
+  ASSERT_TRUE(lake.append(v3_day, sample_batch(2, 100)).has_value());
+  EXPECT_EQ(lake.fsck_day(v3_day).version, 3);
+
+  // Appends continue the file's existing format, whatever the lake-wide
+  // default says — a day file never mixes body formats.
+  ASSERT_TRUE(lake.append(v2_day, sample_batch(3, 100)).has_value());
+  EXPECT_EQ(lake.fsck_day(v2_day).version, 2);
+  lake.set_write_format(ew::storage::LakeFormat::kV2);
+  ASSERT_TRUE(lake.append(v3_day, sample_batch(4, 100)).has_value());
+  EXPECT_EQ(lake.fsck_day(v3_day).version, 3);
+
+  for (const auto day : {v2_day, v3_day}) {
+    EXPECT_TRUE(lake.fsck_day(day).healthy());
+    EXPECT_EQ(lake.read_day(day).size(), 200u);
+  }
+}
+
+TEST(DataLakeV3, RewriteTranscodesBothWays) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 3, 1};
+  const auto records = varied_batch(33, 9000, day);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+  const auto v3_bytes = slurp(path);
+
+  ASSERT_TRUE(lake.rewrite_day(day, ew::storage::LakeFormat::kV2).has_value());
+  EXPECT_EQ(lake.fsck_day(day).version, 2);
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+  {
+    ew::storage::ScanResult status;
+    const auto delivered = lake.read_day(day, status);
+    EXPECT_TRUE(status.ok());
+    ASSERT_EQ(delivered.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) expect_equal(delivered[i], records[i]);
+  }
+
+  // Transcoding back reproduces the original v3 file byte for byte: the
+  // columnar encoder is deterministic and rewrite re-chunks identically.
+  ASSERT_TRUE(lake.rewrite_day(day, ew::storage::LakeFormat::kV3).has_value());
+  EXPECT_EQ(lake.fsck_day(day).version, 3);
+  EXPECT_EQ(slurp(path), v3_bytes);
+
+  // migrate_to_v2 understands v3 input (transcode, not a verbatim copy).
+  ASSERT_TRUE(lake.migrate_to_v2(day).ok());
+  EXPECT_EQ(lake.fsck_day(day).version, 2);
+  EXPECT_EQ(lake.read_day(day).size(), records.size());
+}
+
+TEST(DataLakeV3, PredicatePushdownMatchesPostFilterAndPrunes) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 4, 1};
+  const auto records = varied_batch(34, 9000, day);  // 3 blocks, service per block
+  ASSERT_TRUE(lake.append(day, records).has_value());
+
+  ew::storage::ScanPredicate by_service =
+      ew::storage::ScanPredicate::for_service(ew::services::ServiceId::kNetflix);
+  ew::storage::ScanPredicate by_proto =
+      ew::storage::ScanPredicate::for_proto(ew::core::TransportProto::kUdp);
+  ew::storage::ScanPredicate by_time;
+  by_time.time_min_us = ew::core::Timestamp::from_date_time(day, 6).micros();
+  by_time.time_max_us = ew::core::Timestamp::from_date_time(day, 12).micros() - 1;
+
+  for (const auto& [name, pred] : {std::pair{"service", by_service},
+                                   std::pair{"proto", by_proto},
+                                   std::pair{"time", by_time}}) {
+    SCOPED_TRACE(name);
+    std::vector<FlowRecord> expected;
+    for (const auto& r : records) {
+      if (pred.matches(r)) expected.push_back(r);
+    }
+    ASSERT_FALSE(expected.empty());
+    ASSERT_LT(expected.size(), records.size());
+
+    std::vector<FlowRecord> got;
+    auto sink = [&](const FlowRecord& r) { got.push_back(r); };
+    const auto scan = lake.scan_day(day, pred, sink);
+    EXPECT_TRUE(scan.ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) expect_equal(got[i], expected[i]);
+  }
+
+  // The netflix records live in one block only: the other two are pruned on
+  // their zone maps without decompressing a single segment.
+  std::size_t n = 0;
+  auto count = [&](const FlowRecord&) { ++n; };
+  EXPECT_EQ(lake.scan_day(day, by_service, count).blocks_pruned, 2u);
+  // An unrestricted scan prunes nothing.
+  EXPECT_EQ(lake.scan_day(day, [](const FlowRecord&) {}).blocks_pruned, 0u);
+}
+
+TEST(DataLakeV3, LyingZoneMapIsDetectedDeliveredAndQuarantined) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 5, 1};
+  const auto records = varied_batch(35, 1000, day);  // single block
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+
+  // Zero the zone map's service bitmap (body offset 2 + 16) behind a valid
+  // CRC: the map now claims "no service is present".
+  const unsigned char zeros[4] = {0, 0, 0, 0};
+  patch_first_body(path, 2 + 16, zeros);
+
+  // An unfiltered scan still delivers every record — zone maps are never
+  // authoritative — but flags the day so the lie cannot linger.
+  std::vector<FlowRecord> got;
+  auto sink = [&](const FlowRecord& r) { got.push_back(r); };
+  const auto scan = lake.scan_day(day, sink);
+  EXPECT_EQ(scan.errc, ew::core::Errc::kCorrupt);
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < got.size(); ++i) expect_equal(got[i], records[i]);
+
+  // This is exactly the hazard: a selective scan that trusts the lying map
+  // prunes the block and silently misses every record.
+  std::size_t n = 0;
+  auto count = [&](const FlowRecord&) { ++n; };
+  const auto filtered = lake.scan_day(
+      day, ew::storage::ScanPredicate::for_service(ew::services::ServiceId::kGoogle), count);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(filtered.blocks_pruned, 1u);
+
+  // Which is why fsck deep-verifies columnar blocks and repair quarantines
+  // the liar instead of leaving it to poison future selective scans.
+  EXPECT_FALSE(lake.fsck_day(day).healthy());
+  const auto report = lake.repair_day(day);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_GE(report.blocks_quarantined, 1u);
+  EXPECT_FALSE(fs::is_empty(dir.path / "quarantine"));
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+}
+
+TEST(DataLakeV3, BadServiceDictionaryIsCorruptNotACrash) {
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 5, 2};
+  const auto records = varied_batch(36, 1000, day);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+  const auto path = dir.path / ew::storage::DataLake::day_filename(day);
+
+  // First dictionary entry (body offset 2 + 36 + 1) becomes an out-of-range
+  // ServiceId, again behind a valid frame CRC.
+  const unsigned char bogus[1] = {0xEE};
+  patch_first_body(path, 2 + 36 + 1, bogus);
+
+  std::size_t n = 0;
+  auto count = [&](const FlowRecord&) { ++n; };
+  const auto scan = lake.scan_day(day, count);
+  EXPECT_EQ(scan.errc, ew::core::Errc::kCorrupt);
+  EXPECT_EQ(n, 0u);  // atomic: no half-decoded block leaks records
+  EXPECT_GE(scan.blocks_skipped, 1u);
+
+  const auto health = lake.fsck_day(day);
+  EXPECT_FALSE(health.healthy());
+  EXPECT_EQ(health.records_lost, records.size());
+  const auto report = lake.repair_day(day);
+  EXPECT_TRUE(report.repaired);
+  EXPECT_FALSE(fs::is_empty(dir.path / "quarantine"));
+  EXPECT_TRUE(lake.fsck_day(day).healthy());
+}
+
+namespace {
+
+/// Oracle for the projection contract: starting from a value-initialized
+/// record, copy in the always-decoded filter columns (first_packet, proto,
+/// server_ip) plus exactly the fields `mask` requests — mirroring what a
+/// projected v3 scan promises to materialize. `full` must come from an
+/// unprojected scan of the same lake, so codec-level rounding (RTT
+/// averages) cancels out and every field compares exactly.
+FlowRecord project_oracle(const FlowRecord& full, std::uint32_t mask) {
+  namespace sf = ew::storage::scan_fields;
+  const auto want = [mask](std::uint32_t b) { return (mask & b) != 0; };
+  FlowRecord out;
+  out.first_packet = full.first_packet;
+  out.proto = full.proto;
+  out.server_ip = full.server_ip;
+  if (want(sf::kLastPacket)) out.last_packet = full.last_packet;
+  if (want(sf::kClientIp)) out.client_ip = full.client_ip;
+  if (want(sf::kClientPort)) out.client_port = full.client_port;
+  if (want(sf::kServerPort)) out.server_port = full.server_port;
+  if (want(sf::kAccess)) out.access = full.access;
+  if (want(sf::kCloseState)) {
+    out.handshake_completed = full.handshake_completed;
+    out.close_reason = full.close_reason;
+  }
+  if (want(sf::kUpPackets)) out.up.packets = full.up.packets;
+  if (want(sf::kUpBytes)) out.up.bytes = full.up.bytes;
+  if (want(sf::kUpWireBytes)) out.up.bytes_with_hdr = full.up.bytes_with_hdr;
+  if (want(sf::kUpQuality)) {
+    out.up.retransmits = full.up.retransmits;
+    out.up.out_of_order = full.up.out_of_order;
+  }
+  if (want(sf::kDownPackets)) out.down.packets = full.down.packets;
+  if (want(sf::kDownBytes)) out.down.bytes = full.down.bytes;
+  if (want(sf::kDownWireBytes)) out.down.bytes_with_hdr = full.down.bytes_with_hdr;
+  if (want(sf::kDownQuality)) {
+    out.down.retransmits = full.down.retransmits;
+    out.down.out_of_order = full.down.out_of_order;
+  }
+  if (want(sf::kRttMin | sf::kRttSpread)) {
+    out.rtt.samples = full.rtt.samples;
+    out.rtt.min_us = full.rtt.min_us;
+  }
+  if (want(sf::kRttSpread)) {
+    out.rtt.max_us = full.rtt.max_us;
+    out.rtt.avg_us = full.rtt.avg_us;
+  }
+  if (want(sf::kL7)) out.l7 = full.l7;
+  if (want(sf::kWeb)) out.web = full.web;
+  if (want(sf::kNameSource)) out.name_source = full.name_source;
+  if (want(sf::kServerName)) out.server_name = full.server_name;
+  if (want(sf::kHttpStatus)) out.http_status = full.http_status;
+  if (want(sf::kContentType)) out.content_type = full.content_type;
+  return out;
+}
+
+/// Field-exhaustive equality (unlike expect_equal, which tracks the lossy
+/// row codec): projection compares two decodes of the same v3 bytes, so
+/// every field — including RTT average, downstream counters, and
+/// ingest_seq — must match bit for bit.
+void expect_identical(const FlowRecord& a, const FlowRecord& b) {
+  expect_equal(a, b);
+  EXPECT_EQ(a.rtt.avg_us, b.rtt.avg_us);
+  EXPECT_EQ(a.down.packets, b.down.packets);
+  EXPECT_EQ(a.down.bytes_with_hdr, b.down.bytes_with_hdr);
+  EXPECT_EQ(a.up.out_of_order, b.up.out_of_order);
+  EXPECT_EQ(a.ingest_seq, b.ingest_seq);
+}
+
+}  // namespace
+
+TEST(DataLakeV3, ProjectedScanMaterializesExactlyTheRequestedFields) {
+  namespace sf = ew::storage::scan_fields;
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 6, 1};
+  const auto records = varied_batch(41, 1200, day);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+
+  std::vector<FlowRecord> full;
+  ASSERT_TRUE(lake.scan_day(day, [&](const FlowRecord& r) { full.push_back(r); }).ok());
+  ASSERT_EQ(full.size(), records.size());
+
+  // One preset mask (compile-time-specialized emit loop), one arbitrary
+  // mask (generic emit loop), one single-field mask, and the empty
+  // projection: each must deliver the oracle exactly.
+  const std::uint32_t masks[] = {sf::kDayAggregate,
+                                 sf::kUpBytes | sf::kRttSpread | sf::kContentType,
+                                 sf::kServerName, 0u};
+  for (const std::uint32_t mask : masks) {
+    std::vector<FlowRecord> got;
+    const auto pred = ew::storage::ScanPredicate::project(mask);
+    ASSERT_TRUE(lake.scan_day(day, pred, [&](const FlowRecord& r) { got.push_back(r); }).ok());
+    ASSERT_EQ(got.size(), full.size()) << "mask " << mask;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_identical(got[i], project_oracle(full[i], mask));
+    }
+  }
+}
+
+TEST(DataLakeV3, ProjectionComposesWithRowFilters) {
+  namespace sf = ew::storage::scan_fields;
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  const CivilDate day{2017, 6, 2};
+  const auto records = varied_batch(42, 1200, day);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+
+  std::vector<FlowRecord> full;
+  ASSERT_TRUE(lake.scan_day(day, [&](const FlowRecord& r) { full.push_back(r); }).ok());
+
+  auto pred = ew::storage::ScanPredicate::for_proto(ew::core::TransportProto::kUdp);
+  pred.fields = sf::kUpBytes | sf::kDownBytes;
+  std::vector<FlowRecord> got;
+  ASSERT_TRUE(lake.scan_day(day, pred, [&](const FlowRecord& r) { got.push_back(r); }).ok());
+
+  std::vector<FlowRecord> expected;
+  for (const auto& r : full) {
+    if (r.proto == ew::core::TransportProto::kUdp) {
+      expected.push_back(project_oracle(r, pred.fields));
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), full.size());  // the filter actually selects
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) expect_identical(got[i], expected[i]);
+}
+
+TEST(DataLakeV2, ProjectionIsANoOpOnRowFormatDays) {
+  // Row-format blocks decode whole records; a projected scan of a v2 day
+  // must deliver every field fully materialized — consumers must not rely
+  // on unprojected fields being zeroed when a lake may contain v2 days.
+  TempDir dir;
+  ew::storage::DataLake lake{dir.path};
+  lake.set_write_format(ew::storage::LakeFormat::kV2);
+  const CivilDate day{2017, 6, 3};
+  const auto records = varied_batch(43, 400, day);
+  ASSERT_TRUE(lake.append(day, records).has_value());
+
+  const auto pred = ew::storage::ScanPredicate::project(ew::storage::scan_fields::kUpBytes);
+  std::vector<FlowRecord> got;
+  ASSERT_TRUE(lake.scan_day(day, pred, [&](const FlowRecord& r) { got.push_back(r); }).ok());
+  ASSERT_EQ(got.size(), records.size());
+  for (std::size_t i = 0; i < got.size(); ++i) expect_equal(got[i], records[i]);
 }
