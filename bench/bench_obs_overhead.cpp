@@ -1,0 +1,204 @@
+// bench_obs_overhead: the acceptance gate for the obs:: subsystem. Runs
+// the same end-to-end serial probe pass as bench_probe_hotpath — the most
+// instrumented path in the tree (per-stage sampled timings, batch spans,
+// delta-flushed counters) — and writes a JSON fragment for
+// BENCH_pipeline.json. Built twice by scripts/bench.sh: the EW_OBS=OFF
+// binary (build-noobs/) writes the baseline, the ON binary (build/) reads
+// it back with --baseline and fails if metrics cost more than --gate
+// percent of throughput.
+//
+// Usage: bench_obs_overhead [conversations] [repeats] [out.json]
+//                           [--baseline file.json] [--gate pct]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "obs/obs.hpp"
+#include "probe/probe.hpp"
+#include "synth/packets.hpp"
+
+namespace ew = edgewatch;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Same traffic shape as bench_probe_hotpath: the overhead number is only
+/// meaningful against the workload the hot-path numbers were taken on.
+std::vector<ew::net::Frame> make_traffic_mix(int conversations) {
+  std::vector<ew::net::Frame> frames;
+  for (int i = 0; i < conversations; ++i) {
+    ew::synth::ConversationSpec spec;
+    spec.client = ew::core::IPv4Address{10, static_cast<std::uint8_t>((i / 250) % 64),
+                                        static_cast<std::uint8_t>(i / 250 % 250),
+                                        static_cast<std::uint8_t>(i % 250 + 1)};
+    spec.client_port = static_cast<std::uint16_t>(40000 + i % 20000);
+    spec.start = ew::core::Timestamp::from_seconds(100 + i % 50);
+    spec.rtt_us = 3000 + (i % 7) * 2500;
+    spec.response_bytes = 8'000 + (i % 11) * 4'000;
+    switch (i % 3) {
+      case 0:
+        spec.server = ew::core::IPv4Address{157, 240, 1, static_cast<std::uint8_t>(i % 200 + 1)};
+        spec.web = ew::dpi::WebProtocol::kHttp2;
+        spec.server_name = "www.facebook.com";
+        spec.alpn = "h2";
+        break;
+      case 1:
+        spec.server = ew::core::IPv4Address{93, 184, 216, static_cast<std::uint8_t>(i % 200 + 1)};
+        spec.web = ew::dpi::WebProtocol::kHttp;
+        spec.server_name = "www.repubblica.it";
+        break;
+      default:
+        spec.server = ew::core::IPv4Address{173, 194, 4, static_cast<std::uint8_t>(i % 200 + 1)};
+        spec.web = ew::dpi::WebProtocol::kQuic;
+        break;
+    }
+    auto conv = ew::synth::render_conversation(spec);
+    frames.insert(frames.end(), std::make_move_iterator(conv.begin()),
+                  std::make_move_iterator(conv.end()));
+  }
+  std::stable_sort(frames.begin(), frames.end(),
+                   [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+  return frames;
+}
+
+template <typename Fn>
+double best_seconds(int repeats, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+/// Pull `"items_per_sec": <number>` for the named sample out of a fragment
+/// written by this bench (string scan — the format is ours).
+double baseline_items_per_sec(const std::string& path, const std::string& sample) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto at = text.find("\"name\": \"" + sample + "\"");
+  if (at == std::string::npos) return -1;
+  const auto key = text.find("\"items_per_sec\": ", at);
+  if (key == std::string::npos) return -1;
+  return std::atof(text.c_str() + key + 17);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults favor a stable best-of: the gate compares peak throughput
+  // from two separate processes, and with short runs or few repeats the
+  // run-to-run jitter (±6% on a shared box) swamps the real overhead.
+  int conversations = 20000;
+  int repeats = 10;
+  std::string out_path = "BENCH_obs_overhead.json";
+  std::string baseline_path;
+  double gate_pct = -1;  // no gate unless --gate given
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--gate" && i + 1 < argc) {
+      gate_pct = std::atof(argv[++i]);
+    } else if (positional == 0) {
+      conversations = std::atoi(arg.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      repeats = std::atoi(arg.c_str());
+      ++positional;
+    } else {
+      out_path = arg;
+      ++positional;
+    }
+  }
+
+  std::printf("obs overhead bench: %d conversations, %d repeats, metrics %s\n", conversations,
+              repeats, ew::obs::kEnabled ? "ON" : "OFF (baseline build)");
+
+  const auto frames = make_traffic_mix(conversations);
+  std::printf("traffic mix: %zu frames\n", frames.size());
+
+  const std::uint64_t frames_counter_before =
+      ew::obs::Registry::global().counter("probe_frames_total").value();
+
+  const double probe_s = best_seconds(repeats, [&] {
+    std::uint64_t n = 0;
+    ew::probe::Probe p({}, [&n](ew::flow::FlowRecord&&) { ++n; });
+    p.process(std::span<const ew::net::Frame>(frames));
+    p.finish();
+    asm volatile("" ::"r"(n));
+  });
+  const double items_per_sec = static_cast<double>(frames.size()) / probe_s;
+  std::printf("  probe serial: %.0f frames/s (%.4f s best-of-%d)\n", items_per_sec, probe_s,
+              repeats);
+
+  // Functional check: an enabled build must actually have flushed the
+  // replay into the registry — a 0%% overhead from instrumentation that
+  // silently compiled out would pass the gate while measuring nothing.
+  if (ew::obs::kEnabled) {
+    const std::uint64_t flushed =
+        ew::obs::Registry::global().counter("probe_frames_total").value() -
+        frames_counter_before;
+    if (flushed < frames.size()) {
+      std::fprintf(stderr, "obs enabled but probe_frames_total advanced %llu < %zu frames\n",
+                   static_cast<unsigned long long>(flushed), frames.size());
+      return 1;
+    }
+  }
+
+  double baseline = -1;
+  double overhead_pct = 0;
+  if (!baseline_path.empty()) {
+    baseline = baseline_items_per_sec(baseline_path, "probe_serial");
+    if (baseline <= 0) {
+      std::fprintf(stderr, "no probe_serial baseline in %s\n", baseline_path.c_str());
+      return 1;
+    }
+    overhead_pct = (baseline - items_per_sec) / baseline * 100.0;
+    std::printf("  vs baseline %.0f frames/s: %+.2f%% overhead\n", baseline, overhead_pct);
+  }
+
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"bench\": \"obs_overhead\",\n"
+                "  \"conversations\": %d,\n"
+                "  \"frames\": %zu,\n"
+                "  \"obs_enabled\": %s,\n"
+                "  \"baseline_items_per_sec\": %.0f,\n"
+                "  \"overhead_pct\": %.2f,\n"
+                "  \"samples\": [\n"
+                "    {\"name\": \"probe_serial\", \"seconds\": %.4f, "
+                "\"items_per_sec\": %.0f, \"speedup\": 1.00}\n  ]\n}\n",
+                conversations, frames.size(), ew::obs::kEnabled ? "true" : "false",
+                baseline > 0 ? baseline : 0.0, overhead_pct, probe_s, items_per_sec);
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(buf, 1, std::strlen(buf), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (gate_pct >= 0 && baseline > 0 && overhead_pct > gate_pct) {
+    std::fprintf(stderr, "obs overhead %.2f%% exceeds the %.1f%% gate\n", overhead_pct,
+                 gate_pct);
+    return 1;
+  }
+  return 0;
+}

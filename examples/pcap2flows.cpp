@@ -4,6 +4,7 @@
 //
 //   ./build/examples/pcap2flows [trace.pcap] [--out out.csv]
 //                               [--lake dir] [--lake-format {v2,v3}]
+//                               [--stats[=path]]
 //
 // With no capture, a demonstration trace is synthesized, written to a
 // temporary pcap (openable with any standard tool), and then processed.
@@ -11,7 +12,10 @@
 // --lake additionally appends the records to a data lake (day-partitioned
 // by first_packet); --lake-format picks the on-disk block layout — the
 // columnar v3 default or the row-format v2 — and implies --lake, so either
-// format stays exercisable end-to-end from a raw capture.
+// format stays exercisable end-to-end from a raw capture. --stats dumps the
+// final obs:: snapshot (counters, stage histograms, spans) as JSON to
+// stdout — or to a file with --stats=path — replacing the ad-hoc summary
+// lines; it reports zeros in an EW_OBS=OFF build.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "net/pcap.hpp"
+#include "obs/obs.hpp"
 #include "probe/probe.hpp"
 #include "storage/codec.hpp"
 #include "storage/datalake.hpp"
@@ -81,8 +86,10 @@ int main(int argc, char** argv) {
   fs::path input;
   fs::path output;
   fs::path lake_dir;
+  fs::path stats_path;
   auto lake_format = ew::storage::LakeFormat::kV3;
   bool want_lake = false;
+  bool want_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -102,10 +109,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       want_lake = true;
+    } else if (arg == "--stats" || arg.rfind("--stats=", 0) == 0) {
+      want_stats = true;
+      if (arg.size() > 8) stats_path = fs::path(std::string(arg.substr(8)));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: pcap2flows [trace.pcap] [--out out.csv] [--lake dir] "
-          "[--lake-format {v2,v3}]\n");
+          "[--lake-format {v2,v3}] [--stats[=path]]\n");
       return 0;
     } else {
       input = argv[i];
@@ -154,9 +164,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats->frames),
               static_cast<double>(stats->bytes) / 1e6,
               static_cast<unsigned long long>(flows), output.c_str());
-  std::printf("decode failures: %llu, DNS responses fed to DN-Hunter: %llu\n",
-              static_cast<unsigned long long>(probe.counters().decode_failures),
-              static_cast<unsigned long long>(probe.counters().dns_responses));
+  if (!want_stats) {
+    // Ad-hoc summary for quick runs; --stats replaces it with the full
+    // obs:: snapshot (same numbers, plus stage timings and lake counters).
+    std::printf("decode failures: %llu, DNS responses fed to DN-Hunter: %llu\n",
+                static_cast<unsigned long long>(probe.counters().decode_failures),
+                static_cast<unsigned long long>(probe.counters().dns_responses));
+  }
 
   if (want_lake) {
     ew::storage::DataLake lake{lake_dir};
@@ -169,6 +183,22 @@ int main(int argc, char** argv) {
     }
     std::printf("appended %zu day file(s) to %s (%s blocks)\n", by_day.size(), lake_dir.c_str(),
                 lake_format == ew::storage::LakeFormat::kV3 ? "columnar v3" : "row v2");
+  }
+  if (want_stats) {
+    // Scrape last so the snapshot covers the lake appends above, not just
+    // the replay. Spans are included: a pcap run is short enough that the
+    // 4096-entry ring still holds everything interesting.
+    const ew::obs::Snapshot snap = ew::obs::Registry::global().scrape();
+    if (stats_path.empty()) {
+      const std::string json = ew::obs::to_json(snap, /*include_spans=*/true);
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else if (!ew::obs::write_snapshot(snap, stats_path, ew::obs::ExportFormat::kJson,
+                                        /*include_spans=*/true)) {
+      std::fprintf(stderr, "cannot write stats to %s\n", stats_path.c_str());
+      return 1;
+    } else {
+      std::printf("obs snapshot written to %s\n", stats_path.c_str());
+    }
   }
   if (demo) fs::remove(input);
   return 0;

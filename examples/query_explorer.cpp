@@ -4,15 +4,20 @@
 // log is re-read after the build. Each answer prints the documented error
 // bound next to the estimate; counters are exact.
 //
-//   ./build/examples/query_explorer [--lake-format {v2,v3}]
+//   ./build/examples/query_explorer [--lake-format {v2,v3}] [--stats[=path]]
 //
 // --lake-format selects the on-disk layout for the synthetic lake (columnar
 // v3 by default); the rollup answers are identical either way — the flag
-// exists so the row-format v2 path stays exercisable end-to-end.
+// exists so the row-format v2 path stays exercisable end-to-end. --stats
+// dumps the final obs:: snapshot as JSON on exit (stdout, or a file with
+// --stats=path): query latency histograms, rollup build counters, and the
+// lake's scan/prune statistics from the build pass.
 #include <cstdio>
+#include <string>
 #include <string_view>
 
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "query/engine.hpp"
 #include "query/figures.hpp"
 #include "query/store.hpp"
@@ -25,6 +30,8 @@ namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
   auto lake_format = ew::storage::LakeFormat::kV3;
+  fs::path stats_path;
+  bool want_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--lake-format" && i + 1 < argc) {
@@ -38,8 +45,11 @@ int main(int argc, char** argv) {
                      static_cast<int>(fmt.size()), fmt.data());
         return 1;
       }
+    } else if (arg == "--stats" || arg.rfind("--stats=", 0) == 0) {
+      want_stats = true;
+      if (arg.size() > 8) stats_path = fs::path(std::string(arg.substr(8)));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: query_explorer [--lake-format {v2,v3}]\n");
+      std::printf("usage: query_explorer [--lake-format {v2,v3}] [--stats[=path]]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument %s\n", argv[i]);
@@ -122,6 +132,21 @@ int main(int argc, char** argv) {
                 row.share_pct[static_cast<std::size_t>(ew::dpi::WebProtocol::kTls)],
                 row.share_pct[static_cast<std::size_t>(ew::dpi::WebProtocol::kHttp2)],
                 row.share_pct[static_cast<std::size_t>(ew::dpi::WebProtocol::kQuic)]);
+  }
+
+  if (want_stats) {
+    const ew::obs::Snapshot snap = ew::obs::Registry::global().scrape();
+    if (stats_path.empty()) {
+      const std::string json = ew::obs::to_json(snap, /*include_spans=*/true);
+      std::printf("\n");
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else if (!ew::obs::write_snapshot(snap, stats_path, ew::obs::ExportFormat::kJson,
+                                        /*include_spans=*/true)) {
+      std::fprintf(stderr, "cannot write stats to %s\n", stats_path.c_str());
+      return 1;
+    } else {
+      std::printf("\nobs snapshot written to %s\n", stats_path.c_str());
+    }
   }
 
   fs::remove_all(dir);

@@ -4,6 +4,8 @@
 #include <future>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace edgewatch::analytics {
 
 namespace {
@@ -14,6 +16,23 @@ const storage::ScanPredicate& day_aggregate_projection() {
   static const storage::ScanPredicate p =
       storage::ScanPredicate::project(kDayAggregateScanFields);
   return p;
+}
+
+// Per-day-aggregate instrumentation: one span + one counter bump per day,
+// never per record (rollup builds fan days across pool workers; registry
+// cells are atomics, the span ring is mutex-protected).
+struct AggregateObs {
+  obs::SpanSite* day_span;
+  obs::Counter* records;
+};
+
+AggregateObs& aggregate_obs() {
+  static AggregateObs m = [] {
+    auto& reg = obs::Registry::global();
+    return AggregateObs{&reg.span_site("analytics_day_aggregate"),
+                        &reg.counter("analytics_records_aggregated_total")};
+  }();
+  return m;
 }
 
 }  // namespace
@@ -29,6 +48,7 @@ DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate da
                                const storage::ScanPredicate* predicate,
                                const services::ServiceCatalog& catalog) {
   if (predicate == nullptr) predicate = &day_aggregate_projection();
+  obs::Span day_span(*aggregate_obs().day_span);
   DayAggregator agg(day, catalog);
   DayScanAggregate out;
   out.aggregate.date = day;
@@ -46,6 +66,7 @@ DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate da
   if (out.scan.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
     out.scan.errc = idx.baseline();
   }
+  if constexpr (obs::kEnabled) aggregate_obs().records->add(out.scan.records_delivered);
   out.aggregate = std::move(agg).take();
   return out;
 }

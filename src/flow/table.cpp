@@ -144,9 +144,22 @@ void FlowTable::run_dpi(FlowState& state, const net::DecodedPacket& pkt, bool /*
     state.dpi_buffer.insert(state.dpi_buffer.end(), pkt.payload.begin(), pkt.payload.end());
     view = state.dpi_buffer;
   }
-  auto result =
-      dpi::classify_payload(state.record.proto, state.record.server_port, view,
-                            config_.classifier);
+  const auto classify = [&] {
+    return dpi::classify_payload(state.record.proto, state.record.server_port, view,
+                                 config_.classifier);
+  };
+  dpi::Classification result;
+  bool classified = false;
+  if constexpr (obs::kEnabled) {
+    if ((++dpi_obs_ticks_ & 63) == 0) {
+      auto& reg = obs::Registry::global();
+      const std::uint64_t t0 = reg.now_ns();
+      result = classify();
+      dpi_classify_ns_->record(static_cast<std::int64_t>(reg.now_ns() - t0));
+      classified = true;
+    }
+  }
+  if (!classified) result = classify();
   if (!result.conclusive && view.size() < config_.dpi_buffer_limit) {
     if (state.dpi_buffer.empty()) {
       state.dpi_buffer.assign(pkt.payload.begin(), pkt.payload.end());

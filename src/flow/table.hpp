@@ -24,6 +24,7 @@
 #include "flow/record.hpp"
 #include "flow/rtt.hpp"
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 
 namespace edgewatch::flow {
 
@@ -141,6 +142,7 @@ class FlowTable {
   explicit FlowTable(FlowTableConfig config, ExportSink sink)
       : config_(config), sink_(sink) {
     flows_.reserve(config_.reserve_flows);
+    dpi_classify_ns_ = &obs::Registry::global().histogram("dpi_classify_ns");
   }
 
   /// Feed one decoded packet. Returns the flow state the packet landed in
@@ -235,6 +237,12 @@ class FlowTable {
   std::deque<Checkpoint> checkpoints_;
   Counters counters_;
   std::uint64_t next_ingest_seq_ = 0;
+
+  /// Sampled DPI-stage latency (1 classification in 64); DPI runs only on
+  /// a flow's first payload-bearing packets, so the clock reads are far
+  /// off the per-packet path. Not part of checkpoint state.
+  obs::Histogram* dpi_classify_ns_ = nullptr;
+  std::uint64_t dpi_obs_ticks_ = 0;
 };
 
 }  // namespace edgewatch::flow

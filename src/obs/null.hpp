@@ -1,0 +1,157 @@
+// Null observability backend, selected by obs.hpp when EW_OBS=OFF.
+//
+// Mirrors the live API (registry.hpp + snapshot.hpp) with empty inline
+// bodies so every instrumentation site compiles unchanged and then folds
+// to nothing: `kEnabled` is false, so `if constexpr (obs::kEnabled)`
+// blocks are discarded, and the remaining registration calls return
+// references to shared do-nothing singletons. Lives in
+// `inline namespace nullobs` so no mangled name collides with the live
+// implementation — tier1.sh proves an OFF build by grepping archives for
+// the absence of `obs::live` symbols.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgewatch::obs {
+inline namespace nullobs {
+
+inline constexpr bool kEnabled = false;
+inline constexpr std::size_t kShards = 1;
+
+[[nodiscard]] inline std::size_t this_thread_shard() noexcept { return 0; }
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  [[nodiscard]] std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  void record(std::int64_t) noexcept {}
+  void record_in_shard(std::size_t, std::int64_t) noexcept {}
+  struct Merged {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    void merge(const Merged&) {}
+    bool operator==(const Merged&) const = default;
+  };
+  [[nodiscard]] Merged shard_snapshot(std::size_t) const { return {}; }
+  [[nodiscard]] Merged merged() const { return {}; }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const noexcept { return empty_; }
+
+ private:
+  inline static const std::vector<std::int64_t> empty_{};
+};
+
+[[nodiscard]] inline std::span<const std::int64_t> default_latency_bounds_ns() noexcept {
+  return {};
+}
+
+struct SpanSite {};
+
+class Span {
+ public:
+  explicit Span(SpanSite&) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void finish() noexcept {}
+};
+
+class CallbackHandle {
+ public:
+  void reset() noexcept {}
+};
+
+struct Snapshot {
+  std::uint64_t scraped_at_ns = 0;
+  struct CounterValue {
+    std::string name, labels;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name, labels;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name, labels;
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+  };
+  struct SpanEvent {
+    std::string name;
+    std::uint64_t start_ns = 0, dur_ns = 0;
+    std::uint32_t shard = 0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<SpanEvent> spans;
+};
+
+enum class ExportFormat : std::uint8_t { kJson, kPrometheus };
+
+class Registry {
+ public:
+  static Registry& global() noexcept { return instance_; }
+  Counter& counter(std::string_view, std::string_view = {}) noexcept { return counter_; }
+  Gauge& gauge(std::string_view, std::string_view = {}) noexcept { return gauge_; }
+  Histogram& histogram(std::string_view, std::span<const std::int64_t> = {},
+                       std::string_view = {}) noexcept {
+    return histogram_;
+  }
+  SpanSite& span_site(std::string_view, bool = true) noexcept { return span_site_; }
+  [[nodiscard]] CallbackHandle on_scrape(std::string_view, std::string_view,
+                                         std::function<std::int64_t()>) noexcept {
+    return {};
+  }
+  using ClockFn = std::uint64_t (*)();
+  void set_clock(ClockFn) noexcept {}
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return 0; }
+  [[nodiscard]] Snapshot scrape() const { return {}; }
+  static constexpr std::size_t kSpanRingCapacity = 0;
+  void record_span(const SpanSite&, std::uint64_t, std::uint64_t) noexcept {}
+
+ private:
+  // Defined out-of-class: an inline static member of the class's own type
+  // is ill-formed while Registry is still incomplete.
+  static Registry instance_;
+  inline static Counter counter_{};
+  inline static Gauge gauge_{};
+  inline static Histogram histogram_{};
+  inline static SpanSite span_site_{};
+};
+
+inline Registry Registry::instance_{};
+
+inline std::string to_json(const Snapshot&, bool = false) { return "{}\n"; }
+inline std::string to_prometheus(const Snapshot&) { return {}; }
+
+inline bool write_snapshot(const Snapshot&, const std::filesystem::path& path, ExportFormat,
+                           bool = false) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace nullobs
+}  // namespace edgewatch::obs

@@ -1,0 +1,14 @@
+// Umbrella header for the observability subsystem. Include this, never
+// registry.hpp/null.hpp directly: it selects the live implementation when
+// the build defines EW_OBS_ENABLED (CMake option EW_OBS, default ON) and
+// the zero-cost null mirror otherwise. Call sites stay identical in both
+// modes; guard anything beyond a plain counter/record call with
+// `if constexpr (obs::kEnabled)` so the OFF build compiles it out.
+#pragma once
+
+#if defined(EW_OBS_ENABLED) && EW_OBS_ENABLED
+#include "obs/registry.hpp"   // IWYU pragma: export
+#include "obs/snapshot.hpp"   // IWYU pragma: export
+#else
+#include "obs/null.hpp"       // IWYU pragma: export
+#endif

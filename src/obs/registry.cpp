@@ -1,0 +1,240 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+
+namespace edgewatch::obs {
+inline namespace live {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::string make_key(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + 1 + labels.size());
+  key.append(name);
+  key.push_back('\x1f');
+  key.append(labels);
+  return key;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::span<const std::int64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  for (auto& shard : shards_) {
+    shard.counts = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) shard.counts[i].store(0);
+  }
+}
+
+void Histogram::record_in_shard(std::size_t shard_index, std::int64_t value) noexcept {
+  // First bucket whose bound admits the value (le semantics); the slot past
+  // the last bound is the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  auto& shard = shards_[shard_index % kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Merged::merge(const Merged& other) {
+  if (counts.empty()) counts.assign(other.counts.size(), 0);
+  for (std::size_t i = 0; i < counts.size() && i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+Histogram::Merged Histogram::shard_snapshot(std::size_t shard_index) const {
+  const auto& shard = shards_[shard_index % kShards];
+  Merged out;
+  out.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out.counts[i] = shard.counts[i].load(std::memory_order_relaxed);
+    out.count += out.counts[i];
+  }
+  out.sum = shard.sum.load(std::memory_order_relaxed);
+  return out;
+}
+
+Histogram::Merged Histogram::merged() const {
+  Merged out;
+  for (std::size_t s = 0; s < kShards; ++s) out.merge(shard_snapshot(s));
+  return out;
+}
+
+std::span<const std::int64_t> default_latency_bounds_ns() noexcept {
+  // 64ns · 4^k, k = 0..15: covers a cached flow-table hit through a
+  // multi-second day rebuild in 16 buckets.
+  static const std::int64_t kBounds[] = {
+      64,         256,         1024,        4096,          16384,         65536,
+      262144,     1048576,     4194304,     16777216,      67108864,      268435456,
+      1073741824, 4294967296,  17179869184, 68719476736,
+  };
+  return kBounds;
+}
+
+// --------------------------------------------------------------------- Span
+
+Span::Span(SpanSite& site) noexcept : site_(&site), start_ns_(site.registry->now_ns()) {}
+
+void Span::finish() noexcept {
+  if (site_ == nullptr) return;
+  const std::uint64_t end_ns = site_->registry->now_ns();
+  const std::uint64_t dur = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  site_->hist->record(static_cast<std::int64_t>(dur));
+  if (site_->traced) site_->registry->record_span(*site_, start_ns_, dur);
+  site_ = nullptr;
+}
+
+// ----------------------------------------------------------- CallbackHandle
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void CallbackHandle::reset() noexcept {
+  if (registry_ != nullptr) registry_->drop_callback(id_);
+  registry_ = nullptr;
+  id_ = 0;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry::Registry() : clock_(&steady_now_ns) { ring_.reserve(kSpanRingCapacity); }
+
+Registry& Registry::global() {
+  // Leaked on purpose: see declaration.
+  static Registry* const instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = counters_[make_key(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = gauges_[make_key(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const std::int64_t> bounds,
+                               std::string_view labels) {
+  const std::lock_guard lock(mutex_);
+  auto& slot = histograms_[make_key(name, labels)];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds.empty() ? default_latency_bounds_ns() : bounds);
+  }
+  return *slot;
+}
+
+SpanSite& Registry::span_site(std::string_view name, bool traced) {
+  Histogram& hist = histogram(std::string(name) + "_ns");
+  const std::lock_guard lock(mutex_);
+  auto& slot = span_sites_[make_key(name, {})];
+  if (!slot) {
+    slot = std::make_unique<SpanSite>();
+    slot->registry = this;
+    slot->hist = &hist;
+    slot->name = std::string(name);
+    slot->traced = traced;
+  }
+  return *slot;
+}
+
+CallbackHandle Registry::on_scrape(std::string_view name, std::string_view labels,
+                                   std::function<std::int64_t()> fn) {
+  const std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.emplace(id, ScrapeCallback{std::string(name), std::string(labels), std::move(fn)});
+  return CallbackHandle{this, id};
+}
+
+void Registry::drop_callback(std::uint64_t id) noexcept {
+  const std::lock_guard lock(mutex_);
+  callbacks_.erase(id);
+}
+
+void Registry::record_span(const SpanSite& site, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  const auto shard = static_cast<std::uint32_t>(this_thread_shard());
+  const std::lock_guard lock(ring_mutex_);
+  if (ring_.size() < kSpanRingCapacity) {
+    ring_.push_back({&site, start_ns, dur_ns, shard});
+  } else {
+    ring_[ring_next_] = {&site, start_ns, dur_ns, shard};
+  }
+  ring_next_ = (ring_next_ + 1) % kSpanRingCapacity;
+}
+
+Snapshot Registry::scrape() const {
+  Snapshot snap;
+  snap.scraped_at_ns = now_ns();
+  {
+    const std::lock_guard lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [key, counter] : counters_) {
+      const auto split = key.find('\x1f');
+      snap.counters.push_back({key.substr(0, split), key.substr(split + 1), counter->value()});
+    }
+    snap.gauges.reserve(gauges_.size() + callbacks_.size());
+    for (const auto& [key, gauge] : gauges_) {
+      const auto split = key.find('\x1f');
+      snap.gauges.push_back({key.substr(0, split), key.substr(split + 1), gauge->value()});
+    }
+    for (const auto& [id, cb] : callbacks_) {
+      snap.gauges.push_back({cb.name, cb.labels, cb.fn()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [key, hist] : histograms_) {
+      const auto split = key.find('\x1f');
+      auto merged = hist->merged();
+      snap.histograms.push_back({key.substr(0, split), key.substr(split + 1), hist->bounds(),
+                                 std::move(merged.counts), merged.count, merged.sum});
+    }
+  }
+  {
+    const std::lock_guard lock(ring_mutex_);
+    snap.spans.reserve(ring_.size());
+    // Oldest-first: the slot at ring_next_ is the next to be overwritten.
+    const std::size_t n = ring_.size();
+    const std::size_t first = n < kSpanRingCapacity ? 0 : ring_next_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& ev = ring_[(first + i) % n];
+      snap.spans.push_back({ev.site->name, ev.start_ns, ev.dur_ns, ev.shard});
+    }
+  }
+  // Map iteration already yields (name, labels) order for the metric lists;
+  // callback gauges were appended, so re-sort that one list.
+  std::sort(snap.gauges.begin(), snap.gauges.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+  });
+  std::stable_sort(snap.spans.begin(), snap.spans.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.start_ns, a.name) < std::tie(b.start_ns, b.name);
+  });
+  return snap;
+}
+
+}  // namespace live
+}  // namespace edgewatch::obs

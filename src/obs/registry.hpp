@@ -1,0 +1,242 @@
+// Live metrics registry: lock-free sharded counters/histograms, RAII span
+// timers, and a scrape path that merges per-shard state into a consistent
+// point-in-time snapshot (snapshot.hpp).
+//
+// Design rules, in priority order:
+//   1. The record path (Counter::add, Histogram::record) must be safe to
+//      call from any thread with no locks and no allocation: each writer
+//      lands on a cache-line-padded shard chosen once per thread, and all
+//      stores are relaxed atomics. Shard merging happens only on scrape,
+//      with the same sum-merge discipline as core/sketch: commutative,
+//      associative, order-independent.
+//   2. Registration (Registry::counter/gauge/histogram/span_site) takes a
+//      mutex and may allocate. Call it once at component construction and
+//      keep the returned pointer/reference; never register per event.
+//   3. Everything here lives in `inline namespace live` so an EW_OBS=OFF
+//      build (which compiles null.hpp instead) shares no mangled names
+//      with this implementation — scripts/tier1.sh greps the archives for
+//      `obs::live` symbols to prove the null build compiled out.
+//
+// Determinism: scrape output is sorted by (name, labels), all sums are
+// integers, and the clock is pluggable (set_clock), so a fixed workload
+// produces a byte-identical JSON snapshot regardless of thread count or
+// merge order. tests/test_obs.cpp holds the golden test.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.hpp"
+
+namespace edgewatch::obs {
+inline namespace live {
+
+/// Compile-time flag for call sites: `if constexpr (obs::kEnabled)` guards
+/// non-trivial instrumentation (clock reads, delta flushes) so the OFF
+/// build provably contains none of it.
+inline constexpr bool kEnabled = true;
+
+/// Fixed shard pool. Threads are assigned round-robin at first use; two
+/// threads may share a shard under contention, which only costs a cache
+/// bounce, never correctness (all cells are atomics).
+inline constexpr std::size_t kShards = 16;
+
+[[nodiscard]] inline std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+/// Monotonic counter. One padded atomic cell per shard; value() sums them.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[this_thread_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) total += cell.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-writer-wins signed gauge (overload state, health tallies, ...).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram with per-shard bucket arrays. Bucket i counts
+/// values <= bounds[i] (Prometheus `le` semantics); one extra bucket holds
+/// the overflow. Shards merge by element-wise sum — the oracle test checks
+/// associativity and commutativity against a single-shard reference.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const std::int64_t> bounds);
+
+  void record(std::int64_t value) noexcept { record_in_shard(this_thread_shard(), value); }
+  void record_in_shard(std::size_t shard, std::int64_t value) noexcept;
+
+  /// Merged view of one or more shards; the unit for merge-order tests.
+  struct Merged {
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 buckets
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+    void merge(const Merged& other);
+    bool operator==(const Merged&) const = default;
+  };
+  [[nodiscard]] Merged shard_snapshot(std::size_t shard) const;
+  [[nodiscard]] Merged merged() const;
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::int64_t> sum{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Default exponential latency boundaries in nanoseconds: 64ns · 4^k,
+/// k = 0..15 (64ns .. ~69s). Wide enough for sub-µs probe stages and
+/// multi-second lake rebuilds alike at 16 buckets per shard.
+[[nodiscard]] std::span<const std::int64_t> default_latency_bounds_ns() noexcept;
+
+class Registry;
+
+/// Pre-resolved span target: histogram plus ring-trace flag. Resolve once
+/// via Registry::span_site, then constructing a Span is two clock reads.
+struct SpanSite {
+  Registry* registry = nullptr;
+  Histogram* hist = nullptr;
+  std::string name;
+  bool traced = true;  ///< false: histogram only, no ring entry (hot sites)
+};
+
+/// RAII timer over a SpanSite. Duration lands in the site histogram; if
+/// the site is traced, a SpanEvent is pushed to the registry ring.
+class Span {
+ public:
+  explicit Span(SpanSite& site) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+  void finish() noexcept;
+
+ private:
+  SpanSite* site_;
+  std::uint64_t start_ns_;
+};
+
+/// Unregisters a scrape callback when destroyed.
+class CallbackHandle {
+ public:
+  CallbackHandle() = default;
+  CallbackHandle(Registry* registry, std::uint64_t id) : registry_(registry), id_(id) {}
+  CallbackHandle(CallbackHandle&& other) noexcept { *this = std::move(other); }
+  CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+  CallbackHandle(const CallbackHandle&) = delete;
+  CallbackHandle& operator=(const CallbackHandle&) = delete;
+  ~CallbackHandle() { reset(); }
+  void reset() noexcept;
+
+ private:
+  Registry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Registry {
+ public:
+  Registry();
+
+  /// Process-wide instance. Deliberately leaked so components that outlive
+  /// main() can still flush counters during shutdown.
+  static Registry& global();
+
+  // Registration: idempotent per (name, labels) key; returned references
+  // stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view labels = {});
+  Histogram& histogram(std::string_view name, std::span<const std::int64_t> bounds = {},
+                       std::string_view labels = {});
+  SpanSite& span_site(std::string_view name, bool traced = true);
+
+  /// Pull-style gauge evaluated at scrape time. Only use over state that
+  /// is itself safe to read concurrently (atomics); prefer push gauges.
+  [[nodiscard]] CallbackHandle on_scrape(std::string_view name, std::string_view labels,
+                                         std::function<std::int64_t()> fn);
+
+  using ClockFn = std::uint64_t (*)();
+  void set_clock(ClockFn clock) noexcept { clock_.store(clock, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return clock_.load(std::memory_order_relaxed)();
+  }
+
+  /// Merge all shards and callbacks into one snapshot, sorted by
+  /// (name, labels). Safe to call while writers are recording.
+  [[nodiscard]] Snapshot scrape() const;
+
+  /// Bounded trace ring; oldest entries are overwritten. Sized for coarse
+  /// pipeline events (batches, flushes, checkpoints), not per-packet work.
+  static constexpr std::size_t kSpanRingCapacity = 4096;
+  void record_span(const SpanSite& site, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+ private:
+  friend class CallbackHandle;
+  void drop_callback(std::uint64_t id) noexcept;
+
+  struct ScrapeCallback {
+    std::string name;
+    std::string labels;
+    std::function<std::int64_t()> fn;
+  };
+
+  mutable std::mutex mutex_;  // registration + callback table + scrape
+  // Keyed by name + '\x1f' + labels: map order == (name, labels) order.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanSite>> span_sites_;
+  std::map<std::uint64_t, ScrapeCallback> callbacks_;
+  std::uint64_t next_callback_id_ = 1;
+
+  struct RingEvent {
+    const SpanSite* site;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint32_t shard;
+  };
+  mutable std::mutex ring_mutex_;
+  std::vector<RingEvent> ring_;
+  std::size_t ring_next_ = 0;
+
+  std::atomic<ClockFn> clock_;
+};
+
+}  // namespace live
+}  // namespace edgewatch::obs

@@ -1,0 +1,154 @@
+#include "obs/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+namespace edgewatch::obs {
+inline namespace live {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot, bool include_spans) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"scraped_at_ns\": " + std::to_string(snapshot.scraped_at_ns) + ",\n";
+
+  out += "  \"counters\": [";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, c.name);
+    out += ", \"labels\": ";
+    append_json_string(out, c.labels);
+    out += ", \"value\": " + std::to_string(c.value) + "}";
+  }
+  out += snapshot.counters.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, g.name);
+    out += ", \"labels\": ";
+    append_json_string(out, g.labels);
+    out += ", \"value\": " + std::to_string(g.value) + "}";
+  }
+  out += snapshot.gauges.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": ";
+    append_json_string(out, h.name);
+    out += ", \"labels\": ";
+    append_json_string(out, h.labels);
+    out += ", \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) out += ", ";
+      out += "{\"le\": ";
+      out += b < h.bounds.size() ? std::to_string(h.bounds[b]) : std::string("\"inf\"");
+      out += ", \"n\": " + std::to_string(h.counts[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "]" : "\n  ]";
+
+  if (include_spans) {
+    out += ",\n  \"spans\": [";
+    for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+      const auto& sp = snapshot.spans[i];
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"name\": ";
+      append_json_string(out, sp.name);
+      out += ", \"start_ns\": " + std::to_string(sp.start_ns);
+      out += ", \"dur_ns\": " + std::to_string(sp.dur_ns);
+      out += ", \"shard\": " + std::to_string(sp.shard) + "}";
+    }
+    out += snapshot.spans.empty() ? "]" : "\n  ]";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  const auto metric_line = [&out](const std::string& name, const std::string& labels,
+                                  const std::string& value) {
+    out += name;
+    if (!labels.empty()) out += "{" + labels + "}";
+    out += " " + value + "\n";
+  };
+  std::string last_typed;
+  const auto type_header = [&](const std::string& name, const char* type) {
+    if (name == last_typed) return;  // one header per metric family
+    out += "# TYPE " + name + " " + type + "\n";
+    last_typed = name;
+  };
+  for (const auto& c : snapshot.counters) {
+    type_header(c.name, "counter");
+    metric_line(c.name, c.labels, std::to_string(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    type_header(g.name, "gauge");
+    metric_line(g.name, g.labels, std::to_string(g.value));
+  }
+  for (const auto& h : snapshot.histograms) {
+    type_header(h.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      std::string labels = h.labels;
+      if (!labels.empty()) labels += ",";
+      labels += "le=\"";
+      labels += b < h.bounds.size() ? std::to_string(h.bounds[b]) : std::string("+Inf");
+      labels += "\"";
+      metric_line(h.name + "_bucket", labels, std::to_string(cumulative));
+    }
+    metric_line(h.name + "_sum", h.labels, std::to_string(h.sum));
+    metric_line(h.name + "_count", h.labels, std::to_string(h.count));
+  }
+  return out;
+}
+
+bool write_snapshot(const Snapshot& snapshot, const std::filesystem::path& path,
+                    ExportFormat format, bool include_spans) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << (format == ExportFormat::kJson ? to_json(snapshot, include_spans)
+                                        : to_prometheus(snapshot));
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace live
+}  // namespace edgewatch::obs

@@ -1,0 +1,66 @@
+// Point-in-time snapshot of an obs::Registry plus the two exposition
+// formats: a JSON document (machine-readable, byte-deterministic for a
+// fixed workload and clock) and Prometheus-style text (scrapeable by the
+// standard toolchain when redirected to a file — no network dependency).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace edgewatch::obs {
+inline namespace live {
+
+struct Snapshot {
+  std::uint64_t scraped_at_ns = 0;
+
+  struct CounterValue {
+    std::string name;
+    std::string labels;  ///< Prometheus label body, e.g. `stage="decode"`; may be empty
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string labels;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string labels;
+    std::vector<std::int64_t> bounds;   ///< upper bucket bounds (`le`), ns
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+  };
+  struct SpanEvent {
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t shard = 0;
+  };
+
+  // Each list sorted by (name, labels); spans by (start_ns, name).
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+  std::vector<SpanEvent> spans;
+};
+
+enum class ExportFormat : std::uint8_t { kJson, kPrometheus };
+
+/// JSON exposition. Integer-only values and sorted metric order make the
+/// output byte-identical for identical recorded data; spans are excluded
+/// by default because ring order is timing-dependent.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot, bool include_spans = false);
+
+/// Prometheus text exposition (`# TYPE` headers, `_bucket{le=...}`,
+/// `_sum`, `_count`). Spans appear only through their histograms.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot);
+
+/// Serialize and write atomically-ish (truncate + write + flush).
+bool write_snapshot(const Snapshot& snapshot, const std::filesystem::path& path,
+                    ExportFormat format, bool include_spans = false);
+
+}  // namespace live
+}  // namespace edgewatch::obs

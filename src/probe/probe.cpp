@@ -9,7 +9,42 @@ Probe::Probe(ProbeConfig config, RecordSink sink)
       sink_(std::move(sink)),
       anonymizer_(config.anon_key, config.customer_net),
       dnhunter_(config.dnhunter),
-      table_(config.flow, table_sink_) {}
+      table_(config.flow, table_sink_) {
+  auto& reg = obs::Registry::global();
+  obs_.frames = &reg.counter("probe_frames_total");
+  obs_.decode_failures = &reg.counter("probe_decode_failures_total");
+  obs_.ipv6_frames = &reg.counter("probe_ipv6_frames_total");
+  obs_.sampled_out = &reg.counter("probe_sampled_out_total");
+  obs_.dropped_offline = &reg.counter("probe_dropped_offline_total");
+  obs_.dns_responses = &reg.counter("probe_dns_responses_total");
+  obs_.records_exported = &reg.counter("probe_records_exported_total");
+  obs_.records_named_by_dns = &reg.counter("probe_records_named_by_dns_total");
+  obs_.stage_decode = &reg.histogram("probe_stage_ns", {}, "stage=\"decode\"");
+  obs_.stage_flow = &reg.histogram("probe_stage_ns", {}, "stage=\"flow_table\"");
+  obs_.stage_dnhunter = &reg.histogram("probe_stage_ns", {}, "stage=\"dnhunter\"");
+  obs_.stage_export = &reg.histogram("probe_stage_ns", {}, "stage=\"export\"");
+  obs_.batch = &reg.span_site("probe_batch");
+}
+
+void Probe::obs_flush() noexcept {
+  if constexpr (obs::kEnabled) {
+    // Saturating delta: restore_checkpoint can rewind counters_, and the
+    // registry must stay monotonic.
+    const auto push = [](obs::Counter* counter, std::uint64_t now, std::uint64_t& flushed) {
+      if (now > flushed) counter->add(now - flushed);
+      flushed = now;
+    };
+    push(obs_.frames, counters_.frames, obs_.flushed.frames);
+    push(obs_.decode_failures, counters_.decode_failures, obs_.flushed.decode_failures);
+    push(obs_.ipv6_frames, counters_.ipv6_frames, obs_.flushed.ipv6_frames);
+    push(obs_.sampled_out, counters_.sampled_out, obs_.flushed.sampled_out);
+    push(obs_.dropped_offline, counters_.dropped_offline, obs_.flushed.dropped_offline);
+    push(obs_.dns_responses, counters_.dns_responses, obs_.flushed.dns_responses);
+    push(obs_.records_exported, counters_.records_exported, obs_.flushed.records_exported);
+    push(obs_.records_named_by_dns, counters_.records_named_by_dns,
+         obs_.flushed.records_named_by_dns);
+  }
+}
 
 bool Probe::prepare_frame(const net::Frame& frame) {
   if (!online_) {
@@ -44,6 +79,9 @@ void Probe::process(const net::Frame& frame) {
     return;
   }
   process(*packet);
+  if constexpr (obs::kEnabled) {
+    if ((counters_.frames & 255) == 0) obs_flush();
+  }
 }
 
 void Probe::process(std::span<const net::Frame> frames) {
@@ -54,6 +92,8 @@ void Probe::process(std::span<const net::Frame> frames) {
   // so running it early is unobservable — and (c) warming the flow-table
   // slot frame i+1 will probe. Counters still advance strictly in frame
   // order inside prepare_frame (the only behavioral ordering that exists).
+  obs::Span batch_span(*obs_.batch);
+  [[maybe_unused]] obs::Registry* const reg = &obs::Registry::global();
   constexpr std::size_t kAhead = 8;
   const auto prefetch_frame = [](const net::Frame& f) {
     if (f.data.empty()) return;
@@ -75,7 +115,18 @@ void Probe::process(std::span<const net::Frame> frames) {
     if (i + 1 < n) {
       if (i + kAhead < n) prefetch_frame(frames[i + kAhead]);
       net::DecodedPacket& next = bufs[(i + 1) & 1];
-      ok[(i + 1) & 1] = net::decode_frame_into(frames[i + 1], next);
+      bool timed_decode = false;
+      if constexpr (obs::kEnabled) {
+        // Sampled decode-stage clock; the common iteration pays one
+        // predictable branch.
+        if (((i + 1) & kStageSampleMask) == 0) {
+          timed_decode = true;
+          const std::uint64_t t0 = reg->now_ns();
+          ok[(i + 1) & 1] = net::decode_frame_into(frames[i + 1], next);
+          obs_.stage_decode->record(static_cast<std::int64_t>(reg->now_ns() - t0));
+        }
+      }
+      if (!timed_decode) ok[(i + 1) & 1] = net::decode_frame_into(frames[i + 1], next);
       if (ok[(i + 1) & 1] && next.ip.transport() != core::TransportProto::kOther) {
         table_.prefetch_flow(next.five_tuple());
       }
@@ -87,12 +138,31 @@ void Probe::process(std::span<const net::Frame> frames) {
     }
     process(packet);
   }
+  obs_flush();
 }
 
 void Probe::process(const net::DecodedPacket& packet) {
+  if constexpr (obs::kEnabled) {
+    if ((++obs_.ticks & kStageSampleMask) == 0) {
+      process_impl<true>(packet);
+      return;
+    }
+  }
+  process_impl<false>(packet);
+}
+
+template <bool Timed>
+void Probe::process_impl(const net::DecodedPacket& packet) {
   if (!online_) {
     ++counters_.dropped_offline;
     return;
+  }
+
+  [[maybe_unused]] obs::Registry* reg = nullptr;
+  [[maybe_unused]] std::uint64_t t0 = 0;
+  if constexpr (Timed) {
+    reg = &obs::Registry::global();
+    t0 = reg->now_ns();
   }
 
   // DNS responses travelling towards a customer feed DN-Hunter. The flow
@@ -103,6 +173,11 @@ void Probe::process(const net::DecodedPacket& packet) {
       dnhunter_.observe_response(packet.ip.dst, *msg, packet.timestamp);
       ++counters_.dns_responses;
     }
+  }
+  if constexpr (Timed) {
+    const std::uint64_t t1 = reg->now_ns();
+    obs_.stage_dnhunter->record(static_cast<std::int64_t>(t1 - t0));
+    t0 = t1;
   }
 
   flow::FlowState* state = table_.ingest(packet);
@@ -118,9 +193,15 @@ void Probe::process(const net::DecodedPacket& packet) {
     }
   }
   table_.advance(packet.timestamp);
+  if constexpr (Timed) {
+    obs_.stage_flow->record(static_cast<std::int64_t>(reg->now_ns() - t0));
+  }
 }
 
-void Probe::finish() { table_.flush(flow::FlowCloseReason::kProbeFlush); }
+void Probe::finish() {
+  table_.flush(flow::FlowCloseReason::kProbeFlush);
+  obs_flush();
+}
 
 void Probe::begin_outage() {
   if (!online_) return;
@@ -141,11 +222,23 @@ void Probe::set_classifier_options(dpi::ClassifierOptions options) {
 
 void Probe::on_export(flow::FlowRecord&& record) {
   if (muted_) return;
-  record.access = access_tech(record.client_ip);  // before anonymization
-  record.client_ip = anonymizer_.apply(record.client_ip);
-  ++counters_.records_exported;
-  if (record.name_source == flow::NameSource::kDnsHunter) ++counters_.records_named_by_dns;
-  if (sink_) sink_(std::move(record));
+  const auto do_export = [&] {
+    record.access = access_tech(record.client_ip);  // before anonymization
+    record.client_ip = anonymizer_.apply(record.client_ip);
+    ++counters_.records_exported;
+    if (record.name_source == flow::NameSource::kDnsHunter) ++counters_.records_named_by_dns;
+    if (sink_) sink_(std::move(record));
+  };
+  if constexpr (obs::kEnabled) {
+    if ((counters_.records_exported & kExportSampleMask) == 0) {
+      auto& reg = obs::Registry::global();
+      const std::uint64_t t0 = reg.now_ns();
+      do_export();
+      obs_.stage_export->record(static_cast<std::int64_t>(reg.now_ns() - t0));
+      return;
+    }
+  }
+  do_export();
 }
 
 }  // namespace edgewatch::probe

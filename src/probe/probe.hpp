@@ -23,6 +23,7 @@
 #include "dns/dnhunter.hpp"
 #include "flow/table.hpp"
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 
 namespace edgewatch::core {
 class ByteWriter;
@@ -126,6 +127,16 @@ class Probe {
  private:
   void on_export(flow::FlowRecord&& record);
 
+  /// Shared per-packet body; Timed adds the sampled stage clocks (only
+  /// taken 1 frame in 1024, so the steady_clock reads never show up in
+  /// the per-frame budget).
+  template <bool Timed>
+  void process_impl(const net::DecodedPacket& packet);
+
+  /// Push counters_ growth since the last flush into the global registry
+  /// (batch boundaries and finish() — the hot loop touches no atomics).
+  void obs_flush() noexcept;
+
   /// Checkpoint payload codec shared by the file and in-memory paths
   /// (checkpoint.cpp).
   void encode_checkpoint_payload(core::ByteWriter& payload) const;
@@ -154,6 +165,31 @@ class Probe {
   bool online_ = true;
   bool muted_ = false;  ///< Discard exports (outage-time state loss).
   Counters counters_;
+
+  /// obs:: wiring, resolved once at construction. Counters mirror
+  /// counters_ via saturating delta flush (a checkpoint restore may move
+  /// counters_ backwards; the registry stays monotonic). Stage histograms
+  /// are fed by sampled clocks — see kStageSampleMask.
+  static constexpr std::uint64_t kStageSampleMask = 1023;  ///< time 1 in 1024
+  static constexpr std::uint64_t kExportSampleMask = 63;   ///< time 1 in 64
+  struct ObsHooks {
+    obs::Counter* frames = nullptr;
+    obs::Counter* decode_failures = nullptr;
+    obs::Counter* ipv6_frames = nullptr;
+    obs::Counter* sampled_out = nullptr;
+    obs::Counter* dropped_offline = nullptr;
+    obs::Counter* dns_responses = nullptr;
+    obs::Counter* records_exported = nullptr;
+    obs::Counter* records_named_by_dns = nullptr;
+    obs::Histogram* stage_decode = nullptr;
+    obs::Histogram* stage_flow = nullptr;
+    obs::Histogram* stage_dnhunter = nullptr;
+    obs::Histogram* stage_export = nullptr;
+    obs::SpanSite* batch = nullptr;
+    Counters flushed;          ///< counters_ values already in the registry
+    std::uint64_t ticks = 0;   ///< packet tick driving stage sampling
+  };
+  ObsHooks obs_;
 };
 
 }  // namespace edgewatch::probe

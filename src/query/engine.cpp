@@ -3,11 +3,62 @@
 #include <algorithm>
 #include <future>
 #include <map>
+#include <string>
 #include <utility>
+
+#include "obs/obs.hpp"
 
 namespace edgewatch::query {
 
 namespace {
+
+constexpr const char* metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::kBytes:
+      return "bytes";
+    case Metric::kFlows:
+      return "flows";
+    case Metric::kDistinctClients:
+      return "distinct_clients";
+    case Metric::kDistinctServers:
+      return "distinct_servers";
+    case Metric::kRttQuantile:
+      return "rtt_quantile";
+    case Metric::kVolumeQuantile:
+      return "volume_quantile";
+    case Metric::kActiveSubscribers:
+      return "active_subscribers";
+  }
+  return "unknown";
+}
+
+// RAII latency timer for run_query: one histogram series per metric kind,
+// so sketch-backed quantile queries don't hide behind cheap counter ones.
+// Covers every return path, including the empty-range early-out.
+class QueryTimer {
+ public:
+  explicit QueryTimer(Metric m) {
+    if constexpr (obs::kEnabled) {
+      registry_ = &obs::Registry::global();
+      registry_->counter("query_total").add(1);
+      hist_ = &registry_->histogram("query_latency_ns", {},
+                                    std::string("metric=\"") + metric_name(m) + "\"");
+      start_ = registry_->now_ns();
+    }
+  }
+  QueryTimer(const QueryTimer&) = delete;
+  QueryTimer& operator=(const QueryTimer&) = delete;
+  ~QueryTimer() {
+    if constexpr (obs::kEnabled) {
+      hist_->record(registry_->now_ns() - start_);
+    }
+  }
+
+ private:
+  [[maybe_unused]] obs::Registry* registry_ = nullptr;
+  [[maybe_unused]] obs::Histogram* hist_ = nullptr;
+  [[maybe_unused]] std::uint64_t start_ = 0;
+};
 
 bool per_tech(Metric m) noexcept {
   return m == Metric::kVolumeQuantile || m == Metric::kActiveSubscribers;
@@ -184,6 +235,7 @@ std::uint32_t columns_for(Metric metric) noexcept {
 }
 
 QueryResult run_query(const RollupStore& store, const QuerySpec& spec, core::ThreadPool* pool) {
+  const QueryTimer timer(spec.metric);
   QueryResult result;
   result.columns_loaded = columns_for(spec.metric);
   // The subscriber section only exists in service-dimension rollups.

@@ -7,11 +7,32 @@
 #include <utility>
 
 #include "analytics/parallel.hpp"
+#include "obs/obs.hpp"
 #include "storage/io.hpp"
 
 namespace edgewatch::query {
 
 namespace {
+
+// Build-progress instrumentation: counters advance per completed day (not
+// once at the end), so a scrape mid-build shows how far a long rebuild got.
+struct StoreObs {
+  obs::Counter* built;
+  obs::Counter* reused;
+  obs::Counter* failed;
+  obs::SpanSite* build_span;
+};
+
+StoreObs& store_obs() {
+  static StoreObs m = [] {
+    auto& reg = obs::Registry::global();
+    return StoreObs{&reg.counter("rollup_days_built_total"),
+                    &reg.counter("rollup_days_reused_total"),
+                    &reg.counter("rollup_days_failed_total"),
+                    &reg.span_site("rollup_build")};
+  }();
+  return m;
+}
 
 core::Result<void> write_atomically(const std::filesystem::path& path,
                                     std::span<const std::byte> data) {
@@ -118,6 +139,7 @@ BuildReport RollupStore::build(core::ThreadPool& pool, const BuildOptions& optio
 
 BuildReport RollupStore::build(std::span<const core::CivilDate> days, core::ThreadPool& pool,
                                const BuildOptions& options) {
+  obs::Span build_span(*store_obs().build_span);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
 
@@ -135,6 +157,12 @@ BuildReport RollupStore::build(std::span<const core::CivilDate> days, core::Thre
     report.reused += out.reused;
     report.failed += out.failed;
     if (out.errc != core::Errc::kOk) report.errors.emplace_back(days[i], out.errc);
+    if constexpr (obs::kEnabled) {
+      auto& m = store_obs();
+      if (out.built != 0) m.built->add(static_cast<std::uint64_t>(out.built));
+      if (out.reused != 0) m.reused->add(static_cast<std::uint64_t>(out.reused));
+      if (out.failed != 0) m.failed->add(static_cast<std::uint64_t>(out.failed));
+    }
   }
   return report;
 }

@@ -14,7 +14,61 @@ Sleeper real_sleeper() {
 }
 
 Supervisor::Supervisor(storage::DataLake& lake, SupervisorConfig config)
-    : lake_(lake), config_(std::move(config)), controller_(config_.overload) {}
+    : lake_(lake), config_(std::move(config)), controller_(config_.overload) {
+  auto& reg = obs::Registry::global();
+  obs_.offered = &reg.counter("runtime_frames_offered_total");
+  obs_.ingested = &reg.counter("runtime_frames_ingested_total");
+  obs_.shed_sampled = &reg.counter("runtime_shed_sampled_total");
+  obs_.shed_backpressure = &reg.counter("runtime_shed_backpressure_total");
+  obs_.quarantined = &reg.counter("runtime_frames_quarantined_total");
+  obs_.stalls = &reg.counter("runtime_stalls_detected_total");
+  obs_.checkpoints = &reg.counter("runtime_checkpoints_total");
+  obs_.append_retries = &reg.counter("runtime_append_retries_total");
+  obs_.append_failures = &reg.counter("runtime_append_failures_total");
+  obs_.overload_transitions = &reg.counter("runtime_overload_transitions_total");
+  obs_.overload_state = &reg.gauge("runtime_overload_state");
+  obs_.sample_shift = &reg.gauge("runtime_sample_shift");
+  obs_.capture_days = &reg.gauge("capture_quality_days");
+  obs_.capture_days_incomplete = &reg.gauge("capture_quality_days_incomplete");
+  obs_.capture_frames_shed = &reg.gauge("capture_quality_frames_shed");
+  obs_.checkpoint_span = &reg.span_site("runtime_checkpoint");
+  obs_.flush_span = &reg.span_site("runtime_flush");
+}
+
+void Supervisor::obs_sync() noexcept {
+  if constexpr (obs::kEnabled) {
+    // resume() may rewind feeder counters to the checkpointed values;
+    // saturate so the registry stays monotonic.
+    const auto push = [](obs::Counter* counter, std::uint64_t now, std::uint64_t& flushed) {
+      if (now > flushed) counter->add(now - flushed);
+      flushed = now;
+    };
+    push(obs_.offered, offered_, obs_.flushed.offered);
+    push(obs_.ingested, ingested_, obs_.flushed.ingested);
+    push(obs_.shed_sampled, shed_sampled_, obs_.flushed.shed_sampled);
+    push(obs_.shed_backpressure, shed_backpressure_, obs_.flushed.shed_backpressure);
+    push(obs_.stalls, stalls_detected_, obs_.flushed.stalls);
+    push(obs_.checkpoints, checkpoints_written_, obs_.flushed.checkpoints);
+    push(obs_.append_retries, append_retries_, obs_.flushed.append_retries);
+    push(obs_.append_failures, append_failures_, obs_.flushed.append_failures);
+    push(obs_.overload_transitions, controller_.transitions().size(), obs_.flushed.transitions);
+    obs_.overload_state->set(static_cast<std::int64_t>(controller_.state()));
+    obs_.sample_shift->set(controller_.sample_shift());
+    // Per-day CaptureQuality, collapsed to fleet gauges: how many civil days
+    // this run touched, how many of them shed or quarantined frames, and the
+    // total shed count (the paper's "no traffic sampling" §2.1 invariant —
+    // nonzero means downstream figures carry a correction factor).
+    std::int64_t days_incomplete = 0;
+    std::uint64_t frames_shed = 0;
+    for (const auto& [day, q] : day_quality_) {
+      if (!q.complete()) ++days_incomplete;
+      frames_shed += q.frames_shed;
+    }
+    obs_.capture_days->set(static_cast<std::int64_t>(day_quality_.size()));
+    obs_.capture_days_incomplete->set(days_incomplete);
+    obs_.capture_frames_shed->set(static_cast<std::int64_t>(frames_shed));
+  }
+}
 
 Supervisor::~Supervisor() {
   if (started_ && !finished_ && !crashed_) (void)finish();
@@ -23,6 +77,7 @@ Supervisor::~Supervisor() {
 void Supervisor::install_hooks() {
   config_.probe.poison_sink = [this](std::uint64_t seq, const net::Frame& frame,
                                      bool /*state_restored*/) {
+    obs_.quarantined->add(1);  // registry cells are atomics: worker-safe
     std::scoped_lock lock(poison_mutex_);
     ++quarantined_;
     ++quarantined_by_day_[frame.timestamp.date()];
@@ -145,6 +200,7 @@ void Supervisor::offer(net::Frame frame) {
   if (cadence == 0 || idx % cadence == 0) {
     controller_.observe(max_occupancy());
     poll_watchdog();
+    obs_sync();
   }
 
   if (!controller_.should_keep(idx)) {
@@ -211,6 +267,7 @@ double Supervisor::max_occupancy() const {
 }
 
 void Supervisor::flush_records(std::vector<flow::FlowRecord> records) {
+  obs::Span span(*obs_.flush_span);
   for (auto& record : records) {
     pending_[record.first_packet.date()].push_back(std::move(record));
   }
@@ -253,6 +310,7 @@ void Supervisor::flush_records(std::vector<flow::FlowRecord> records) {
 core::Result<void> Supervisor::checkpoint() {
   if (!started_ || finished_ || crashed_) return core::Errc::kUnsupported;
   if (config_.checkpoint_path.empty()) return core::Errc::kUnsupported;
+  obs::Span span(*obs_.checkpoint_span);
   auto snap = probe_->snapshot();
   flush_records(std::move(snap.records));
   if (quarantine_) {
@@ -263,6 +321,7 @@ core::Result<void> Supervisor::checkpoint() {
     ++checkpoints_written_;
     last_checkpoint_offered_ = offered_;
   }
+  obs_sync();
   return result;
 }
 
@@ -334,6 +393,7 @@ core::Result<void> Supervisor::finish() {
     // the parked batches.
     flush_records({});
   }
+  obs_sync();
   if (!pending_.empty()) return last_append_error_;
   return {};
 }

@@ -37,6 +37,7 @@
 
 #include "analytics/day_aggregate.hpp"
 #include "core/result.hpp"
+#include "obs/obs.hpp"
 #include "probe/sharded_probe.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/health.hpp"
@@ -142,6 +143,10 @@ class Supervisor {
   };
 
   void install_hooks();
+  /// Push feeder-side counter growth and overload gauges into the obs
+  /// registry. Called on the overload observation cadence plus at
+  /// checkpoint/finish — never per frame.
+  void obs_sync() noexcept;
   [[nodiscard]] double max_occupancy() const;
   /// Append `records` to the lake per day with backoff; failures park the
   /// batch in pending_ (bounded by the next checkpoint's retry).
@@ -181,6 +186,35 @@ class Supervisor {
   bool started_ = false;
   bool finished_ = false;
   bool crashed_ = false;
+
+  /// obs:: wiring. Feeder counters flush as deltas from obs_sync(); the
+  /// quarantine counter is incremented directly by worker threads (the
+  /// registry cells are atomics). Resolved once in the constructor.
+  struct ObsHooks {
+    obs::Counter* offered = nullptr;
+    obs::Counter* ingested = nullptr;
+    obs::Counter* shed_sampled = nullptr;
+    obs::Counter* shed_backpressure = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* stalls = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* append_retries = nullptr;
+    obs::Counter* append_failures = nullptr;
+    obs::Counter* overload_transitions = nullptr;
+    obs::Gauge* overload_state = nullptr;
+    obs::Gauge* sample_shift = nullptr;
+    obs::Gauge* capture_days = nullptr;
+    obs::Gauge* capture_days_incomplete = nullptr;
+    obs::Gauge* capture_frames_shed = nullptr;
+    obs::SpanSite* checkpoint_span = nullptr;
+    obs::SpanSite* flush_span = nullptr;
+    struct Flushed {
+      std::uint64_t offered = 0, ingested = 0, shed_sampled = 0, shed_backpressure = 0;
+      std::uint64_t stalls = 0, checkpoints = 0, append_retries = 0, append_failures = 0;
+      std::uint64_t transitions = 0;
+    } flushed;
+  };
+  ObsHooks obs_;
 };
 
 }  // namespace edgewatch::runtime

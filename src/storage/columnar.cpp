@@ -50,6 +50,34 @@ enum Column : std::uint8_t {
   kColCtIdx = 31,
 };
 constexpr std::size_t kColumnCount = 32;
+static_assert(kColumnCount == kColumnSegmentCount,
+              "kColumnSegmentCount (columnar.hpp) must track the column enum");
+
+/// Mirror of decode_columnar_block's projection gates, kept adjacent to the
+/// column enum so a new column fails the static_assert below instead of
+/// silently skewing the skipped-segments metric.
+constexpr unsigned segments_for_fields_impl(std::uint32_t fields) noexcept {
+  const auto want = [fields](std::uint32_t bit) { return (fields & bit) != 0 ? 1u : 0u; };
+  unsigned n = 4;  // always: ts, service, proto, server_ip (filter/zone columns)
+  n += want(scan_fields::kLastPacket);
+  n += want(scan_fields::kAccess) + want(scan_fields::kCloseState) + want(scan_fields::kL7) +
+       want(scan_fields::kWeb) + want(scan_fields::kNameSource);
+  n += want(scan_fields::kClientPort) + want(scan_fields::kClientIp) +
+       want(scan_fields::kServerPort);
+  n += want(scan_fields::kUpPackets) + want(scan_fields::kUpBytes) +
+       want(scan_fields::kUpWireBytes) + 2 * want(scan_fields::kUpQuality);
+  n += want(scan_fields::kDownPackets) + want(scan_fields::kDownBytes) +
+       want(scan_fields::kDownWireBytes) + 2 * want(scan_fields::kDownQuality);
+  n += want(scan_fields::kHttpStatus);
+  n += 2 * want(scan_fields::kRttMin | scan_fields::kRttSpread);  // samples + min
+  n += 2 * want(scan_fields::kRttSpread);                         // max/avg deltas
+  n += 2 * want(scan_fields::kServerName);                        // dict + indexes
+  n += 2 * want(scan_fields::kContentType);                       // dict + indexes
+  return n;
+}
+static_assert(segments_for_fields_impl(scan_fields::kAll) == kColumnCount,
+              "full projection must account for every column segment");
+static_assert(segments_for_fields_impl(0) == 4, "filter columns always decode");
 
 // u8 column payloads carry a 1-byte encoding tag: most enum columns are
 // single-valued across a whole block (one access tech per vantage, one
@@ -270,6 +298,10 @@ bool ScanPredicate::matches(const flow::FlowRecord& record) const {
     if ((service_mask & (1u << static_cast<unsigned>(id))) == 0) return false;
   }
   return true;
+}
+
+unsigned segments_for_fields(std::uint32_t fields) noexcept {
+  return segments_for_fields_impl(fields);
 }
 
 bool is_columnar_block(std::span<const std::byte> body) noexcept {

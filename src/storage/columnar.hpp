@@ -231,6 +231,14 @@ enum class BlockDecodeStatus : std::uint8_t {
   kZoneMapLied,
 };
 
+/// Number of column segments a full decode under this projection mask must
+/// touch (out of the fixed per-block segment count — the always-decoded
+/// filter/zone columns included). Mirrors decode_columnar_block's gates;
+/// observability uses it to count segments *skipped* by a projection.
+[[nodiscard]] unsigned segments_for_fields(std::uint32_t fields) noexcept;
+/// Segments per columnar block (layout v1); segments_for_fields(kAll).
+inline constexpr unsigned kColumnSegmentCount = 32;
+
 /// True when `body` carries the columnar tag (v3); false for the v1/v2
 /// compression envelope.
 [[nodiscard]] bool is_columnar_block(std::span<const std::byte> body) noexcept;

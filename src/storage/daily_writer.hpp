@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "storage/datalake.hpp"
 
 namespace edgewatch::storage {
@@ -68,9 +69,30 @@ class DailyLakeWriter {
   [[nodiscard]] core::Errc last_error() const noexcept { return last_error_; }
 
  private:
+  // Lazily-registered obs handles shared by every writer instance: the
+  // writer is header-only, so registration lives behind a function-local
+  // static instead of a constructor.
+  struct WriterObs {
+    obs::SpanSite* flush;
+    obs::Counter* failures;
+    obs::Counter* dropped;
+  };
+  static WriterObs& writer_obs() {
+    static WriterObs m = [] {
+      auto& reg = obs::Registry::global();
+      return WriterObs{&reg.span_site("lake_writer_flush"),
+                       &reg.counter("lake_writer_flush_failures_total"),
+                       &reg.counter("lake_writer_records_dropped_total")};
+    }();
+    return m;
+  }
+
   core::Result<void> flush_day(core::CivilDate day) {
     auto it = buffers_.find(day);
     if (it == buffers_.end() || it->second.empty()) return {};
+    // The span covers append + rollback handling: its histogram
+    // (lake_writer_flush_ns) is the paper's "daily shipping" latency.
+    obs::Span flush_span(*writer_obs().flush);
     const auto result = lake_.append(day, it->second);
     if (!result) {
       // The lake rolled the file back, so the batch is still ours. Keep it
@@ -78,9 +100,13 @@ class DailyLakeWriter {
       // buffer without limit.
       ++append_failures_;
       last_error_ = result.error();
+      if constexpr (obs::kEnabled) writer_obs().failures->add(1);
       if (it->second.size() >= buffer_records_ * 4) {
         dropped_ += it->second.size();
         buffered_ -= it->second.size();
+        if constexpr (obs::kEnabled) {
+          writer_obs().dropped->add(static_cast<std::uint64_t>(it->second.size()));
+        }
         buffers_.erase(it);
       }
       return result.error();

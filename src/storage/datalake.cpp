@@ -7,12 +7,55 @@
 #include <fstream>
 
 #include "core/hash.hpp"
+#include "obs/obs.hpp"
 #include "storage/codec.hpp"
 #include "storage/compress.hpp"
 
 namespace edgewatch::storage {
 
 namespace {
+
+/// Lake-wide obs wiring, resolved lazily (DataLake has several short-lived
+/// instances in tests; the metrics are process-global like the registry).
+struct LakeObs {
+  obs::Counter* appends;
+  obs::Counter* append_failures;
+  obs::Counter* append_bytes;
+  obs::Counter* append_records;
+  obs::SpanSite* append_span;
+  obs::Counter* scan_records;
+  obs::Counter* blocks_pruned;
+  obs::Counter* blocks_skipped;
+  obs::Counter* zone_map_lies;
+  obs::Counter* segments_skipped;
+  obs::Gauge* health_days;
+  obs::Gauge* health_unhealthy_days;
+  obs::Gauge* health_blocks_quarantined;
+  obs::Gauge* health_records_lost;
+};
+
+LakeObs& lake_obs() {
+  static LakeObs m = [] {
+    auto& reg = obs::Registry::global();
+    return LakeObs{
+        &reg.counter("lake_appends_total"),
+        &reg.counter("lake_append_failures_total"),
+        &reg.counter("lake_append_bytes_total"),
+        &reg.counter("lake_append_records_total"),
+        &reg.span_site("lake_append"),
+        &reg.counter("lake_scan_records_total"),
+        &reg.counter("lake_scan_blocks_pruned_total"),
+        &reg.counter("lake_scan_blocks_skipped_total"),
+        &reg.counter("lake_zone_map_lies_total"),
+        &reg.counter("lake_scan_segments_skipped_total"),
+        &reg.gauge("lake_health_days"),
+        &reg.gauge("lake_health_unhealthy_days"),
+        &reg.gauge("lake_health_blocks_quarantined"),
+        &reg.gauge("lake_health_records_lost"),
+    };
+  }();
+  return m;
+}
 
 constexpr char kMagic[4] = {'E', 'W', 'L', 'K'};
 constexpr std::uint8_t kVersion1 = 1;
@@ -394,6 +437,21 @@ const services::ServiceCatalog& DataLake::effective_catalog() const noexcept {
 core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
                                              std::span<const flow::FlowRecord> records) {
   if (records.empty()) return std::uint64_t{0};
+  auto& m = lake_obs();
+  obs::Span span(*m.append_span);  // whole read-modify-write-fsync cycle
+  auto result = append_impl(day, records);
+  m.appends->add(1);
+  if (result) {
+    m.append_bytes->add(*result);
+    m.append_records->add(records.size());
+  } else {
+    m.append_failures->add(1);
+  }
+  return result;
+}
+
+core::Result<std::uint64_t> DataLake::append_impl(core::CivilDate day,
+                                                  std::span<const flow::FlowRecord> records) {
   const auto path = day_path(day);
 
   // Find the resume point: end of the last valid element, dropping any
@@ -483,12 +541,25 @@ DayBlockIndex DataLake::load_day_blocks(core::CivilDate day) const {
 void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_count,
                           const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
                           core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+  auto& m = lake_obs();
+  // Every exit path folds this block's deliveries into the global scan
+  // counter (one add per block, never per record).
+  struct DeliveredGuard {
+    LakeObs& m;
+    const ScanResult& res;
+    std::uint64_t before;
+    ~DeliveredGuard() {
+      if (res.records_delivered > before) m.scan_records->add(res.records_delivered - before);
+    }
+  } delivered_guard{m, res, res.records_delivered};
+
   if (is_columnar_block(body)) {
     if (predicate != nullptr && !predicate->unrestricted()) {
       const auto zone = peek_zone_map(body);
       if (!zone ||
           (record_count != kAnyRecordCount && zone->record_count != record_count)) {
         ++res.blocks_skipped;
+        m.blocks_skipped->add(1);
         res.errc = core::Errc::kCorrupt;
         return;
       }
@@ -496,6 +567,7 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
         // Zone-map proof of absence: skip the block without touching a
         // single column segment. This is the selective-scan fast path.
         ++res.blocks_pruned;
+        m.blocks_pruned->add(1);
         return;
       }
     }
@@ -503,10 +575,18 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
                                               res.records_delivered, fn, record_count);
     if (status == BlockDecodeStatus::kCorrupt) {
       ++res.blocks_skipped;
+      m.blocks_skipped->add(1);
       res.errc = core::Errc::kCorrupt;
-    } else if (status == BlockDecodeStatus::kZoneMapLied) {
+      return;
+    }
+    const std::uint32_t fields = predicate != nullptr ? predicate->fields : scan_fields::kAll;
+    if (fields != scan_fields::kAll) {
+      m.segments_skipped->add(kColumnSegmentCount - segments_for_fields(fields));
+    }
+    if (status == BlockDecodeStatus::kZoneMapLied) {
       // Records were delivered in full, but the block's skip index is
       // untrustworthy: surface corruption so fsck/repair quarantines it.
+      m.zone_map_lies->add(1);
       res.errc = core::Errc::kCorrupt;
     }
     return;
@@ -515,6 +595,7 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
   // Row-oriented (v1/v2) body: decompress, then decode-and-filter.
   if (!decompress_block_into(body, scratch.decompressed)) {
     ++res.blocks_skipped;  // CRC-valid yet undecompressable: writer-level damage
+    m.blocks_skipped->add(1);
     res.errc = core::Errc::kCorrupt;
     return;
   }
@@ -525,6 +606,7 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
     if (!record) {
       if (record.error() != core::Errc::kEndOfStream) {
         ++res.blocks_skipped;
+        m.blocks_skipped->add(1);
         res.errc = core::Errc::kCorrupt;
       }
       return;
@@ -611,6 +693,15 @@ DayHealth DataLake::fsck_day(core::CivilDate day) const {
 LakeHealthReport DataLake::fsck() const {
   LakeHealthReport report;
   for (const auto day : days()) report.days.push_back(fsck_day(day));
+  // Surface the health tallies as gauges: one scrape shows lake integrity
+  // next to capture quality without re-running fsck.
+  auto& m = lake_obs();
+  std::int64_t unhealthy = 0;
+  for (const auto& d : report.days) unhealthy += d.healthy() ? 0 : 1;
+  m.health_days->set(static_cast<std::int64_t>(report.days.size()));
+  m.health_unhealthy_days->set(unhealthy);
+  m.health_blocks_quarantined->set(report.total_blocks_quarantined());
+  m.health_records_lost->set(static_cast<std::int64_t>(report.total_records_lost()));
   return report;
 }
 

@@ -323,6 +323,9 @@ class DataLake {
 
  private:
   [[nodiscard]] std::filesystem::path day_path(core::CivilDate day) const;
+  /// append() minus the observability envelope (span + outcome counters).
+  core::Result<std::uint64_t> append_impl(core::CivilDate day,
+                                          std::span<const flow::FlowRecord> records);
   DayHealth repair_day_impl(core::CivilDate day, bool force_rewrite);
   ScanResult scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
                            const std::function<void(const flow::FlowRecord&)>& fn) const;
