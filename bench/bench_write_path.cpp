@@ -1,0 +1,291 @@
+// Lake write-path harness (run by scripts/bench.sh): the tentpole claim of
+// the write-path overhaul is that ingest→sealed-day-file throughput is
+// >= 2x the pre-overhaul serial writer's, from two independent levers:
+//
+//   1. codec v2 — the adaptive per-segment codec (FOR-bitpack / RLE /
+//      stored / LZ, smallest wins) replaces the layout-1 encoder's
+//      LZ-everything pass, so even a single core encodes blocks faster;
+//   2. the pipelined encoder — with an encode pool, per-block
+//      serialize/transpose/compress runs across workers while frames
+//      commit in order, so wall time shrinks with cores.
+//
+// Both levers are measured separately and combined into one
+// effective-speedup estimate vs the pre-overhaul writer (its per-block
+// encode cost is re-measured live with the frozen layout-1 encoder, so the
+// baseline does not rot as the scenario changes). Hard exit-code gates
+// keep the bench honest even as a CI smoke run: the parallel file must be
+// byte-identical to the serial one, and the codec-v2 day file must not be
+// more than 2% larger than the layout-1 encoding of the same blocks
+// (in practice it is smaller). --min-speedup adds the throughput gate for
+// machines with enough cores to express it.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bytes.hpp"
+#include "core/thread_pool.hpp"
+#include "core/time.hpp"
+#include "obs/obs.hpp"
+#include "services/catalog.hpp"
+#include "storage/columnar.hpp"
+#include "storage/datalake.hpp"
+#include "synth/generator.hpp"
+#include "synth/scenario.hpp"
+
+namespace ew = edgewatch;
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+std::vector<std::byte> file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::vector<std::byte> out(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(out.size()));
+  return out;
+}
+
+struct CodecTotals {
+  std::uint64_t in[4] = {0, 0, 0, 0};
+  std::uint64_t out[4] = {0, 0, 0, 0};
+};
+
+CodecTotals codec_totals() {
+  CodecTotals t;
+  if constexpr (ew::obs::kEnabled) {
+    static const char* kIn[] = {"lake_codec_stored_bytes_in_total", "lake_codec_lz_bytes_in_total",
+                                "lake_codec_for_bytes_in_total", "lake_codec_rle_bytes_in_total"};
+    static const char* kOut[] = {"lake_codec_stored_bytes_out_total",
+                                 "lake_codec_lz_bytes_out_total",
+                                 "lake_codec_for_bytes_out_total",
+                                 "lake_codec_rle_bytes_out_total"};
+    auto& reg = ew::obs::Registry::global();
+    for (int k = 0; k < 4; ++k) {
+      t.in[k] = reg.counter(kIn[k]).value();
+      t.out[k] = reg.counter(kOut[k]).value();
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int day_count = 6;
+  int repeats = 3;
+  std::string out_path = "BENCH_write_path.json";
+  double min_speedup = -1;  // no throughput gate unless --min-speedup given
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (positional == 0) {
+      day_count = std::atoi(arg.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      repeats = std::atoi(arg.c_str());
+      ++positional;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  // One big multi-block day: several synthetic days' records merged and
+  // time-sorted, same workload shape the scan benches use.
+  const auto scenario = ew::synth::build_paper_scenario(/*seed=*/7, /*scale=*/0.2);
+  const ew::synth::WorkloadGenerator gen{scenario};
+  const ew::core::CivilDate base{2015, 6, 1};
+  std::vector<ew::flow::FlowRecord> records;
+  for (int d = 0; d < day_count; ++d) {
+    const auto z = ew::core::days_from_civil(base) + d;
+    auto day_recs = gen.day_records(ew::core::civil_from_days(z));
+    records.insert(records.end(), std::make_move_iterator(day_recs.begin()),
+                   std::make_move_iterator(day_recs.end()));
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ew::flow::FlowRecord& a, const ew::flow::FlowRecord& b) {
+                     return a.first_packet < b.first_packet;
+                   });
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t workers = std::min<std::size_t>(hw, 8);
+  const auto dir = fs::temp_directory_path() / "ew_bench_write_path";
+  fs::remove_all(dir);
+
+  // --- lever 1: per-block encode, frozen layout-1 writer vs codec v2 ----
+  const auto& catalog = ew::services::ServiceCatalog::standard();
+  const std::size_t block_n = ew::storage::DataLake::kBlockRecords;
+  const std::size_t nblocks = (records.size() + block_n - 1) / block_n;
+  const auto chunk = [&](std::size_t i) {
+    const std::size_t lo = i * block_n;
+    return std::span<const ew::flow::FlowRecord>{records}.subspan(
+        lo, std::min(block_n, records.size() - lo));
+  };
+  ew::core::ByteWriter body;
+  std::uint64_t l1_bytes = 0, l2_bytes = 0;
+  const double l1_encode_s = best_of(repeats, [&] {
+    l1_bytes = 0;
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      body.clear();
+      ew::storage::encode_columnar_block_layout1(chunk(i), catalog, body);
+      l1_bytes += body.view().size();
+    }
+  });
+  // Codec v2 with the same chain policy the lake applies (delta dicts
+  // against the previous block, chain restart every kDictChainInterval).
+  ew::storage::EncodeScratch scratch;
+  ew::storage::DictChainState chain;
+  const double l2_encode_s = best_of(repeats, [&] {
+    l2_bytes = 0;
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      body.clear();
+      const ew::storage::DictChainState* prev = nullptr;
+      if (i % ew::storage::kDictChainInterval != 0) {
+        ew::storage::build_dict_chain_state(chunk(i - 1), chain);
+        prev = &chain;
+      }
+      ew::storage::encode_columnar_block(chunk(i), catalog, body, scratch, prev);
+      l2_bytes += body.view().size();
+    }
+  });
+  const double codec_speedup = l2_encode_s > 0 ? l1_encode_s / l2_encode_s : 0;
+  const double size_ratio = l1_bytes > 0 ? double(l2_bytes) / double(l1_bytes) : 0;
+
+  // --- lever 2: full append (ingest -> sealed file), serial vs pooled ---
+  ew::storage::DataLake lake{dir / "lake"};
+  const auto path = lake.root() / ew::storage::DataLake::day_filename(base);
+  const CodecTotals before = codec_totals();
+  const double serial_s = best_of(repeats, [&] {
+    (void)lake.remove_day(base);
+    if (!lake.append(base, records)) {
+      std::fprintf(stderr, "serial append failed\n");
+      std::exit(1);
+    }
+  });
+  const CodecTotals after = codec_totals();
+  const auto serial_file = file_bytes(path);
+
+  ew::core::ThreadPool pool(workers);
+  lake.set_encode_pool(&pool);
+  const double parallel_s = best_of(repeats, [&] {
+    (void)lake.remove_day(base);
+    if (!lake.append(base, records)) {
+      std::fprintf(stderr, "parallel append failed\n");
+      std::exit(1);
+    }
+  });
+  lake.set_encode_pool(nullptr);
+  const auto parallel_file = file_bytes(path);
+
+  const double pipeline_speedup = parallel_s > 0 ? serial_s / parallel_s : 0;
+  // The pre-overhaul writer = today's serial append with its codec-v2
+  // encode time swapped back for the layout-1 encode time; against the
+  // pooled append that yields the end-to-end claim.
+  const double prepr_serial_s = serial_s - l2_encode_s + l1_encode_s;
+  const double effective_speedup = parallel_s > 0 ? prepr_serial_s / parallel_s : 0;
+  const double mb = double(serial_file.size()) / 1e6;
+
+  std::printf("write path bench: %zu records, %zu blocks, %zu workers, %d repeats\n",
+              records.size(), nblocks, workers, repeats);
+  std::printf("  layout-1 encode:   %8.3f s  (%.1f MB of block bodies)\n", l1_encode_s,
+              l1_bytes / 1e6);
+  std::printf("  codec-v2 encode:   %8.3f s  (%.1f MB, %.2fx vs layout-1, size x%.3f)\n",
+              l2_encode_s, l2_bytes / 1e6, codec_speedup, size_ratio);
+  std::printf("  serial append:     %8.3f s  (%.1f MB/s, %.2fM flows/s)\n", serial_s,
+              mb / serial_s, records.size() / serial_s / 1e6);
+  std::printf("  pooled append:     %8.3f s  (%.1f MB/s, %.2fM flows/s, %.2fx vs serial)\n",
+              parallel_s, mb / parallel_s, records.size() / parallel_s / 1e6,
+              pipeline_speedup);
+  std::printf("  vs pre-overhaul:   %.2fx  (estimated pre-overhaul serial: %.3f s)\n",
+              effective_speedup, prepr_serial_s);
+  static const char* kScheme[] = {"stored", "lz", "for", "rle"};
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t din = after.in[k] - before.in[k];
+    const std::uint64_t dout = after.out[k] - before.out[k];
+    if (din == 0) continue;
+    std::printf("  codec %-6s %10.1f MB in -> %8.1f MB out  (x%.3f)\n", kScheme[k], din / 1e6,
+                dout / 1e6, double(dout) / double(din));
+  }
+
+  // Gate 1: the pipeline must be invisible in the bytes.
+  if (serial_file.empty() || serial_file != parallel_file) {
+    std::fprintf(stderr, "FAIL: pooled append produced different bytes (%zu vs %zu)\n",
+                 parallel_file.size(), serial_file.size());
+    return 1;
+  }
+  // Gate 2: codec v2 must not grow the day file by more than 2%.
+  if (size_ratio > 1.02) {
+    std::fprintf(stderr, "FAIL: codec-v2 bodies %.1f%% larger than layout-1 (budget 2%%)\n",
+                 100 * (size_ratio - 1));
+    return 1;
+  }
+  // Gate 3 (opt-in): end-to-end throughput vs the pre-overhaul writer.
+  if (min_speedup > 0 && effective_speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: %.2fx vs pre-overhaul writer (need >= %.2fx)\n",
+                 effective_speedup, min_speedup);
+    return 1;
+  }
+
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"bench\": \"write_path\",\n"
+                "  \"records\": %zu,\n"
+                "  \"blocks\": %zu,\n"
+                "  \"workers\": %zu,\n"
+                "  \"repeats\": %d,\n"
+                "  \"layout1_encode_s\": %.6f,\n"
+                "  \"codec_v2_encode_s\": %.6f,\n"
+                "  \"codec_speedup\": %.2f,\n"
+                "  \"body_size_ratio_vs_layout1\": %.4f,\n"
+                "  \"serial_append_s\": %.6f,\n"
+                "  \"parallel_append_s\": %.6f,\n"
+                "  \"pipeline_speedup\": %.2f,\n"
+                "  \"effective_speedup_vs_pre_overhaul\": %.2f,\n"
+                "  \"file_mb\": %.2f,\n"
+                "  \"parallel_mb_s\": %.2f,\n"
+                "  \"parallel_flows_s\": %.0f,\n"
+                "  \"codec_bytes_out\": {\"stored\": %llu, \"lz\": %llu, \"for\": %llu, "
+                "\"rle\": %llu}\n"
+                "}\n",
+                records.size(), nblocks, workers, repeats, l1_encode_s, l2_encode_s,
+                codec_speedup, size_ratio, serial_s, parallel_s, pipeline_speedup,
+                effective_speedup, mb, mb / parallel_s, records.size() / parallel_s,
+                static_cast<unsigned long long>(after.out[0] - before.out[0]),
+                static_cast<unsigned long long>(after.out[1] - before.out[1]),
+                static_cast<unsigned long long>(after.out[2] - before.out[2]),
+                static_cast<unsigned long long>(after.out[3] - before.out[3]));
+  bool wrote = false;
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(buf, f);
+    std::fclose(f);
+    wrote = true;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  fs::remove_all(dir);
+  return wrote ? 0 : 1;
+}

@@ -23,7 +23,7 @@ FRAGMENTS=build/bench_fragments
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload bench_scan_selectivity bench_obs_overhead -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload bench_scan_selectivity bench_obs_overhead bench_write_path -j "$(nproc)"
 
 mkdir -p "$FRAGMENTS"
 ./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
@@ -38,6 +38,17 @@ mkdir -p "$FRAGMENTS"
 # one-hour predicate must prune ≥90% of them (the binary exits non-zero if
 # it doesn't, or if the two formats deliver different records).
 ./build/bench/bench_scan_selectivity 8 "$REPEATS" "$FRAGMENTS/scan_selectivity.json"
+# Write path: the parallel/serial byte-identity and day-file-size gates are
+# unconditional; the ≥2x ingest→sealed-file throughput gate (vs the
+# pre-overhaul serial writer) needs enough cores for the encode pipeline to
+# express itself, so it only arms on ≥4-core machines (override the bar
+# with WRITE_SPEEDUP_GATE).
+WRITE_ARGS=()
+if [ "$(nproc)" -ge 4 ]; then
+  WRITE_ARGS+=(--min-speedup "${WRITE_SPEEDUP_GATE:-2.0}")
+fi
+./build/bench/bench_write_path 6 "$REPEATS" "$FRAGMENTS/write_path.json" \
+  ${WRITE_ARGS[@]+"${WRITE_ARGS[@]}"}
 
 # obs:: overhead gate: the EW_OBS=OFF build (build-noobs/) writes the
 # baseline throughput, then the instrumented default build must land within

@@ -58,9 +58,21 @@ DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate da
     return out;
   }
   auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
-  for (const auto& b : idx.blocks()) {
-    storage::DataLake::scan_block(idx.body(b), b.record_count, predicate, scratch, out.scan,
-                                  deliver);
+  const auto& blocks = idx.blocks();
+  const auto& chain = idx.chain();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    // Dictionary-chain resolver over the day's stream-order adjacency
+    // (layout-2 delta dictionaries), salvage candidates included; the
+    // sequential chain cache handles the common case, this covers
+    // resumption after a pruned or damaged block.
+    const std::size_t ci = idx.chain_pos(i);
+    const auto resolve = [&, ci](std::size_t back) -> std::span<const std::byte> {
+      if (back == 0 || back > ci) return {};
+      return idx.body(chain[ci - back]);
+    };
+    const storage::PrevBlockResolver resolver{resolve};
+    storage::DataLake::scan_block(idx.body(blocks[i]), blocks[i].record_count, predicate,
+                                  scratch, out.scan, deliver, &resolver);
   }
   out.scan.blocks_skipped += idx.damaged_ranges();
   if (out.scan.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
@@ -106,8 +118,18 @@ DayScanAggregate aggregate_day_parallel_impl(const storage::DataLake& lake, core
       auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
       for (std::size_t b = lo; b < hi; ++b) {
         const auto& block = idx.blocks()[b];
+        // Resolve over the *global* stream-order adjacency (salvage
+        // candidates included): a worker's first blocks may delta-chain
+        // into the previous worker's range, and the shared index's bodies
+        // are immutable, so cross-range resolution is safe.
+        const std::size_t cb = idx.chain_pos(b);
+        const auto resolve = [&, cb](std::size_t back) -> std::span<const std::byte> {
+          if (back == 0 || back > cb) return {};
+          return idx.body(idx.chain()[cb - back]);
+        };
+        const storage::PrevBlockResolver resolver{resolve};
         storage::DataLake::scan_block(idx.body(block), block.record_count, predicate, scratch,
-                                      p.scan, deliver);
+                                      p.scan, deliver, &resolver);
       }
       p.aggregate = std::move(agg).take();
       return p;

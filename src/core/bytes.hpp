@@ -156,6 +156,12 @@ class ByteWriter {
   [[nodiscard]] std::span<const std::byte> view() const noexcept { return buf_; }
   [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
 
+  /// Drop the contents but keep the capacity: the lake's encode scratch
+  /// reuses one writer per column stream across blocks and flushes, so the
+  /// steady state allocates nothing.
+  void clear() noexcept { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   void big(std::uint64_t v, std::size_t n) {
     for (std::size_t i = n; i-- > 0;) {

@@ -20,6 +20,13 @@
 //              truncated to their checkpointed (durable) sizes, shards
 //              restored, source replayed from the recorded cursor — the
 //              finished lake is byte-identical to an uninterrupted run's.
+//              This holds with the lake's pipelined encoder too
+//              (DataLake::set_encode_pool): in-flight encode work never
+//              moves the durable file size — frames commit in order
+//              through one file handle — so a kill mid-parallel-flush
+//              leaves at most a torn tail beyond the checkpointed size,
+//              which resume truncates away exactly as in the serial case
+//              (WritePipeline.KillMidParallelFlushResumesByteIdentical).
 //
 // Threading: offer(), checkpoint(), finish(), resume() belong to one
 // feeder thread. Poison capture runs on worker threads (the quarantine

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <bit>
+#include <limits>
 
 #include "core/flat_hash_map.hpp"
 #include "core/hash.hpp"
@@ -13,8 +15,9 @@ namespace edgewatch::storage {
 
 namespace {
 
-// Fixed column schema of layout v1. Every column id below must appear
-// exactly once in a block's segment directory; unknown ids are corruption.
+// Fixed column schema (layouts 1 and 2 share it). Every column id below must
+// appear exactly once in a block's segment directory; unknown ids are
+// corruption.
 enum Column : std::uint8_t {
   kColTs = 0,          // zigzag delta chain of first_packet µs
   kColDur = 1,         // zigzag last−first (mirrors the v2 field exactly)
@@ -25,11 +28,11 @@ enum Column : std::uint8_t {
   kColL7 = 6,          // u8
   kColWeb = 7,         // u8
   kColNameSource = 8,  // u8
-  kColClientPort = 9,  // u16le fixed
-  kColServerPort = 10, // varint
-  kColClientIp = 11,   // u32le fixed
-  kColServerIp = 12,   // u32le fixed
-  kColUpPkts = 13,     // varint … through kColDnOoo
+  kColClientPort = 9,  // layout 1: u16le fixed; layout 2: value segment
+  kColServerPort = 10, // value segment
+  kColClientIp = 11,   // layout 1: u32le fixed; layout 2: value segment
+  kColServerIp = 12,   // layout 1: u32le fixed; layout 2: value segment
+  kColUpPkts = 13,     // value segment … through kColDnOoo
   kColUpBytes = 14,
   kColUpHdr = 15,
   kColUpRetx = 16,
@@ -39,13 +42,13 @@ enum Column : std::uint8_t {
   kColDnHdr = 20,
   kColDnRetx = 21,
   kColDnOoo = 22,
-  kColRttSamples = 23,   // varint
+  kColRttSamples = 23,   // value segment
   kColRttMin = 24,       // zigzag, dense over rows with samples > 0
   kColRttMaxDelta = 25,  // zigzag, dense
   kColRttAvgDelta = 26,  // zigzag, dense
-  kColHttpStatus = 27,   // varint
-  kColNameDict = 28,     // varint count | count × (varint len, bytes)
-  kColNameIdx = 29,      // varint dict index per row
+  kColHttpStatus = 27,   // value segment
+  kColNameDict = 28,     // full: varint count | count × (varint len, bytes)
+  kColNameIdx = 29,      // value segment: dict index per row
   kColCtDict = 30,
   kColCtIdx = 31,
 };
@@ -82,13 +85,21 @@ static_assert(segments_for_fields_impl(0) == 4, "filter columns always decode");
 // u8 column payloads carry a 1-byte encoding tag: most enum columns are
 // single-valued across a whole block (one access tech per vantage, one
 // protocol per service's blocks once data clusters), so a constant column
-// costs 2 bytes instead of 4096.
+// costs 2 bytes instead of 4096. Layout 2 adds a run-length variant for
+// columns that cluster without being constant.
 constexpr std::uint8_t kU8Constant = 0;
 constexpr std::uint8_t kU8Plain = 1;
+constexpr std::uint8_t kU8Rle = 2;  // (varint run_len | u8 value)*, layout 2 only
 
 constexpr std::size_t kZoneMapSize = 36;
 constexpr std::size_t kMaxNameLen = 4096;  // decode_record's sanity bounds
 constexpr std::size_t kMaxCtLen = 256;
+
+/// Hard cap on how many predecessor blocks a dictionary chain walk visits.
+/// The encoder restarts chains every kDictChainInterval blocks, so a
+/// truthful file never needs more than kDictChainInterval − 1 steps; the cap
+/// only bounds adversarial link graphs.
+constexpr std::size_t kMaxDictChainWalk = 64;
 
 void put_zone_map(core::ByteWriter& w, const ZoneMap& z) {
   w.u64le(static_cast<std::uint64_t>(z.ts_min_us));
@@ -112,39 +123,494 @@ void put_zone_map(core::ByteWriter& w, const ZoneMap& z) {
   return z;
 }
 
+[[nodiscard]] constexpr unsigned varint_len(std::uint64_t v) noexcept {
+  return (static_cast<unsigned>(std::bit_width(v | 1)) + 6) / 7;
+}
+
+[[nodiscard]] constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+// ---- dictionary chain helpers --------------------------------------------
+//
+// A layout-2 delta link names its predecessor by the CRC-32C of that
+// dictionary's *canonical full serialization* (varint count | per entry
+// varint len | bytes) — computed over the resolved entries, never over the
+// wire bytes, so a delta-coded and a full-coded predecessor key identically.
+
+[[nodiscard]] std::uint32_t crc_varint(std::uint32_t crc, std::uint64_t v) noexcept {
+  std::array<std::byte, 10> tmp;
+  std::size_t k = 0;
+  while (v >= 0x80) {
+    tmp[k++] = static_cast<std::byte>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  tmp[k++] = static_cast<std::byte>(v);
+  return core::crc32c(std::span<const std::byte>{tmp.data(), k}, crc);
+}
+
+[[nodiscard]] std::uint32_t canonical_dict_crc(std::span<const std::string> dict) noexcept {
+  std::uint32_t crc = crc_varint(0, dict.size());
+  for (const auto& s : dict) {
+    crc = crc_varint(crc, s.size());
+    crc = core::crc32c({reinterpret_cast<const std::byte*>(s.data()), s.size()}, crc);
+  }
+  return crc;
+}
+
+/// Parse a full dictionary stream (varint count | entries) into owned
+/// strings, reusing `out`'s string capacity (resize + assign).
+[[nodiscard]] bool parse_full_dict(std::span<const std::byte> stream, std::size_t max_entries,
+                                   std::size_t max_len, std::vector<std::string>& out) {
+  core::ByteReader r(stream);
+  const std::uint64_t count = get_varint(r);
+  if (!r.ok() || count > max_entries) return false;
+  out.resize(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = get_varint(r);
+    if (!r.ok() || len > max_len) return false;
+    const auto s = r.string(static_cast<std::size_t>(len));
+    if (!r.ok()) return false;
+    out[static_cast<std::size_t>(i)].assign(s);
+  }
+  return r.remaining() == 0;
+}
+
+/// Resolve a delta dictionary stream (u32le prev_crc | varint count |
+/// entries; entry = varint 0 | varint len | bytes for a literal, varint k
+/// for prev[k−1]) against `prev`, whose canonical CRC the caller asserts is
+/// `prev_crc`. `out` must not alias `prev`.
+[[nodiscard]] bool apply_dict_delta(std::span<const std::byte> stream,
+                                    std::span<const std::string> prev, std::uint32_t prev_crc,
+                                    std::size_t max_entries, std::size_t max_len,
+                                    std::vector<std::string>& out) {
+  core::ByteReader r(stream);
+  const std::uint32_t embedded = r.u32le();
+  if (!r.ok() || embedded != prev_crc) return false;
+  const std::uint64_t count = get_varint(r);
+  if (!r.ok() || count > max_entries) return false;
+  out.resize(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t code = get_varint(r);
+    if (!r.ok()) return false;
+    if (code == 0) {
+      const std::uint64_t len = get_varint(r);
+      if (!r.ok() || len > max_len) return false;
+      const auto s = r.string(static_cast<std::size_t>(len));
+      if (!r.ok()) return false;
+      out[static_cast<std::size_t>(i)].assign(s);
+    } else {
+      if (code - 1 >= prev.size()) return false;
+      out[static_cast<std::size_t>(i)].assign(prev[static_cast<std::size_t>(code - 1)]);
+    }
+  }
+  return r.remaining() == 0;
+}
+
+/// Minimal layout-2 header parse of a predecessor body: the payload and
+/// delta bit of its `dict_col` segment. A predecessor that is not a valid
+/// layout-2 block fails the walk — chains never legally cross into layout 1
+/// or another append.
+[[nodiscard]] bool locate_v2_dict_segment(std::span<const std::byte> body, std::uint8_t dict_col,
+                                          std::span<const std::byte>& payload, bool& delta) {
+  core::ByteReader r(body);
+  if (r.u8() != kColumnarTag || r.u8() != kColumnarLayoutV2) return false;
+  r.skip(kZoneMapSize);
+  const std::uint8_t svc = r.u8();
+  if (!r.ok() || svc > services::kServiceCount) return false;
+  r.skip(svc);
+  const std::uint8_t link = r.u8();
+  if ((link & 0xfc) != 0) return false;
+  const std::uint8_t seg_count = r.u8();
+  if (!r.ok() || seg_count != kColumnCount) return false;
+  std::array<std::uint32_t, kColumnCount> id_len{};
+  std::array<std::uint8_t, kColumnCount> id_of{};
+  for (std::size_t i = 0; i < kColumnCount; ++i) {
+    id_of[i] = r.u8();
+    const std::uint64_t len = get_varint(r);
+    if (!r.ok() || id_of[i] >= kColumnCount || len > body.size()) return false;
+    id_len[i] = static_cast<std::uint32_t>(len);
+  }
+  for (std::size_t i = 0; i < kColumnCount; ++i) {
+    const auto seg = r.bytes(id_len[i]);
+    if (!r.ok()) return false;
+    if (id_of[i] == dict_col) {
+      payload = seg;
+      delta = dict_col == kColNameDict ? (link & 1) != 0 : (link & 2) != 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Random-access chain resolution: walk predecessors through the caller's
+/// resolver until a full dictionary, then re-apply the deltas forward. The
+/// result must hash to `want_crc` — a quarantined/reordered predecessor
+/// produces a CRC mismatch and a clean failure, never a mis-resolved
+/// dictionary. Cold path (sequential scans hit the ColumnScratch cache), so
+/// local allocation is fine.
+[[nodiscard]] bool resolve_prev_dict_via_walk(std::uint8_t dict_col, std::uint32_t want_crc,
+                                              std::size_t max_len,
+                                              const PrevBlockResolver& resolve,
+                                              std::vector<std::string>& out) {
+  struct Link {
+    std::span<const std::byte> payload;
+    bool delta;
+  };
+  std::vector<Link> links;
+  for (std::size_t back = 1;; ++back) {
+    if (back > kMaxDictChainWalk) return false;
+    const auto body = resolve(back);
+    if (body.empty()) return false;
+    Link link;
+    if (!locate_v2_dict_segment(body, dict_col, link.payload, link.delta)) return false;
+    links.push_back(link);
+    if (!link.delta) break;
+  }
+  std::vector<std::byte> seg_scratch;
+  std::vector<std::string> prev, tmp;
+  {
+    const auto stream = decompress_block_view(links.back().payload, seg_scratch);
+    if (!stream || !parse_full_dict(*stream, kMaxColumnarRecords, max_len, prev)) return false;
+  }
+  for (std::size_t i = links.size() - 1; i-- > 0;) {
+    const auto stream = decompress_block_view(links[i].payload, seg_scratch);
+    if (!stream) return false;
+    const std::uint32_t prev_crc = canonical_dict_crc(prev);
+    if (!apply_dict_delta(*stream, prev, prev_crc, kMaxColumnarRecords, max_len, tmp)) {
+      return false;
+    }
+    prev.swap(tmp);
+  }
+  if (canonical_dict_crc(prev) != want_crc) return false;
+  out.swap(prev);
+  return true;
+}
+
 // ---- encode helpers ------------------------------------------------------
 
+/// Appends segment envelopes to the scratch's payload accumulator, records
+/// the directory, and tallies per-codec bytes for the obs counters.
 struct SegmentSink {
-  std::vector<std::byte> payloads;
-  std::vector<std::pair<std::uint8_t, std::uint32_t>> directory;  // id → len
+  EncodeScratch& s;
+
+  explicit SegmentSink(EncodeScratch& scratch) : s(scratch) {
+    s.payloads.clear();
+    s.directory.clear();
+  }
 
   void add(std::uint8_t id, std::span<const std::byte> stream) {
-    auto compressed = compress_block_lazy(stream);
-    directory.emplace_back(id, static_cast<std::uint32_t>(compressed.size()));
-    payloads.insert(payloads.end(), compressed.begin(), compressed.end());
+    const std::size_t start = s.payloads.size();
+    compress_block_lazy_append(stream, s.payloads, s.compress);
+    const auto len = static_cast<std::uint32_t>(s.payloads.size() - start);
+    s.directory.emplace_back(id, len);
+    const auto scheme = std::to_integer<std::uint8_t>(s.payloads[start]);
+    s.codec_bytes_in[scheme] += stream.size();
+    s.codec_bytes_out[scheme] += len;
+  }
+
+  void add_values(std::uint8_t id, std::span<const std::uint64_t> values) {
+    const auto r = compress_u64_segment(values, s.payloads, s.compress);
+    s.directory.emplace_back(id, r.bytes_out);
+    s.codec_bytes_in[r.scheme] += r.bytes_in;
+    s.codec_bytes_out[r.scheme] += r.bytes_out;
   }
 };
 
-void encode_u8_column(SegmentSink& sink, std::uint8_t id, std::span<const std::uint8_t> values) {
-  core::ByteWriter w(values.size() + 1);
-  const bool constant =
-      !values.empty() &&
-      std::all_of(values.begin(), values.end(), [&](std::uint8_t v) { return v == values[0]; });
-  if (constant) {
-    w.u8(kU8Constant);
-    w.u8(values[0]);
-  } else {
-    w.u8(kU8Plain);
-    for (const auto v : values) w.u8(v);
-  }
-  sink.add(id, w.view());
-}
+void encode_columnar_block_impl(std::span<const flow::FlowRecord> records,
+                                const services::ServiceCatalog& catalog, core::ByteWriter& out,
+                                EncodeScratch& es, const DictChainState* prev, const bool v2) {
+  const std::size_t n = records.size();
 
-template <typename Get>
-void encode_varint_column(SegmentSink& sink, std::uint8_t id, std::size_t n, Get&& get) {
-  core::ByteWriter w(n * 2);
-  for (std::size_t i = 0; i < n; ++i) put_varint(w, get(i));
-  sink.add(id, w.view());
+  // Pass 1: service ids, the service dictionary (first-appearance order)
+  // and the zone map. The service dictionary stays inline and full in both
+  // layouts — at most kServiceCount+1 bytes, below the break-even of any
+  // delta scheme.
+  ZoneMap zone;
+  zone.record_count = static_cast<std::uint32_t>(n);
+  es.service_code.resize(n);
+  std::array<std::uint8_t, services::kServiceCount> svc_dict{};
+  std::uint8_t svc_count = 0;
+  std::array<std::uint8_t, services::kServiceCount> code_of{};
+  code_of.fill(0xff);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = records[i];
+    const auto sid = static_cast<std::uint8_t>(catalog.classify_flow(r.l7, r.server_name));
+    if (code_of[sid] == 0xff) {
+      code_of[sid] = svc_count;
+      svc_dict[svc_count++] = sid;
+    }
+    es.service_code[i] = code_of[sid];
+    zone.service_bitmap |= 1u << sid;
+    zone.proto_bitmap |= 1u << proto_bit(r.proto);
+    const std::int64_t ts = r.first_packet.micros();
+    const std::uint32_t sip = r.server_ip.value();
+    if (i == 0) {
+      zone.ts_min_us = zone.ts_max_us = ts;
+      zone.server_ip_min = zone.server_ip_max = sip;
+    } else {
+      zone.ts_min_us = std::min(zone.ts_min_us, ts);
+      zone.ts_max_us = std::max(zone.ts_max_us, ts);
+      zone.server_ip_min = std::min(zone.server_ip_min, sip);
+      zone.server_ip_max = std::max(zone.server_ip_max, sip);
+    }
+  }
+
+  // Pass 2: transpose into column streams, each with its own compression
+  // envelope so similar bytes sit together. Layout 2 stages numeric columns
+  // as u64 values and lets compress_u64_segment pick the codec; layout 1
+  // reproduces the legacy varint streams byte for byte.
+  SegmentSink sink(es);
+  const auto numeric = [&](std::uint8_t id, auto&& get) {
+    if (v2) {
+      es.u64.resize(n);
+      for (std::size_t i = 0; i < n; ++i) es.u64[i] = get(i);
+      sink.add_values(id, es.u64);
+    } else {
+      es.stream.clear();
+      for (std::size_t i = 0; i < n; ++i) put_varint(es.stream, get(i));
+      sink.add(id, es.stream.view());
+    }
+  };
+  const auto numeric_signed = [&](std::uint8_t id, auto&& get) {
+    if (v2) {
+      es.u64.resize(n);
+      for (std::size_t i = 0; i < n; ++i) es.u64[i] = zigzag(get(i));
+      sink.add_values(id, es.u64);
+    } else {
+      es.stream.clear();
+      for (std::size_t i = 0; i < n; ++i) put_varint_signed(es.stream, get(i));
+      sink.add(id, es.stream.view());
+    }
+  };
+
+  numeric_signed(kColTs, [&records, prev_ts = std::int64_t{0}](std::size_t i) mutable {
+    const std::int64_t ts = records[i].first_packet.micros();
+    const std::int64_t delta = ts - prev_ts;
+    prev_ts = ts;
+    return delta;
+  });
+  numeric_signed(kColDur, [&records](std::size_t i) {
+    return records[i].last_packet - records[i].first_packet;
+  });
+
+  const auto u8seg = [&](std::uint8_t id, std::span<const std::uint8_t> values) {
+    es.stream.clear();
+    const bool constant =
+        !values.empty() &&
+        std::all_of(values.begin(), values.end(), [&](std::uint8_t v) { return v == values[0]; });
+    if (constant) {
+      es.stream.u8(kU8Constant);
+      es.stream.u8(values[0]);
+    } else {
+      bool rle = false;
+      if (v2) {
+        std::size_t rle_size = 1;
+        for (std::size_t i = 0; i < values.size();) {
+          std::size_t j = i + 1;
+          while (j < values.size() && values[j] == values[i]) ++j;
+          rle_size += varint_len(j - i) + 1;
+          i = j;
+        }
+        rle = rle_size < 1 + values.size();
+        if (rle) {
+          es.stream.u8(kU8Rle);
+          for (std::size_t i = 0; i < values.size();) {
+            std::size_t j = i + 1;
+            while (j < values.size() && values[j] == values[i]) ++j;
+            put_varint(es.stream, j - i);
+            es.stream.u8(values[i]);
+            i = j;
+          }
+        }
+      }
+      if (!rle) {
+        es.stream.u8(kU8Plain);
+        for (const auto v : values) es.stream.u8(v);
+      }
+    }
+    sink.add(id, es.stream.view());
+  };
+  u8seg(kColService, es.service_code);
+  {
+    es.u8.resize(n);
+    const auto u8col = [&](std::uint8_t id, auto&& get) {
+      for (std::size_t i = 0; i < n; ++i) es.u8[i] = get(records[i]);
+      u8seg(id, es.u8);
+    };
+    u8col(kColProto, [](const auto& r) { return static_cast<std::uint8_t>(r.proto); });
+    u8col(kColAccess, [](const auto& r) { return static_cast<std::uint8_t>(r.access); });
+    u8col(kColFlags, [](const auto& r) {
+      return static_cast<std::uint8_t>((r.handshake_completed ? 1 : 0) |
+                                       (static_cast<std::uint8_t>(r.close_reason) << 1));
+    });
+    u8col(kColL7, [](const auto& r) { return static_cast<std::uint8_t>(r.l7); });
+    u8col(kColWeb, [](const auto& r) { return static_cast<std::uint8_t>(r.web); });
+    u8col(kColNameSource, [](const auto& r) { return static_cast<std::uint8_t>(r.name_source); });
+  }
+
+  // Fixed-width columns: layout 1 keeps the little-endian raw streams;
+  // layout 2 routes them through the value codec (server IPs cluster, so
+  // frame-of-reference packs them well below 4 bytes each).
+  if (v2) {
+    numeric(kColClientPort, [&](std::size_t i) { return std::uint64_t{records[i].client_port}; });
+  } else {
+    es.stream.clear();
+    for (const auto& r : records) {
+      es.stream.u8(static_cast<std::uint8_t>(r.client_port & 0xff));
+      es.stream.u8(static_cast<std::uint8_t>(r.client_port >> 8));
+    }
+    sink.add(kColClientPort, es.stream.view());
+  }
+  numeric(kColServerPort, [&](std::size_t i) { return std::uint64_t{records[i].server_port}; });
+  const auto fixed_u32 = [&](std::uint8_t id, auto&& get) {
+    if (v2) {
+      numeric(id, [&](std::size_t i) { return std::uint64_t{get(records[i])}; });
+    } else {
+      es.stream.clear();
+      for (const auto& r : records) es.stream.u32le(get(r));
+      sink.add(id, es.stream.view());
+    }
+  };
+  fixed_u32(kColClientIp, [](const auto& r) { return r.client_ip.value(); });
+  fixed_u32(kColServerIp, [](const auto& r) { return r.server_ip.value(); });
+
+  const auto dir_col = [&](std::uint8_t id, auto&& get) {
+    numeric(id, [&](std::size_t i) { return get(records[i]); });
+  };
+  dir_col(kColUpPkts, [](const auto& r) { return r.up.packets; });
+  dir_col(kColUpBytes, [](const auto& r) { return r.up.bytes; });
+  dir_col(kColUpHdr, [](const auto& r) { return r.up.bytes_with_hdr; });
+  dir_col(kColUpRetx, [](const auto& r) { return std::uint64_t{r.up.retransmits}; });
+  dir_col(kColUpOoo, [](const auto& r) { return std::uint64_t{r.up.out_of_order}; });
+  dir_col(kColDnPkts, [](const auto& r) { return r.down.packets; });
+  dir_col(kColDnBytes, [](const auto& r) { return r.down.bytes; });
+  dir_col(kColDnHdr, [](const auto& r) { return r.down.bytes_with_hdr; });
+  dir_col(kColDnRetx, [](const auto& r) { return std::uint64_t{r.down.retransmits}; });
+  dir_col(kColDnOoo, [](const auto& r) { return std::uint64_t{r.down.out_of_order}; });
+  dir_col(kColRttSamples, [](const auto& r) { return std::uint64_t{r.rtt.samples}; });
+  {
+    // RTT stats exist only when samples > 0: dense sub-columns over those
+    // rows, in row order (the row-aligned expansion at decode replays the
+    // same order).
+    const auto rtt_dense = [&](std::uint8_t id, auto&& get) {
+      if (v2) {
+        es.u64.clear();
+        for (const auto& r : records) {
+          if (r.rtt.samples > 0) es.u64.push_back(zigzag(get(r)));
+        }
+        sink.add_values(id, es.u64);
+      } else {
+        es.stream.clear();
+        for (const auto& r : records) {
+          if (r.rtt.samples > 0) put_varint_signed(es.stream, get(r));
+        }
+        sink.add(id, es.stream.view());
+      }
+    };
+    rtt_dense(kColRttMin, [](const auto& r) { return r.rtt.min_us; });
+    rtt_dense(kColRttMaxDelta, [](const auto& r) { return r.rtt.max_us - r.rtt.min_us; });
+    rtt_dense(kColRttAvgDelta, [](const auto& r) {
+      return static_cast<std::int64_t>(r.rtt.avg_us) - r.rtt.min_us;
+    });
+  }
+  dir_col(kColHttpStatus, [](const auto& r) { return std::uint64_t{r.http_status}; });
+
+  // String dictionaries (server_name, content_type), first-appearance
+  // order. Layout 2 may delta-code the dictionary against the predecessor
+  // block's (the dict_link bits record the per-column choice); indexes go
+  // through the value codec. The delta is only taken when it is actually
+  // smaller than re-emitting the full dictionary.
+  std::uint8_t dict_link = 0;
+  const auto string_dict = [&](std::uint8_t dict_id, std::uint8_t idx_id,
+                               const std::vector<std::string>* prev_dict, std::uint32_t prev_crc,
+                               std::uint8_t delta_bit, auto&& get) {
+    auto& codes = es.dict_codes;
+    codes.clear();
+    es.dict_entries.clear();
+    es.u64.resize(n);
+    std::uint32_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string_view sv = get(records[i]);
+      auto [it, inserted] = codes.try_emplace(sv, count);
+      if (inserted) {
+        es.dict_entries.push_back(sv);
+        ++count;
+      }
+      es.u64[i] = it->second;
+    }
+    bool use_delta = false;
+    if (v2 && prev_dict != nullptr) {
+      auto& pc = es.prev_codes;
+      pc.clear();
+      for (std::size_t k = 0; k < prev_dict->size(); ++k) {
+        pc.try_emplace(std::string_view{(*prev_dict)[k]}, static_cast<std::uint32_t>(k + 1));
+      }
+      std::size_t full_size = varint_len(count);
+      std::size_t delta_size = 4 + varint_len(count);
+      for (const auto sv : es.dict_entries) {
+        const std::size_t literal = varint_len(sv.size()) + sv.size();
+        full_size += literal;
+        const auto it = pc.find(sv);
+        delta_size += it != pc.end() ? varint_len(it->second) : 1 + literal;
+      }
+      use_delta = delta_size < full_size;
+      if (use_delta) {
+        es.stream.clear();
+        es.stream.u32le(prev_crc);
+        put_varint(es.stream, count);
+        for (const auto sv : es.dict_entries) {
+          const auto it = pc.find(sv);
+          if (it != pc.end()) {
+            put_varint(es.stream, it->second);
+          } else {
+            put_varint(es.stream, 0);
+            put_varint(es.stream, sv.size());
+            es.stream.string(sv);
+          }
+        }
+        sink.add(dict_id, es.stream.view());
+        dict_link |= delta_bit;
+      }
+    }
+    if (!use_delta) {
+      es.stream.clear();
+      put_varint(es.stream, count);
+      for (const auto sv : es.dict_entries) {
+        put_varint(es.stream, sv.size());
+        es.stream.string(sv);
+      }
+      sink.add(dict_id, es.stream.view());
+    }
+    if (v2) {
+      sink.add_values(idx_id, es.u64);
+    } else {
+      es.stream.clear();
+      for (std::size_t i = 0; i < n; ++i) put_varint(es.stream, es.u64[i]);
+      sink.add(idx_id, es.stream.view());
+    }
+  };
+  string_dict(kColNameDict, kColNameIdx, prev != nullptr ? &prev->name_dict : nullptr,
+              prev != nullptr ? prev->name_crc : 0, 1,
+              [](const auto& r) { return std::string_view{r.server_name}; });
+  string_dict(kColCtDict, kColCtIdx, prev != nullptr ? &prev->ct_dict : nullptr,
+              prev != nullptr ? prev->ct_crc : 0, 2,
+              [](const auto& r) { return std::string_view{r.content_type}; });
+
+  // Assemble: prefix | zone map | service dict | [dict_link] | directory |
+  // payloads.
+  out.u8(kColumnarTag);
+  out.u8(v2 ? kColumnarLayoutV2 : kColumnarLayoutV1);
+  put_zone_map(out, zone);
+  out.u8(svc_count);
+  for (std::size_t i = 0; i < svc_count; ++i) out.u8(svc_dict[i]);
+  if (v2) out.u8(dict_link);
+  out.u8(static_cast<std::uint8_t>(es.directory.size()));
+  for (const auto& [id, len] : es.directory) {
+    out.u8(id);
+    put_varint(out, len);
+  }
+  out.bytes(es.payloads);
 }
 
 // ---- decode helpers ------------------------------------------------------
@@ -158,7 +624,14 @@ struct SegmentTable {
   }
 };
 
-[[nodiscard]] bool decode_u8_column(std::span<const std::byte> payload,
+/// Scheme gate: layout 1 predates the value codecs, so a FOR/RLE envelope in
+/// a layout-1 block is corruption, not data.
+[[nodiscard]] bool scheme_allowed(std::span<const std::byte> payload, bool v2) noexcept {
+  return !payload.empty() &&
+         (v2 || std::to_integer<std::uint8_t>(payload[0]) < kSchemeForBitpack);
+}
+
+[[nodiscard]] bool decode_u8_column(std::span<const std::byte> payload, bool v2,
                                     std::vector<std::byte>& scratch, std::size_t n,
                                     std::vector<std::uint8_t>& out) {
   const auto stream = decompress_block_view(payload, scratch);
@@ -169,6 +642,21 @@ struct SegmentTable {
     if (stream->size() != 2) return false;
     out.assign(n, std::to_integer<std::uint8_t>((*stream)[1]));
     return true;
+  }
+  if (v2 && enc == kU8Rle) {
+    out.resize(n);
+    VarintCursor c(stream->subspan(1));
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t run = get_varint(c);
+      if (!c.ok() || run == 0 || run > n - i) return false;
+      if (c.p == c.end) return false;
+      const std::uint8_t v = *c.p++;
+      std::fill(out.begin() + static_cast<std::ptrdiff_t>(i),
+                out.begin() + static_cast<std::ptrdiff_t>(i + run), v);
+      i += static_cast<std::size_t>(run);
+    }
+    return c.ok() && c.exhausted();
   }
   if (enc != kU8Plain || stream->size() != 1 + n) return false;
   out.resize(n);
@@ -188,50 +676,42 @@ template <typename T, typename Out>
   return true;
 }
 
-[[nodiscard]] bool decode_varint_column(std::span<const std::byte> payload,
-                                        std::vector<std::byte>& scratch, std::size_t n,
-                                        std::vector<std::uint64_t>& out) {
-  const auto stream = decompress_block_view(payload, scratch);
-  if (!stream) return false;
+/// Value segments (both layouts — a layout-1 varint stream is exactly the
+/// scheme-0/1 arm of the segment codec).
+[[nodiscard]] bool decode_value_column(std::span<const std::byte> payload, bool v2,
+                                       std::vector<std::byte>& scratch, std::size_t n,
+                                       std::vector<std::uint64_t>& out) {
+  if (!scheme_allowed(payload, v2)) return false;
   out.resize(n);
-  VarintCursor c(*stream);
-#ifdef EW_VARINT_BMI2
-  if (varint_batch_bmi2_available()) {
-    auto* d = out.data();
-    return get_varint_batch_bmi2(c, n, [d](std::size_t i, std::uint64_t v) { d[i] = v; }) &&
-           c.exhausted();
-  }
-#endif
-  return get_varint_batch(c, out.data(), n) && c.exhausted();
+  return decompress_u64_segment(payload, n, out.data(), scratch);
 }
 
-/// Zigzag batch: decode n varints into `out` (reinterpreted as unsigned —
-/// signed/unsigned aliasing is well-defined), then unmap in place. The BMI2
-/// path fuses the unmap into the decode's value sink instead of
-/// re-traversing the output.
-[[nodiscard]] bool decode_zigzag_column_into(std::span<const std::byte> stream, std::size_t n,
-                                             std::int64_t* out) {
-  VarintCursor c(stream);
-#ifdef EW_VARINT_BMI2
-  if (varint_batch_bmi2_available()) {
-    return get_varint_batch_bmi2(c, n,
-                                 [out](std::size_t i, std::uint64_t z) {
-                                   out[i] = static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
-                                 }) &&
-           c.exhausted();
-  }
-#endif
-  auto* u = reinterpret_cast<std::uint64_t*>(out);
-  if (!get_varint_batch(c, u, n) || !c.exhausted()) return false;
+[[nodiscard]] bool decode_signed_column(std::span<const std::byte> payload, bool v2,
+                                        std::vector<std::byte>& scratch, std::size_t n,
+                                        std::int64_t* out) {
+  if (!scheme_allowed(payload, v2)) return false;
+  return decompress_zigzag_segment(payload, n, out, scratch);
+}
+
+/// Narrowing value column (layout 2's client_port/client_ip/server_ip): any
+/// value above the column's natural width is corruption.
+template <typename Out>
+[[nodiscard]] bool decode_value_narrow(std::span<const std::byte> payload,
+                                       std::vector<std::byte>& scratch,
+                                       std::vector<std::uint64_t>& staging, std::size_t n,
+                                       std::vector<Out>& out) {
+  staging.resize(n);
+  if (!decompress_u64_segment(payload, n, staging.data(), scratch)) return false;
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t z = u[i];
-    out[i] = static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    if (staging[i] > std::numeric_limits<Out>::max()) return false;
+    out[i] = static_cast<Out>(staging[i]);
   }
   return true;
 }
 
 /// Parse a string dictionary blob into views over `blob` (which receives
-/// the decompressed bytes and must outlive the views).
+/// the decompressed bytes and must outlive the views). Layout-1 path.
 [[nodiscard]] bool decode_string_dict(std::span<const std::byte> payload,
                                       std::vector<std::byte>& blob, std::size_t max_entries,
                                       std::size_t max_len, std::vector<std::string_view>& dict) {
@@ -255,30 +735,60 @@ template <typename T, typename Out>
   return r.remaining() == 0;
 }
 
-[[nodiscard]] bool decode_index_column(std::span<const std::byte> payload,
+/// Layout-2 dictionary decode: resolve the (possibly delta-coded) dictionary
+/// into the scratch's double-buffered chain cache and point `views` at it.
+/// Delta links resolve against the cache when its CRC matches, else through
+/// the caller's resolver; neither path available → corrupt.
+[[nodiscard]] bool decode_dict_v2(std::span<const std::byte> payload, bool delta,
+                                  std::size_t max_entries, std::size_t max_len,
+                                  std::uint8_t dict_col, ColumnScratch& s,
+                                  std::array<std::vector<std::string>, 2>& bufs, unsigned& cur,
+                                  std::uint32_t& crc, bool& valid,
+                                  const PrevBlockResolver* resolver,
+                                  std::vector<std::string_view>& views) {
+  auto& next = bufs[1 - cur];
+  const auto stream = decompress_block_view(payload, s.chain_seg);
+  if (!stream) return false;
+  if (!delta) {
+    if (!parse_full_dict(*stream, max_entries, max_len, next)) return false;
+  } else {
+    core::ByteReader hdr(*stream);
+    const std::uint32_t prev_crc = hdr.u32le();
+    if (!hdr.ok()) return false;
+    if (valid && crc == prev_crc) {
+      if (!apply_dict_delta(*stream, bufs[cur], prev_crc, max_entries, max_len, next)) {
+        return false;
+      }
+    } else {
+      if (resolver == nullptr) return false;
+      // The walk reuses no scratch that `stream` may alias: it decompresses
+      // into its own local buffers.
+      std::vector<std::string> prev_dict;
+      if (!resolve_prev_dict_via_walk(dict_col, prev_crc, max_len, *resolver, prev_dict)) {
+        return false;
+      }
+      if (!apply_dict_delta(*stream, prev_dict, prev_crc, max_entries, max_len, next)) {
+        return false;
+      }
+    }
+  }
+  crc = canonical_dict_crc(next);
+  valid = true;
+  cur = 1 - cur;
+  views.clear();
+  views.reserve(next.size());
+  for (const auto& e : next) views.emplace_back(e);
+  return true;
+}
+
+[[nodiscard]] bool decode_index_column(std::span<const std::byte> payload, bool v2,
                                        std::vector<std::byte>& scratch,
                                        std::vector<std::uint64_t>& staging, std::size_t n,
                                        std::size_t dict_size, std::vector<std::uint32_t>& out) {
-  const auto stream = decompress_block_view(payload, scratch);
-  if (!stream) return false;
-  VarintCursor c(*stream);
-  out.resize(n);
-#ifdef EW_VARINT_BMI2
-  if (varint_batch_bmi2_available()) {
-    // The bound check accumulates instead of early-returning so the sink
-    // stays branch-free; one out-of-range index still fails the column.
-    std::uint64_t bad = 0;
-    auto* d = out.data();
-    const auto ok = get_varint_batch_bmi2(c, n, [d, dict_size, &bad](std::size_t i,
-                                                                     std::uint64_t v) {
-      bad |= static_cast<std::uint64_t>(v >= dict_size);
-      d[i] = static_cast<std::uint32_t>(v);
-    });
-    return ok && c.exhausted() && bad == 0;
-  }
-#endif
+  if (!scheme_allowed(payload, v2)) return false;
   staging.resize(n);
-  if (!get_varint_batch(c, staging.data(), n) || !c.exhausted()) return false;
+  if (!decompress_u64_segment(payload, n, staging.data(), scratch)) return false;
+  out.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (staging[i] >= dict_size) return false;
     out[i] = static_cast<std::uint32_t>(staging[i]);
@@ -311,181 +821,68 @@ bool is_columnar_block(std::span<const std::byte> body) noexcept {
 std::optional<ZoneMap> peek_zone_map(std::span<const std::byte> body) noexcept {
   core::ByteReader r(body);
   if (r.u8() != kColumnarTag) return std::nullopt;
-  if (r.u8() != kColumnarLayout) return std::nullopt;
+  const std::uint8_t layout = r.u8();
+  if (layout != kColumnarLayoutV1 && layout != kColumnarLayoutV2) return std::nullopt;
   const ZoneMap z = get_zone_map(r);
   if (!r.ok() || z.record_count > kMaxColumnarRecords) return std::nullopt;
   return z;
 }
 
+void build_dict_chain_state(std::span<const flow::FlowRecord> prev_records, DictChainState& out) {
+  const auto build = [&](std::vector<std::string>& dict, std::uint32_t& crc, auto&& get) {
+    core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash> codes;
+    std::size_t count = 0;
+    for (const auto& r : prev_records) {
+      const std::string_view sv = get(r);
+      const auto [it, inserted] = codes.try_emplace(sv, static_cast<std::uint32_t>(count));
+      if (!inserted) continue;
+      if (count < dict.size()) {
+        dict[count].assign(sv);
+      } else {
+        dict.emplace_back(sv);
+      }
+      ++count;
+    }
+    dict.resize(count);
+    crc = canonical_dict_crc(dict);
+  };
+  build(out.name_dict, out.name_crc,
+        [](const auto& r) { return std::string_view{r.server_name}; });
+  build(out.ct_dict, out.ct_crc, [](const auto& r) { return std::string_view{r.content_type}; });
+}
+
 void encode_columnar_block(std::span<const flow::FlowRecord> records,
                            const services::ServiceCatalog& catalog, core::ByteWriter& out) {
-  const std::size_t n = records.size();
+  EncodeScratch scratch;
+  encode_columnar_block_impl(records, catalog, out, scratch, nullptr, /*v2=*/true);
+}
 
-  // Pass 1: service ids, the service dictionary (first-appearance order)
-  // and the zone map.
-  ZoneMap zone;
-  zone.record_count = static_cast<std::uint32_t>(n);
-  std::vector<std::uint8_t> service_code(n);
-  std::vector<std::uint8_t> dict;  // dict code → global ServiceId
-  std::array<std::uint8_t, services::kServiceCount> code_of{};
-  code_of.fill(0xff);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& r = records[i];
-    const auto sid =
-        static_cast<std::uint8_t>(catalog.classify_flow(r.l7, r.server_name));
-    if (code_of[sid] == 0xff) {
-      code_of[sid] = static_cast<std::uint8_t>(dict.size());
-      dict.push_back(sid);
-    }
-    service_code[i] = code_of[sid];
-    zone.service_bitmap |= 1u << sid;
-    zone.proto_bitmap |= 1u << proto_bit(r.proto);
-    const std::int64_t ts = r.first_packet.micros();
-    const std::uint32_t sip = r.server_ip.value();
-    if (i == 0) {
-      zone.ts_min_us = zone.ts_max_us = ts;
-      zone.server_ip_min = zone.server_ip_max = sip;
-    } else {
-      zone.ts_min_us = std::min(zone.ts_min_us, ts);
-      zone.ts_max_us = std::max(zone.ts_max_us, ts);
-      zone.server_ip_min = std::min(zone.server_ip_min, sip);
-      zone.server_ip_max = std::max(zone.server_ip_max, sip);
-    }
-  }
+void encode_columnar_block(std::span<const flow::FlowRecord> records,
+                           const services::ServiceCatalog& catalog, core::ByteWriter& out,
+                           EncodeScratch& scratch, const DictChainState* prev) {
+  encode_columnar_block_impl(records, catalog, out, scratch, prev, /*v2=*/true);
+}
 
-  // Pass 2: transpose into column streams, each with its own compression
-  // envelope so similar bytes sit together.
-  SegmentSink sink;
-  {
-    core::ByteWriter w(n * 3);
-    std::int64_t prev = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::int64_t ts = records[i].first_packet.micros();
-      put_varint_signed(w, ts - prev);
-      prev = ts;
-    }
-    sink.add(kColTs, w.view());
-  }
-  {
-    core::ByteWriter w(n * 2);
-    for (const auto& r : records) put_varint_signed(w, r.last_packet - r.first_packet);
-    sink.add(kColDur, w.view());
-  }
-  encode_u8_column(sink, kColService, service_code);
-  {
-    std::vector<std::uint8_t> tmp(n);
-    const auto u8col = [&](std::uint8_t id, auto&& get) {
-      for (std::size_t i = 0; i < n; ++i) tmp[i] = get(records[i]);
-      encode_u8_column(sink, id, tmp);
-    };
-    u8col(kColProto, [](const auto& r) { return static_cast<std::uint8_t>(r.proto); });
-    u8col(kColAccess, [](const auto& r) { return static_cast<std::uint8_t>(r.access); });
-    u8col(kColFlags, [](const auto& r) {
-      return static_cast<std::uint8_t>((r.handshake_completed ? 1 : 0) |
-                                       (static_cast<std::uint8_t>(r.close_reason) << 1));
-    });
-    u8col(kColL7, [](const auto& r) { return static_cast<std::uint8_t>(r.l7); });
-    u8col(kColWeb, [](const auto& r) { return static_cast<std::uint8_t>(r.web); });
-    u8col(kColNameSource, [](const auto& r) { return static_cast<std::uint8_t>(r.name_source); });
-  }
-  {
-    core::ByteWriter w(n * 2);
-    for (const auto& r : records) {
-      w.u8(static_cast<std::uint8_t>(r.client_port & 0xff));
-      w.u8(static_cast<std::uint8_t>(r.client_port >> 8));
-    }
-    sink.add(kColClientPort, w.view());
-  }
-  encode_varint_column(sink, kColServerPort, n, [&](std::size_t i) { return records[i].server_port; });
-  {
-    core::ByteWriter w(n * 4);
-    for (const auto& r : records) w.u32le(r.client_ip.value());
-    sink.add(kColClientIp, w.view());
-  }
-  {
-    core::ByteWriter w(n * 4);
-    for (const auto& r : records) w.u32le(r.server_ip.value());
-    sink.add(kColServerIp, w.view());
-  }
-  const auto dir_col = [&](std::uint8_t id, auto&& get) {
-    encode_varint_column(sink, id, n, [&](std::size_t i) { return get(records[i]); });
-  };
-  dir_col(kColUpPkts, [](const auto& r) { return r.up.packets; });
-  dir_col(kColUpBytes, [](const auto& r) { return r.up.bytes; });
-  dir_col(kColUpHdr, [](const auto& r) { return r.up.bytes_with_hdr; });
-  dir_col(kColUpRetx, [](const auto& r) { return std::uint64_t{r.up.retransmits}; });
-  dir_col(kColUpOoo, [](const auto& r) { return std::uint64_t{r.up.out_of_order}; });
-  dir_col(kColDnPkts, [](const auto& r) { return r.down.packets; });
-  dir_col(kColDnBytes, [](const auto& r) { return r.down.bytes; });
-  dir_col(kColDnHdr, [](const auto& r) { return r.down.bytes_with_hdr; });
-  dir_col(kColDnRetx, [](const auto& r) { return std::uint64_t{r.down.retransmits}; });
-  dir_col(kColDnOoo, [](const auto& r) { return std::uint64_t{r.down.out_of_order}; });
-  dir_col(kColRttSamples, [](const auto& r) { return std::uint64_t{r.rtt.samples}; });
-  {
-    // RTT stats exist only when samples > 0: dense sub-columns over those
-    // rows, in row order (the row-aligned expansion at decode replays the
-    // same order).
-    core::ByteWriter wmin, wmax, wavg;
-    for (const auto& r : records) {
-      if (r.rtt.samples == 0) continue;
-      put_varint_signed(wmin, r.rtt.min_us);
-      put_varint_signed(wmax, r.rtt.max_us - r.rtt.min_us);
-      put_varint_signed(wavg, static_cast<std::int64_t>(r.rtt.avg_us) - r.rtt.min_us);
-    }
-    sink.add(kColRttMin, wmin.view());
-    sink.add(kColRttMaxDelta, wmax.view());
-    sink.add(kColRttAvgDelta, wavg.view());
-  }
-  dir_col(kColHttpStatus, [](const auto& r) { return std::uint64_t{r.http_status}; });
-
-  // String dictionaries (server_name, content_type), first-appearance order.
-  const auto string_dict = [&](std::uint8_t dict_id, std::uint8_t idx_id, auto&& get) {
-    core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash> codes;
-    core::ByteWriter entries;
-    std::uint32_t count = 0;
-    core::ByteWriter idx(n);
-    for (const auto& r : records) {
-      const std::string_view s = get(r);
-      auto [it, inserted] = codes.try_emplace(s, count);
-      if (inserted) {
-        put_varint(entries, s.size());
-        entries.string(s);
-        ++count;
-      }
-      put_varint(idx, it->second);
-    }
-    core::ByteWriter blob(entries.size() + 4);
-    put_varint(blob, count);
-    blob.bytes(entries.view());
-    sink.add(dict_id, blob.view());
-    sink.add(idx_id, idx.view());
-  };
-  string_dict(kColNameDict, kColNameIdx,
-              [](const auto& r) { return std::string_view{r.server_name}; });
-  string_dict(kColCtDict, kColCtIdx,
-              [](const auto& r) { return std::string_view{r.content_type}; });
-
-  // Assemble: prefix | zone map | service dict | directory | payloads.
-  out.u8(kColumnarTag);
-  out.u8(kColumnarLayout);
-  put_zone_map(out, zone);
-  out.u8(static_cast<std::uint8_t>(dict.size()));
-  for (const auto sid : dict) out.u8(sid);
-  out.u8(static_cast<std::uint8_t>(sink.directory.size()));
-  for (const auto& [id, len] : sink.directory) {
-    out.u8(id);
-    put_varint(out, len);
-  }
-  out.bytes(sink.payloads);
+void encode_columnar_block_layout1(std::span<const flow::FlowRecord> records,
+                                   const services::ServiceCatalog& catalog,
+                                   core::ByteWriter& out) {
+  EncodeScratch scratch;
+  encode_columnar_block_impl(records, catalog, out, scratch, nullptr, /*v2=*/false);
 }
 
 BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnScratch& s,
                                         const ScanPredicate* predicate,
                                         std::uint64_t& records_delivered,
                                         core::FunctionRef<void(const flow::FlowRecord&)> fn,
-                                        std::uint32_t expected_records) {
+                                        std::uint32_t expected_records,
+                                        const PrevBlockResolver* prev_blocks) {
   core::ByteReader r(body);
-  if (r.u8() != kColumnarTag || r.u8() != kColumnarLayout) return BlockDecodeStatus::kCorrupt;
+  if (r.u8() != kColumnarTag) return BlockDecodeStatus::kCorrupt;
+  const std::uint8_t layout = r.u8();
+  if (layout != kColumnarLayoutV1 && layout != kColumnarLayoutV2) {
+    return BlockDecodeStatus::kCorrupt;
+  }
+  const bool v2 = layout == kColumnarLayoutV2;
   const ZoneMap zone = get_zone_map(r);
   if (!r.ok() || zone.record_count > kMaxColumnarRecords) return BlockDecodeStatus::kCorrupt;
   if (expected_records != kAnyRecordCount && zone.record_count != expected_records) {
@@ -504,7 +901,15 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
     dict[i] = sid;
   }
 
-  // Segment directory: layout v1 requires each column exactly once.
+  // Layout 2: the dictionary-chain link byte. Undefined bits must be zero so
+  // they stay available to future layouts.
+  std::uint8_t dict_link = 0;
+  if (v2) {
+    dict_link = r.u8();
+    if (!r.ok() || (dict_link & 0xfc) != 0) return BlockDecodeStatus::kCorrupt;
+  }
+
+  // Segment directory: each column exactly once, both layouts.
   SegmentTable segs;
   const std::uint8_t seg_count = r.u8();
   if (!r.ok() || seg_count != kColumnCount) return BlockDecodeStatus::kCorrupt;
@@ -530,14 +935,12 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
 
   // Filter columns first: timestamps, service, proto. When a predicate
   // selects nothing, the remaining 29 segments are never decompressed.
-  {
-    const auto stream = decompress_block_view(segs.seg[kColTs], s.seg);
-    if (!stream) return BlockDecodeStatus::kCorrupt;
-    s.ts.resize(n);
-    if (!decode_zigzag_column_into(*stream, n, s.ts.data())) return BlockDecodeStatus::kCorrupt;
+  s.ts.resize(n);
+  if (!decode_signed_column(segs.seg[kColTs], v2, s.seg, n, s.ts.data())) {
+    return BlockDecodeStatus::kCorrupt;
   }
-  if (!decode_u8_column(segs.seg[kColService], s.seg, n, s.service) ||
-      !decode_u8_column(segs.seg[kColProto], s.seg, n, s.proto)) {
+  if (!decode_u8_column(segs.seg[kColService], v2, s.seg, n, s.service) ||
+      !decode_u8_column(segs.seg[kColProto], v2, s.seg, n, s.proto)) {
     return BlockDecodeStatus::kCorrupt;
   }
 
@@ -595,36 +998,48 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
   const auto want = [fields](std::uint32_t bit) noexcept { return (fields & bit) != 0; };
   const bool want_rtt = want(scan_fields::kRttMin | scan_fields::kRttSpread);
   const auto vcol = [&](Column id, std::vector<std::uint64_t>& out) {
-    return decode_varint_column(segs.seg[id], s.seg, n, out);
+    return decode_value_column(segs.seg[id], v2, s.seg, n, out);
   };
   if (want(scan_fields::kLastPacket)) {
-    const auto stream = decompress_block_view(segs.seg[kColDur], s.seg);
-    if (!stream) return BlockDecodeStatus::kCorrupt;
     s.dur.resize(n);
-    if (!decode_zigzag_column_into(*stream, n, s.dur.data())) return BlockDecodeStatus::kCorrupt;
+    if (!decode_signed_column(segs.seg[kColDur], v2, s.seg, n, s.dur.data())) {
+      return BlockDecodeStatus::kCorrupt;
+    }
   }
-  if ((want(scan_fields::kAccess) && !decode_u8_column(segs.seg[kColAccess], s.seg, n, s.access)) ||
+  if ((want(scan_fields::kAccess) &&
+       !decode_u8_column(segs.seg[kColAccess], v2, s.seg, n, s.access)) ||
       (want(scan_fields::kCloseState) &&
-       !decode_u8_column(segs.seg[kColFlags], s.seg, n, s.flags)) ||
-      (want(scan_fields::kL7) && !decode_u8_column(segs.seg[kColL7], s.seg, n, s.l7)) ||
-      (want(scan_fields::kWeb) && !decode_u8_column(segs.seg[kColWeb], s.seg, n, s.web)) ||
+       !decode_u8_column(segs.seg[kColFlags], v2, s.seg, n, s.flags)) ||
+      (want(scan_fields::kL7) && !decode_u8_column(segs.seg[kColL7], v2, s.seg, n, s.l7)) ||
+      (want(scan_fields::kWeb) && !decode_u8_column(segs.seg[kColWeb], v2, s.seg, n, s.web)) ||
       (want(scan_fields::kNameSource) &&
-       !decode_u8_column(segs.seg[kColNameSource], s.seg, n, s.name_source))) {
+       !decode_u8_column(segs.seg[kColNameSource], v2, s.seg, n, s.name_source))) {
     return BlockDecodeStatus::kCorrupt;
   }
-  if ((want(scan_fields::kClientPort) &&
-       !decode_fixed_column<std::uint16_t>(segs.seg[kColClientPort], s.seg, n, s.cport)) ||
-      (want(scan_fields::kClientIp) &&
-       !decode_fixed_column<std::uint32_t>(segs.seg[kColClientIp], s.seg, n, s.cip)) ||
-      !decode_fixed_column<std::uint32_t>(segs.seg[kColServerIp], s.seg, n, s.sip)) {
-    return BlockDecodeStatus::kCorrupt;
-  }
-  // Fixed-width columns are little-endian on the wire and memcpy'd in;
-  // normalize on big-endian hosts.
-  if constexpr (std::endian::native == std::endian::big) {
-    for (auto& v : s.cport) v = static_cast<std::uint16_t>((v >> 8) | (v << 8));
-    for (auto* col : {&s.cip, &s.sip}) {
-      for (auto& v : *col) v = __builtin_bswap32(v);
+  if (v2) {
+    if ((want(scan_fields::kClientPort) &&
+         !decode_value_narrow(segs.seg[kColClientPort], s.seg, s.u64_tmp, n, s.cport)) ||
+        (want(scan_fields::kClientIp) &&
+         !decode_value_narrow(segs.seg[kColClientIp], s.seg, s.u64_tmp, n, s.cip)) ||
+        !decode_value_narrow(segs.seg[kColServerIp], s.seg, s.u64_tmp, n, s.sip)) {
+      return BlockDecodeStatus::kCorrupt;
+    }
+  } else {
+    if ((want(scan_fields::kClientPort) &&
+         !decode_fixed_column<std::uint16_t>(segs.seg[kColClientPort], s.seg, n, s.cport)) ||
+        (want(scan_fields::kClientIp) &&
+         !decode_fixed_column<std::uint32_t>(segs.seg[kColClientIp], s.seg, n, s.cip)) ||
+        !decode_fixed_column<std::uint32_t>(segs.seg[kColServerIp], s.seg, n, s.sip)) {
+      return BlockDecodeStatus::kCorrupt;
+    }
+    // Layout-1 fixed-width columns are little-endian on the wire and
+    // memcpy'd in; normalize on big-endian hosts. (Layout 2 decodes them as
+    // value segments, which are endian-neutral.)
+    if constexpr (std::endian::native == std::endian::big) {
+      for (auto& v : s.cport) v = static_cast<std::uint16_t>((v >> 8) | (v << 8));
+      for (auto* col : {&s.cip, &s.sip}) {
+        for (auto& v : *col) v = __builtin_bswap32(v);
+      }
     }
   }
   if (want(scan_fields::kServerPort)) {
@@ -652,11 +1067,9 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
     std::size_t rtt_rows = 0;
     for (std::size_t i = 0; i < n; ++i) rtt_rows += s.rtt_samples[i] > 0 ? 1 : 0;
     const auto dense_zigzag = [&](Column id, std::vector<std::int64_t>& col) {
-      const auto stream = decompress_block_view(segs.seg[id], s.seg);
-      if (!stream) return false;
       s.u64_tmp.resize(rtt_rows);
       auto* dense = reinterpret_cast<std::int64_t*>(s.u64_tmp.data());
-      if (!decode_zigzag_column_into(*stream, rtt_rows, dense)) return false;
+      if (!decode_signed_column(segs.seg[id], v2, s.seg, rtt_rows, dense)) return false;
       col.resize(n);
       std::size_t k = 0;
       for (std::size_t i = 0; i < n; ++i) col[i] = s.rtt_samples[i] > 0 ? dense[k++] : 0;
@@ -669,17 +1082,27 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
       return BlockDecodeStatus::kCorrupt;
     }
   }
-  if (want(scan_fields::kServerName) &&
-      (!decode_string_dict(segs.seg[kColNameDict], s.name_blob, n, kMaxNameLen, s.name_dict) ||
-       !decode_index_column(segs.seg[kColNameIdx], s.seg, s.u64_tmp, n, s.name_dict.size(),
-                            s.name_idx))) {
-    return BlockDecodeStatus::kCorrupt;
+  if (want(scan_fields::kServerName)) {
+    const bool dict_ok =
+        v2 ? decode_dict_v2(segs.seg[kColNameDict], (dict_link & 1) != 0, n, kMaxNameLen,
+                            kColNameDict, s, s.chain_name_bufs, s.chain_name_cur,
+                            s.chain_name_crc, s.chain_name_valid, prev_blocks, s.name_dict)
+           : decode_string_dict(segs.seg[kColNameDict], s.name_blob, n, kMaxNameLen, s.name_dict);
+    if (!dict_ok || !decode_index_column(segs.seg[kColNameIdx], v2, s.seg, s.u64_tmp, n,
+                                         s.name_dict.size(), s.name_idx)) {
+      return BlockDecodeStatus::kCorrupt;
+    }
   }
-  if (want(scan_fields::kContentType) &&
-      (!decode_string_dict(segs.seg[kColCtDict], s.ct_blob, n, kMaxCtLen, s.ct_dict) ||
-       !decode_index_column(segs.seg[kColCtIdx], s.seg, s.u64_tmp, n, s.ct_dict.size(),
-                            s.ct_idx))) {
-    return BlockDecodeStatus::kCorrupt;
+  if (want(scan_fields::kContentType)) {
+    const bool dict_ok =
+        v2 ? decode_dict_v2(segs.seg[kColCtDict], (dict_link & 2) != 0, n, kMaxCtLen, kColCtDict,
+                            s, s.chain_ct_bufs, s.chain_ct_cur, s.chain_ct_crc, s.chain_ct_valid,
+                            prev_blocks, s.ct_dict)
+           : decode_string_dict(segs.seg[kColCtDict], s.ct_blob, n, kMaxCtLen, s.ct_dict);
+    if (!dict_ok || !decode_index_column(segs.seg[kColCtIdx], v2, s.seg, s.u64_tmp, n,
+                                         s.ct_dict.size(), s.ct_idx)) {
+      return BlockDecodeStatus::kCorrupt;
+    }
   }
 
   // Server-IP zone check needs the decoded column; done here so a filtered

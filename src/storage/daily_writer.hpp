@@ -6,6 +6,13 @@
 // format is the lake's choice (DataLake::set_write_format — columnar v3 by
 // default, row v2 for compatibility); the writer itself is format-blind
 // and preserves arrival order, never sorting a batch.
+//
+// Throughput: a flush hands the whole batch to DataLake::append, which —
+// when the lake was given an encode pool (DataLake::set_encode_pool) —
+// pipelines the per-block serialize/transpose/compress work across the
+// pool and commits frames in order, producing a byte-identical file to the
+// serial writer. The writer needs no changes to benefit; keep its buffer a
+// multiple of DataLake::kBlockRecords so flushes cut full blocks.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "core/hash.hpp"
+#include "core/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "storage/codec.hpp"
 #include "storage/compress.hpp"
@@ -32,6 +33,16 @@ struct LakeObs {
   obs::Gauge* health_unhealthy_days;
   obs::Gauge* health_blocks_quarantined;
   obs::Gauge* health_records_lost;
+  // Write-path pipeline instrumentation: blocks handed to the encode pool
+  // but not yet committed, per-stage latency, and per-codec envelope bytes
+  // (bytes_in is the pre-envelope stream, bytes_out what hit the file —
+  // their ratio is the live compression ratio per scheme).
+  obs::Gauge* encode_inflight;
+  obs::SpanSite* encode_block_span;
+  obs::SpanSite* block_compress_span;
+  obs::SpanSite* fsync_span;
+  std::array<obs::Counter*, 4> codec_in;
+  std::array<obs::Counter*, 4> codec_out;
 };
 
 LakeObs& lake_obs() {
@@ -52,6 +63,18 @@ LakeObs& lake_obs() {
         &reg.gauge("lake_health_unhealthy_days"),
         &reg.gauge("lake_health_blocks_quarantined"),
         &reg.gauge("lake_health_records_lost"),
+        &reg.gauge("lake_encode_inflight_blocks"),
+        &reg.span_site("lake_encode_block"),
+        &reg.span_site("lake_block_compress"),
+        &reg.span_site("lake_append_fsync"),
+        {&reg.counter("lake_codec_stored_bytes_in_total"),
+         &reg.counter("lake_codec_lz_bytes_in_total"),
+         &reg.counter("lake_codec_for_bytes_in_total"),
+         &reg.counter("lake_codec_rle_bytes_in_total")},
+        {&reg.counter("lake_codec_stored_bytes_out_total"),
+         &reg.counter("lake_codec_lz_bytes_out_total"),
+         &reg.counter("lake_codec_for_bytes_out_total"),
+         &reg.counter("lake_codec_rle_bytes_out_total")},
     };
   }();
   return m;
@@ -119,6 +142,19 @@ struct FileModel {
   std::vector<BlockRef> blocks;       ///< Valid blocks, stream order.
   std::optional<SealRef> last_seal;
   std::vector<BadRange> bad;
+  /// Dictionary-salvage candidates carved out of `bad`: frames whose header
+  /// fields still frame a body inside the damaged range even though the CRC
+  /// failed. Never delivered — only offered to dictionary chain walks, which
+  /// verify every candidate against the link's dictionary CRC. This keeps a
+  /// body bit-flip's blast radius at one block: delta-coded successors
+  /// recover the damaged predecessor's (intact) dictionary bytes instead of
+  /// cascading into quarantine with it.
+  std::vector<BlockRef> salvage;
+  /// Filled by deep_verify_columnar: indices into the (post-verify) blocks
+  /// vector whose dictionary chain leaned on an element that will not
+  /// survive repair. Repair must transcode these into chain heads — a
+  /// verbatim copy would orphan their delta links.
+  std::vector<std::size_t> transcode;
   std::size_t valid_end = 0;   ///< Offset past the last valid element.
   bool ends_sealed = false;    ///< Last element is a seal at exactly EOF.
   std::size_t file_size = 0;
@@ -179,6 +215,20 @@ void parse_v2(std::span<const std::byte> data, FileModel& m) {
     ++pos;
     while (pos < size && !try_block(pos, true) && !try_seal(pos)) ++pos;
     m.bad.push_back({bad_begin, pos});
+    // Carve dictionary-salvage candidates from the damaged range: a body
+    // bit-flip leaves the frame header intact, so its length fields still
+    // delimit the (mostly intact) body. Walk the claimed frame sizes as far
+    // as they stay inside the range; a damaged header stops the carving —
+    // candidates are best-effort and individually CRC-verified at use.
+    std::size_t c = bad_begin;
+    while (c + kBlockHeaderSize <= pos) {
+      const std::uint32_t body_len = rd32(data, c);
+      if (body_len == kSealSentinel || body_len > kMaxBlockBody) break;
+      if (c + kBlockHeaderSize + body_len > pos) break;
+      m.salvage.push_back(
+          {c, kBlockHeaderSize, body_len, rd32(data, c + 4), rd32(data, c + 8)});
+      c += kBlockHeaderSize + body_len;
+    }
   }
   m.ends_sealed = last_was_seal && m.valid_end == size;
 }
@@ -247,24 +297,88 @@ FileModel parse_file(std::span<const std::byte> data) {
 /// writer bug, a deliberately patched zone map). Decode every block fully
 /// — including the zone-map truthfulness cross-check — and demote failures
 /// to damaged ranges so repair quarantines them.
+/// File-order merge of CRC-valid blocks and salvage candidates — the
+/// resolution adjacency a dictionary chain walk must see (`back` in a delta
+/// link counts *original stream* positions; both inputs are offset-sorted).
+std::vector<BlockRef> chain_order(const std::vector<BlockRef>& valid,
+                                  const std::vector<BlockRef>& salvage) {
+  std::vector<BlockRef> out;
+  out.reserve(valid.size() + salvage.size());
+  std::size_t vi = 0, si = 0;
+  while (vi < valid.size() || si < salvage.size()) {
+    const bool take_valid =
+        si >= salvage.size() || (vi < valid.size() && valid[vi].offset < salvage[si].offset);
+    out.push_back(take_valid ? valid[vi++] : salvage[si++]);
+  }
+  return out;
+}
+
 void deep_verify_columnar(std::span<const std::byte> data, FileModel& m) {
   if (m.version != kVersion3) return;
+  // Resolution adjacency: every framed element in original stream order —
+  // CRC-valid blocks plus salvage candidates carved from damaged ranges.
+  // `survives` tracks which elements repair will copy verbatim; candidates
+  // never survive, valid blocks are demoted as they fail below. Elements
+  // are verified in stream order, so by the time a block resolves its chain
+  // every predecessor's fate is already final.
+  struct Element {
+    BlockRef b;
+    bool survives;
+  };
+  std::vector<Element> els;
+  els.reserve(m.blocks.size() + m.salvage.size());
+  {
+    std::size_t vi = 0, si = 0;
+    while (vi < m.blocks.size() || si < m.salvage.size()) {
+      const bool take_valid = si >= m.salvage.size() ||
+                              (vi < m.blocks.size() &&
+                               m.blocks[vi].offset < m.salvage[si].offset);
+      els.push_back(take_valid ? Element{m.blocks[vi++], true}
+                               : Element{m.salvage[si++], false});
+    }
+  }
   ColumnScratch scratch;
   std::vector<BlockRef> good;
   good.reserve(m.blocks.size());
+  std::vector<std::size_t> transcode;
   std::uint64_t ignored = 0;
   const auto sink = [](const flow::FlowRecord&) {};
-  for (const auto& b : m.blocks) {
+  for (std::size_t e = 0; e < els.size(); ++e) {
+    if (!els[e].survives) continue;  // salvage candidate: resolver fodder only
+    const BlockRef& b = els[e].b;
     const auto body = data.subspan(b.offset + b.header_size, b.body_len);
+    // Resolve dictionary delta chains over the original adjacency,
+    // including elements that will not survive repair: the walk CRC-gates
+    // every candidate, so a damaged predecessor with intact dictionary
+    // bytes still resolves (single-block blast radius) while real
+    // dictionary damage fails the hash and quarantines the dependents. A
+    // block whose chain leaned on a non-survivor decodes today but would be
+    // orphaned by repair's compaction — record it for transcoding.
+    bool leaned_on_casualty = false;
+    const auto resolve = [&](std::size_t back) -> std::span<const std::byte> {
+      if (back == 0 || back > e) return {};
+      const Element& p = els[e - back];
+      if (!p.survives) leaned_on_casualty = true;
+      return data.subspan(p.b.offset + p.b.header_size, p.b.body_len);
+    };
+    const PrevBlockResolver resolver{resolve};
     const auto status =
-        decode_columnar_block(body, scratch, nullptr, ignored, sink, b.record_count);
+        decode_columnar_block(body, scratch, nullptr, ignored, sink, b.record_count, &resolver);
     if (status == BlockDecodeStatus::kOk) {
+      if (leaned_on_casualty) transcode.push_back(good.size());
       good.push_back(b);
     } else {
+      els[e].survives = false;
       m.bad.push_back({b.offset, b.offset + b.header_size + b.body_len});
+      // The chain cache now describes a quarantined predecessor: drop it so
+      // the next delta block proves its chain through the resolver (and the
+      // CRC gate) instead of silently chaining across the quarantine.
+      scratch.chain_name_valid = false;
+      scratch.chain_ct_valid = false;
     }
   }
   m.blocks = std::move(good);
+  m.transcode = std::move(transcode);
 }
 
 std::optional<std::vector<std::byte>> read_file(const std::filesystem::path& path) {
@@ -395,40 +509,122 @@ std::filesystem::path DataLake::day_path(core::CivilDate day) const {
 
 std::filesystem::path DataLake::quarantine_dir() const { return root_ / "quarantine"; }
 
-namespace {
+void DataLake::encode_day_elements(core::ByteWriter& out,
+                                   std::span<const flow::FlowRecord> records,
+                                   std::uint8_t version, std::uint32_t next_seq,
+                                   std::uint64_t cum_records) {
+  auto& m = lake_obs();
+  const auto& catalog = effective_catalog();
+  const std::size_t nblocks = (records.size() + kBlockRecords - 1) / kBlockRecords;
+  const auto chunk_of = [&](std::size_t i) {
+    const std::size_t first = i * kBlockRecords;
+    return records.subspan(first, std::min(kBlockRecords, records.size() - first));
+  };
 
-/// Chunk `records` into block frames of the requested on-disk version,
-/// appending frames (and, for v2/v3, a trailing seal) to `out`. Shared by
-/// append() and rewrite_day().
-void encode_day_elements(core::ByteWriter& out, std::span<const flow::FlowRecord> records,
-                         std::uint8_t version, std::uint32_t next_seq,
-                         std::uint64_t cum_records, const services::ServiceCatalog& catalog) {
-  for (std::size_t first = 0; first < records.size(); first += DataLake::kBlockRecords) {
-    const std::size_t n = std::min(DataLake::kBlockRecords, records.size() - first);
-    const auto chunk = records.subspan(first, n);
-    if (version == kVersion3) {
-      // Columnar bodies carry per-segment compression envelopes already;
-      // the frame wraps them uncompressed so zone maps stay peekable.
-      core::ByteWriter body;
-      encode_columnar_block(chunk, catalog, body);
-      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), body.view());
-      cum_records += n;
-      continue;
+  if (version == kVersion3) {
+    // Columnar bodies carry per-segment compression envelopes already; the
+    // frame wraps them uncompressed so zone maps stay peekable.
+    //
+    // With an encode pool, blocks are encoded out-of-line in a bounded ring
+    // and their frames committed strictly in order. Byte identity with the
+    // serial writer holds by construction: each block's encode is a pure
+    // function of its records and its predecessor's records (the dictionary
+    // chain state is *recomputed* per block, never threaded through the
+    // pipeline), and both the frame stream and the sequence numbers are
+    // produced by this thread in chunk order.
+    const bool pooled = encode_pool_ != nullptr && nblocks > 1;
+    std::size_t window = 1;
+    if (pooled) {
+      window = encode_max_inflight_ != 0 ? encode_max_inflight_ : 2 * encode_pool_->size();
+      window = std::clamp<std::size_t>(window, 1, nblocks);
     }
+    if (encode_slots_.size() < window) encode_slots_.resize(window);
+
+    const auto encode_into = [&](EncodeSlot& slot, std::size_t i) {
+      obs::Span span(*m.encode_block_span);
+      slot.body.clear();
+      const DictChainState* prev = nullptr;
+      if (i % kDictChainInterval != 0) {
+        build_dict_chain_state(chunk_of(i - 1), slot.chain);
+        prev = &slot.chain;
+      }
+      encode_columnar_block(chunk_of(i), catalog, slot.body, slot.scratch, prev);
+    };
+    std::size_t committed = 0;
+    const auto commit_through = [&](std::size_t upto) {
+      for (; committed < upto; ++committed) {
+        EncodeSlot& slot = encode_slots_[committed % window];
+        if (slot.done.valid()) {
+          slot.done.get();
+          if constexpr (obs::kEnabled) m.encode_inflight->add(-1);
+        }
+        const auto n = static_cast<std::uint32_t>(chunk_of(committed).size());
+        put_block_frame(out, next_seq++, n, slot.body.view());
+        cum_records += n;
+        if constexpr (obs::kEnabled) {
+          for (std::size_t k = 0; k < 4; ++k) {
+            if (slot.scratch.codec_bytes_in[k] != 0) m.codec_in[k]->add(slot.scratch.codec_bytes_in[k]);
+            if (slot.scratch.codec_bytes_out[k] != 0) m.codec_out[k]->add(slot.scratch.codec_bytes_out[k]);
+          }
+        }
+        slot.scratch.codec_bytes_in.fill(0);
+        slot.scratch.codec_bytes_out.fill(0);
+      }
+    };
+    try {
+      for (std::size_t i = 0; i < nblocks; ++i) {
+        if (i >= window) commit_through(i - window + 1);
+        EncodeSlot& slot = encode_slots_[i % window];
+        if (pooled) {
+          if constexpr (obs::kEnabled) m.encode_inflight->add(1);
+          slot.done = encode_pool_->submit([&encode_into, &slot, i] { encode_into(slot, i); });
+        } else {
+          encode_into(slot, i);
+        }
+      }
+      commit_through(nblocks);
+    } catch (...) {
+      // A failed submit (pool shutdown) or a throwing encode (bad_alloc)
+      // must not unwind past tasks still referencing this frame's locals.
+      for (auto& slot : encode_slots_) {
+        if (!slot.done.valid()) continue;
+        try {
+          slot.done.get();
+        } catch (...) {  // NOLINT(bugprone-empty-catch): first error wins
+        }
+        if constexpr (obs::kEnabled) m.encode_inflight->add(-1);
+      }
+      throw;
+    }
+    put_seal(out, cum_records, next_seq);
+    return;
+  }
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    const auto chunk = chunk_of(i);
     core::ByteWriter block;
     for (const auto& record : chunk) encode_record(record, block);
-    const auto compressed = compress_block(block.view());
+    std::vector<std::byte> compressed;
+    {
+      obs::Span span(*m.block_compress_span);
+      compressed = compress_block(block.view());
+    }
+    if constexpr (obs::kEnabled) {
+      // Row blocks use the byte-stream schemes (0/1); fold them into the
+      // same per-codec tallies the columnar segments feed.
+      const auto scheme = std::to_integer<std::uint8_t>(compressed.front()) & 3u;
+      m.codec_in[scheme]->add(block.size());
+      m.codec_out[scheme]->add(compressed.size());
+    }
     if (version == kVersion2) {
-      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(n), compressed);
-      cum_records += n;
+      put_block_frame(out, next_seq++, static_cast<std::uint32_t>(chunk.size()), compressed);
+      cum_records += chunk.size();
     } else {
       put_v1_frame(out, block.view(), compressed);
     }
   }
   if (version >= kVersion2) put_seal(out, cum_records, next_seq);
 }
-
-}  // namespace
 
 const services::ServiceCatalog& DataLake::effective_catalog() const noexcept {
   return write_catalog_ != nullptr ? *write_catalog_ : services::ServiceCatalog::standard();
@@ -450,18 +646,55 @@ core::Result<std::uint64_t> DataLake::append(core::CivilDate day,
   return result;
 }
 
+namespace {
+
+/// size + mtime of a path, or nullopt when unreadable. The light stat the
+/// append cursor cache validates against (file_identity() additionally
+/// reads the trailing seal, which would defeat the point here).
+std::optional<std::pair<std::uint64_t, std::int64_t>> stat_size_mtime(
+    const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  return std::make_pair(
+      size,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(mtime.time_since_epoch()).count());
+}
+
+}  // namespace
+
 core::Result<std::uint64_t> DataLake::append_impl(core::CivilDate day,
                                                   std::span<const flow::FlowRecord> records) {
   const auto path = day_path(day);
 
   // Find the resume point: end of the last valid element, dropping any
-  // torn tail a previous crash left behind.
+  // torn tail a previous crash left behind. The cursor cache short-cuts
+  // the common case — appending batch after batch to a day this process
+  // sealed itself — from a whole-file reparse to one stat.
   std::uint64_t start = 0;
   std::uint32_t next_seq = 0;
   std::uint64_t cum_records = 0;
   std::uint8_t version = static_cast<std::uint8_t>(write_format_);
   bool fresh = true;
-  if (std::filesystem::exists(path)) {
+  bool from_cache = false;
+  if (append_cursor_cache_) {
+    if (const auto it = append_cursors_.find(day); it != append_cursors_.end()) {
+      const auto st = stat_size_mtime(path);
+      if (st && st->first == it->second.file_size && st->second == it->second.mtime_ns) {
+        fresh = false;
+        from_cache = true;
+        version = it->second.version;
+        start = it->second.file_size;  // a cached day ends sealed at EOF
+        next_seq = it->second.next_seq;
+        cum_records = it->second.cum_records;
+      } else {
+        append_cursors_.erase(it);  // rewritten behind our back: reparse
+      }
+    }
+  }
+  if (!from_cache && std::filesystem::exists(path)) {
     const auto existing = read_file(path);
     if (!existing) return core::Errc::kIoError;
     if (!existing->empty()) {
@@ -485,7 +718,8 @@ core::Result<std::uint64_t> DataLake::append_impl(core::CivilDate day,
     for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
     out.u8(version);
   }
-  encode_day_elements(out, records, version, next_seq, cum_records, effective_catalog());
+  const std::size_t nblocks = (records.size() + kBlockRecords - 1) / kBlockRecords;
+  encode_day_elements(out, records, version, next_seq, cum_records);
 
   auto file = file_factory_();
   if (auto r = file->open_at(path, start); !r) return r.error();
@@ -493,6 +727,7 @@ core::Result<std::uint64_t> DataLake::append_impl(core::CivilDate day,
     // Survivable failure: make the append atomic by restoring the old
     // length. After a (simulated) crash the truncate fails too and the
     // torn tail stays for fsck/repair to find.
+    append_cursors_.erase(day);
     (void)file->truncate(start);
     (void)file->sync();
     (void)file->close();
@@ -504,8 +739,28 @@ core::Result<std::uint64_t> DataLake::append_impl(core::CivilDate day,
     return err;
   };
   if (auto r = file->write(out.view()); !r) return rollback(r.error());
-  if (auto r = file->sync(); !r) return rollback(r.error());
-  if (auto r = file->close(); !r) return r.error();
+  {
+    obs::Span span(*lake_obs().fsync_span);
+    if (auto r = file->sync(); !r) return rollback(r.error());
+  }
+  if (auto r = file->close(); !r) {
+    append_cursors_.erase(day);
+    return r.error();
+  }
+  if (append_cursor_cache_ && version >= kVersion2) {
+    // The file now provably ends in a seal at exactly start + out.size();
+    // remember the cursor the next append would otherwise re-derive from a
+    // full parse. Keyed to the post-append stat so any out-of-band change
+    // invalidates it.
+    if (const auto st = stat_size_mtime(path);
+        st && st->first == start + out.size()) {
+      append_cursors_[day] = AppendCursor{start + out.size(), st->second,
+                                          next_seq + static_cast<std::uint32_t>(nblocks),
+                                          cum_records + records.size(), version};
+    } else {
+      append_cursors_.erase(day);
+    }
+  }
   return static_cast<std::uint64_t>(out.size());
 }
 
@@ -530,6 +785,26 @@ DayBlockIndex DataLake::load_day_blocks(core::CivilDate day) const {
   for (const auto& b : m.blocks) {
     idx.blocks_.push_back({b.offset, b.header_size, b.body_len, b.record_count});
   }
+  // Stream-order resolution adjacency: valid blocks interleaved with
+  // dictionary-salvage candidates (see DayBlockIndex::chain()).
+  idx.chain_.reserve(m.blocks.size() + m.salvage.size());
+  idx.chain_pos_.reserve(m.blocks.size());
+  {
+    std::size_t vi = 0, si = 0;
+    while (vi < m.blocks.size() || si < m.salvage.size()) {
+      const bool take_valid = si >= m.salvage.size() ||
+                              (vi < m.blocks.size() &&
+                               m.blocks[vi].offset < m.salvage[si].offset);
+      const BlockRef& b = take_valid ? m.blocks[vi] : m.salvage[si];
+      if (take_valid) {
+        idx.chain_pos_.push_back(static_cast<std::uint32_t>(idx.chain_.size()));
+        ++vi;
+      } else {
+        ++si;
+      }
+      idx.chain_.push_back({b.offset, b.header_size, b.body_len, b.record_count});
+    }
+  }
   idx.damaged_ranges_ = static_cast<std::uint32_t>(m.bad.size());
   idx.baseline_ = !m.bad.empty() ? core::Errc::kCorrupt
                   : (m.version == kVersion2 && !m.ends_sealed) ? core::Errc::kTruncated
@@ -540,7 +815,8 @@ DayBlockIndex DataLake::load_day_blocks(core::CivilDate day) const {
 
 void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_count,
                           const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
-                          core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+                          core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                          const PrevBlockResolver* prev_blocks) {
   auto& m = lake_obs();
   // Every exit path folds this block's deliveries into the global scan
   // counter (one add per block, never per record).
@@ -572,7 +848,8 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
       }
     }
     const auto status = decode_columnar_block(body, scratch.columns, predicate,
-                                              res.records_delivered, fn, record_count);
+                                              res.records_delivered, fn, record_count,
+                                              prev_blocks);
     if (status == BlockDecodeStatus::kCorrupt) {
       ++res.blocks_skipped;
       m.blocks_skipped->add(1);
@@ -619,9 +896,10 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
 
 bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratch,
                             std::uint64_t& records_delivered,
-                            core::FunctionRef<void(const flow::FlowRecord&)> fn) {
+                            core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                            const PrevBlockResolver* prev_blocks) {
   ScanResult res;
-  scan_block(body, kAnyRecordCount, nullptr, scratch, res, fn);
+  scan_block(body, kAnyRecordCount, nullptr, scratch, res, fn, prev_blocks);
   records_delivered += res.records_delivered;
   return res.errc == core::Errc::kOk;
 }
@@ -636,8 +914,22 @@ ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* pre
   }
   ScanScratch scratch;
   const auto deliver = [&fn](const flow::FlowRecord& r) { fn(r); };
-  for (const auto& b : idx.blocks()) {
-    scan_block(idx.body(b), b.record_count, predicate, scratch, res, deliver);
+  const auto& blocks = idx.blocks();
+  const auto& chain = idx.chain();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    // Chain resolver over the file's stream-order adjacency — including
+    // dictionary-salvage candidates, so a damaged predecessor with intact
+    // dictionary bytes costs only its own records. A sequential scan rarely
+    // uses it (the scratch's chain cache tracks the predecessor); it
+    // matters when a pruned or damaged block breaks the sequence.
+    const std::size_t ci = idx.chain_pos(i);
+    const auto resolve = [&, ci](std::size_t back) -> std::span<const std::byte> {
+      if (back == 0 || back > ci) return {};
+      return idx.body(chain[ci - back]);
+    };
+    const PrevBlockResolver resolver{resolve};
+    scan_block(idx.body(blocks[i]), blocks[i].record_count, predicate, scratch, res, deliver,
+               &resolver);
   }
   res.blocks_skipped += idx.damaged_ranges();
   if (res.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
@@ -743,9 +1035,9 @@ core::Result<void> DataLake::rewrite_day(core::CivilDate day, LakeFormat format)
   core::ByteWriter out;
   for (char c : kMagic) out.u8(static_cast<std::uint8_t>(c));
   out.u8(static_cast<std::uint8_t>(format));
-  encode_day_elements(out, records, static_cast<std::uint8_t>(format), 0, 0,
-                      effective_catalog());
+  encode_day_elements(out, records, static_cast<std::uint8_t>(format), 0, 0);
 
+  append_cursors_.erase(day);
   const auto temp = path.string() + ".rewrite.tmp";
   auto file = file_factory_();
   const auto fail = [&](core::Errc err) -> core::Result<void> {
@@ -771,6 +1063,7 @@ core::Result<void> DataLake::rewrite_day(core::CivilDate day, LakeFormat format)
 
 core::Result<void> DataLake::truncate_day(core::CivilDate day, std::uint64_t size) {
   const auto path = day_path(day);
+  append_cursors_.erase(day);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec)) return core::Errc::kNotFound;
   std::filesystem::resize_file(path, size, ec);
@@ -779,6 +1072,7 @@ core::Result<void> DataLake::truncate_day(core::CivilDate day, std::uint64_t siz
 }
 
 core::Result<void> DataLake::remove_day(core::CivilDate day) {
+  append_cursors_.erase(day);
   std::error_code ec;
   std::filesystem::remove(day_path(day), ec);
   if (ec) return core::Errc::kIoError;
@@ -787,6 +1081,7 @@ core::Result<void> DataLake::remove_day(core::CivilDate day) {
 
 DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
   const auto path = day_path(day);
+  append_cursors_.erase(day);
   if (!std::filesystem::exists(path)) {
     DayHealth h;
     h.day = day;
@@ -801,6 +1096,10 @@ DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
     return h;
   }
   FileModel m = parse_file(*data);
+  // The original stream adjacency (pre-verify blocks + salvage candidates)
+  // is what delta links were encoded against; transcoding below re-decodes
+  // through it.
+  const std::vector<BlockRef> parsed_blocks = m.blocks;
   deep_verify_columnar(*data, m);
   DayHealth h = assess(m, day);
 
@@ -833,10 +1132,56 @@ DayHealth DataLake::repair_day_impl(core::CivilDate day, bool force_rewrite) {
   out.u8(out_version);
   std::uint32_t new_seq = 0;
   std::uint64_t cum_records = 0;
-  for (const auto& b : m.blocks) {
+  // Blocks whose dictionary chain leaned on a quarantined or salvaged
+  // predecessor survive the rebuild only as chain heads: decode them
+  // through the original adjacency and re-encode with full dictionaries.
+  // The block's own dictionary (entries, first-appearance order) is
+  // identical either way, so later blocks that delta-link to IT keep
+  // resolving — their link CRC hashes the resolved entries, not the wire
+  // encoding.
+  const std::vector<BlockRef> chain = chain_order(parsed_blocks, m.salvage);
+  std::size_t next_transcode = 0;
+  for (std::size_t i = 0; i < m.blocks.size(); ++i) {
+    const BlockRef& b = m.blocks[i];
     const auto body = std::span<const std::byte>{*data}.subspan(b.offset + b.header_size,
                                                                 b.body_len);
-    put_block_frame(out, new_seq++, b.record_count, body);
+    const bool transcode =
+        next_transcode < m.transcode.size() && m.transcode[next_transcode] == i;
+    if (!transcode) {
+      put_block_frame(out, new_seq++, b.record_count, body);
+      cum_records += b.record_count;
+      continue;
+    }
+    ++next_transcode;
+    std::size_t ci = 0;
+    while (ci < chain.size() && chain[ci].offset != b.offset) ++ci;
+    const auto resolve = [&, ci](std::size_t back) -> std::span<const std::byte> {
+      if (back == 0 || back > ci) return {};
+      const BlockRef& p = chain[ci - back];
+      return std::span<const std::byte>{*data}.subspan(p.offset + p.header_size, p.body_len);
+    };
+    const PrevBlockResolver resolver{resolve};
+    std::vector<flow::FlowRecord> recs;
+    recs.reserve(b.record_count);
+    ColumnScratch cs;
+    std::uint64_t n = 0;
+    const auto collect = [&recs](const flow::FlowRecord& r) { recs.push_back(r); };
+    const auto status =
+        decode_columnar_block(body, cs, nullptr, n, collect, b.record_count, &resolver);
+    if (status != BlockDecodeStatus::kOk) {
+      // deep_verify proved this decode moments ago; treat a failure here as
+      // fresh damage and quarantine the block rather than abort the repair.
+      m.bad.push_back({b.offset, b.offset + b.header_size + b.body_len});
+      h.blocks_ok -= 1;
+      h.records_ok -= b.record_count;
+      h.blocks_quarantined += 1;
+      h.bytes_quarantined += b.header_size + b.body_len;
+      h.records_lost += b.record_count;
+      continue;
+    }
+    core::ByteWriter head;
+    encode_columnar_block(recs, effective_catalog(), head);
+    put_block_frame(out, new_seq++, b.record_count, head.view());
     cum_records += b.record_count;
   }
   put_seal(out, cum_records, new_seq);

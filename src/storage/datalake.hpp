@@ -32,6 +32,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -44,6 +46,10 @@
 #include "flow/record.hpp"
 #include "storage/columnar.hpp"
 #include "storage/io.hpp"
+
+namespace edgewatch::core {
+class ThreadPool;
+}  // namespace edgewatch::core
 
 namespace edgewatch::storage {
 
@@ -108,6 +114,18 @@ class DayBlockIndex {
   /// kTruncated for an unsealed v2 tail.
   [[nodiscard]] core::Errc baseline() const noexcept { return baseline_; }
   [[nodiscard]] const std::vector<Block>& blocks() const noexcept { return blocks_; }
+  /// Every framed element of the file in stream order: the CRC-valid blocks
+  /// of blocks() interleaved with dictionary-salvage candidates carved from
+  /// damaged ranges (frames whose header still parses but whose CRC failed).
+  /// Dictionary chain resolvers must walk THIS order — `back` steps in a
+  /// delta link count original stream positions, so skipping a damaged
+  /// predecessor would mis-align every link behind it. Serving unverified
+  /// candidate bodies is safe: the chain walk re-derives the predecessor
+  /// dictionary and accepts it only when it hashes to the link's recorded
+  /// CRC, so a corrupt candidate fails cleanly instead of mis-resolving.
+  [[nodiscard]] const std::vector<Block>& chain() const noexcept { return chain_; }
+  /// Position of blocks()[i] within chain().
+  [[nodiscard]] std::size_t chain_pos(std::size_t i) const noexcept { return chain_pos_[i]; }
   /// Damaged byte ranges stepped over while indexing (counts toward
   /// ScanResult::blocks_skipped, exactly as in the serial scan).
   [[nodiscard]] std::uint32_t damaged_ranges() const noexcept { return damaged_ranges_; }
@@ -120,6 +138,8 @@ class DayBlockIndex {
   friend class DataLake;
   std::shared_ptr<const std::vector<std::byte>> data_;
   std::vector<Block> blocks_;
+  std::vector<Block> chain_;
+  std::vector<std::uint32_t> chain_pos_;
   std::uint32_t damaged_ranges_ = 0;
   core::Errc fatal_ = core::Errc::kOk;
   core::Errc baseline_ = core::Errc::kOk;
@@ -229,7 +249,8 @@ class DataLake {
   /// atomically), matching scan_day's skip semantics.
   static bool decode_block(std::span<const std::byte> body, ScanScratch& scratch,
                            std::uint64_t& records_delivered,
-                           core::FunctionRef<void(const flow::FlowRecord&)> fn);
+                           core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                           const PrevBlockResolver* prev_blocks = nullptr);
 
   /// Scan one indexed block body with optional predicate pushdown,
   /// folding delivery/skip/prune accounting into `res`. The workhorse
@@ -237,10 +258,15 @@ class DataLake {
   /// per block (the body self-describes as columnar or row-stream), so one
   /// scan loop serves v1/v2/v3 files alike. `record_count` is the frame
   /// header's count (cross-checked against a v3 zone map; pass
-  /// kAnyRecordCount when unknown).
+  /// kAnyRecordCount when unknown). `prev_blocks`, when given, resolves
+  /// layout-2 dictionary delta chains on random access (pass a resolver
+  /// over the day's block adjacency — see PrevBlockResolver); without it a
+  /// delta block only decodes when the scratch's chain cache holds its
+  /// predecessor, i.e. when blocks are scanned in file order.
   static void scan_block(std::span<const std::byte> body, std::uint32_t record_count,
                          const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
-                         core::FunctionRef<void(const flow::FlowRecord&)> fn);
+                         core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                         const PrevBlockResolver* prev_blocks = nullptr);
 
   /// Convenience: materialize a day (recoverable records only).
   [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;
@@ -318,10 +344,61 @@ class DataLake {
     write_catalog_ = catalog;
   }
 
+  /// Pipeline the v3 encode over `pool`: an append hands each full block
+  /// (serialize → columnar transpose → per-segment compress) to the pool
+  /// and commits the frames in order, so the sealed file is byte-identical
+  /// to the serial writer's — only the ingest thread's wall time changes.
+  /// `max_inflight` bounds the encoded-but-uncommitted blocks (0 = twice
+  /// the pool size); each in-flight block owns one EncodeScratch slot, so
+  /// the bound is also the steady-state memory ceiling. nullptr restores
+  /// the serial encoder. The pool must outlive the lake (or a trailing
+  /// set_encode_pool(nullptr)); appends themselves stay single-caller —
+  /// the pipeline parallelizes one append internally, it does not make
+  /// append() reentrant.
+  void set_encode_pool(core::ThreadPool* pool, std::size_t max_inflight = 0) noexcept {
+    encode_pool_ = pool;
+    encode_max_inflight_ = max_inflight;
+  }
+
+  /// Cache each day's append cursor (resume offset, next sequence number,
+  /// cumulative record count) keyed by the file's stat identity, replacing
+  /// the whole-file read-and-reparse that otherwise precedes every append
+  /// — O(appends · file size) for a day written in many batches. The cache
+  /// is validated against size+mtime before use and dropped on any failed
+  /// or out-of-band mutation (truncate, remove, repair, rewrite), so an
+  /// externally modified file simply falls back to the full parse. On by
+  /// default; disable to force the seed behaviour.
+  void set_append_cursor_cache(bool enabled) {
+    append_cursor_cache_ = enabled;
+    if (!enabled) append_cursors_.clear();
+  }
+
   /// Records per compressed block.
   static constexpr std::size_t kBlockRecords = 4096;
 
  private:
+  /// One slot of the pipelined-encode ring: the reusable per-task scratch
+  /// (satellite of the write-path overhaul — scratch survives across
+  /// flushes, so the steady state allocates nothing), the recomputed
+  /// dictionary chain state of the block's predecessor, the encoded body,
+  /// and the in-flight handle.
+  struct EncodeSlot {
+    EncodeScratch scratch;
+    DictChainState chain;
+    core::ByteWriter body;
+    std::future<void> done;
+  };
+
+  /// Cached resume point of one day file; valid only while the file still
+  /// stats to exactly {file_size, mtime_ns}.
+  struct AppendCursor {
+    std::uint64_t file_size = 0;
+    std::int64_t mtime_ns = 0;
+    std::uint32_t next_seq = 0;
+    std::uint64_t cum_records = 0;
+    std::uint8_t version = 0;
+  };
+
   [[nodiscard]] std::filesystem::path day_path(core::CivilDate day) const;
   /// append() minus the observability envelope (span + outcome counters).
   core::Result<std::uint64_t> append_impl(core::CivilDate day,
@@ -330,11 +407,23 @@ class DataLake {
   ScanResult scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
                            const std::function<void(const flow::FlowRecord&)>& fn) const;
   [[nodiscard]] const services::ServiceCatalog& effective_catalog() const noexcept;
+  /// Chunk `records` into block frames of the requested on-disk version
+  /// (plus, for v2/v3, a trailing seal), appending to `out`. Shared by
+  /// append() and rewrite_day(); v3 blocks go through the encode pipeline
+  /// when one is configured.
+  void encode_day_elements(core::ByteWriter& out, std::span<const flow::FlowRecord> records,
+                           std::uint8_t version, std::uint32_t next_seq,
+                           std::uint64_t cum_records);
 
   std::filesystem::path root_;
   FileFactory file_factory_;
   LakeFormat write_format_ = LakeFormat::kV3;
   const services::ServiceCatalog* write_catalog_ = nullptr;
+  core::ThreadPool* encode_pool_ = nullptr;
+  std::size_t encode_max_inflight_ = 0;
+  std::vector<EncodeSlot> encode_slots_;
+  bool append_cursor_cache_ = true;
+  std::map<core::CivilDate, AppendCursor> append_cursors_;
 };
 
 }  // namespace edgewatch::storage
