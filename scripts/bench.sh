@@ -23,7 +23,7 @@ FRAGMENTS=build/bench_fragments
 if [ ! -d build ]; then
   cmake --preset default
 fi
-cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload bench_scan_selectivity bench_obs_overhead bench_write_path -j "$(nproc)"
+cmake --build build --target bench_parallel_scaling bench_probe_hotpath bench_query_latency bench_overload bench_scan_selectivity bench_batch_scan bench_obs_overhead bench_write_path -j "$(nproc)"
 
 mkdir -p "$FRAGMENTS"
 ./build/bench/bench_parallel_scaling "$CONVERSATIONS" "$REPEATS" \
@@ -38,6 +38,17 @@ mkdir -p "$FRAGMENTS"
 # one-hour predicate must prune ≥90% of them (the binary exits non-zero if
 # it doesn't, or if the two formats deliver different records).
 ./build/bench/bench_scan_selectivity 8 "$REPEATS" "$FRAGMENTS/scan_selectivity.json"
+# Batch execution core: the full-day aggregate scan consumed as SoA batches
+# must beat the row-emit shim on the same v3 lake. The aggregate-identity
+# gate is unconditional; the ≥1.5x speedup gate (override with
+# BATCH_SPEEDUP_GATE) only arms on ≥4-core machines, where the measurement
+# isn't dominated by a loaded shared host.
+BATCH_ARGS=()
+if [ "$(nproc)" -ge 4 ]; then
+  BATCH_ARGS+=(--min-speedup "${BATCH_SPEEDUP_GATE:-1.5}")
+fi
+./build/bench/bench_batch_scan 8 "$REPEATS" "$FRAGMENTS/batch_scan.json" \
+  ${BATCH_ARGS[@]+"${BATCH_ARGS[@]}"}
 # Write path: the parallel/serial byte-identity and day-file-size gates are
 # unconditional; the ≥2x ingest→sealed-file throughput gate (vs the
 # pre-overhaul serial writer) needs enough cores for the encode pipeline to

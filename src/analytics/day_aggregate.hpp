@@ -18,6 +18,7 @@
 #include "core/flat_hash_map.hpp"
 #include "core/time.hpp"
 #include "core/types.hpp"
+#include "exec/record_batch.hpp"
 #include "flow/record.hpp"
 #include "services/catalog.hpp"
 
@@ -209,6 +210,17 @@ class DayAggregator {
 
   void add(const flow::FlowRecord& record);
 
+  /// Batch-at-a-time counterpart of add(): consumes one RecordBatch from
+  /// the lake's batch scan path and produces *bit-identical* aggregates to
+  /// feeding the same rows through add() one by one (rows are visited in
+  /// stream order, so even the floating-point bins and the RTT sample
+  /// order match). The win over the row path: service classification runs
+  /// once per *dictionary entry* instead of once per row, and no FlowRecord
+  /// — no string — is ever materialized. Requires the batch to carry at
+  /// least the kDayAggregate projection (a narrower batch aggregates the
+  /// zeros the row path would have seen, same as add()).
+  void add_batch(const exec::RecordBatch& batch);
+
   /// Hand over the finished aggregate (the aggregator is then empty).
   [[nodiscard]] DayAggregate take() &&;
   [[nodiscard]] const DayAggregate& current() const noexcept { return agg_; }
@@ -216,6 +228,10 @@ class DayAggregator {
  private:
   const services::ServiceCatalog& catalog_;
   DayAggregate agg_;
+  // add_batch scratch (reused across batches): per-dictionary-entry
+  // classification and second-level-domain caches.
+  std::vector<services::ServiceId> dict_service_;
+  std::vector<std::string_view> dict_sld_;
 };
 
 /// "facebook.com" from "edge-star-shv-01-mxp1.facebook.com"; keeps known

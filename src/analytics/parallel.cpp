@@ -57,7 +57,11 @@ DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate da
     out.scan.errc = idx.fatal();
     return out;
   }
-  auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
+  // Batch delivery: v3 blocks aggregate column-at-a-time with dict-code
+  // pass-through (no per-row FlowRecord, no string materialization); v1/v2
+  // blocks stage through the scratch transposer. Identical aggregates to
+  // the old per-record callback — add_batch is golden-tested against add().
+  auto deliver = [&agg](const exec::RecordBatch& b) { agg.add_batch(b); };
   const auto& blocks = idx.blocks();
   const auto& chain = idx.chain();
   for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -71,8 +75,8 @@ DayScanAggregate aggregate_day(const storage::DataLake& lake, core::CivilDate da
       return idx.body(chain[ci - back]);
     };
     const storage::PrevBlockResolver resolver{resolve};
-    storage::DataLake::scan_block(idx.body(blocks[i]), blocks[i].record_count, predicate,
-                                  scratch, out.scan, deliver, &resolver);
+    storage::DataLake::scan_block_batches(idx.body(blocks[i]), blocks[i].record_count, predicate,
+                                          scratch, out.scan, deliver, &resolver);
   }
   out.scan.blocks_skipped += idx.damaged_ranges();
   if (out.scan.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
@@ -115,7 +119,7 @@ DayScanAggregate aggregate_day_parallel_impl(const storage::DataLake& lake, core
       DayAggregator agg(day, catalog);
       Partial p;
       storage::ScanScratch scratch;
-      auto deliver = [&agg](const flow::FlowRecord& r) { agg.add(r); };
+      auto deliver = [&agg](const exec::RecordBatch& b) { agg.add_batch(b); };
       for (std::size_t b = lo; b < hi; ++b) {
         const auto& block = idx.blocks()[b];
         // Resolve over the *global* stream-order adjacency (salvage
@@ -128,8 +132,8 @@ DayScanAggregate aggregate_day_parallel_impl(const storage::DataLake& lake, core
           return idx.body(idx.chain()[cb - back]);
         };
         const storage::PrevBlockResolver resolver{resolve};
-        storage::DataLake::scan_block(idx.body(block), block.record_count, predicate, scratch,
-                                      p.scan, deliver, &resolver);
+        storage::DataLake::scan_block_batches(idx.body(block), block.record_count, predicate,
+                                              scratch, p.scan, deliver, &resolver);
       }
       p.aggregate = std::move(agg).take();
       return p;

@@ -1,0 +1,302 @@
+#include "exec/record_batch.hpp"
+
+#include <array>
+
+#include "obs/obs.hpp"
+
+namespace edgewatch::exec {
+
+namespace {
+
+/// Scan-shape instrumentation, resolved lazily against the process-global
+/// registry (same pattern as the lake/aggregate metrics).
+struct ExecObs {
+  obs::Counter* batches;
+  obs::Histogram* batch_rows;
+  obs::Counter* rows_passthrough;
+  obs::Counter* rows_materialized;
+};
+
+ExecObs& exec_obs() {
+  static ExecObs m = [] {
+    auto& reg = obs::Registry::global();
+    // Lake blocks hold at most DataLake::kBlockRecords (4096) rows; the
+    // buckets resolve "mostly full blocks" from "selective-scan slivers".
+    static constexpr std::array<std::int64_t, 6> kRowBounds{16, 64, 256, 1024, 2048, 4096};
+    return ExecObs{
+        &reg.counter("exec_batches_total"),
+        &reg.histogram("exec_batch_rows", kRowBounds),
+        &reg.counter("exec_rows_dict_passthrough_total"),
+        &reg.counter("exec_rows_materialized_total"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+void note_batch_delivered(const RecordBatch& batch) {
+  if constexpr (obs::kEnabled) {
+    auto& m = exec_obs();
+    const auto delivered = static_cast<std::int64_t>(batch.delivered_rows());
+    m.batches->add(1);
+    m.batch_rows->record(delivered);
+    m.rows_passthrough->add(static_cast<std::uint64_t>(delivered));
+  }
+}
+
+void BatchStaging::clear() {
+  ts_.clear();
+  dur_.clear();
+  rtt_min_.clear();
+  rtt_max_.clear();
+  rtt_avg_.clear();
+  proto_.clear();
+  access_.clear();
+  flags_.clear();
+  l7_.clear();
+  web_.clear();
+  name_source_.clear();
+  cport_.clear();
+  sport_.clear();
+  cip_.clear();
+  sip_.clear();
+  name_idx_.clear();
+  ct_idx_.clear();
+  up_pkts_.clear();
+  up_bytes_.clear();
+  up_hdr_.clear();
+  up_retx_.clear();
+  up_ooo_.clear();
+  dn_pkts_.clear();
+  dn_bytes_.clear();
+  dn_hdr_.clear();
+  dn_retx_.clear();
+  dn_ooo_.clear();
+  rtt_samples_.clear();
+  http_status_.clear();
+  // Dictionaries persist (see class comment); bound the pathological case
+  // of a scan over endless distinct names so the interning table cannot
+  // grow without limit across a multi-year sweep.
+  constexpr std::size_t kDictResetThreshold = 1u << 20;
+  if (name_entries_.size() + ct_entries_.size() > kDictResetThreshold) {
+    name_entries_.clear();
+    ct_entries_.clear();
+    name_codes_.clear();
+    ct_codes_.clear();
+    name_views_.clear();
+    ct_views_.clear();
+  }
+}
+
+std::uint32_t BatchStaging::intern(
+    std::string_view s, std::deque<std::string>& entries,
+    core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash>& codes,
+    std::vector<std::string_view>& views) {
+  if (const auto it = codes.find(s); it != codes.end()) return it->second;
+  const auto code = static_cast<std::uint32_t>(entries.size());
+  entries.emplace_back(s);
+  views.emplace_back(entries.back());
+  codes.emplace(std::string_view{entries.back()}, code);
+  return code;
+}
+
+void BatchStaging::add(const flow::FlowRecord& r) {
+  ts_.push_back(r.first_packet.micros());
+  dur_.push_back(r.last_packet - r.first_packet);
+  proto_.push_back(static_cast<std::uint8_t>(r.proto));
+  access_.push_back(static_cast<std::uint8_t>(r.access));
+  flags_.push_back(static_cast<std::uint8_t>((r.handshake_completed ? 1u : 0u) |
+                                             (static_cast<unsigned>(r.close_reason) << 1)));
+  l7_.push_back(static_cast<std::uint8_t>(r.l7));
+  web_.push_back(static_cast<std::uint8_t>(r.web));
+  name_source_.push_back(static_cast<std::uint8_t>(r.name_source));
+  cport_.push_back(r.client_port);
+  sport_.push_back(r.server_port);
+  cip_.push_back(r.client_ip.value());
+  sip_.push_back(r.server_ip.value());
+  up_pkts_.push_back(r.up.packets);
+  up_bytes_.push_back(r.up.bytes);
+  up_hdr_.push_back(r.up.bytes_with_hdr);
+  up_retx_.push_back(r.up.retransmits);
+  up_ooo_.push_back(r.up.out_of_order);
+  dn_pkts_.push_back(r.down.packets);
+  dn_bytes_.push_back(r.down.bytes);
+  dn_hdr_.push_back(r.down.bytes_with_hdr);
+  dn_retx_.push_back(r.down.retransmits);
+  dn_ooo_.push_back(r.down.out_of_order);
+  rtt_samples_.push_back(r.rtt.samples);
+  rtt_min_.push_back(r.rtt.min_us);
+  rtt_max_.push_back(r.rtt.max_us);
+  rtt_avg_.push_back(r.rtt.avg_us);
+  http_status_.push_back(r.http_status);
+  name_idx_.push_back(intern(r.server_name, name_entries_, name_codes_, name_views_));
+  ct_idx_.push_back(intern(r.content_type, ct_entries_, ct_codes_, ct_views_));
+}
+
+RecordBatch BatchStaging::finish(std::uint32_t fields) {
+  RecordBatch b;
+  b.fields = fields;
+  b.rows = ts_.size();
+  b.ts = ts_;
+  b.dur = dur_;
+  b.proto = proto_;
+  b.access = access_;
+  b.flags = flags_;
+  b.l7 = l7_;
+  b.web = web_;
+  b.name_source = name_source_;
+  b.cport = cport_;
+  b.sport = sport_;
+  b.cip = cip_;
+  b.sip = sip_;
+  b.up_pkts = up_pkts_;
+  b.up_bytes = up_bytes_;
+  b.up_hdr = up_hdr_;
+  b.up_retx = up_retx_;
+  b.up_ooo = up_ooo_;
+  b.dn_pkts = dn_pkts_;
+  b.dn_bytes = dn_bytes_;
+  b.dn_hdr = dn_hdr_;
+  b.dn_retx = dn_retx_;
+  b.dn_ooo = dn_ooo_;
+  b.rtt_samples = rtt_samples_;
+  b.rtt_min_us = rtt_min_;
+  b.rtt_max_us = rtt_max_;
+  b.rtt_avg_us = rtt_avg_;
+  b.http_status = http_status_;
+  b.name_idx = name_idx_;
+  b.ct_idx = ct_idx_;
+  b.name_dict = name_views_;
+  b.ct_dict = ct_views_;
+  return b;
+}
+
+namespace {
+
+/// The emit tail shared by every projection instantiation. `wantp` is a
+/// projection test the preset dispatch below folds to compile-time
+/// constants, leaving the per-row loop with no projection branches at all.
+template <typename WantP>
+void materialize_impl(const RecordBatch& b, flow::FlowRecord& rec,
+                      core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                      std::uint64_t& records_delivered, WantP wantp) {
+  const bool wrtt = wantp(scan_fields::kRttMin | scan_fields::kRttSpread);
+  // Unprojected fields are value-initialized once per batch: the record
+  // object carries state between rows and batches, so stale values must be
+  // cleared, but clearing per row would charge every scan for fields nobody
+  // asked for.
+  if (!wantp(scan_fields::kLastPacket)) rec.last_packet = core::Timestamp{};
+  if (!wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{};
+  if (!wantp(scan_fields::kClientPort)) rec.client_port = 0;
+  if (!wantp(scan_fields::kServerPort)) rec.server_port = 0;
+  if (!wantp(scan_fields::kAccess)) rec.access = flow::AccessTech{};
+  if (!wantp(scan_fields::kCloseState)) {
+    rec.handshake_completed = false;
+    rec.close_reason = flow::FlowCloseReason{};
+  }
+  if (!wantp(scan_fields::kUpPackets)) rec.up.packets = 0;
+  if (!wantp(scan_fields::kUpBytes)) rec.up.bytes = 0;
+  if (!wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = 0;
+  if (!wantp(scan_fields::kUpQuality)) rec.up.retransmits = rec.up.out_of_order = 0;
+  if (!wantp(scan_fields::kDownPackets)) rec.down.packets = 0;
+  if (!wantp(scan_fields::kDownBytes)) rec.down.bytes = 0;
+  if (!wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = 0;
+  if (!wantp(scan_fields::kDownQuality)) rec.down.retransmits = rec.down.out_of_order = 0;
+  if (!wrtt) rec.rtt = flow::RttStats{};
+  if (!wantp(scan_fields::kRttSpread)) {
+    rec.rtt.max_us = 0;
+    rec.rtt.avg_us = 0;
+  }
+  if (!wantp(scan_fields::kL7)) rec.l7 = dpi::L7Protocol{};
+  if (!wantp(scan_fields::kWeb)) rec.web = dpi::WebProtocol{};
+  if (!wantp(scan_fields::kNameSource)) rec.name_source = flow::NameSource{};
+  if (!wantp(scan_fields::kServerName)) rec.server_name.clear();
+  if (!wantp(scan_fields::kHttpStatus)) rec.http_status = 0;
+  if (!wantp(scan_fields::kContentType)) rec.content_type.clear();
+  rec.ingest_seq = 0;  // not stored in the lake; always zero on the scan path
+
+  // The dictionary columns repeat heavily (one hostname serves many flows),
+  // so a string is only re-assigned when the row's dict index differs from
+  // the previously emitted row's. Sentinels reset per batch: a new batch
+  // means a new dictionary, so index equality across batches proves nothing.
+  std::uint32_t last_name_idx = 0xffffffffu;
+  std::uint32_t last_ct_idx = 0xffffffffu;
+  b.for_each_row([&](std::size_t i) {
+    if (wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{b.cip[i]};
+    rec.server_ip = core::IPv4Address{b.sip[i]};
+    if (wantp(scan_fields::kClientPort)) rec.client_port = b.cport[i];
+    if (wantp(scan_fields::kServerPort)) rec.server_port = b.sport[i];
+    rec.proto = static_cast<core::TransportProto>(b.proto[i]);
+    if (wantp(scan_fields::kAccess)) rec.access = static_cast<flow::AccessTech>(b.access[i]);
+    rec.first_packet = core::Timestamp{b.ts[i]};
+    if (wantp(scan_fields::kLastPacket)) rec.last_packet = rec.first_packet + b.dur[i];
+    if (wantp(scan_fields::kUpPackets)) rec.up.packets = b.up_pkts[i];
+    if (wantp(scan_fields::kUpBytes)) rec.up.bytes = b.up_bytes[i];
+    if (wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = b.up_hdr[i];
+    if (wantp(scan_fields::kUpQuality)) {
+      rec.up.retransmits = static_cast<std::uint32_t>(b.up_retx[i]);
+      rec.up.out_of_order = static_cast<std::uint32_t>(b.up_ooo[i]);
+    }
+    if (wantp(scan_fields::kDownPackets)) rec.down.packets = b.dn_pkts[i];
+    if (wantp(scan_fields::kDownBytes)) rec.down.bytes = b.dn_bytes[i];
+    if (wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = b.dn_hdr[i];
+    if (wantp(scan_fields::kDownQuality)) {
+      rec.down.retransmits = static_cast<std::uint32_t>(b.dn_retx[i]);
+      rec.down.out_of_order = static_cast<std::uint32_t>(b.dn_ooo[i]);
+    }
+    if (wantp(scan_fields::kCloseState)) {
+      rec.handshake_completed = (b.flags[i] & 1) != 0;
+      rec.close_reason = static_cast<flow::FlowCloseReason>(b.flags[i] >> 1);
+    }
+    if (wrtt) {
+      rec.rtt.samples = static_cast<std::uint32_t>(b.rtt_samples[i]);
+      rec.rtt.min_us = b.rtt_min_us[i];
+      if (wantp(scan_fields::kRttSpread)) {
+        rec.rtt.max_us = b.rtt_max_us[i];
+        rec.rtt.avg_us = b.rtt_avg_us[i];
+      }
+    }
+    if (wantp(scan_fields::kL7)) rec.l7 = static_cast<dpi::L7Protocol>(b.l7[i]);
+    if (wantp(scan_fields::kWeb)) rec.web = static_cast<dpi::WebProtocol>(b.web[i]);
+    if (wantp(scan_fields::kNameSource)) {
+      rec.name_source = static_cast<flow::NameSource>(b.name_source[i]);
+    }
+    if (wantp(scan_fields::kServerName) && b.name_idx[i] != last_name_idx) {
+      last_name_idx = b.name_idx[i];
+      rec.server_name.assign(b.name_dict[last_name_idx]);
+    }
+    if (wantp(scan_fields::kHttpStatus)) {
+      rec.http_status = static_cast<std::uint16_t>(b.http_status[i]);
+    }
+    if (wantp(scan_fields::kContentType) && b.ct_idx[i] != last_ct_idx) {
+      last_ct_idx = b.ct_idx[i];
+      rec.content_type.assign(b.ct_dict[last_ct_idx]);
+    }
+    fn(rec);
+    ++records_delivered;
+  });
+}
+
+}  // namespace
+
+void materialize_rows(const RecordBatch& batch, flow::FlowRecord& rec,
+                      core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                      std::uint64_t& records_delivered) {
+  if (batch.empty()) return;
+  if constexpr (obs::kEnabled) {
+    exec_obs().rows_materialized->add(static_cast<std::uint64_t>(batch.delivered_rows()));
+  }
+  if (batch.fields == scan_fields::kAll) {
+    materialize_impl(batch, rec, fn, records_delivered, [](std::uint32_t) { return true; });
+  } else if (batch.fields == scan_fields::kDayAggregate) {
+    materialize_impl(batch, rec, fn, records_delivered,
+                     [](std::uint32_t bit) { return (scan_fields::kDayAggregate & bit) != 0; });
+  } else {
+    const std::uint32_t fields = batch.fields;
+    materialize_impl(batch, rec, fn, records_delivered,
+                     [fields](std::uint32_t bit) { return (fields & bit) != 0; });
+  }
+}
+
+}  // namespace edgewatch::exec

@@ -1,0 +1,202 @@
+// The batch execution core: one SoA currency type between the lake's scan
+// path and every analytics consumer (paper §2.2 — the two-stage methodology
+// re-scans years of day logs, so the hot loop must move *batches*, not one
+// FlowRecord at a time).
+//
+// A RecordBatch is a non-owning column view over one decoded lake block:
+// parallel arrays for timestamps, byte/packet counters, RTT, service/proto
+// codes, server IP/port — plus the dictionary-coded name/content-type
+// columns, which pass the v3 dict codes through as (index, dictionary-view)
+// pairs so a consumer that tallies per hostname touches each distinct
+// string once per block instead of once per row. Columnar (v3) blocks fill
+// a batch straight from the decode scratch with zero string materialization;
+// row-format (v1/v2) blocks stage their decoded records into a BatchStaging
+// so every consumer sees one shape regardless of the on-disk format.
+//
+// Lifetime: a batch views the scratch (or staging) that produced it. It is
+// valid until the next decode/stage call on that scratch — consume it inside
+// the sink callback, copy out what must survive.
+//
+// Projection: `fields` (scan_fields bits) says which spans are populated.
+// The filter/zone columns — ts, service, proto, sip — are always present
+// for v3 batches; unprojected spans are empty, never stale. Row-format
+// staging always populates everything (projection is a v3 fast path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flat_hash_map.hpp"
+#include "core/function_ref.hpp"
+#include "core/hash.hpp"
+#include "flow/record.hpp"
+
+namespace edgewatch::exec {
+
+/// Field-projection bits shared by the scan predicate and the batch
+/// contract: which FlowRecord fields (equivalently, which RecordBatch
+/// spans) a scan must materialize. Every bit maps to the column segment(s)
+/// backing that field; segments backing no requested field are never
+/// decompressed or decoded. The filter/zone columns — first_packet, proto,
+/// server_ip plus the materialized service codes — are always decoded: they
+/// drive row selection and the zone-map cross-check. All other unprojected
+/// fields of emitted records are value-initialized (zero / empty), never
+/// stale.
+///
+/// Projection is a v3 fast path, not a semantic filter: row-format (v1/v2)
+/// blocks materialize every field regardless, and a consumer must not rely
+/// on unprojected fields being zeroed when it may read v2 days.
+/// (Lived in storage::scan_fields before the batch refactor; storage
+/// aliases this namespace so predicate call sites read unchanged.)
+namespace scan_fields {
+inline constexpr std::uint32_t kLastPacket = 1u << 0;     ///< duration column
+inline constexpr std::uint32_t kClientIp = 1u << 1;
+inline constexpr std::uint32_t kClientPort = 1u << 2;
+inline constexpr std::uint32_t kServerPort = 1u << 3;
+inline constexpr std::uint32_t kAccess = 1u << 4;
+inline constexpr std::uint32_t kCloseState = 1u << 5;     ///< handshake + close_reason
+inline constexpr std::uint32_t kUpPackets = 1u << 6;
+inline constexpr std::uint32_t kUpBytes = 1u << 7;
+inline constexpr std::uint32_t kUpWireBytes = 1u << 8;    ///< bytes_with_hdr
+inline constexpr std::uint32_t kUpQuality = 1u << 9;      ///< retransmits + out_of_order
+inline constexpr std::uint32_t kDownPackets = 1u << 10;
+inline constexpr std::uint32_t kDownBytes = 1u << 11;
+inline constexpr std::uint32_t kDownWireBytes = 1u << 12;
+inline constexpr std::uint32_t kDownQuality = 1u << 13;
+inline constexpr std::uint32_t kRttMin = 1u << 14;        ///< rtt.samples + rtt.min_us
+inline constexpr std::uint32_t kRttSpread = 1u << 15;     ///< + rtt.max_us / rtt.avg_us
+inline constexpr std::uint32_t kL7 = 1u << 16;
+inline constexpr std::uint32_t kWeb = 1u << 17;
+inline constexpr std::uint32_t kNameSource = 1u << 18;
+inline constexpr std::uint32_t kServerName = 1u << 19;    ///< name dictionary + indexes
+inline constexpr std::uint32_t kHttpStatus = 1u << 20;
+inline constexpr std::uint32_t kContentType = 1u << 21;   ///< content-type dict + indexes
+inline constexpr std::uint32_t kAll = 0xffffffffu;
+/// Canonical projection presets. The batch→row shim keeps a branch-free
+/// emit loop pre-instantiated for each preset (plus kAll), so scans that
+/// use one exactly pay no per-row projection tests. kDayAggregate is the
+/// stage-one day-rollup working set — the hottest scan in the pipeline
+/// (analytics::kDayAggregateScanFields aliases it).
+inline constexpr std::uint32_t kDayAggregate = kClientIp | kAccess | kUpBytes | kDownBytes |
+                                               kDownPackets | kDownQuality | kRttMin | kL7 |
+                                               kWeb | kServerName;
+}  // namespace scan_fields
+
+/// One decoded lake block as columns. All row spans are index-aligned:
+/// row i of the block is element i of every populated span. `sel` carries
+/// the surviving row indexes of a filtered scan (empty = every row
+/// survived); consumers must iterate sel when present — unselected rows
+/// hold decoded but *filtered-out* data.
+struct RecordBatch {
+  std::uint32_t fields = scan_fields::kAll;  ///< which spans are populated
+  std::size_t rows = 0;                      ///< span length (block row count)
+  std::span<const std::uint32_t> sel;        ///< filtered selection; empty = all
+
+  std::span<const std::int64_t> ts;          ///< first_packet, µs (always present)
+  std::span<const std::int64_t> dur;         ///< last_packet − first_packet
+  /// Global ServiceId per row, resolved against the catalog the block was
+  /// *written* with. Present for v3 batches (it is a filter column), empty
+  /// for row-format staging. Advisory: a consumer whose catalog may differ
+  /// from the writer's must classify from l7 + the name dictionary instead.
+  std::span<const std::uint8_t> service;
+  std::span<const std::uint8_t> proto;       ///< TransportProto (always present)
+  std::span<const std::uint8_t> access, l7, web, name_source;
+  std::span<const std::uint8_t> flags;       ///< bit0 handshake, rest close_reason
+  std::span<const std::uint16_t> cport, sport;
+  std::span<const std::uint32_t> cip;
+  std::span<const std::uint32_t> sip;        ///< always present (zone column)
+  std::span<const std::uint64_t> up_pkts, up_bytes, up_hdr, up_retx, up_ooo;
+  std::span<const std::uint64_t> dn_pkts, dn_bytes, dn_hdr, dn_retx, dn_ooo;
+  std::span<const std::uint64_t> rtt_samples, http_status;
+  /// Resolved RTT values (the on-disk delta/dense coding is a storage
+  /// detail the batch contract hides). min/max are exact; avg is the exact
+  /// double for row-format sources and the v3 writer's integer-quantized
+  /// value for columnar ones — same as the row-callback path delivers.
+  std::span<const std::int64_t> rtt_min_us, rtt_max_us;
+  std::span<const double> rtt_avg_us;
+  /// Dictionary-coded string columns: per-row dict indexes plus the block's
+  /// dictionary as views. The views alias the producing scratch's blob /
+  /// chain-cache buffers — same lifetime as the batch itself.
+  std::span<const std::uint32_t> name_idx, ct_idx;
+  std::span<const std::string_view> name_dict, ct_dict;
+
+  [[nodiscard]] std::size_t delivered_rows() const noexcept {
+    return sel.empty() ? rows : sel.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return delivered_rows() == 0; }
+
+  /// Visit every delivered row index, in row (stream) order — the order the
+  /// row-callback path emits, which aggregate identity depends on.
+  template <typename Fn>
+  void for_each_row(Fn&& fn) const {
+    if (sel.empty()) {
+      for (std::size_t i = 0; i < rows; ++i) fn(i);
+    } else {
+      for (const std::uint32_t i : sel) fn(static_cast<std::size_t>(i));
+    }
+  }
+};
+
+/// Transposes already-materialized FlowRecords (the v1/v2 row-format decode,
+/// or any in-memory record stream) into a RecordBatch, interning server
+/// names and content types into a dictionary so the batch contract is
+/// identical to the columnar path's. Owns its columns; a finished batch
+/// views them and stays valid until the next clear()/add().
+///
+/// The dictionary persists across clear() — hostnames repeat heavily from
+/// block to block, so steady-state interning is one hash probe per row with
+/// no string copy (entries live in deques: growth never moves them, which
+/// is what keeps both the map's string_view keys and every previously
+/// finished batch's dictionary views stable).
+class BatchStaging {
+ public:
+  /// Forget the staged rows, keep the dictionaries and capacity.
+  void clear();
+  void add(const flow::FlowRecord& record);
+  /// View the staged rows as a batch. `fields` is recorded as the batch's
+  /// projection mask; staging always populates every span regardless.
+  [[nodiscard]] RecordBatch finish(std::uint32_t fields = scan_fields::kAll);
+  [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
+
+ private:
+  [[nodiscard]] std::uint32_t intern(std::string_view s, std::deque<std::string>& entries,
+                                     core::FlatHashMap<std::string_view, std::uint32_t,
+                                                       core::StringHash>& codes,
+                                     std::vector<std::string_view>& views);
+
+  std::vector<std::int64_t> ts_, dur_, rtt_min_, rtt_max_;
+  std::vector<double> rtt_avg_;
+  std::vector<std::uint8_t> proto_, access_, flags_, l7_, web_, name_source_;
+  std::vector<std::uint16_t> cport_, sport_;
+  std::vector<std::uint32_t> cip_, sip_, name_idx_, ct_idx_;
+  std::vector<std::uint64_t> up_pkts_, up_bytes_, up_hdr_, up_retx_, up_ooo_;
+  std::vector<std::uint64_t> dn_pkts_, dn_bytes_, dn_hdr_, dn_retx_, dn_ooo_;
+  std::vector<std::uint64_t> rtt_samples_, http_status_;
+  std::deque<std::string> name_entries_, ct_entries_;
+  core::FlatHashMap<std::string_view, std::uint32_t, core::StringHash> name_codes_, ct_codes_;
+  std::vector<std::string_view> name_views_, ct_views_;
+};
+
+/// The batch→row compatibility shim: emit every delivered row of `batch`
+/// through the one reused `rec`, exactly as the pre-batch columnar decoder
+/// did — per-block value-initialization of unprojected fields, dict-index
+/// change detection so a string is only re-assigned when the row's code
+/// differs from the previous row's, rows in stream order, ingest_seq
+/// always 0 (not stored in the lake). Counts what `fn` saw into
+/// `records_delivered`.
+void materialize_rows(const RecordBatch& batch, flow::FlowRecord& rec,
+                      core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                      std::uint64_t& records_delivered);
+
+/// Observability hook for the native batch delivery path: batches emitted,
+/// rows-per-batch shape, and dict-code pass-through row count (rows whose
+/// strings were never materialized). materialize_rows counts its own rows;
+/// the pass-through/materialized pair is what `--stats` shows as the scan
+/// shape.
+void note_batch_delivered(const RecordBatch& batch);
+
+}  // namespace edgewatch::exec

@@ -131,26 +131,56 @@ BucketOutcome merge_bucket(const RollupStore& store, const QuerySpec& spec, Dime
   // the time partition (no time filter pushed), but a group-restricted
   // service query pushes its service mask below the block decoder: v3
   // blocks whose zone map lacks the service are pruned undecompressed.
+  //
+  // Consumption is batch-at-a-time (scan_day_batches): the projection is
+  // narrowed to the columns each dimension actually reads, service
+  // classification runs once per dictionary entry instead of once per row,
+  // and v3 days never materialize a FlowRecord.
   if (raw_fallback_applies(spec, dim) && !out.missing.empty()) {
     std::vector<core::CivilDate> still_missing;
+    std::vector<services::ServiceId> dict_service;  // per-batch dict classification cache
     for (const core::CivilDate day : out.missing) {
       storage::ScanPredicate pred;
       pred.catalog = &store.catalog();
+      namespace sf = storage::scan_fields;
+      pred.fields = dim == Dimension::kService
+                        ? (sf::kUpBytes | sf::kDownBytes | sf::kL7 | sf::kServerName)
+                        : (sf::kWeb | sf::kUpBytes | sf::kDownBytes);
       if (dim == Dimension::kService && spec.group && *spec.group < services::kServiceCount) {
         pred.service_mask = 1u << *spec.group;
       }
-      const auto deliver = [&](const flow::FlowRecord& r) {
+      const auto deliver = [&](const exec::RecordBatch& b) {
         if (dim == Dimension::kService) {
-          GroupRollup& g = merged.groups[static_cast<std::uint32_t>(
-              store.catalog().classify_flow(r.l7, r.server_name))];
-          ++g.flows;
-          g.bytes_up += r.up.bytes;
-          g.bytes_down += r.down.bytes;
-        } else if (r.web != dpi::WebProtocol::kNotWeb) {
-          merged.groups[static_cast<std::uint32_t>(r.web)].bytes_down += r.total_bytes();
+          dict_service.clear();
+          dict_service.reserve(b.name_dict.size());
+          for (const auto name : b.name_dict) {
+            dict_service.push_back(name.empty() ? services::ServiceId::kOther
+                                                : store.catalog().classify_domain(name));
+          }
+          b.for_each_row([&](std::size_t i) {
+            const auto l7 = b.l7.empty() ? dpi::L7Protocol{}
+                                         : static_cast<dpi::L7Protocol>(b.l7[i]);
+            const services::ServiceId svc =
+                dpi::is_p2p(l7)        ? services::ServiceId::kPeerToPeer
+                : b.name_idx.empty()   ? services::ServiceId::kOther
+                                       : dict_service[b.name_idx[i]];
+            GroupRollup& g = merged.groups[static_cast<std::uint32_t>(svc)];
+            ++g.flows;
+            g.bytes_up += b.up_bytes.empty() ? 0 : b.up_bytes[i];
+            g.bytes_down += b.dn_bytes.empty() ? 0 : b.dn_bytes[i];
+          });
+        } else {
+          b.for_each_row([&](std::size_t i) {
+            const auto web = static_cast<std::uint32_t>(b.web[i]);
+            if (web != static_cast<std::uint32_t>(dpi::WebProtocol::kNotWeb)) {
+              merged.groups[web].bytes_down +=
+                  (b.up_bytes.empty() ? 0 : b.up_bytes[i]) +
+                  (b.dn_bytes.empty() ? 0 : b.dn_bytes[i]);
+            }
+          });
         }
       };
-      const storage::ScanResult scan = store.lake().scan_day(day, pred, deliver);
+      const storage::ScanResult scan = store.lake().scan_day_batches(day, pred, deliver);
       if (scan.errc == core::Errc::kNotFound) {
         still_missing.push_back(day);
         continue;

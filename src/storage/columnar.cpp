@@ -870,12 +870,12 @@ void encode_columnar_block_layout1(std::span<const flow::FlowRecord> records,
   encode_columnar_block_impl(records, catalog, out, scratch, nullptr, /*v2=*/false);
 }
 
-BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnScratch& s,
+BlockDecodeStatus decode_columnar_batch(std::span<const std::byte> body, ColumnScratch& s,
                                         const ScanPredicate* predicate,
-                                        std::uint64_t& records_delivered,
-                                        core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                                        exec::RecordBatch& batch,
                                         std::uint32_t expected_records,
                                         const PrevBlockResolver* prev_blocks) {
+  batch = exec::RecordBatch{};  // empty until the decode proves the block
   core::ByteReader r(body);
   if (r.u8() != kColumnarTag) return BlockDecodeStatus::kCorrupt;
   const std::uint8_t layout = r.u8();
@@ -970,6 +970,8 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
   }
 
   // Row selection.
+  const std::uint32_t fields = predicate != nullptr ? predicate->fields : scan_fields::kAll;
+  batch.fields = fields;
   const bool filtered = predicate != nullptr && !predicate->unrestricted();
   s.sel.clear();
   if (filtered) {
@@ -994,7 +996,6 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
   // Remaining columns, gated on the projection: a segment backing no
   // requested field is never decompressed or decoded (its bytes were still
   // CRC-verified with the rest of the frame).
-  const std::uint32_t fields = predicate != nullptr ? predicate->fields : scan_fields::kAll;
   const auto want = [fields](std::uint32_t bit) noexcept { return (fields & bit) != 0; };
   const bool want_rtt = want(scan_fields::kRttMin | scan_fields::kRttSpread);
   const auto vcol = [&](Column id, std::vector<std::uint64_t>& out) {
@@ -1076,10 +1077,25 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
       return true;
     };
     if (!dense_zigzag(kColRttMin, s.rtt_min)) return BlockDecodeStatus::kCorrupt;
-    if (want(scan_fields::kRttSpread) &&
-        (!dense_zigzag(kColRttMaxDelta, s.rtt_max_delta) ||
-         !dense_zigzag(kColRttAvgDelta, s.rtt_avg_delta))) {
-      return BlockDecodeStatus::kCorrupt;
+    if (want(scan_fields::kRttSpread)) {
+      if (!dense_zigzag(kColRttMaxDelta, s.rtt_max_delta) ||
+          !dense_zigzag(kColRttAvgDelta, s.rtt_avg_delta)) {
+        return BlockDecodeStatus::kCorrupt;
+      }
+      // Resolve the deltas here so the batch contract exposes values, not
+      // the storage coding. avg stays the writer's integer quantization —
+      // exactly what the row path has always delivered for v3 days.
+      s.rtt_max.resize(n);
+      s.rtt_avg.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (s.rtt_samples[i] > 0) {
+          s.rtt_max[i] = s.rtt_min[i] + s.rtt_max_delta[i];
+          s.rtt_avg[i] = static_cast<double>(s.rtt_min[i] + s.rtt_avg_delta[i]);
+        } else {
+          s.rtt_max[i] = 0;
+          s.rtt_avg[i] = 0;
+        }
+      }
     }
   }
   if (want(scan_fields::kServerName)) {
@@ -1116,132 +1132,72 @@ BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnS
     }
   }
 
-  // Emit rows through the one reused record. Projected fields are assigned
-  // per row; under a narrowed projection, the unprojected ones are
-  // value-initialized once per block first — the record object carries state
-  // between rows and blocks, so stale values must be cleared, but clearing
-  // per row would charge every scan for fields nobody asked for.
-  //
-  // The whole tail is generic over the projection test so the dispatch below
-  // can instantiate it with a compile-time mask for the hot presets: every
-  // `wantp()` folds to a constant, leaving the per-row loop with no
-  // projection branches at all. ~20 tests per row are individually cheap but
-  // this loop runs once per record of every scan.
-  const auto emit_rows = [&](auto wantp) {
-    const bool wrtt = wantp(scan_fields::kRttMin | scan_fields::kRttSpread);
-    {
-      flow::FlowRecord& rec = s.rec;
-      if (!wantp(scan_fields::kLastPacket)) rec.last_packet = core::Timestamp{};
-      if (!wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{};
-      if (!wantp(scan_fields::kClientPort)) rec.client_port = 0;
-      if (!wantp(scan_fields::kServerPort)) rec.server_port = 0;
-      if (!wantp(scan_fields::kAccess)) rec.access = flow::AccessTech{};
-      if (!wantp(scan_fields::kCloseState)) {
-        rec.handshake_completed = false;
-        rec.close_reason = flow::FlowCloseReason{};
-      }
-      if (!wantp(scan_fields::kUpPackets)) rec.up.packets = 0;
-      if (!wantp(scan_fields::kUpBytes)) rec.up.bytes = 0;
-      if (!wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = 0;
-      if (!wantp(scan_fields::kUpQuality)) rec.up.retransmits = rec.up.out_of_order = 0;
-      if (!wantp(scan_fields::kDownPackets)) rec.down.packets = 0;
-      if (!wantp(scan_fields::kDownBytes)) rec.down.bytes = 0;
-      if (!wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = 0;
-      if (!wantp(scan_fields::kDownQuality)) rec.down.retransmits = rec.down.out_of_order = 0;
-      if (!wrtt) rec.rtt = flow::RttStats{};
-      if (!wantp(scan_fields::kRttSpread)) {
-        rec.rtt.max_us = 0;
-        rec.rtt.avg_us = 0;
-      }
-      if (!wantp(scan_fields::kL7)) rec.l7 = dpi::L7Protocol{};
-      if (!wantp(scan_fields::kWeb)) rec.web = dpi::WebProtocol{};
-      if (!wantp(scan_fields::kNameSource)) rec.name_source = flow::NameSource{};
-      if (!wantp(scan_fields::kServerName)) rec.server_name.clear();
-      if (!wantp(scan_fields::kHttpStatus)) rec.http_status = 0;
-      if (!wantp(scan_fields::kContentType)) rec.content_type.clear();
-      rec.ingest_seq = 0;  // not stored in v3; always zero on the scan path
+  // Point the batch at the decoded columns. Spans are set exactly for the
+  // columns the gates above filled — an unprojected span stays empty, never
+  // stale. From here on the block's rows move as one SoA unit; the old
+  // per-row FlowRecord emission lives on only as the exec::materialize_rows
+  // shim behind decode_columnar_block.
+  batch.rows = n;
+  if (filtered) batch.sel = s.sel;
+  batch.ts = s.ts;
+  batch.service = s.service;
+  batch.proto = s.proto;
+  batch.sip = s.sip;
+  if (want(scan_fields::kLastPacket)) batch.dur = s.dur;
+  if (want(scan_fields::kAccess)) batch.access = s.access;
+  if (want(scan_fields::kCloseState)) batch.flags = s.flags;
+  if (want(scan_fields::kL7)) batch.l7 = s.l7;
+  if (want(scan_fields::kWeb)) batch.web = s.web;
+  if (want(scan_fields::kNameSource)) batch.name_source = s.name_source;
+  if (want(scan_fields::kClientPort)) batch.cport = s.cport;
+  if (want(scan_fields::kServerPort)) batch.sport = s.sport;
+  if (want(scan_fields::kClientIp)) batch.cip = s.cip;
+  if (want(scan_fields::kUpPackets)) batch.up_pkts = s.up_pkts;
+  if (want(scan_fields::kUpBytes)) batch.up_bytes = s.up_bytes;
+  if (want(scan_fields::kUpWireBytes)) batch.up_hdr = s.up_hdr;
+  if (want(scan_fields::kUpQuality)) {
+    batch.up_retx = s.up_retx;
+    batch.up_ooo = s.up_ooo;
+  }
+  if (want(scan_fields::kDownPackets)) batch.dn_pkts = s.dn_pkts;
+  if (want(scan_fields::kDownBytes)) batch.dn_bytes = s.dn_bytes;
+  if (want(scan_fields::kDownWireBytes)) batch.dn_hdr = s.dn_hdr;
+  if (want(scan_fields::kDownQuality)) {
+    batch.dn_retx = s.dn_retx;
+    batch.dn_ooo = s.dn_ooo;
+  }
+  if (want_rtt) {
+    batch.rtt_samples = s.rtt_samples;
+    batch.rtt_min_us = s.rtt_min;
+    if (want(scan_fields::kRttSpread)) {
+      batch.rtt_max_us = s.rtt_max;
+      batch.rtt_avg_us = s.rtt_avg;
     }
-    // The dictionary columns repeat heavily (one hostname serves many
-    // flows), so the emit loop only re-assigns a string when the row's dict
-    // index differs from the previously emitted row's. Sentinel resets per
-    // block: a new block means a new dictionary, so index equality across
-    // blocks proves nothing.
-    std::uint32_t last_name_idx = 0xffffffffu;
-    std::uint32_t last_ct_idx = 0xffffffffu;
-    const auto emit = [&](std::size_t i) {
-      flow::FlowRecord& rec = s.rec;
-      if (wantp(scan_fields::kClientIp)) rec.client_ip = core::IPv4Address{s.cip[i]};
-      rec.server_ip = core::IPv4Address{s.sip[i]};
-      if (wantp(scan_fields::kClientPort)) rec.client_port = s.cport[i];
-      if (wantp(scan_fields::kServerPort)) rec.server_port = s.sport[i];
-      rec.proto = static_cast<core::TransportProto>(s.proto[i]);
-      if (wantp(scan_fields::kAccess)) rec.access = static_cast<flow::AccessTech>(s.access[i]);
-      rec.first_packet = core::Timestamp{s.ts[i]};
-      if (wantp(scan_fields::kLastPacket)) rec.last_packet = rec.first_packet + s.dur[i];
-      if (wantp(scan_fields::kUpPackets)) rec.up.packets = s.up_pkts[i];
-      if (wantp(scan_fields::kUpBytes)) rec.up.bytes = s.up_bytes[i];
-      if (wantp(scan_fields::kUpWireBytes)) rec.up.bytes_with_hdr = s.up_hdr[i];
-      if (wantp(scan_fields::kUpQuality)) {
-        rec.up.retransmits = static_cast<std::uint32_t>(s.up_retx[i]);
-        rec.up.out_of_order = static_cast<std::uint32_t>(s.up_ooo[i]);
-      }
-      if (wantp(scan_fields::kDownPackets)) rec.down.packets = s.dn_pkts[i];
-      if (wantp(scan_fields::kDownBytes)) rec.down.bytes = s.dn_bytes[i];
-      if (wantp(scan_fields::kDownWireBytes)) rec.down.bytes_with_hdr = s.dn_hdr[i];
-      if (wantp(scan_fields::kDownQuality)) {
-        rec.down.retransmits = static_cast<std::uint32_t>(s.dn_retx[i]);
-        rec.down.out_of_order = static_cast<std::uint32_t>(s.dn_ooo[i]);
-      }
-      if (wantp(scan_fields::kCloseState)) {
-        rec.handshake_completed = (s.flags[i] & 1) != 0;
-        rec.close_reason = static_cast<flow::FlowCloseReason>(s.flags[i] >> 1);
-      }
-      if (wrtt) {
-        rec.rtt.samples = static_cast<std::uint32_t>(s.rtt_samples[i]);
-        rec.rtt.min_us = rec.rtt.samples > 0 ? s.rtt_min[i] : 0;
-        if (wantp(scan_fields::kRttSpread)) {
-          if (rec.rtt.samples > 0) {
-            rec.rtt.max_us = s.rtt_min[i] + s.rtt_max_delta[i];
-            rec.rtt.avg_us = static_cast<double>(s.rtt_min[i] + s.rtt_avg_delta[i]);
-          } else {
-            rec.rtt.max_us = 0;
-            rec.rtt.avg_us = 0;
-          }
-        }
-      }
-      if (wantp(scan_fields::kL7)) rec.l7 = static_cast<dpi::L7Protocol>(s.l7[i]);
-      if (wantp(scan_fields::kWeb)) rec.web = static_cast<dpi::WebProtocol>(s.web[i]);
-      if (wantp(scan_fields::kNameSource)) {
-        rec.name_source = static_cast<flow::NameSource>(s.name_source[i]);
-      }
-      if (wantp(scan_fields::kServerName) && s.name_idx[i] != last_name_idx) {
-        last_name_idx = s.name_idx[i];
-        rec.server_name.assign(s.name_dict[last_name_idx]);
-      }
-      if (wantp(scan_fields::kHttpStatus)) {
-        rec.http_status = static_cast<std::uint16_t>(s.http_status[i]);
-      }
-      if (wantp(scan_fields::kContentType) && s.ct_idx[i] != last_ct_idx) {
-        last_ct_idx = s.ct_idx[i];
-        rec.content_type.assign(s.ct_dict[last_ct_idx]);
-      }
-      fn(rec);
-      ++records_delivered;
-    };
-    if (filtered) {
-      for (const auto i : s.sel) emit(i);
-    } else {
-      for (std::size_t i = 0; i < n; ++i) emit(i);
-    }
-  };
-  if (fields == scan_fields::kAll) {
-    emit_rows([](std::uint32_t) { return true; });
-  } else if (fields == scan_fields::kDayAggregate) {
-    emit_rows([](std::uint32_t bit) { return (scan_fields::kDayAggregate & bit) != 0; });
-  } else {
-    emit_rows([fields](std::uint32_t bit) { return (fields & bit) != 0; });
+  }
+  if (want(scan_fields::kHttpStatus)) batch.http_status = s.http_status;
+  if (want(scan_fields::kServerName)) {
+    batch.name_idx = s.name_idx;
+    batch.name_dict = s.name_dict;
+  }
+  if (want(scan_fields::kContentType)) {
+    batch.ct_idx = s.ct_idx;
+    batch.ct_dict = s.ct_dict;
   }
   return zone_lied ? BlockDecodeStatus::kZoneMapLied : BlockDecodeStatus::kOk;
+}
+
+BlockDecodeStatus decode_columnar_block(std::span<const std::byte> body, ColumnScratch& s,
+                                        const ScanPredicate* predicate,
+                                        std::uint64_t& records_delivered,
+                                        core::FunctionRef<void(const flow::FlowRecord&)> fn,
+                                        std::uint32_t expected_records,
+                                        const PrevBlockResolver* prev_blocks) {
+  exec::RecordBatch batch;
+  const auto status =
+      decode_columnar_batch(body, s, predicate, batch, expected_records, prev_blocks);
+  if (status == BlockDecodeStatus::kCorrupt) return status;
+  exec::materialize_rows(batch, s.rec, fn, records_delivered);
+  return status;
 }
 
 }  // namespace edgewatch::storage

@@ -67,6 +67,7 @@
 #include "core/function_ref.hpp"
 #include "core/hash.hpp"
 #include "core/types.hpp"
+#include "exec/record_batch.hpp"
 #include "flow/record.hpp"
 #include "services/catalog.hpp"
 #include "storage/compress.hpp"
@@ -103,55 +104,12 @@ struct ZoneMap {
   std::uint32_t record_count = 0;
 };
 
-/// Field-projection bits for ScanPredicate::fields: which FlowRecord fields
-/// a columnar scan must materialize. Every bit maps to the column segment(s)
-/// backing that field; segments backing no requested field are never
-/// decompressed or decoded ("skip unreferenced column segments inside
-/// surviving blocks"). The filter/zone columns — first_packet, proto,
-/// server_ip plus the materialized service codes — are always decoded: they
-/// drive row selection and the zone-map cross-check, so those three record
-/// fields are always populated. All other unprojected fields of the emitted
-/// records are value-initialized (zero / empty), never stale.
-///
-/// Projection is a v3 fast path, not a semantic filter: row-format (v1/v2)
-/// blocks materialize every field regardless, and a consumer must not rely
-/// on unprojected fields being zeroed when it may read v2 days. Skipped
-/// segments are still CRC-covered by the block frame, but their *structural*
-/// integrity (torn varint streams, bad dictionaries) is only verified by a
-/// full-projection decode — which is what fsck and repair run.
-namespace scan_fields {
-inline constexpr std::uint32_t kLastPacket = 1u << 0;     ///< duration column
-inline constexpr std::uint32_t kClientIp = 1u << 1;
-inline constexpr std::uint32_t kClientPort = 1u << 2;
-inline constexpr std::uint32_t kServerPort = 1u << 3;
-inline constexpr std::uint32_t kAccess = 1u << 4;
-inline constexpr std::uint32_t kCloseState = 1u << 5;     ///< handshake + close_reason
-inline constexpr std::uint32_t kUpPackets = 1u << 6;
-inline constexpr std::uint32_t kUpBytes = 1u << 7;
-inline constexpr std::uint32_t kUpWireBytes = 1u << 8;    ///< bytes_with_hdr
-inline constexpr std::uint32_t kUpQuality = 1u << 9;      ///< retransmits + out_of_order
-inline constexpr std::uint32_t kDownPackets = 1u << 10;
-inline constexpr std::uint32_t kDownBytes = 1u << 11;
-inline constexpr std::uint32_t kDownWireBytes = 1u << 12;
-inline constexpr std::uint32_t kDownQuality = 1u << 13;
-inline constexpr std::uint32_t kRttMin = 1u << 14;        ///< rtt.samples + rtt.min_us
-inline constexpr std::uint32_t kRttSpread = 1u << 15;     ///< + rtt.max_us / rtt.avg_us
-inline constexpr std::uint32_t kL7 = 1u << 16;
-inline constexpr std::uint32_t kWeb = 1u << 17;
-inline constexpr std::uint32_t kNameSource = 1u << 18;
-inline constexpr std::uint32_t kServerName = 1u << 19;    ///< name dictionary + indexes
-inline constexpr std::uint32_t kHttpStatus = 1u << 20;
-inline constexpr std::uint32_t kContentType = 1u << 21;   ///< content-type dict + indexes
-inline constexpr std::uint32_t kAll = 0xffffffffu;
-/// Canonical projection presets. The decoder keeps a branch-free emit loop
-/// pre-instantiated for each preset (plus kAll), so scans that use one
-/// exactly pay no per-row projection tests. kDayAggregate is the stage-one
-/// day-rollup working set — the hottest scan in the pipeline
-/// (analytics::kDayAggregateScanFields aliases it).
-inline constexpr std::uint32_t kDayAggregate = kClientIp | kAccess | kUpBytes | kDownBytes |
-                                               kDownPackets | kDownQuality | kRttMin | kL7 |
-                                               kWeb | kServerName;
-}  // namespace scan_fields
+/// Field-projection bits for ScanPredicate::fields. The constants moved to
+/// exec/record_batch.hpp with the batch refactor (the projection contract
+/// belongs to the execution currency, not to one storage format); this
+/// alias keeps every storage-side spelling — scan_fields::kDayAggregate
+/// etc. — valid unchanged.
+namespace scan_fields = ::edgewatch::exec::scan_fields;
 
 /// The predicate a selective scan pushes below the decoder. Default state
 /// matches everything (a full scan). Time bounds are inclusive and apply to
@@ -231,6 +189,11 @@ struct ColumnScratch {
   std::vector<std::uint64_t> dn_pkts, dn_bytes, dn_hdr, dn_retx, dn_ooo;
   std::vector<std::uint64_t> rtt_samples, http_status;
   std::vector<std::int64_t> rtt_min, rtt_max_delta, rtt_avg_delta;
+  /// Resolved RTT spread (min + delta, row-aligned, zero where samples ==
+  /// 0): what the RecordBatch contract exposes instead of the on-disk
+  /// delta coding. Filled only under scan_fields::kRttSpread.
+  std::vector<std::int64_t> rtt_max;
+  std::vector<double> rtt_avg;
   std::vector<std::uint32_t> name_idx, ct_idx;
   // String dictionaries: views into the two persistent blob buffers below.
   std::vector<std::string_view> name_dict, ct_dict;
@@ -381,6 +344,20 @@ inline constexpr std::uint32_t kAnyRecordCount = 0xffffffffu;
     std::span<const std::byte> body, ColumnScratch& scratch, const ScanPredicate* predicate,
     std::uint64_t& records_delivered, core::FunctionRef<void(const flow::FlowRecord&)> fn,
     std::uint32_t expected_records = kAnyRecordCount,
+    const PrevBlockResolver* prev_blocks = nullptr);
+
+/// Native batch decode — the primary columnar read path since the batch
+/// refactor (decode_columnar_block is this plus the exec::materialize_rows
+/// row shim). Decodes the body into `scratch` and points `batch` at the
+/// resulting columns: same filter-first segment gating, predicate pushdown,
+/// projection skipping and zone cross-checks as the row path, but the
+/// dictionary-coded name/content-type columns pass through as dict codes —
+/// no per-row string traffic. On kCorrupt the batch is left empty; on
+/// kZoneMapLied the rows are still delivered (advisory-never-authoritative).
+/// The batch views `scratch` and stays valid until its next decode.
+[[nodiscard]] BlockDecodeStatus decode_columnar_batch(
+    std::span<const std::byte> body, ColumnScratch& scratch, const ScanPredicate* predicate,
+    exec::RecordBatch& batch, std::uint32_t expected_records = kAnyRecordCount,
     const PrevBlockResolver* prev_blocks = nullptr);
 
 }  // namespace edgewatch::storage

@@ -34,10 +34,19 @@ class DailyLakeWriter {
   DailyLakeWriter(const DailyLakeWriter&) = delete;
   DailyLakeWriter& operator=(const DailyLakeWriter&) = delete;
 
-  /// Buffer one record; flushes its day's buffer when full.
+  /// Buffer one record; flushes its day's buffer when full. Probe exports
+  /// arrive in long same-day streaks, so a one-entry MRU cache of the day's
+  /// bucket skips the std::map tree walk on all but the first record of a
+  /// streak (map nodes are pointer-stable, so the cached bucket survives
+  /// other days being inserted; it is invalidated whenever flush_day erases
+  /// an entry).
   void add(flow::FlowRecord&& record) {
     const core::CivilDate day = record.first_packet.date();
-    auto& bucket = buffers_[day];
+    if (mru_bucket_ == nullptr || day != mru_day_) {
+      mru_bucket_ = &buffers_[day];
+      mru_day_ = day;
+    }
+    auto& bucket = *mru_bucket_;
     bucket.push_back(std::move(record));
     ++buffered_;
     if (bucket.size() >= buffer_records_) (void)flush_day(day);
@@ -115,6 +124,7 @@ class DailyLakeWriter {
           writer_obs().dropped->add(static_cast<std::uint64_t>(it->second.size()));
         }
         buffers_.erase(it);
+        mru_bucket_ = nullptr;  // the MRU entry may be the one just erased
       }
       return result.error();
     }
@@ -122,12 +132,15 @@ class DailyLakeWriter {
     written_ += it->second.size();
     buffered_ -= it->second.size();
     buffers_.erase(it);
+    mru_bucket_ = nullptr;
     return {};
   }
 
   DataLake& lake_;
   std::size_t buffer_records_;
   std::map<core::CivilDate, std::vector<flow::FlowRecord>> buffers_;
+  core::CivilDate mru_day_{};
+  std::vector<flow::FlowRecord>* mru_bucket_ = nullptr;
   std::size_t buffered_ = 0;
   std::uint64_t written_ = 0;
   std::uint64_t bytes_ = 0;

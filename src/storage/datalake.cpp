@@ -341,8 +341,7 @@ void deep_verify_columnar(std::span<const std::byte> data, FileModel& m) {
   std::vector<BlockRef> good;
   good.reserve(m.blocks.size());
   std::vector<std::size_t> transcode;
-  std::uint64_t ignored = 0;
-  const auto sink = [](const flow::FlowRecord&) {};
+  exec::RecordBatch probe;
   for (std::size_t e = 0; e < els.size(); ++e) {
     if (!els[e].survives) continue;  // salvage candidate: resolver fodder only
     const BlockRef& b = els[e].b;
@@ -362,8 +361,11 @@ void deep_verify_columnar(std::span<const std::byte> data, FileModel& m) {
       return data.subspan(p.b.offset + p.b.header_size, p.b.body_len);
     };
     const PrevBlockResolver resolver{resolve};
+    // Full-projection *batch* decode: deep verification needs every column
+    // structurally checked, but no FlowRecord ever read — the batch path
+    // proves integrity without materializing a single row.
     const auto status =
-        decode_columnar_block(body, scratch, nullptr, ignored, sink, b.record_count, &resolver);
+        decode_columnar_batch(body, scratch, nullptr, probe, b.record_count, &resolver);
     if (status == BlockDecodeStatus::kOk) {
       if (leaned_on_casualty) transcode.push_back(good.size());
       good.push_back(b);
@@ -894,6 +896,94 @@ void DataLake::scan_block(std::span<const std::byte> body, std::uint32_t record_
   }
 }
 
+void DataLake::scan_block_batches(std::span<const std::byte> body, std::uint32_t record_count,
+                                  const ScanPredicate* predicate, ScanScratch& scratch,
+                                  ScanResult& res, BatchSink fn,
+                                  const PrevBlockResolver* prev_blocks) {
+  auto& m = lake_obs();
+  if (is_columnar_block(body)) {
+    if (predicate != nullptr && !predicate->unrestricted()) {
+      const auto zone = peek_zone_map(body);
+      if (!zone ||
+          (record_count != kAnyRecordCount && zone->record_count != record_count)) {
+        ++res.blocks_skipped;
+        m.blocks_skipped->add(1);
+        res.errc = core::Errc::kCorrupt;
+        return;
+      }
+      if (!predicate->admits(*zone)) {
+        ++res.blocks_pruned;
+        m.blocks_pruned->add(1);
+        return;
+      }
+    }
+    exec::RecordBatch batch;
+    const auto status = decode_columnar_batch(body, scratch.columns, predicate, batch,
+                                              record_count, prev_blocks);
+    if (status == BlockDecodeStatus::kCorrupt) {
+      ++res.blocks_skipped;
+      m.blocks_skipped->add(1);
+      res.errc = core::Errc::kCorrupt;
+      return;
+    }
+    const std::uint32_t fields = predicate != nullptr ? predicate->fields : scan_fields::kAll;
+    if (fields != scan_fields::kAll) {
+      m.segments_skipped->add(kColumnSegmentCount - segments_for_fields(fields));
+    }
+    if (status == BlockDecodeStatus::kZoneMapLied) {
+      m.zone_map_lies->add(1);
+      res.errc = core::Errc::kCorrupt;
+    }
+    if (!batch.empty()) {
+      const auto delivered = static_cast<std::uint64_t>(batch.delivered_rows());
+      res.records_delivered += delivered;
+      m.scan_records->add(delivered);
+      exec::note_batch_delivered(batch);
+      fn(batch);
+    }
+    return;
+  }
+
+  // Row-oriented (v1/v2) body: decompress, decode-and-filter into the
+  // staging transposer, deliver the block's post-filter rows as one batch.
+  // A torn row stream still delivers its valid prefix — the staged rows
+  // precede the damage marker, matching scan_block's semantics.
+  if (!decompress_block_into(body, scratch.decompressed)) {
+    ++res.blocks_skipped;  // CRC-valid yet undecompressable: writer-level damage
+    m.blocks_skipped->add(1);
+    res.errc = core::Errc::kCorrupt;
+    return;
+  }
+  const bool filtered = predicate != nullptr && !predicate->unrestricted();
+  auto& staging = scratch.staging;
+  staging.clear();
+  bool torn = false;
+  {
+    core::ByteReader r{scratch.decompressed};
+    while (true) {
+      const auto record = decode_record(r);
+      if (!record) {
+        torn = record.error() != core::Errc::kEndOfStream;
+        break;
+      }
+      if (filtered && !predicate->matches(*record)) continue;
+      staging.add(*record);
+    }
+  }
+  if (staging.size() > 0) {
+    const exec::RecordBatch batch = staging.finish(scan_fields::kAll);
+    res.records_delivered += batch.rows;
+    m.scan_records->add(batch.rows);
+    exec::note_batch_delivered(batch);
+    fn(batch);
+  }
+  if (torn) {
+    ++res.blocks_skipped;
+    m.blocks_skipped->add(1);
+    res.errc = core::Errc::kCorrupt;
+  }
+}
+
 bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratch,
                             std::uint64_t& records_delivered,
                             core::FunctionRef<void(const flow::FlowRecord&)> fn,
@@ -904,16 +994,20 @@ bool DataLake::decode_block(std::span<const std::byte> body, ScanScratch& scratc
   return res.errc == core::Errc::kOk;
 }
 
-ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
-                                   const std::function<void(const flow::FlowRecord&)>& fn) const {
+namespace {
+
+/// The shared day-walk skeleton of the row and batch scans: index the day,
+/// visit every CRC-valid block with a stream-order chain resolver, fold the
+/// damaged-range and baseline status. `visit(block, resolver)` does the
+/// per-block work.
+template <typename Visit>
+ScanResult scan_day_walk(const DataLake& lake, core::CivilDate day, Visit&& visit) {
   ScanResult res;
-  const DayBlockIndex idx = load_day_blocks(day);
+  const DayBlockIndex idx = lake.load_day_blocks(day);
   if (idx.fatal() != core::Errc::kOk) {
     res.errc = idx.fatal();
     return res;
   }
-  ScanScratch scratch;
-  const auto deliver = [&fn](const flow::FlowRecord& r) { fn(r); };
   const auto& blocks = idx.blocks();
   const auto& chain = idx.chain();
   for (std::size_t i = 0; i < blocks.size(); ++i) {
@@ -928,8 +1022,7 @@ ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* pre
       return idx.body(chain[ci - back]);
     };
     const PrevBlockResolver resolver{resolve};
-    scan_block(idx.body(blocks[i]), blocks[i].record_count, predicate, scratch, res, deliver,
-               &resolver);
+    visit(blocks[i], idx.body(blocks[i]), res, &resolver);
   }
   res.blocks_skipped += idx.damaged_ranges();
   if (res.errc == core::Errc::kOk || idx.baseline() == core::Errc::kCorrupt) {
@@ -938,14 +1031,26 @@ ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* pre
   return res;
 }
 
-ScanResult DataLake::scan_day(core::CivilDate day,
-                              const std::function<void(const flow::FlowRecord&)>& fn) const {
-  return scan_day_impl(day, nullptr, fn);
+}  // namespace
+
+ScanResult DataLake::scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
+                                   RowSink fn) const {
+  ScanScratch scratch;
+  const auto visit = [&](const DayBlockIndex::Block& b, std::span<const std::byte> body,
+                         ScanResult& res, const PrevBlockResolver* resolver) {
+    scan_block(body, b.record_count, predicate, scratch, res, fn, resolver);
+  };
+  return scan_day_walk(*this, day, visit);
 }
 
-ScanResult DataLake::scan_day(core::CivilDate day, const ScanPredicate& predicate,
-                              const std::function<void(const flow::FlowRecord&)>& fn) const {
-  return scan_day_impl(day, &predicate, fn);
+ScanResult DataLake::scan_day_batches_impl(core::CivilDate day, const ScanPredicate* predicate,
+                                           BatchSink fn) const {
+  ScanScratch scratch;
+  const auto visit = [&](const DayBlockIndex::Block& b, std::span<const std::byte> body,
+                         ScanResult& res, const PrevBlockResolver* resolver) {
+    scan_block_batches(body, b.record_count, predicate, scratch, res, fn, resolver);
+  };
+  return scan_day_walk(*this, day, visit);
 }
 
 std::vector<flow::FlowRecord> DataLake::read_day(core::CivilDate day) const {

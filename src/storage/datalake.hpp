@@ -38,6 +38,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/function_ref.hpp"
@@ -91,6 +92,9 @@ struct ScanResult {
 struct ScanScratch {
   std::vector<std::byte> decompressed;  ///< row-format (v1/v2) block bodies
   ColumnScratch columns;                ///< columnar (v3) block bodies
+  /// Row→batch transposition for v1/v2 bodies on the batch scan path, so
+  /// every consumer sees one SoA shape regardless of the on-disk format.
+  exec::BatchStaging staging;
 };
 
 /// Random-access view of one day file for parallel scanning: the raw file
@@ -221,12 +225,30 @@ class DataLake {
   core::Result<std::uint64_t> append(core::CivilDate day,
                                      std::span<const flow::FlowRecord> records);
 
+  /// Per-record and per-batch scan sinks. Both are non-owning
+  /// core::FunctionRef views: one calling convention for every scan entry
+  /// point, no per-scan std::function allocation. A batch sink must consume
+  /// (or copy from) the RecordBatch inside the call — it views the scan's
+  /// scratch and is overwritten by the next block.
+  using RowSink = core::FunctionRef<void(const flow::FlowRecord&)>;
+  using BatchSink = core::FunctionRef<void(const exec::RecordBatch&)>;
+
   /// Stream every recoverable record of a day. Damaged v2/v3 blocks are
   /// skipped (the reader resynchronizes on block sequence numbers) and
   /// reported; a corrupt v1 file delivers its valid prefix. No record from
   /// a block that failed its checksum is ever delivered.
-  ScanResult scan_day(core::CivilDate day,
-                      const std::function<void(const flow::FlowRecord&)>& fn) const;
+  ///
+  /// Templated only to bind the callable to a RowSink through a named
+  /// lvalue (FunctionRef rejects temporaries by design); dispatch is
+  /// non-virtual, the body is the out-of-line scan_day_impl. This is the
+  /// compatibility shim over the batch path: v3 blocks decode as batches
+  /// and replay through exec::materialize_rows.
+  template <typename Fn,
+            typename = std::enable_if_t<std::is_invocable_v<Fn&, const flow::FlowRecord&>>>
+  ScanResult scan_day(core::CivilDate day, Fn&& fn) const {
+    RowSink sink{fn};
+    return scan_day_impl(day, nullptr, sink);
+  }
 
   /// Selective scan with predicate pushdown: v3 blocks whose zone map
   /// cannot match are skipped without decompressing anything (counted in
@@ -234,8 +256,34 @@ class DataLake {
   /// column segments the filter and the callback need, and v1/v2 blocks
   /// fall back to decode-then-filter — the delivered record set is
   /// identical across formats.
-  ScanResult scan_day(core::CivilDate day, const ScanPredicate& predicate,
-                      const std::function<void(const flow::FlowRecord&)>& fn) const;
+  template <typename Fn,
+            typename = std::enable_if_t<std::is_invocable_v<Fn&, const flow::FlowRecord&>>>
+  ScanResult scan_day(core::CivilDate day, const ScanPredicate& predicate, Fn&& fn) const {
+    RowSink sink{fn};
+    return scan_day_impl(day, &predicate, sink);
+  }
+
+  /// Native batch delivery — the primary scan path: one RecordBatch per
+  /// surviving block, filled straight from the decode scratch. Columnar
+  /// blocks pass dictionary codes through without materializing a single
+  /// string; v1/v2 blocks are staged row→batch so consumers see one shape.
+  /// Same pruning/skip accounting and damage semantics as the row scan; a
+  /// filtered batch carries its selection vector instead of re-copying the
+  /// surviving rows.
+  template <typename Fn,
+            typename = std::enable_if_t<std::is_invocable_v<Fn&, const exec::RecordBatch&>>>
+  ScanResult scan_day_batches(core::CivilDate day, Fn&& fn) const {
+    BatchSink sink{fn};
+    return scan_day_batches_impl(day, nullptr, sink);
+  }
+
+  template <typename Fn,
+            typename = std::enable_if_t<std::is_invocable_v<Fn&, const exec::RecordBatch&>>>
+  ScanResult scan_day_batches(core::CivilDate day, const ScanPredicate& predicate,
+                              Fn&& fn) const {
+    BatchSink sink{fn};
+    return scan_day_batches_impl(day, &predicate, sink);
+  }
 
   /// Load the raw bytes and validated block index of one day for
   /// random-access (parallel) decoding. scan_day is this plus a serial
@@ -267,6 +315,17 @@ class DataLake {
                          const ScanPredicate* predicate, ScanScratch& scratch, ScanResult& res,
                          core::FunctionRef<void(const flow::FlowRecord&)> fn,
                          const PrevBlockResolver* prev_blocks = nullptr);
+
+  /// Batch counterpart of scan_block: the block's surviving rows are
+  /// delivered as one RecordBatch (columnar bodies view the decode scratch
+  /// directly; row bodies stage through scratch.staging). Accounting is
+  /// identical to scan_block — prune/skip/zone-lie handling, delivered-row
+  /// counts, valid-prefix delivery for damaged row-format bodies. An empty
+  /// post-filter block invokes no sink call.
+  static void scan_block_batches(std::span<const std::byte> body, std::uint32_t record_count,
+                                 const ScanPredicate* predicate, ScanScratch& scratch,
+                                 ScanResult& res, BatchSink fn,
+                                 const PrevBlockResolver* prev_blocks = nullptr);
 
   /// Convenience: materialize a day (recoverable records only).
   [[nodiscard]] std::vector<flow::FlowRecord> read_day(core::CivilDate day) const;
@@ -405,7 +464,9 @@ class DataLake {
                                           std::span<const flow::FlowRecord> records);
   DayHealth repair_day_impl(core::CivilDate day, bool force_rewrite);
   ScanResult scan_day_impl(core::CivilDate day, const ScanPredicate* predicate,
-                           const std::function<void(const flow::FlowRecord&)>& fn) const;
+                           RowSink fn) const;
+  ScanResult scan_day_batches_impl(core::CivilDate day, const ScanPredicate* predicate,
+                                   BatchSink fn) const;
   [[nodiscard]] const services::ServiceCatalog& effective_catalog() const noexcept;
   /// Chunk `records` into block frames of the requested on-disk version
   /// (plus, for v2/v3, a trailing seal), appending to `out`. Shared by
